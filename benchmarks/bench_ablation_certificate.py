@@ -1,0 +1,55 @@
+"""Ablation: Theorem 4 certificate tightness vs subdivision count.
+
+The paper notes the subdivision sequence {i_t} is arbitrary: one
+coarse interval is cheapest but pessimistic (eta'(0) is a loose lower
+bound for eta'(i)); more subranges tighten the bound at more runtime.
+Prints margin and solve count per subdivision count and asserts the
+monotone trade-off; the timed benchmarks measure both ends.
+
+Run:  pytest benchmarks/bench_ablation_certificate.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core.convexity import certify_convexity
+from repro.experiments.ablations import certificate_subdivision_ablation
+
+
+def test_certificate_ablation_shape():
+    points = certificate_subdivision_ablation(
+        subdivision_counts=(1, 2, 4, 8, 16)
+    )
+    print()
+    print("{:>14} {:>10} {:>12} {:>8}".format(
+        "subdivisions", "certified", "margin", "solves"))
+    for p in points:
+        print("{:>14} {:>10} {:>12.4f} {:>8}".format(
+            p.subdivisions, str(p.certified), p.margin, p.solves))
+    # cost grows with subdivisions; margin never loosens.
+    solves = [p.solves for p in points]
+    assert solves == sorted(solves)
+    margins = [p.margin for p in points]
+    assert all(b >= a - 1e-9 for a, b in zip(margins, margins[1:]))
+    assert all(p.certified for p in points)
+
+
+@pytest.mark.benchmark(group="ablation-certificate")
+def test_certificate_coarse(benchmark, alpha_greedy):
+    model = alpha_greedy.model
+    i_max = 2.0 * alpha_greedy.current
+    cert = benchmark.pedantic(
+        lambda: certify_convexity(model, i_max, subdivisions=1),
+        rounds=3, iterations=1,
+    )
+    assert cert.certified
+
+
+@pytest.mark.benchmark(group="ablation-certificate")
+def test_certificate_fine(benchmark, alpha_greedy):
+    model = alpha_greedy.model
+    i_max = 2.0 * alpha_greedy.current
+    cert = benchmark.pedantic(
+        lambda: certify_convexity(model, i_max, subdivisions=16),
+        rounds=3, iterations=1,
+    )
+    assert cert.certified

@@ -1,0 +1,52 @@
+"""Ablation: deployment strategies beyond Figure 5's batch greedy.
+
+Compares four ways to choose the TEC tile set on the Alpha benchmark —
+Figure 5's batch greedy, one-device-at-a-time incremental greedy, a
+static power-density threshold, and Full-Cover — printing devices /
+I_opt / peak / P_TEC / runtime per strategy.  Findings: the
+thermal-feedback strategies reach the limit while the static ones do
+not, and the batch greedy beats the incremental hottest-tile chaser
+(covering whole offender sets at once avoids the local plateaus the
+one-at-a-time strategy wanders through).
+
+Run:  pytest benchmarks/bench_ablation_deployment.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core.strategies import compare_strategies, incremental_deploy
+
+
+def test_strategy_comparison_shape(alpha_problem):
+    outcomes = compare_strategies(alpha_problem, density_thresholds=(100.0, 150.0))
+    print()
+    print("{:<22} {:>6} {:>8} {:>9} {:>9} {:>10} {:>9}".format(
+        "strategy", "#TECs", "I_opt A", "peak C", "P_TEC W", "runtime s", "feasible"))
+    for outcome in outcomes.values():
+        print("{:<22} {:>6} {:>8.2f} {:>9.2f} {:>9.2f} {:>10.3f} {:>9}".format(
+            outcome.strategy, outcome.num_tecs, outcome.current_a,
+            outcome.peak_c, outcome.tec_power_w, outcome.runtime_s,
+            "yes" if outcome.feasible else "NO"))
+
+    greedy = outcomes["greedy (Fig. 5)"]
+    incremental = outcomes["incremental"]
+    cover = outcomes["full-cover"]
+    assert greedy.feasible and incremental.feasible
+    # batch greedy dominates on Alpha: fewer devices AND lower peak.
+    assert greedy.num_tecs <= incremental.num_tecs
+    assert greedy.peak_c <= incremental.peak_c + 1e-6
+    # full cover cannot reach the limit on Alpha (the paper's result).
+    assert not cover.feasible
+    assert cover.peak_c > greedy.peak_c
+    # the static thresholds (no thermal feedback) miss feasibility.
+    for label, outcome in outcomes.items():
+        if label.startswith("density"):
+            assert not outcome.feasible
+
+
+@pytest.mark.benchmark(group="ablation-deployment")
+def test_incremental_deploy_cost(benchmark, alpha_problem):
+    outcome = benchmark.pedantic(
+        lambda: incremental_deploy(alpha_problem), rounds=3, iterations=1
+    )
+    assert outcome.feasible

@@ -1,0 +1,39 @@
+"""Ablation: tile resolution of the compact model.
+
+Problem 1 fixes the tile size to the TEC footprint (0.5 mm); this
+study solves the same physical Alpha power pattern at coarser and
+finer granularities, printing peak temperature, node count and solve
+time — the accuracy/cost trade the 12x12 choice sits on.
+
+Run:  pytest benchmarks/bench_ablation_grid.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.ablations import grid_resolution_study
+
+
+def test_grid_resolution_shape():
+    points = grid_resolution_study(resolutions=(6, 12, 24))
+    print()
+    print("{:>6} {:>10} {:>8} {:>12}".format(
+        "tiles", "peak (C)", "nodes", "build+solve"))
+    for p in points:
+        print("{:>3}x{:<3} {:>9.2f} {:>8} {:>10.3f} s".format(
+            p.rows, p.cols, p.peak_c, p.nodes, p.solve_time_s))
+    by_res = {p.rows: p for p in points}
+    # coarser grids smear the hotspot; finer grids converge.
+    assert by_res[6].peak_c < by_res[12].peak_c
+    assert abs(by_res[24].peak_c - by_res[12].peak_c) < abs(
+        by_res[12].peak_c - by_res[6].peak_c
+    )
+
+
+@pytest.mark.benchmark(group="ablation-grid")
+def test_fine_grid_cost(benchmark):
+    points = benchmark.pedantic(
+        lambda: grid_resolution_study(resolutions=(24,)),
+        rounds=3,
+        iterations=1,
+    )
+    assert points[0].nodes > 2000

@@ -1,0 +1,41 @@
+"""Ablation: what does the single-extra-pin restriction cost?
+
+The paper fixes one shared supply current ("allowing only one extra
+pin is desirable... these chips are already restricted in pin usage").
+This study relaxes that to idealized per-device currents via
+coordinate descent and prints the (small) additional cooling the
+multi-pin system would buy — evidence that the single-pin design
+point the paper chose is a sound engineering trade.
+
+Run:  pytest benchmarks/bench_ablation_pins.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.ablations import per_device_current_study
+
+
+def test_per_device_current_shape():
+    result = per_device_current_study(max_sweeps=3)
+    print()
+    print("shared current:     {:.2f} A -> peak {:.3f} C".format(
+        result.shared_current, result.shared_peak_c))
+    print("per-device currents: {} devices, {} sweeps".format(
+        result.per_device_currents.shape[0], result.sweeps))
+    print("  min/max current:  {:.2f} / {:.2f} A".format(
+        result.per_device_currents.min(), result.per_device_currents.max()))
+    print("per-device peak:    {:.3f} C (improvement {:.3f} C)".format(
+        result.per_device_peak_c, result.improvement_c))
+    assert result.per_device_peak_c <= result.shared_peak_c + 1e-6
+    # the single-pin restriction costs well under a degree on Alpha.
+    assert result.improvement_c < 1.0
+
+
+@pytest.mark.benchmark(group="ablation-pins")
+def test_per_device_optimization_cost(benchmark):
+    result = benchmark.pedantic(
+        lambda: per_device_current_study(max_sweeps=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.improvement_c >= -1e-6

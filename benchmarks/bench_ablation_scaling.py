@@ -1,0 +1,67 @@
+"""Ablation: the cooling-capability envelope under power scaling.
+
+Scales the Alpha worst-case power map and re-runs the full design
+flow at each point, printing the envelope: total power vs no-TEC peak
+vs greedy outcome.  Past a point, no deployment can hold 85 C — the
+systematic version of the HC06/HC09 infeasibility the paper reports.
+Also prints the peak-vs-P_TEC Pareto front of the nominal design.
+
+Run:  pytest benchmarks/bench_ablation_scaling.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.core.pareto import pareto_front
+from repro.experiments.ablations import technology_scaling_study
+
+
+def test_scaling_envelope_shape():
+    points = technology_scaling_study(
+        power_factors=(0.8, 0.9, 1.0, 1.1, 1.2, 1.3, 1.4)
+    )
+    print()
+    print("{:>9} {:>12} {:>9} {:>7} {:>9} {:>11}".format(
+        "chip W", "bare peak C", "feasible", "#TECs", "I_opt A", "greedy C"))
+    for p in points:
+        print("{:>9.1f} {:>12.2f} {:>9} {:>7} {:>9.2f} {:>11.2f}".format(
+            p.total_power_w, p.no_tec_peak_c,
+            "yes" if p.feasible else "NO", p.num_tecs,
+            p.i_opt_a, p.greedy_peak_c))
+    # feasibility is monotone: once the envelope breaks it stays broken.
+    flags = [p.feasible for p in points]
+    assert flags[0] and flags[2]  # nominal Alpha feasible
+    first_fail = flags.index(False) if False in flags else len(flags)
+    assert all(not f for f in flags[first_fail:])
+    # the envelope breaks somewhere in the sweep.
+    assert False in flags
+
+
+def test_pareto_front_shape(alpha_greedy):
+    budgets = [0.0, 0.1, 0.25, 0.5, 1.0, 5.0]
+    front = pareto_front(alpha_greedy.model, budgets)
+    print()
+    print("unconstrained: I_opt {:.2f} A, peak {:.2f} C, P_TEC {:.2f} W".format(
+        front.i_opt_a, front.min_peak_c, front.p_tec_at_opt_w))
+    print("{:>10} {:>10} {:>10} {:>10}".format(
+        "budget W", "i (A)", "peak C", "P_TEC W"))
+    for point in front.points:
+        print("{:>10.2f} {:>10.2f} {:>10.2f} {:>10.3f}".format(
+            point.budget_w, point.current_a, point.peak_c, point.p_tec_w))
+    peaks = front.peaks()
+    # peaks are non-increasing along growing budgets.
+    assert all(b <= a + 1e-9 for a, b in zip(peaks, peaks[1:]))
+    # half a watt already buys most of the swing (diminishing returns).
+    passive = alpha_greedy.model.solve(0.0).peak_silicon_c
+    full_swing = passive - front.min_peak_c
+    half_watt = passive - front.points[3].peak_c
+    assert half_watt > 0.5 * full_swing
+
+
+@pytest.mark.benchmark(group="ablation-scaling")
+def test_scaling_point_cost(benchmark):
+    points = benchmark.pedantic(
+        lambda: technology_scaling_study(power_factors=(1.2,)),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(points) == 1

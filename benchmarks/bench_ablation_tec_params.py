@@ -1,0 +1,52 @@
+"""Ablation: device parameter sensitivity of the Table I quantities.
+
+Sweeps the TEC Seebeck coefficient and electrical resistance around
+the calibrated values and prints how I_opt, the achievable peak, P_TEC
+and lambda_m respond — quantifying how the paper's results depend on
+the (not fully published) device parameters of reference [1].
+
+Run:  pytest benchmarks/bench_ablation_tec_params.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.ablations import tec_parameter_sweep
+
+
+def test_tec_parameter_sweep_shape():
+    points = tec_parameter_sweep(
+        seebeck_factors=(0.5, 1.0, 1.5),
+        resistance_factors=(0.5, 1.0, 2.0),
+    )
+    print()
+    print("{:>12} {:>10} {:>10} {:>10} {:>10} {:>12}".format(
+        "alpha (V/K)", "r (mohm)", "I_opt (A)", "peak (C)", "P_TEC (W)",
+        "lambda_m (A)"))
+    for p in points:
+        print("{:>12.1e} {:>10.2f} {:>10.2f} {:>10.2f} {:>10.2f} {:>12.0f}".format(
+            p.seebeck, p.resistance * 1e3, p.i_opt_a, p.peak_c, p.p_tec_w,
+            p.lambda_m_a))
+
+    by_key = {(p.seebeck, p.resistance): p for p in points}
+    alphas = sorted({p.seebeck for p in points})
+    resistances = sorted({p.resistance for p in points})
+    # stronger Seebeck pumps deeper at fixed resistance.
+    for r in resistances:
+        assert by_key[(alphas[-1], r)].peak_c < by_key[(alphas[0], r)].peak_c
+    # lambda_m scales ~1/alpha.
+    ratio = by_key[(alphas[0], resistances[0])].lambda_m_a / by_key[
+        (alphas[-1], resistances[0])
+    ].lambda_m_a
+    assert ratio == pytest.approx(alphas[-1] / alphas[0], rel=0.1)
+
+
+@pytest.mark.benchmark(group="ablation-tec-params")
+def test_parameter_sweep_cost(benchmark):
+    points = benchmark.pedantic(
+        lambda: tec_parameter_sweep(
+            seebeck_factors=(1.0,), resistance_factors=(0.5, 1.0, 2.0)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(points) == 3

@@ -1,0 +1,41 @@
+"""Conjecture 1 (Section V.C.2): randomized verification campaign.
+
+The paper verified the conjecture on millions of random positive
+definite Stieltjes matrices.  The shape test runs a reproducible
+campaign (scaled down for CI; scale ``num_matrices`` up at will — the
+generator streams) plus the check on the real deployment's system
+matrix, printing the worst margins.  The timed benchmark measures the
+per-matrix verification cost, which is what bounds a larger campaign.
+
+Run:  pytest benchmarks/bench_conjecture.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.conjecture import run_conjecture_experiment
+from repro.linalg.conjecture import conjecture1_witness
+from repro.linalg.stieltjes import random_stieltjes
+
+
+def test_conjecture_shape():
+    outcome = run_conjecture_experiment(
+        num_matrices=150, size_range=(3, 12), system_pairs=20, seed=1364
+    )
+    random_result = outcome.random_result
+    print()
+    print("random campaign: {} matrices, {} (k,l) pairs, worst margin {:.3e}".format(
+        random_result.matrices_tested,
+        random_result.pairs_tested,
+        random_result.worst_margin,
+    ))
+    print("system matrices (alpha deployment): {} pairs, worst margin {:.3e}".format(
+        outcome.system_pairs, outcome.system_margin))
+    assert outcome.holds
+    assert not random_result.violations
+
+
+@pytest.mark.benchmark(group="conjecture")
+def test_conjecture_per_matrix_cost(benchmark):
+    matrix = random_stieltjes(10, seed=42)
+    margin, _ = benchmark(lambda: conjecture1_witness(matrix, check=False))
+    assert margin > 0.0

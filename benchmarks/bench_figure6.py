@@ -1,0 +1,38 @@
+"""Figure 6: h_kl(i) — non-negative, convex, diverging at lambda_m.
+
+Prints the sampled influence-coefficient curves and asserts the three
+properties the figure illustrates (Lemma 3, Theorem 3, Theorem 2).
+The timed benchmark measures one full figure regeneration.
+
+Run:  pytest benchmarks/bench_figure6.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.figures import figure6_data
+
+
+def test_figure6_shape():
+    data = figure6_data(samples=25)
+    print()
+    print("lambda_m = {:.2f} A".format(data.lambda_m))
+    header = "{:>10}".format("i (A)") + "".join(
+        "{:>16}".format(label) for label in data.curves
+    )
+    print(header)
+    for j in range(0, len(data.currents), 3):
+        row = "{:>10.2f}".format(data.currents[j]) + "".join(
+            "{:>16.4f}".format(series[j]) for series in data.curves.values()
+        )
+        print(row)
+    assert data.nonnegative, "Lemma 3 violated: negative influence coefficient"
+    assert data.convex, "Theorem 3 violated: non-convex h_kl(i)"
+    assert data.diverging, "Theorem 2 violated: no divergence at lambda_m"
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_generation(benchmark):
+    data = benchmark.pedantic(
+        lambda: figure6_data(samples=15), rounds=3, iterations=1
+    )
+    assert data.convex

@@ -1,0 +1,33 @@
+"""Figure 7: the Alpha floorplan and the greedy TEC deployment map.
+
+Prints both panels (unit initials and the shaded deployment) and
+asserts the paper's qualitative observation: only tiles over/adjacent
+to the high-power-density units are covered; the L2 is never covered.
+
+Run:  pytest benchmarks/bench_figure7.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.figures import figure7_data
+
+
+def test_figure7_shape():
+    data = figure7_data()
+    print()
+    print(data.render())
+    print("covered units: {}".format(data.covered_units))
+    assert data.num_tecs == len(data.tec_tiles)
+    # IntReg (the 282.4 W/cm^2 unit) is fully covered...
+    assert data.covered_units.get("IntReg", 0) == 4
+    # ...IntExec partially or fully...
+    assert data.covered_units.get("IntExec", 0) >= 1
+    # ...and the low-density L2 is untouched.
+    assert "L2" not in data.covered_units
+    assert "Icache" not in data.covered_units
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_generation(benchmark):
+    data = benchmark.pedantic(figure7_data, rounds=3, iterations=1)
+    assert data.num_tecs > 0

@@ -1,0 +1,67 @@
+"""The Section VI validation experiment: compact model vs reference.
+
+Prints the per-case worst differences (worst-case map + workload trace
+snapshots) and asserts the paper's headline: worst-case per-tile
+difference below 1.5 C.  The timed benchmarks measure one compact
+solve and one reference solve — the cost ratio that motivates using
+the compact model inside the optimization loop.
+
+Run:  pytest benchmarks/bench_validation.py --benchmark-only -s
+"""
+
+import pytest
+
+from repro.experiments.validation import run_validation
+from repro.thermal.reference import ReferenceGridModel
+
+
+def test_validation_shape():
+    outcome = run_validation(refine=1, trace_steps=20, snapshots=(10, 19))
+    print()
+    for label, value in sorted(outcome.per_case.items()):
+        print("  {:<24} worst |diff| = {:.3f} C".format(label, value))
+    print("overall worst: {:.3f} C (paper claim: < 1.5 C)".format(
+        outcome.worst_abs_diff_c))
+    assert outcome.passed
+
+
+def test_active_validation_shape(alpha_greedy):
+    """Beyond the paper: validate the *deployed* compact model against
+    the TEC-embedded fine-grid reference, passive and at I_opt."""
+    import numpy as np
+
+    from repro.thermal.reference_active import ActiveReferenceGridModel
+
+    model = alpha_greedy.model
+    reference = ActiveReferenceGridModel(
+        model.grid, model.power_map, stack=model.stack,
+        tec_tiles=model.tec_tiles, device=model.device, refine=1,
+    )
+    print()
+    for current in (0.0, alpha_greedy.current):
+        fine = reference.tile_temperatures_c_active(current)
+        coarse = model.solve(current).silicon_c
+        worst = float(np.max(np.abs(coarse - fine)))
+        print("  i = {:5.2f} A: worst |diff| = {:.3f} C "
+              "(peaks {:.2f} vs {:.2f})".format(
+                  current, worst, float(np.max(coarse)), float(np.max(fine))))
+        assert worst < 1.5
+
+
+@pytest.mark.benchmark(group="validation")
+def test_compact_solve_speed(benchmark, alpha_problem):
+    model = alpha_problem.model(())
+    state = benchmark(lambda: model.solve(0.0))
+    assert state.peak_silicon_c == pytest.approx(91.8, abs=0.1)
+
+
+@pytest.mark.benchmark(group="validation")
+def test_reference_solve_speed(benchmark, alpha_problem):
+    def run():
+        reference = ReferenceGridModel(
+            alpha_problem.grid, alpha_problem.power_map, refine=1
+        )
+        return reference.peak_tile_temperature_c()
+
+    peak = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert peak == pytest.approx(91.8, abs=1.5)

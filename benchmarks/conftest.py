@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Heavy, deterministic objects (benchmark problems, greedy solutions)
+are computed once per session so the pytest-benchmark timing loops
+measure only the operation under study.
+"""
+
+import pytest
+
+from repro.core.deploy import greedy_deploy
+from repro.experiments.benchmarks import load_benchmark
+
+
+@pytest.fixture(scope="session")
+def alpha_problem():
+    return load_benchmark("alpha")
+
+
+@pytest.fixture(scope="session")
+def alpha_greedy(alpha_problem):
+    return greedy_deploy(alpha_problem)

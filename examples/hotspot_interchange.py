@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""HotSpot interchange: drive the optimizer from .flp / .ptrace files.
+
+Demonstrates the file-format bridge an existing HotSpot-based flow
+would use:
+
+1. export the Alpha floorplan as a standard ``.flp``;
+2. generate a synthetic workload suite and export it as ``.ptrace``
+   (the format M5 + Wattch emit);
+3. reduce the traces to per-unit worst-case powers with the paper's
+   20% margin;
+4. rebuild the cooling problem *purely from the files* and run the
+   full design flow;
+5. archive the resulting design as JSON.
+
+Run:  python examples/hotspot_interchange.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import CoolingSystemProblem, greedy_deploy
+from repro.io.flp import floorplan_from_flp, write_flp
+from repro.io.ptrace import read_ptrace, trace_to_ptrace
+from repro.io.results import deployment_to_dict
+from repro.power.alpha import alpha_floorplan
+from repro.power.workloads import spec2000_like_suite, worst_case_power
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="repro-hotspot-"))
+    print("working directory: {}\n".format(workdir))
+
+    # 1. Export the floorplan.
+    source_plan = alpha_floorplan()
+    flp_path = workdir / "alpha.flp"
+    rects = write_flp(source_plan, flp_path)
+    print("wrote {} ({} rectangles)".format(flp_path.name, len(rects)))
+
+    # 2. Export workload traces.
+    unit_names = [unit.name for unit in source_plan.units]
+    nominal = {unit.name: unit.power_w / 1.2 for unit in source_plan.units}
+    traces = []
+    for workload in spec2000_like_suite():
+        trace = workload.trace(unit_names, 60, seed=2000)
+        trace_path = workdir / "{}.ptrace".format(workload.name)
+        trace_to_ptrace(trace_path, source_plan, trace, nominal)
+        traces.append(trace)
+        print("wrote {} ({} samples)".format(trace_path.name, trace.steps))
+
+    # 3. Reduce to worst-case unit powers (reading one back first, to
+    #    prove the files are self-contained).
+    names, loaded = read_ptrace(workdir / "int-heavy.ptrace")
+    print("\nread back {} columns x {} samples from int-heavy.ptrace".format(
+        len(names), loaded.shape[0]))
+    worst = worst_case_power(nominal, traces, margin=0.2)
+    total = sum(worst.values())
+    print("worst-case chip power from traces: {:.1f} W".format(total))
+
+    # 4. Rebuild the problem from the .flp + worst-case powers.
+    floorplan = floorplan_from_flp(flp_path, source_plan.grid, worst)
+    problem = CoolingSystemProblem.from_floorplan(
+        floorplan, max_temperature_c=85.0, name="alpha-from-files"
+    )
+    result = greedy_deploy(problem)
+    print("\ndesign from files: feasible={}, {} TECs at {:.2f} A, "
+          "peak {:.1f} -> {:.1f} C".format(
+              result.feasible, result.num_tecs, result.current,
+              result.no_tec_peak_c, result.peak_c))
+
+    # 5. Archive.
+    out = workdir / "design.json"
+    out.write_text(json.dumps(deployment_to_dict(result), indent=2))
+    print("archived design to {}".format(out))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: configure the active cooling system of the Alpha chip.
+
+Reproduces the first row of the paper's Table I end-to-end:
+
+1. build the Alpha-21364-like benchmark chip (12x12 tiles, 20.6 W
+   worst case);
+2. run GreedyDeploy to choose which tiles get thin-film TEC devices;
+3. the deployment's supply current is set by the convex
+   peak-temperature minimization;
+4. compare against the no-TEC chip and the Full-Cover baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CoolingSystemProblem, full_cover, greedy_deploy
+from repro.power.alpha import alpha_floorplan
+from repro.power.maps import render_ascii_heatmap
+
+
+def main():
+    floorplan = alpha_floorplan()
+    problem = CoolingSystemProblem.from_floorplan(
+        floorplan, max_temperature_c=85.0, name="alpha"
+    )
+    print("chip: {:.1f} W worst case over {} tiles, limit {:.0f} C".format(
+        problem.power_map.sum(), problem.grid.num_tiles, problem.max_temperature_c
+    ))
+
+    result = greedy_deploy(problem)
+    print("\nGreedyDeploy:")
+    print("  feasible:      {}".format(result.feasible))
+    print("  no-TEC peak:   {:.1f} C".format(result.no_tec_peak_c))
+    print("  devices:       {}".format(result.num_tecs))
+    print("  I_opt:         {:.2f} A".format(result.current))
+    print("  P_TEC:         {:.2f} W".format(result.tec_power_w))
+    print("  cooled peak:   {:.1f} C  (swing {:.1f} C)".format(
+        result.peak_c, result.cooling_swing_c
+    ))
+    print("  runtime:       {:.2f} s".format(result.runtime_s))
+
+    baseline = full_cover(problem)
+    print("\nFull-Cover baseline (all 144 tiles covered):")
+    print("  best peak:     {:.1f} C at {:.2f} A".format(
+        baseline.min_peak_c, baseline.current
+    ))
+    print("  SwingLoss:     {:.1f} C  (over-deployment penalty)".format(
+        baseline.min_peak_c - result.peak_c
+    ))
+
+    # Before/after temperature maps and the deployment.
+    bare = problem.model(()).solve(0.0)
+    cooled = result.model.solve(result.current)
+    lo = min(bare.silicon_c.min(), cooled.silicon_c.min())
+    hi = bare.silicon_c.max()
+    print("\nbare-chip temperatures ({:.1f}..{:.1f} C):".format(lo, hi))
+    print(render_ascii_heatmap(bare.silicon_grid_c, vmin=lo, vmax=hi))
+    print("\nwith the optimized cooling system:")
+    print(render_ascii_heatmap(cooled.silicon_grid_c, vmin=lo, vmax=hi))
+    covered = set(result.tec_tiles)
+    print("\nTEC deployment (# = device):")
+    for row in range(problem.grid.rows):
+        print("".join(
+            "#" if problem.grid.flat_index(row, col) in covered else "."
+            for col in range(problem.grid.cols)
+        ))
+
+
+if __name__ == "__main__":
+    main()

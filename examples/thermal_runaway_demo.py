@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Thermal runaway: why the supply current must stay below lambda_m.
+
+Sweeps the shared supply current of the Alpha deployment from zero
+toward the runaway limit and prints the peak temperature curve — the
+shape of the paper's Figure 6 discussion (Section V.C.1):
+
+* a shallow dip down to the optimum (active cooling),
+* a slow rise (Joule heating overtakes Peltier pumping),
+* an explosion as i -> lambda_m (zero-COP condition, Theorem 2).
+
+Also verifies Theorem 1's dichotomy numerically: G - iD is positive
+definite below lambda_m and indefinite above it.
+
+Run:  python examples/thermal_runaway_demo.py
+"""
+
+import numpy as np
+
+from repro import greedy_deploy
+from repro.experiments.benchmarks import load_benchmark
+from repro.linalg.spd import cholesky_is_spd
+
+
+def main():
+    problem = load_benchmark("alpha")
+    result = greedy_deploy(problem)
+    model = result.model
+    runaway = model.runaway_current()
+    lambda_m = runaway.value
+    print("deployment: {} TECs; I_opt = {:.2f} A".format(
+        result.num_tecs, result.current))
+    print("runaway current lambda_m = {:.2f} A (method: {})\n".format(
+        lambda_m, runaway.method))
+
+    print("{:>10} {:>12} {:>14}".format("i (A)", "i/lambda_m", "peak (C)"))
+    fractions = [0.0, 0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9,
+                 0.99, 0.999, 0.9999]
+    for fraction in fractions:
+        current = fraction * lambda_m
+        peak = model.solve(current).peak_silicon_c
+        bar = "#" * min(60, max(1, int(np.log10(max(peak, 1.0)) * 12)))
+        print("{:>10.2f} {:>12.4f} {:>14.1f}  {}".format(
+            current, fraction, peak, bar))
+
+    print("\nTheorem 1 dichotomy at lambda_m:")
+    g, d_diag, _, _ = model.matrices()
+    import scipy.sparse as sp
+
+    for factor in (0.99, 1.01):
+        matrix = (g - factor * lambda_m * sp.diags(d_diag)).tocsc()
+        print("  G - {:.2f} lambda_m D positive definite: {}".format(
+            factor, cholesky_is_spd(matrix)))
+
+    # Cross-check the two lambda_m algorithms.
+    search = model.runaway_current(method="binary-search")
+    print("\nlambda_m eigen:         {:.6f} A".format(lambda_m))
+    print("lambda_m binary search: {:.6f} A ({} Cholesky calls)".format(
+        search.value, search.iterations))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""repro — on-chip active cooling with thin-film thermoelectric coolers.
+
+A production-quality reproduction of
+
+    Jieyi Long, Seda Ogrenci Memik, Matthew Grayson,
+    "Optimization of an On-Chip Active Cooling System Based on
+    Thin-Film Thermoelectric Coolers", DATE 2010.
+
+Quickstart::
+
+    from repro import CoolingSystemProblem, greedy_deploy
+    from repro.power.alpha import alpha_floorplan
+
+    problem = CoolingSystemProblem.from_floorplan(
+        alpha_floorplan(), max_temperature_c=85.0, name="alpha")
+    result = greedy_deploy(problem)
+    print(result.feasible, result.num_tecs, result.current, result.peak_c)
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the paper's optimization framework
+  (GreedyDeploy, convex current setting, convexity certificates,
+  baselines, runaway analysis);
+* :mod:`repro.thermal` — the compact package thermal model and the
+  fine-grid validation reference;
+* :mod:`repro.tec` — thin-film TEC device physics and compact-model
+  stamps;
+* :mod:`repro.power` — floorplans, the Alpha-21364-like benchmark,
+  synthetic workloads, hypothetical chip generation;
+* :mod:`repro.linalg` — Stieltjes/M-matrix theory, runaway currents,
+  the Conjecture 1 campaign;
+* :mod:`repro.experiments` — the Section VI experiment harness
+  (Table I, Figures 6/7, validation, ablations).
+"""
+
+from repro.core.baselines import full_cover, no_tec_peak_c, swing_loss_c
+from repro.core.convexity import certify_convexity
+from repro.core.current import minimize_peak_temperature
+from repro.core.deploy import greedy_deploy
+from repro.core.problem import CoolingSystemProblem
+from repro.core.report import BenchmarkRow, format_table1
+from repro.core.runaway import runaway_curve
+from repro.tec.materials import TecDeviceParameters, chowdhury_thin_film_tec
+from repro.thermal.geometry import TileGrid
+from repro.thermal.model import PackageThermalModel
+from repro.thermal.stack import Layer, PackageStack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkRow",
+    "CoolingSystemProblem",
+    "Layer",
+    "PackageStack",
+    "PackageThermalModel",
+    "TecDeviceParameters",
+    "TileGrid",
+    "__version__",
+    "certify_convexity",
+    "chowdhury_thin_film_tec",
+    "format_table1",
+    "full_cover",
+    "greedy_deploy",
+    "minimize_peak_temperature",
+    "no_tec_peak_c",
+    "runaway_curve",
+    "swing_loss_c",
+]

@@ -1,0 +1,294 @@
+"""Command-line interface.
+
+Usage (also installed as the ``repro`` console script)::
+
+    python -m repro.cli table1 [--benchmarks alpha hc01 ...] [--json OUT]
+    python -m repro.cli solve --benchmark alpha [--limit 85] [--json OUT]
+    python -m repro.cli solve --flp chip.flp --powers powers.json --limit 85
+    python -m repro.cli validate [--refine 2]
+    python -m repro.cli runaway [--benchmark alpha]
+    python -m repro.cli conjecture [--matrices 500]
+    python -m repro.cli info
+
+Every subcommand returns a process exit code of 0 on success and 1 on
+an infeasible/failed outcome, so the CLI composes into scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import __version__
+
+
+def _add_table1(subparsers):
+    parser = subparsers.add_parser(
+        "table1", help="reproduce Table I (all or selected benchmarks)"
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=None,
+        help="benchmark names (default: every Table I row)",
+    )
+    parser.add_argument("--markdown", action="store_true", help="markdown output")
+    parser.add_argument("--json", metavar="PATH", help="also write rows as JSON")
+    parser.set_defaults(func=_cmd_table1)
+
+
+def _cmd_table1(args):
+    from repro.experiments.table1 import run_table1
+    from repro.io.results import rows_to_json
+
+    comparison = run_table1(args.benchmarks)
+    print(comparison.render(markdown=args.markdown))
+    print()
+    print(
+        "averages: P_TEC {:.2f} W (paper 1.70), SwingLoss {:.1f} C (paper 4.2)".format(
+            comparison.avg_p_tec_w, comparison.avg_swing_loss_c
+        )
+    )
+    if args.json:
+        rows_to_json(comparison.rows, args.json, metadata={"tool": "repro " + __version__})
+        print("rows written to {}".format(args.json))
+    return 0 if all(row.feasible for row in comparison.rows) else 1
+
+
+def _add_solve(subparsers):
+    parser = subparsers.add_parser(
+        "solve", help="run GreedyDeploy on a benchmark or a custom .flp chip"
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--benchmark", help="registered benchmark name")
+    source.add_argument("--flp", metavar="PATH", help="HotSpot floorplan file")
+    parser.add_argument(
+        "--powers", metavar="PATH",
+        help="JSON file of unit worst-case powers (required with --flp)",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=12, help="tile rows for --flp (default 12)"
+    )
+    parser.add_argument(
+        "--cols", type=int, default=12, help="tile cols for --flp (default 12)"
+    )
+    parser.add_argument(
+        "--limit", type=float, default=None,
+        help="max allowable temperature in C (default: benchmark's own / 85)",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the result as JSON")
+    parser.add_argument(
+        "--full-cover", action="store_true",
+        help="also run the Full-Cover baseline and report SwingLoss",
+    )
+    parser.set_defaults(func=_cmd_solve)
+
+
+def _cmd_solve(args):
+    from repro.core.baselines import full_cover
+    from repro.core.deploy import greedy_deploy
+    from repro.io.results import deployment_to_dict
+
+    problem = _load_problem(args)
+    if args.limit is not None:
+        problem = problem.with_limit(args.limit)
+
+    result = greedy_deploy(problem)
+    print("problem: {} (limit {:.1f} C)".format(problem.name, problem.max_temperature_c))
+    print("feasible:     {}".format(result.feasible))
+    print("no-TEC peak:  {:.2f} C".format(result.no_tec_peak_c))
+    print("devices:      {}".format(result.num_tecs))
+    print("I_opt:        {:.2f} A".format(result.current))
+    print("P_TEC:        {:.2f} W".format(result.tec_power_w))
+    print("cooled peak:  {:.2f} C".format(result.peak_c))
+    print("tiles:        {}".format(list(result.tec_tiles)))
+    if args.full_cover:
+        baseline = full_cover(problem)
+        print("full-cover best peak: {:.2f} C (SwingLoss {:.2f} C)".format(
+            baseline.min_peak_c, baseline.min_peak_c - result.peak_c))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(deployment_to_dict(result), handle, indent=2)
+        print("result written to {}".format(args.json))
+    return 0 if result.feasible else 1
+
+
+def _load_problem(args):
+    from repro.core.problem import CoolingSystemProblem
+    from repro.experiments.benchmarks import load_benchmark
+
+    if args.benchmark:
+        return load_benchmark(args.benchmark)
+    if not args.powers:
+        raise SystemExit("--flp requires --powers (JSON of unit powers)")
+    from repro.io.flp import floorplan_from_flp
+    from repro.thermal.geometry import TileGrid
+
+    with open(args.powers) as handle:
+        unit_powers = json.load(handle)
+    grid = TileGrid(args.rows, args.cols)
+    floorplan = floorplan_from_flp(args.flp, grid, unit_powers)
+    return CoolingSystemProblem.from_floorplan(floorplan, name=args.flp)
+
+
+def _add_validate(subparsers):
+    parser = subparsers.add_parser(
+        "validate", help="compact model vs fine-grid reference (< 1.5 C claim)"
+    )
+    parser.add_argument("--refine", type=int, default=1)
+    parser.add_argument("--trace-steps", type=int, default=20)
+    parser.set_defaults(func=_cmd_validate)
+
+
+def _cmd_validate(args):
+    from repro.experiments.validation import run_validation
+
+    outcome = run_validation(
+        refine=args.refine, trace_steps=args.trace_steps,
+        snapshots=(args.trace_steps - 1,),
+    )
+    for label, value in sorted(outcome.per_case.items()):
+        print("  {:<24} worst |diff| = {:.3f} C".format(label, value))
+    print("overall worst: {:.3f} C (tolerance {:.1f} C) -> {}".format(
+        outcome.worst_abs_diff_c, outcome.tolerance_c,
+        "PASS" if outcome.passed else "FAIL"))
+    return 0 if outcome.passed else 1
+
+
+def _add_runaway(subparsers):
+    parser = subparsers.add_parser(
+        "runaway", help="runaway current and blow-up curve of a deployment"
+    )
+    parser.add_argument("--benchmark", default="alpha")
+    parser.set_defaults(func=_cmd_runaway)
+
+
+def _cmd_runaway(args):
+    from repro.core.deploy import greedy_deploy
+    from repro.core.runaway import runaway_curve
+    from repro.experiments.benchmarks import load_benchmark
+
+    problem = load_benchmark(args.benchmark)
+    result = greedy_deploy(problem)
+    curve = runaway_curve(result.model, max_fraction=0.9999)
+    print("deployment: {} TECs, I_opt {:.2f} A".format(result.num_tecs, result.current))
+    print("lambda_m = {:.3f} A".format(curve.lambda_m))
+    print("{:>12} {:>16}".format("i (A)", "peak (C)"))
+    for current, peak in zip(curve.currents, curve.peak_c):
+        print("{:>12.2f} {:>16.1f}".format(current, peak))
+    return 0 if curve.diverged else 1
+
+
+def _add_conjecture(subparsers):
+    parser = subparsers.add_parser(
+        "conjecture", help="randomized Conjecture 1 verification campaign"
+    )
+    parser.add_argument("--matrices", type=int, default=200)
+    parser.add_argument("--min-size", type=int, default=3)
+    parser.add_argument("--max-size", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=1364)
+    parser.set_defaults(func=_cmd_conjecture)
+
+
+def _cmd_conjecture(args):
+    from repro.linalg.conjecture import run_conjecture_campaign
+
+    result = run_conjecture_campaign(
+        args.matrices, size_range=(args.min_size, args.max_size), seed=args.seed
+    )
+    print("matrices tested: {}".format(result.matrices_tested))
+    print("(k,l) pairs:     {}".format(result.pairs_tested))
+    print("violations:      {}".format(len(result.violations)))
+    print("worst margin:    {:.6e}".format(result.worst_margin))
+    print("conjecture {} on this campaign".format("HOLDS" if result.holds else "FAILS"))
+    return 0 if result.holds else 1
+
+
+def _add_report(subparsers):
+    parser = subparsers.add_parser(
+        "report", help="generate the full markdown experiment report"
+    )
+    parser.add_argument("--out", metavar="PATH", help="write the report here")
+    parser.add_argument(
+        "--benchmarks", nargs="+", default=None,
+        help="Table I rows to include (default: all)",
+    )
+    parser.add_argument("--conjecture-matrices", type=int, default=100)
+    parser.set_defaults(func=_cmd_report)
+
+
+def _cmd_report(args):
+    from repro.experiments.report import generate_report
+
+    report = generate_report(
+        benchmarks=args.benchmarks,
+        conjecture_matrices=args.conjecture_matrices,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print("report written to {}".format(args.out))
+    else:
+        print(report)
+    return 0
+
+
+def _add_info(subparsers):
+    parser = subparsers.add_parser(
+        "info", help="print the calibrated package/device defaults"
+    )
+    parser.set_defaults(func=_cmd_info)
+
+
+def _cmd_info(_args):
+    from repro.tec.materials import chowdhury_thin_film_tec
+    from repro.thermal.stack import PackageStack
+
+    stack = PackageStack()
+    device = chowdhury_thin_film_tec()
+    print("repro {} — DATE 2010 TEC cooling reproduction".format(__version__))
+    print("\npackage stack (calibrated; see DESIGN.md):")
+    for layer in stack.conduction_layers():
+        side = "{:.1f} mm".format(layer.side * 1e3) if layer.side else "die-sized"
+        print("  {:<9} {:>7.0f} um  k={:>5.1f} W/mK  {}".format(
+            layer.name, layer.thickness * 1e6,
+            layer.material.thermal_conductivity, side))
+    print("  convection R = {:.3f} K/W, ambient {:.1f} C".format(
+        stack.convection_resistance, stack.ambient_c))
+    print("\nTEC device (calibrated thin-film super-lattice):")
+    print("  alpha = {:.1e} V/K, r = {:.2f} mohm, kappa = {:.1f} mW/K".format(
+        device.seebeck, device.electrical_resistance * 1e3,
+        device.thermal_conductance * 1e3))
+    print("  contacts g_c = g_h = {:.2f} W/K, footprint {:.1f} x {:.1f} mm".format(
+        device.cold_contact_conductance, device.width * 1e3, device.height * 1e3))
+    print("  lumped Z = {:.2e} 1/K (ZT = {:.2f} at 358 K)".format(
+        device.figure_of_merit, device.zt(358.15)))
+    return 0
+
+
+def build_parser():
+    """Construct the argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="On-chip active cooling with thin-film TECs (DATE 2010 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version="repro " + __version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_table1(subparsers)
+    _add_solve(subparsers)
+    _add_validate(subparsers)
+    _add_runaway(subparsers)
+    _add_conjecture(subparsers)
+    _add_report(subparsers)
+    _add_info(subparsers)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

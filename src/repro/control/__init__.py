@@ -1,0 +1,45 @@
+"""Closed-loop dynamic thermal management (beyond the paper).
+
+The paper's introduction motivates active cooling with a vision:
+"the active cooling system, the thermal monitoring system, and the
+architecture-level thermal management mechanisms can operate
+synergistically to achieve enhanced performance under a safe operating
+temperature."  The paper itself then solves the *static* worst-case
+configuration problem; this package builds the dynamic half of the
+vision on top of it:
+
+``sensors``
+    On-chip thermal sensors: noisy, quantized reads of tile
+    temperatures (realistic sensors are both), plus a sensor array
+    placed on the TEC-covered tiles.
+``controllers``
+    Supply-current controllers: bang-bang with hysteresis and a PI
+    tracker, both clamped to a safe ceiling below the runaway current.
+``loop``
+    The closed-loop simulator: a backward-Euler transient of the
+    package whose TEC current is updated every control period from the
+    sensor readings, with LU factorizations cached per quantized
+    current level.
+
+The static optimum from :mod:`repro.core` remains the design anchor:
+the deployment comes from GreedyDeploy, and the controllers treat its
+``I_opt`` (and ``lambda_m``) as the calibration for their output range.
+"""
+
+from repro.control.controllers import (
+    BangBangController,
+    ConstantCurrentController,
+    PiController,
+)
+from repro.control.loop import ClosedLoopResult, ClosedLoopSimulator
+from repro.control.sensors import SensorArray, ThermalSensor
+
+__all__ = [
+    "BangBangController",
+    "ClosedLoopResult",
+    "ClosedLoopSimulator",
+    "ConstantCurrentController",
+    "PiController",
+    "SensorArray",
+    "ThermalSensor",
+]

@@ -1,0 +1,105 @@
+"""TEC supply-current controllers.
+
+A controller maps the sensed peak temperature to a supply-current
+command once per control period.  All controllers clamp their output
+to ``[0, i_max]``; the loop supplies an ``i_max`` safely below the
+deployment's runaway current ``lambda_m``, so no controller can drive
+the package into thermal runaway even under sensor faults.
+"""
+
+from __future__ import annotations
+
+from repro.utils import check_nonnegative, check_positive
+
+
+class ConstantCurrentController:
+    """Open-loop reference: always command the same current.
+
+    With the static optimum ``I_opt`` this reproduces the paper's
+    worst-case design point; with 0 it is the TECs-off baseline.
+    """
+
+    def __init__(self, current):
+        self.current = check_nonnegative(current, "current")
+
+    def reset(self):
+        """No state to reset."""
+
+    def update(self, sensed_peak_c, dt_s):
+        """Return the constant command (arguments ignored)."""
+        return self.current
+
+
+class BangBangController:
+    """On/off control with hysteresis.
+
+    The current switches to ``i_on`` when the sensed peak exceeds
+    ``threshold_c`` and back to ``i_off`` when it falls below
+    ``threshold_c - hysteresis_c``.  The simplest DTM policy — and with
+    TECs a far gentler one than clock gating, because "off" still
+    conducts passively.
+    """
+
+    def __init__(self, threshold_c, *, hysteresis_c=1.0, i_on=5.0, i_off=0.0):
+        self.threshold_c = float(threshold_c)
+        self.hysteresis_c = check_nonnegative(hysteresis_c, "hysteresis_c")
+        self.i_on = check_nonnegative(i_on, "i_on")
+        self.i_off = check_nonnegative(i_off, "i_off")
+        if self.i_off > self.i_on:
+            raise ValueError("i_off must not exceed i_on")
+        self._engaged = False
+
+    def reset(self):
+        """Return to the disengaged state."""
+        self._engaged = False
+
+    @property
+    def engaged(self):
+        """True while the controller is commanding ``i_on``."""
+        return self._engaged
+
+    def update(self, sensed_peak_c, dt_s):
+        """One control decision; returns the commanded current."""
+        if self._engaged:
+            if sensed_peak_c < self.threshold_c - self.hysteresis_c:
+                self._engaged = False
+        else:
+            if sensed_peak_c > self.threshold_c:
+                self._engaged = True
+        return self.i_on if self._engaged else self.i_off
+
+
+class PiController:
+    """Proportional-integral tracking of a temperature setpoint.
+
+    Commands ``i = kp * e + ki * integral(e)`` with
+    ``e = sensed_peak - setpoint`` (positive error = too hot = more
+    current), clamped to ``[0, i_max]`` with integrator anti-windup
+    (the integral freezes while the output is saturated in the same
+    direction as the error).
+    """
+
+    def __init__(self, setpoint_c, *, kp=1.0, ki=0.2, i_max=10.0):
+        self.setpoint_c = float(setpoint_c)
+        self.kp = check_nonnegative(kp, "kp")
+        self.ki = check_nonnegative(ki, "ki")
+        self.i_max = check_positive(i_max, "i_max")
+        self._integral = 0.0
+
+    def reset(self):
+        """Clear the integrator."""
+        self._integral = 0.0
+
+    def update(self, sensed_peak_c, dt_s):
+        """One control step of length ``dt_s`` seconds."""
+        dt_s = check_positive(dt_s, "dt_s")
+        error = sensed_peak_c - self.setpoint_c
+        raw = self.kp * error + self.ki * (self._integral + error * dt_s)
+        command = min(max(raw, 0.0), self.i_max)
+        # Anti-windup: freeze the integrator while the output is
+        # saturated and the error pushes further into saturation.
+        saturated_high = raw >= self.i_max and error > 0.0
+        saturated_low = raw <= 0.0 and error < 0.0
+        if not (saturated_high or saturated_low):
+            self._integral += error * dt_s
+        return command

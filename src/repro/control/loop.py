@@ -1,0 +1,240 @@
+"""The closed-loop DTM simulator.
+
+Integrates the package's RC network (backward Euler, as in
+:mod:`repro.thermal.transient`) while a controller updates the shared
+TEC supply current once per control period from the sensor readings.
+
+Because each distinct current changes the system matrix ``G - iD``
+(and hence the factorization), commanded currents are quantized to a
+grid and the LU factorizations are cached per level — a bang-bang
+controller costs two factorizations total, a PI controller a few tens.
+The quantization step (default 0.05 A) is far below any thermal effect
+of interest.
+
+The commanded current is always clamped to ``safety_fraction`` of the
+deployment's runaway current ``lambda_m``, so no controller (or sensor
+fault) can push the loop into thermal runaway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from repro.thermal.transient import node_capacitances
+from repro.utils import celsius_to_kelvin, check_positive, kelvin_to_celsius
+from repro.utils.validate import check_in_range
+
+
+@dataclass
+class ClosedLoopResult:
+    """Trace of one closed-loop run.
+
+    Attributes
+    ----------
+    times_s:
+        End time of each step.
+    true_peak_c:
+        True (noise-free) hottest silicon tile per step.
+    sensed_peak_c:
+        What the sensor array reported at each *control* update,
+        aligned to steps (holds the last reading between updates).
+    current_a:
+        Commanded current active during each step.
+    tec_energy_j:
+        Cumulative electrical energy spent by the TECs.
+    factorizations:
+        Distinct current levels factorized (the LU-cache size).
+    """
+
+    times_s: np.ndarray
+    true_peak_c: np.ndarray
+    sensed_peak_c: np.ndarray
+    current_a: np.ndarray
+    tec_energy_j: float
+    factorizations: int
+
+    @property
+    def max_true_peak_c(self):
+        """Worst true peak over the run."""
+        return float(np.max(self.true_peak_c))
+
+    def time_above(self, limit_c):
+        """Fraction of the run spent (truly) above ``limit_c``."""
+        return float(np.mean(self.true_peak_c > limit_c))
+
+
+class ClosedLoopSimulator:
+    """Backward-Euler closed loop over a deployed package model.
+
+    Parameters
+    ----------
+    model:
+        A deployed :class:`~repro.thermal.model.PackageThermalModel`.
+    controller:
+        Object with ``reset()`` and ``update(sensed_peak_c, dt_s)``.
+    sensors:
+        A :class:`~repro.control.sensors.SensorArray`.
+    dt:
+        Integration step (s).
+    control_period:
+        Seconds between controller updates (>= ``dt``; rounded to a
+        multiple of it).
+    current_quantum:
+        Commanded currents are rounded to this grid for factorization
+        caching (A).
+    safety_fraction:
+        Hard ceiling on the commanded current as a fraction of the
+        runaway current ``lambda_m``.
+    """
+
+    def __init__(
+        self,
+        model,
+        controller,
+        sensors,
+        *,
+        dt=0.01,
+        control_period=0.05,
+        current_quantum=0.05,
+        safety_fraction=0.5,
+    ):
+        if not model.stamps:
+            raise ValueError("closed-loop control needs a deployed model")
+        self.model = model
+        self.controller = controller
+        self.sensors = sensors
+        self.dt = check_positive(dt, "dt")
+        control_period = check_positive(control_period, "control_period")
+        self.steps_per_control = max(1, int(round(control_period / dt)))
+        self.current_quantum = check_positive(current_quantum, "current_quantum")
+        check_in_range(
+            safety_fraction, "safety_fraction", 0.0, 1.0, inclusive=(False, False)
+        )
+        self.i_ceiling = safety_fraction * model.runaway_current().value
+
+        self._capacitance = node_capacitances(model)
+        self._c_over_dt = sp.diags(self._capacitance / self.dt)
+        self._lu_cache = {}
+        self._silicon = np.asarray(model.silicon_nodes)
+        self._device = model.device
+        self._n_dev = len(model.stamps)
+
+    def _quantize(self, current):
+        clamped = min(max(float(current), 0.0), self.i_ceiling)
+        quantized = round(clamped / self.current_quantum) * self.current_quantum
+        if quantized > self.i_ceiling:
+            quantized -= self.current_quantum
+        return max(quantized, 0.0)
+
+    def _factorization(self, current):
+        lu = self._lu_cache.get(current)
+        if lu is None:
+            matrix = (
+                self._c_over_dt + self.model.system.system_matrix(current)
+            ).tocsc()
+            lu = splu(matrix)
+            self._lu_cache[current] = lu
+        return lu
+
+    def run(
+        self,
+        steps,
+        *,
+        power_schedule=None,
+        initial_state="ambient",
+    ):
+        """Run ``steps`` integration steps of the closed loop.
+
+        Parameters
+        ----------
+        steps:
+            Number of backward-Euler steps.
+        power_schedule:
+            Optional ``(step_index, time_s) -> flat tile power map``;
+            ``None`` holds the model's worst-case map.
+        initial_state:
+            ``"ambient"``, ``"steady"`` (zero-current steady state) or
+            an explicit Kelvin vector.
+
+        Returns
+        -------
+        ClosedLoopResult
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        model = self.model
+        if isinstance(initial_state, str):
+            if initial_state == "ambient":
+                theta = np.full(
+                    model.num_nodes, celsius_to_kelvin(model.stack.ambient_c)
+                )
+            elif initial_state == "steady":
+                theta = model.solve(0.0).theta_k.copy()
+            else:
+                raise ValueError("initial_state must be 'ambient'/'steady'/vector")
+        else:
+            theta = np.asarray(initial_state, dtype=float).copy()
+            if theta.shape != (model.num_nodes,):
+                raise ValueError("initial_state has the wrong length")
+
+        self.controller.reset()
+        current = self._quantize(0.0)
+        sensed = self.sensors.read_max(
+            kelvin_to_celsius(theta[self._silicon])
+        )
+
+        times = np.empty(steps)
+        true_peak = np.empty(steps)
+        sensed_trace = np.empty(steps)
+        current_trace = np.empty(steps)
+        energy = 0.0
+        time_s = 0.0
+        reference_power = model.power_map
+
+        for step in range(steps):
+            if step % self.steps_per_control == 0:
+                silicon_c = kelvin_to_celsius(theta[self._silicon])
+                sensed = self.sensors.read_max(silicon_c)
+                command = self.controller.update(
+                    sensed, self.steps_per_control * self.dt
+                )
+                current = self._quantize(command)
+
+            lu = self._factorization(current)
+            rhs = (self._capacitance / self.dt) * theta + (
+                self.model.system.power_vector(current)
+            )
+            if power_schedule is not None:
+                override = power_schedule(step, time_s)
+                if override is not None:
+                    override = np.asarray(override, dtype=float)
+                    rhs[self._silicon] += override - reference_power
+            theta = lu.solve(rhs)
+            time_s += self.dt
+
+            silicon_k = theta[self._silicon]
+            times[step] = time_s
+            true_peak[step] = kelvin_to_celsius(float(np.max(silicon_k)))
+            sensed_trace[step] = sensed
+            current_trace[step] = current
+            if current > 0.0:
+                cold = theta[model.cold_nodes]
+                hot = theta[model.hot_nodes]
+                power = (
+                    self._device.electrical_resistance * current**2 * self._n_dev
+                    + self._device.seebeck * current * float(np.sum(hot - cold))
+                )
+                energy += power * self.dt
+
+        return ClosedLoopResult(
+            times_s=times,
+            true_peak_c=true_peak,
+            sensed_peak_c=sensed_trace,
+            current_a=current_trace,
+            tec_energy_j=energy,
+            factorizations=len(self._lu_cache),
+        )

@@ -1,0 +1,100 @@
+"""On-chip thermal sensor models.
+
+Real thermal sensors (diode-based or ring-oscillator) read with noise
+and quantization; a DTM loop sees those readings, not the true field.
+:class:`ThermalSensor` models one sensor on one silicon tile;
+:class:`SensorArray` groups several and reports the sensed maximum —
+the quantity a peak-temperature controller acts on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_nonnegative, ensure_rng
+from repro.utils.validate import check_index
+
+
+class ThermalSensor:
+    """A noisy, quantized temperature sensor on one tile.
+
+    Parameters
+    ----------
+    tile:
+        Flat silicon tile index the sensor sits on.
+    noise_std_c:
+        Gaussian read-noise standard deviation (Celsius); 0 disables.
+    quantization_c:
+        Reading granularity (Celsius); readings are rounded to this
+        step.  0 disables quantization.
+    seed:
+        Seed or generator for the noise stream.
+    """
+
+    def __init__(self, tile, *, noise_std_c=0.5, quantization_c=0.25, seed=None):
+        self.tile = int(tile)
+        self.noise_std_c = check_nonnegative(noise_std_c, "noise_std_c")
+        self.quantization_c = check_nonnegative(quantization_c, "quantization_c")
+        self._rng = ensure_rng(seed)
+
+    def read(self, silicon_c):
+        """One sensor reading from a flat Celsius tile vector."""
+        silicon_c = np.asarray(silicon_c, dtype=float)
+        tile = check_index(self.tile, "tile", silicon_c.shape[0])
+        value = float(silicon_c[tile])
+        if self.noise_std_c:
+            value += float(self._rng.normal(0.0, self.noise_std_c))
+        if self.quantization_c:
+            value = round(value / self.quantization_c) * self.quantization_c
+        return value
+
+
+class SensorArray:
+    """Sensors on a set of tiles, reporting the sensed maximum.
+
+    Parameters
+    ----------
+    tiles:
+        Flat tile indices to instrument (typically the TEC-covered
+        tiles plus the bare-chip peak tile).
+    noise_std_c / quantization_c:
+        Shared sensor characteristics.
+    seed:
+        One seed; per-sensor streams are derived deterministically.
+    """
+
+    def __init__(self, tiles, *, noise_std_c=0.5, quantization_c=0.25, seed=None):
+        tiles = sorted({int(t) for t in tiles})
+        if not tiles:
+            raise ValueError("sensor array needs at least one tile")
+        rng = ensure_rng(seed)
+        self.sensors = [
+            ThermalSensor(
+                tile,
+                noise_std_c=noise_std_c,
+                quantization_c=quantization_c,
+                seed=rng,
+            )
+            for tile in tiles
+        ]
+
+    @property
+    def tiles(self):
+        """Instrumented tiles, ascending."""
+        return [sensor.tile for sensor in self.sensors]
+
+    def read_all(self, silicon_c):
+        """Per-sensor readings (Celsius), in tile order."""
+        return np.array([sensor.read(silicon_c) for sensor in self.sensors])
+
+    def read_max(self, silicon_c):
+        """The sensed peak temperature — the DTM loop's input."""
+        return float(np.max(self.read_all(silicon_c)))
+
+    @classmethod
+    def for_deployment(cls, deployment_result, **kwargs):
+        """Instrument a greedy deployment: covered tiles + bare peak."""
+        model = deployment_result.model
+        tiles = set(deployment_result.tec_tiles)
+        tiles.add(model.solve(0.0).peak_tile)
+        return cls(tiles, **kwargs)

@@ -1,0 +1,249 @@
+"""Problem 2: peak tile temperature minimization (Section V.C).
+
+Given a deployment, find the shared supply current minimizing the
+maximum silicon tile temperature:
+
+    minimize  max_{k in SIL} theta_k(i)
+    s.t.      (G - i D) theta = p(i),   0 <= i < lambda_m
+
+The search range is capped by the runaway current ``lambda_m``
+(Theorem 1): beyond it the steady state ceases to exist and
+temperatures diverge (Theorem 2).  Under Conjecture 1 every
+``theta_k(i)`` is convex on ``[0, lambda_m)`` (Theorem 3 + the Lemma 4
+certificate), so the max is convex and any local minimum is global.
+
+Two solvers are provided:
+
+* ``method="golden"`` (default): bracket the minimum by doubling from
+  zero, then golden-section — derivative-free, robust, and optimal for
+  a 1-D convex objective;
+* ``method="gradient"``: the paper's projected gradient descent with
+  backtracking line search, using the exact derivative
+  ``theta'(i) = H (D theta + 2 i j)`` obtained from
+  ``H' = H D H`` and ``p'(i) = 2 i j``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validate import check_in_range, check_positive
+
+#: Golden ratio constant for the section search.
+_INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass
+class CurrentOptimizationResult:
+    """Outcome of one Problem 2 solve.
+
+    Attributes
+    ----------
+    current:
+        The optimal shared supply current ``I_opt`` (A).
+    peak_c:
+        Peak silicon temperature at ``current`` (Celsius).
+    lambda_m:
+        Runaway current bounding the search (A; ``inf`` if no TEC).
+    evaluations:
+        Number of steady-state solves performed.
+    method:
+        ``"golden"`` or ``"gradient"``.
+    converged:
+        True when the bracket/step tolerance was met within the
+        iteration budget.
+    history:
+        Optional list of ``(current, peak_c)`` pairs visited.
+    """
+
+    current: float
+    peak_c: float
+    lambda_m: float
+    evaluations: int
+    method: str
+    converged: bool
+    history: list = field(default_factory=list)
+
+
+class _PeakObjective:
+    """Callable computing ``max_k theta_k(i)`` with solve counting."""
+
+    def __init__(self, model, record_history=False):
+        self.model = model
+        self.evaluations = 0
+        self.history = [] if record_history else None
+
+    def __call__(self, current):
+        self.evaluations += 1
+        peak = self.model.solve(current).peak_silicon_c
+        if self.history is not None:
+            self.history.append((float(current), float(peak)))
+        return peak
+
+    def gradient(self, current):
+        """Exact derivative of the peak tile temperature at ``current``.
+
+        Differentiating ``(G - i D) theta = p_base + i^2 j`` gives
+        ``theta'(i) = (G - i D)^{-1} (D theta + 2 i j)``; the active
+        (hottest) tile's component is a (sub)gradient of the max.
+        """
+        state = self.model.solve(current)
+        system = self.model.system
+        rhs = system.d_diagonal * state.theta_k + 2.0 * current * system.joule
+        derivative = self.model.solver.solve_rhs(current, rhs)
+        return float(derivative[self.model.silicon_nodes[state.peak_tile]]), state
+
+
+def minimize_peak_temperature(
+    model,
+    *,
+    method="golden",
+    tolerance=1.0e-4,
+    safety_fraction=0.98,
+    max_iterations=200,
+    record_history=False,
+):
+    """Solve Problem 2 for one deployment.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.thermal.model.PackageThermalModel` with at
+        least one TEC deployed.  (With none, the result is trivially
+        ``i = 0``.)
+    method:
+        ``"golden"`` (default) or ``"gradient"`` (the paper's descent).
+    tolerance:
+        Absolute current tolerance on the final bracket / step (A).
+    safety_fraction:
+        The search is restricted to ``[0, safety_fraction * lambda_m]``
+        to keep the linear solves well-conditioned; temperatures
+        diverge at ``lambda_m``, so the minimizer is interior and
+        unaffected for any sensible instance.
+    max_iterations:
+        Iteration budget for the section search / descent.
+    record_history:
+        Keep the ``(i, peak)`` evaluation trace in the result.
+
+    Returns
+    -------
+    CurrentOptimizationResult
+    """
+    check_positive(tolerance, "tolerance")
+    check_in_range(safety_fraction, "safety_fraction", 0.0, 1.0, inclusive=(False, False))
+    objective = _PeakObjective(model, record_history=record_history)
+
+    lambda_m = model.runaway_current().value
+    if not model.stamps:
+        peak = objective(0.0)
+        return CurrentOptimizationResult(
+            current=0.0,
+            peak_c=peak,
+            lambda_m=lambda_m,
+            evaluations=objective.evaluations,
+            method=method,
+            converged=True,
+            history=objective.history or [],
+        )
+
+    if math.isinf(lambda_m):
+        # D has no positive entry; physically impossible for a stamped
+        # TEC (the hot node always carries +alpha), so treat as a
+        # configuration error.
+        raise ValueError("deployment has TECs but no runaway current; D is degenerate")
+    upper = safety_fraction * lambda_m
+
+    if method == "golden":
+        result = _golden_section(objective, upper, tolerance, max_iterations)
+    elif method == "gradient":
+        result = _gradient_descent(objective, upper, tolerance, max_iterations)
+    else:
+        raise ValueError(
+            "unknown method {!r}; use 'golden' or 'gradient'".format(method)
+        )
+    current, peak, converged = result
+    return CurrentOptimizationResult(
+        current=current,
+        peak_c=peak,
+        lambda_m=lambda_m,
+        evaluations=objective.evaluations,
+        method=method,
+        converged=converged,
+        history=objective.history or [],
+    )
+
+
+def _golden_section(objective, upper, tolerance, max_iterations):
+    """Bracket by doubling, then golden-section on the bracket."""
+    f0 = objective(0.0)
+    # Doubling phase: find b with f(b) above the running minimum, so the
+    # convex objective's minimizer lies in [0, b].
+    step = min(upper / 64.0, 1.0) or upper / 64.0
+    best_i, best_f = 0.0, f0
+    b = step
+    fb = objective(b)
+    doublings = 0
+    while fb <= best_f and doublings < 60:
+        best_i, best_f = b, fb
+        b = min(2.0 * b, upper)
+        fb = objective(b)
+        doublings += 1
+        if b >= upper:
+            break
+    lo, hi = 0.0, b
+
+    # Golden-section search on [lo, hi].
+    x1 = hi - _INV_PHI * (hi - lo)
+    x2 = lo + _INV_PHI * (hi - lo)
+    f1, f2 = objective(x1), objective(x2)
+    iterations = 0
+    while hi - lo > tolerance and iterations < max_iterations:
+        if f1 <= f2:
+            hi, x2, f2 = x2, x1, f1
+            x1 = hi - _INV_PHI * (hi - lo)
+            f1 = objective(x1)
+        else:
+            lo, x1, f1 = x1, x2, f2
+            x2 = lo + _INV_PHI * (hi - lo)
+            f2 = objective(x2)
+        iterations += 1
+    candidates = [(f0, 0.0), (f1, x1), (f2, x2), (fb, b), (best_f, best_i)]
+    peak, current = min(candidates)
+    return float(current), float(peak), iterations < max_iterations
+
+
+def _gradient_descent(objective, upper, tolerance, max_iterations):
+    """The paper's method: projected gradient descent on ``[0, upper]``.
+
+    Backtracking (Armijo) line search; the iterate is clipped to the
+    feasible interval.  On the convex objective this converges to the
+    global minimizer (Section V.C.3).
+    """
+    current = min(1.0, 0.25 * upper)
+    value = objective(current)
+    step = max(0.25, 0.05 * upper)
+    converged = False
+    for _ in range(max_iterations):
+        grad, _ = objective.gradient(current)
+        if abs(grad) < 1.0e-12:
+            converged = True
+            break
+        direction = -math.copysign(1.0, grad)
+        trial_step = step
+        improved = False
+        while trial_step > tolerance * 0.25:
+            candidate = min(max(current + direction * trial_step, 0.0), upper)
+            candidate_value = objective(candidate)
+            if candidate_value < value - 1.0e-4 * trial_step * abs(grad):
+                current, value = candidate, candidate_value
+                step = trial_step * 1.5
+                improved = True
+                break
+            trial_step *= 0.5
+        if not improved:
+            converged = True
+            break
+    return float(current), float(value), converged

@@ -1,0 +1,187 @@
+"""The GreedyDeploy algorithm (Section V.B, Figure 5).
+
+Iteratively cover every tile whose temperature exceeds the limit, then
+re-optimize the shared supply current for the enlarged deployment:
+
+    S_TEC = {}
+    solve G theta = p
+    T = { tiles above theta_max }
+    loop:
+        S_TEC = S_TEC u T
+        i_opt = argmin peak temperature            (Problem 2)
+        solve (G - i_opt D) theta = p(i_opt)
+        T = { tiles above theta_max }
+        if T == {}:      return success
+        if T subset S_TEC: return failure
+
+Adding TECs cools the covered tiles but heats everything else (the
+devices' input power dissipates inside the package), so new tiles can
+cross the limit between iterations; the loop terminates because S_TEC
+grows monotonically over a finite tile set.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.current import minimize_peak_temperature
+
+
+@dataclass
+class GreedyIteration:
+    """Snapshot of one GreedyDeploy iteration.
+
+    ``added_tiles`` is the set ``T`` merged into the deployment at the
+    start of the iteration; the remaining fields describe the state
+    after the current re-optimization.
+    """
+
+    index: int
+    added_tiles: tuple
+    deployment_size: int
+    current: float
+    peak_c: float
+    offending_tiles: tuple
+
+
+@dataclass
+class DeploymentResult:
+    """Outcome of GreedyDeploy on one problem instance.
+
+    Attributes
+    ----------
+    feasible:
+        True when the final peak temperature meets the limit (the
+        algorithm of Figure 5 returned True).
+    tec_tiles:
+        The deployment ``S_TEC`` (flat indices, sorted).
+    current:
+        The optimized shared supply current for the final deployment.
+    peak_c:
+        Final peak silicon temperature (Celsius).
+    no_tec_peak_c:
+        Peak temperature of the bare chip (the ``theta_peak`` column).
+    tec_power_w:
+        Electrical input power of the deployed devices at ``current``
+        (the ``P_TEC`` column).
+    iterations:
+        Per-iteration :class:`GreedyIteration` records.
+    runtime_s:
+        Wall-clock time of the whole deployment run.
+    problem / model:
+        The problem instance and the final deployed model.
+    """
+
+    feasible: bool
+    tec_tiles: tuple
+    current: float
+    peak_c: float
+    no_tec_peak_c: float
+    tec_power_w: float
+    iterations: list = field(default_factory=list)
+    runtime_s: float = 0.0
+    problem: object = None
+    model: object = None
+    current_result: object = None
+
+    @property
+    def num_tecs(self):
+        """Number of deployed devices (the ``#TECs`` column)."""
+        return len(self.tec_tiles)
+
+    @property
+    def cooling_swing_c(self):
+        """Drop of the peak temperature vs the bare chip (Section VI.B)."""
+        return self.no_tec_peak_c - self.peak_c
+
+
+def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
+                  max_rounds=None):
+    """Run GreedyDeploy (Figure 5) on a :class:`CoolingSystemProblem`.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`~repro.core.problem.CoolingSystemProblem`.
+    current_method / current_tolerance:
+        Passed to :func:`~repro.core.current.minimize_peak_temperature`
+        for the per-iteration Problem 2 solves.
+    max_rounds:
+        Safety cap on iterations; defaults to the tile count (the loop
+        provably terminates within that many rounds since the
+        deployment grows each round).
+
+    Returns
+    -------
+    DeploymentResult
+    """
+    start = time.perf_counter()
+    if max_rounds is None:
+        max_rounds = problem.grid.num_tiles
+
+    bare_model = problem.model(())
+    bare_state = bare_model.solve(0.0)
+    no_tec_peak = bare_state.peak_silicon_c
+    offenders = problem.tiles_above_limit(bare_state)
+
+    deployment = set()
+    iterations = []
+
+    if not offenders:
+        return DeploymentResult(
+            feasible=True,
+            tec_tiles=(),
+            current=0.0,
+            peak_c=no_tec_peak,
+            no_tec_peak_c=no_tec_peak,
+            tec_power_w=0.0,
+            iterations=[],
+            runtime_s=time.perf_counter() - start,
+            problem=problem,
+            model=bare_model,
+            current_result=None,
+        )
+
+    model = bare_model
+    optimum = None
+    state = bare_state
+    feasible = False
+    for round_index in range(max_rounds):
+        added = tuple(sorted(offenders - deployment))
+        deployment |= offenders
+        model = problem.model(deployment)
+        optimum = minimize_peak_temperature(
+            model, method=current_method, tolerance=current_tolerance
+        )
+        state = model.solve(optimum.current)
+        offenders = problem.tiles_above_limit(state)
+        iterations.append(
+            GreedyIteration(
+                index=round_index,
+                added_tiles=added,
+                deployment_size=len(deployment),
+                current=optimum.current,
+                peak_c=state.peak_silicon_c,
+                offending_tiles=tuple(sorted(offenders)),
+            )
+        )
+        if not offenders:
+            feasible = True
+            break
+        if offenders <= deployment:
+            feasible = False
+            break
+    return DeploymentResult(
+        feasible=feasible,
+        tec_tiles=tuple(sorted(deployment)),
+        current=optimum.current,
+        peak_c=state.peak_silicon_c,
+        no_tec_peak_c=no_tec_peak,
+        tec_power_w=state.tec_input_power_w(),
+        iterations=iterations,
+        runtime_s=time.perf_counter() - start,
+        problem=problem,
+        model=model,
+        current_result=optimum,
+    )

@@ -1,0 +1,137 @@
+"""Peak-temperature vs TEC-power trade-off (beyond the paper).
+
+The paper minimizes the peak temperature outright and reports the
+resulting ``P_TEC``.  A system designer usually faces the dual
+question: *given a TEC power budget, how cool can the hot spot get?*
+Because, over ``[0, I_opt]``,
+
+* the peak temperature is non-increasing in the current (convex with
+  its minimum at ``I_opt``), and
+* the TEC input power is strictly increasing in the current,
+
+the Pareto front of (peak, P_TEC) is swept exactly by currents in
+``[0, I_opt]``: for a budget ``B`` the best feasible current is
+``min(I_opt, i_B)`` with ``P_TEC(i_B) = B``, found by bisection.
+
+One physical subtlety: at small currents the device operates in
+Seebeck *generation* mode — the passive temperature differential
+drives current against the supply, making ``P_TEC`` briefly negative
+(Equation 3 with ``theta_h < theta_c``).  The feasible set
+``{ i : P_TEC(i) <= B }`` is still an interval for ``B >= 0``, so the
+bisection remains valid, and a **zero** budget yields a positive
+current with real cooling — energy-neutral TEC operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.current import minimize_peak_temperature
+from repro.utils import check_nonnegative
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One point of the peak-vs-power trade-off."""
+
+    budget_w: float
+    current_a: float
+    peak_c: float
+    p_tec_w: float
+    budget_binding: bool
+
+
+@dataclass(frozen=True)
+class ParetoFront:
+    """The swept trade-off curve.
+
+    Attributes
+    ----------
+    points:
+        One :class:`ParetoPoint` per requested budget, ascending.
+    i_opt_a / min_peak_c / p_tec_at_opt_w:
+        The unconstrained optimum anchoring the front's right end.
+    """
+
+    points: tuple
+    i_opt_a: float
+    min_peak_c: float
+    p_tec_at_opt_w: float
+
+    def peaks(self):
+        """Peak temperatures along the front (array)."""
+        return np.array([point.peak_c for point in self.points])
+
+    def budgets(self):
+        """Budgets along the front (array)."""
+        return np.array([point.budget_w for point in self.points])
+
+
+def _power_at(model, current):
+    return model.solve(current).tec_input_power_w()
+
+
+def _current_for_budget(model, budget_w, i_opt, *, tolerance=1.0e-4):
+    """Largest current in [0, i_opt] with P_TEC <= budget (bisection)."""
+    if _power_at(model, i_opt) <= budget_w:
+        return i_opt
+    lo, hi = 0.0, i_opt
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if _power_at(model, mid) <= budget_w:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def pareto_front(model, budgets_w, *, current_tolerance=1.0e-4):
+    """Sweep the peak-vs-power trade-off of a deployed model.
+
+    Parameters
+    ----------
+    model:
+        A deployed :class:`~repro.thermal.model.PackageThermalModel`.
+    budgets_w:
+        Iterable of TEC power budgets (W, >= 0).
+
+    Returns
+    -------
+    ParetoFront
+    """
+    if not model.stamps:
+        raise ValueError("pareto analysis needs a deployed model")
+    budgets = sorted(check_nonnegative(b, "budget") for b in budgets_w)
+    if not budgets:
+        raise ValueError("need at least one budget")
+    optimum = minimize_peak_temperature(model, tolerance=current_tolerance)
+    p_at_opt = _power_at(model, optimum.current)
+
+    points = []
+    for budget in budgets:
+        if budget >= p_at_opt:
+            current = optimum.current
+            binding = False
+        else:
+            current = _current_for_budget(
+                model, budget, optimum.current, tolerance=current_tolerance
+            )
+            binding = True
+        state = model.solve(current)
+        points.append(
+            ParetoPoint(
+                budget_w=budget,
+                current_a=current,
+                peak_c=state.peak_silicon_c,
+                p_tec_w=state.tec_input_power_w(),
+                budget_binding=binding,
+            )
+        )
+    return ParetoFront(
+        points=tuple(points),
+        i_opt_a=optimum.current,
+        min_peak_c=optimum.peak_c,
+        p_tec_at_opt_w=p_at_opt,
+    )

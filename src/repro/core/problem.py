@@ -1,0 +1,145 @@
+"""Problem 1: the cooling system configuration problem (Section V.A).
+
+A :class:`CoolingSystemProblem` binds together everything the
+optimization needs — the tile grid, the worst-case per-tile power
+profile, the package stack, the TEC device type, and the maximum
+allowable temperature — and acts as a factory for
+:class:`~repro.thermal.model.PackageThermalModel` instances at
+candidate deployments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.power.floorplan import Floorplan
+from repro.tec.materials import chowdhury_thin_film_tec
+from repro.thermal.model import PackageThermalModel
+from repro.thermal.stack import PackageStack
+from repro.utils import check_finite
+
+
+class CoolingSystemProblem:
+    """An instance of the paper's Problem 1.
+
+    Parameters
+    ----------
+    grid:
+        The silicon :class:`~repro.thermal.geometry.TileGrid` (tiles
+        are TEC-device sized).
+    power_map:
+        Worst-case power per tile (W), flat row-major.
+    max_temperature_c:
+        The limit ``theta_max`` the peak tile temperature must not
+        exceed (85 C in most Table I rows).
+    stack:
+        :class:`~repro.thermal.stack.PackageStack` (defaults to the
+        calibrated package).
+    device:
+        :class:`~repro.tec.materials.TecDeviceParameters` (defaults to
+        the calibrated thin-film device).
+    name:
+        Label used in reports.
+    """
+
+    def __init__(
+        self,
+        grid,
+        power_map,
+        *,
+        max_temperature_c=85.0,
+        stack=None,
+        device=None,
+        name="unnamed",
+    ):
+        self.grid = grid
+        self.power_map = check_finite(power_map, "power_map")
+        if self.power_map.shape != (grid.num_tiles,):
+            raise ValueError(
+                "power_map must have length {}, got shape {}".format(
+                    grid.num_tiles, self.power_map.shape
+                )
+            )
+        if np.any(self.power_map < 0.0):
+            raise ValueError("power_map entries must be non-negative")
+        self.max_temperature_c = float(max_temperature_c)
+        self.stack = stack if stack is not None else PackageStack()
+        self.device = device if device is not None else chowdhury_thin_film_tec()
+        self.name = str(name)
+        if self.max_temperature_c <= self.stack.ambient_c:
+            raise ValueError(
+                "limit {} C not above ambient {} C — unachievable".format(
+                    self.max_temperature_c, self.stack.ambient_c
+                )
+            )
+        self._model_cache = {}
+
+    @classmethod
+    def from_floorplan(cls, floorplan, *, max_temperature_c=85.0, stack=None,
+                       device=None, name=None):
+        """Build a problem from a :class:`~repro.power.floorplan.Floorplan`.
+
+        The floorplan's rasterized worst-case power map becomes the
+        power profile.
+        """
+        if not isinstance(floorplan, Floorplan):
+            raise TypeError(
+                "floorplan must be a Floorplan, got {!r}".format(type(floorplan))
+            )
+        return cls(
+            floorplan.grid,
+            floorplan.power_map(),
+            max_temperature_c=max_temperature_c,
+            stack=stack,
+            device=device,
+            name=name if name is not None else "floorplan",
+        )
+
+    def model(self, tec_tiles=()):
+        """A :class:`PackageThermalModel` for a candidate deployment.
+
+        Models are cached per deployment: the greedy loop revisits the
+        no-TEC model and monotonically growing tile sets, and model
+        construction dominates the cost of small instances.
+        """
+        key = tuple(sorted({int(t) for t in tec_tiles}))
+        model = self._model_cache.get(key)
+        if model is None:
+            model = PackageThermalModel(
+                self.grid,
+                self.power_map,
+                stack=self.stack,
+                tec_tiles=key,
+                device=self.device,
+            )
+            self._model_cache[key] = model
+        return model
+
+    def tiles_above_limit(self, state):
+        """The paper's set ``T``: flat indices of tiles hotter than the limit."""
+        return set(np.nonzero(state.silicon_c > self.max_temperature_c)[0].tolist())
+
+    def with_limit(self, max_temperature_c):
+        """Copy of the problem with a different temperature limit.
+
+        Used for the HC06/HC09 rows of Table I, which are infeasible at
+        85 C but feasible at a slightly relaxed limit.
+        """
+        return CoolingSystemProblem(
+            self.grid,
+            self.power_map,
+            max_temperature_c=max_temperature_c,
+            stack=self.stack,
+            device=self.device,
+            name=self.name,
+        )
+
+    def __repr__(self):
+        return (
+            "CoolingSystemProblem({!r}, {} tiles, {:.1f} W, limit {:.1f} C)".format(
+                self.name,
+                self.grid.num_tiles,
+                float(np.sum(self.power_map)),
+                self.max_temperature_c,
+            )
+        )

@@ -1,0 +1,121 @@
+"""Table-I-style benchmark records and formatting (Section VI).
+
+One :class:`BenchmarkRow` holds everything a Table I row reports:
+
+=============  =====================================================
+Column         Meaning
+=============  =====================================================
+``theta_peak``   peak tile temperature without TECs (C)
+``theta_limit``  the maximum allowable temperature used (C)
+``#TECs``        devices deployed by GreedyDeploy
+``I_opt``        optimized shared supply current (A)
+``P_TEC``        input power of the deployed devices (W)
+``min theta``    best peak achievable by the Full-Cover baseline (C)
+``SwingLoss``    ``min theta`` minus the greedy deployment's peak (C)
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.tables import Column, Table
+
+
+@dataclass
+class BenchmarkRow:
+    """One row of the reproduced Table I."""
+
+    name: str
+    theta_peak_c: float
+    theta_limit_c: float
+    num_tecs: int
+    i_opt_a: float
+    p_tec_w: float
+    fullcover_min_peak_c: float
+    swing_loss_c: float
+    feasible: bool = True
+    greedy_peak_c: float = float("nan")
+    runtime_s: float = float("nan")
+
+    @property
+    def cooling_swing_c(self):
+        """Peak-temperature drop achieved by the greedy deployment."""
+        return self.theta_peak_c - self.greedy_peak_c
+
+    @classmethod
+    def from_results(cls, name, limit_c, greedy, fullcover):
+        """Assemble a row from greedy and full-cover results."""
+        return cls(
+            name=name,
+            theta_peak_c=greedy.no_tec_peak_c,
+            theta_limit_c=limit_c,
+            num_tecs=greedy.num_tecs,
+            i_opt_a=greedy.current,
+            p_tec_w=greedy.tec_power_w,
+            fullcover_min_peak_c=fullcover.min_peak_c,
+            swing_loss_c=fullcover.min_peak_c - greedy.peak_c,
+            feasible=greedy.feasible,
+            greedy_peak_c=greedy.peak_c,
+            runtime_s=greedy.runtime_s + fullcover.runtime_s,
+        )
+
+
+def format_table1(rows, *, markdown=False, include_average=True):
+    """Render rows in the paper's Table I layout.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of :class:`BenchmarkRow`.
+    markdown:
+        Emit GitHub-flavoured markdown instead of aligned text.
+    include_average:
+        Append the paper's ``Avg.`` row (over ``P_TEC`` and
+        ``SwingLoss``, as in the paper).
+    """
+    rows = list(rows)
+    table = Table(
+        [
+            Column("bench", align="left"),
+            Column("theta_peak C", ".1f"),
+            Column("theta_limit C", ".0f"),
+            Column("#TECs", "d"),
+            Column("I_opt A", ".2f"),
+            Column("P_TEC W", ".2f"),
+            Column("min theta_peak C", ".1f"),
+            Column("SwingLoss C", ".1f"),
+            Column("feasible", align="left"),
+        ]
+    )
+    for row in rows:
+        table.add_row(
+            [
+                row.name,
+                row.theta_peak_c,
+                row.theta_limit_c,
+                row.num_tecs,
+                row.i_opt_a,
+                row.p_tec_w,
+                row.fullcover_min_peak_c,
+                row.swing_loss_c,
+                "yes" if row.feasible else "NO",
+            ]
+        )
+    if include_average and rows:
+        table.add_row(
+            [
+                "Avg.",
+                None,
+                None,
+                None,
+                None,
+                float(np.mean([row.p_tec_w for row in rows])),
+                None,
+                float(np.mean([row.swing_loss_c for row in rows])),
+                "",
+            ]
+        )
+    return table.render_markdown() if markdown else table.render()

@@ -1,0 +1,168 @@
+"""Alternative deployment strategies (baselines beyond Full-Cover).
+
+The paper compares GreedyDeploy only against Full-Cover.  This module
+adds two more baselines a practitioner would reach for, so the greedy
+algorithm's value can be isolated:
+
+``incremental_deploy``
+    Finest-grained greedy: add **one** device per iteration (on the
+    hottest uncovered tile), re-optimizing the current each time.
+    Finds deployments at least as small as Figure 5's batch greedy, at
+    the cost of one Problem 2 solve per device.
+``density_threshold_deploy``
+    The static heuristic: cover every tile whose worst-case power
+    density exceeds a threshold, then optimize the current once.  No
+    thermal feedback — the gap to the greedy strategies measures what
+    the thermal model buys.
+``compare_strategies``
+    Run all strategies (plus Figure 5's greedy and Full-Cover) on one
+    problem and tabulate devices / peak / power / runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import full_cover
+from repro.core.current import minimize_peak_temperature
+from repro.core.deploy import greedy_deploy
+from repro.utils.units import watts_per_m2_to_w_per_cm2
+
+
+@dataclass
+class StrategyOutcome:
+    """Uniform record for one deployment strategy's result."""
+
+    strategy: str
+    feasible: bool
+    num_tecs: int
+    current_a: float
+    peak_c: float
+    tec_power_w: float
+    runtime_s: float
+    tec_tiles: tuple = ()
+
+
+def incremental_deploy(
+    problem, *, max_devices=None, current_tolerance=1.0e-3, stall_limit=8
+):
+    """One-device-at-a-time greedy deployment.
+
+    Each iteration covers the hottest currently-uncovered tile and
+    re-optimizes the shared current.  Unlike Figure 5's failure rule,
+    the loop keeps going when the hottest tile is already covered —
+    covering a hot tile's neighbours keeps cooling it — and gives up
+    only after ``stall_limit`` consecutive additions fail to improve
+    the peak (or the device budget / tile supply runs out).
+    """
+    start = time.perf_counter()
+    if max_devices is None:
+        max_devices = problem.grid.num_tiles
+    deployment = []
+    model = problem.model(())
+    state = model.solve(0.0)
+    current = 0.0
+    feasible = not problem.tiles_above_limit(state)
+    best_peak = state.peak_silicon_c
+    stalled = 0
+
+    while not feasible and len(deployment) < max_devices and stalled < stall_limit:
+        covered = set(deployment)
+        order = np.argsort(state.silicon_c)[::-1]
+        candidate = next((int(t) for t in order if int(t) not in covered), None)
+        if candidate is None:
+            break  # every tile covered — nothing left to add
+        deployment.append(candidate)
+        model = problem.model(deployment)
+        optimum = minimize_peak_temperature(model, tolerance=current_tolerance)
+        current = optimum.current
+        state = model.solve(current)
+        feasible = not problem.tiles_above_limit(state)
+        if state.peak_silicon_c < best_peak - 1.0e-3:
+            best_peak = state.peak_silicon_c
+            stalled = 0
+        else:
+            stalled += 1
+
+    return StrategyOutcome(
+        strategy="incremental",
+        feasible=feasible,
+        num_tecs=len(deployment),
+        current_a=current,
+        peak_c=state.peak_silicon_c,
+        tec_power_w=state.tec_input_power_w(),
+        runtime_s=time.perf_counter() - start,
+        tec_tiles=tuple(sorted(deployment)),
+    )
+
+
+def density_threshold_deploy(problem, threshold_w_cm2, *, current_tolerance=1.0e-3):
+    """Cover every tile above a power-density threshold (no feedback).
+
+    Covers nothing when the threshold exceeds the chip's peak density;
+    covers everything at threshold 0 (degenerating to Full-Cover).
+    """
+    start = time.perf_counter()
+    density = watts_per_m2_to_w_per_cm2(problem.power_map / problem.grid.tile_area)
+    tiles = np.nonzero(density >= threshold_w_cm2)[0]
+    model = problem.model(tiles)
+    if len(tiles):
+        optimum = minimize_peak_temperature(model, tolerance=current_tolerance)
+        current = optimum.current
+    else:
+        current = 0.0
+    state = model.solve(current)
+    return StrategyOutcome(
+        strategy="density>={:.0f}W/cm2".format(threshold_w_cm2),
+        feasible=state.peak_silicon_c <= problem.max_temperature_c,
+        num_tecs=len(tiles),
+        current_a=current,
+        peak_c=state.peak_silicon_c,
+        tec_power_w=state.tec_input_power_w(),
+        runtime_s=time.perf_counter() - start,
+        tec_tiles=tuple(int(t) for t in tiles),
+    )
+
+
+def compare_strategies(problem, *, density_thresholds=(100.0,)):
+    """Run every strategy on one problem.
+
+    Returns a dict of strategy label to :class:`StrategyOutcome`
+    (Figure 5's greedy and Full-Cover included for reference).
+    """
+    outcomes = {}
+
+    greedy = greedy_deploy(problem)
+    outcomes["greedy (Fig. 5)"] = StrategyOutcome(
+        strategy="greedy (Fig. 5)",
+        feasible=greedy.feasible,
+        num_tecs=greedy.num_tecs,
+        current_a=greedy.current,
+        peak_c=greedy.peak_c,
+        tec_power_w=greedy.tec_power_w,
+        runtime_s=greedy.runtime_s,
+        tec_tiles=greedy.tec_tiles,
+    )
+
+    incremental = incremental_deploy(problem)
+    outcomes["incremental"] = incremental
+
+    for threshold in density_thresholds:
+        outcome = density_threshold_deploy(problem, threshold)
+        outcomes[outcome.strategy] = outcome
+
+    baseline = full_cover(problem)
+    outcomes["full-cover"] = StrategyOutcome(
+        strategy="full-cover",
+        feasible=baseline.meets_limit,
+        num_tecs=problem.grid.num_tiles,
+        current_a=baseline.current,
+        peak_c=baseline.min_peak_c,
+        tec_power_w=baseline.tec_power_w,
+        runtime_s=baseline.runtime_s,
+        tec_tiles=tuple(range(problem.grid.num_tiles)),
+    )
+    return outcomes

@@ -1,0 +1,41 @@
+"""Experiment harness: every table and figure of Section VI.
+
+The modules here wrap the core library into the exact experiments the
+paper reports; the ``benchmarks/`` directory's pytest-benchmark targets
+are thin shells over these functions (one per table/figure), and the
+EXPERIMENTS.md paper-vs-measured records are generated from them.
+
+``benchmarks``
+    The benchmark registry — Alpha plus HC01..HC10 with pinned seeds,
+    total powers and temperature limits.
+``table1``
+    Reproduces Table I (GreedyDeploy vs Full-Cover on every benchmark).
+``figures``
+    Figure 6 (influence coefficients vs current), Figure 7 (floorplan
+    and deployment map) and the runaway curves.
+``validation``
+    The compact-model-vs-reference validation experiment.
+``conjecture``
+    The randomized Conjecture 1 campaign.
+``ablations``
+    Beyond-paper studies of the design choices: certificate
+    subdivision count, TEC parameter sensitivity, per-device currents
+    (multi-pin extension), grid resolution.
+"""
+
+from repro.experiments.benchmarks import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    load_benchmark,
+)
+from repro.experiments.table1 import run_benchmark_row, run_table1
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "benchmark_names",
+    "load_benchmark",
+    "run_benchmark_row",
+    "run_table1",
+]

@@ -1,0 +1,151 @@
+"""Figure reproductions (Figures 6 and 7, plus runaway curves).
+
+``figure6_data``
+    The influence coefficients ``h_kl(i)`` of Figure 6: non-negative,
+    convex in the supply current, diverging at ``lambda_m``.  Sampled
+    for the hottest tile's self-influence and a cross-influence pair on
+    the Alpha deployment.
+``figure7_data``
+    Figure 7: the Alpha floorplan (a) and the 12x12 tile map with the
+    greedy TEC deployment shaded (b).  Rendered as ASCII so the
+    benchmark harness can print the same picture the paper draws.
+``runaway_figure``
+    The peak-temperature blow-up curve behind the Section V.C.1
+    discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.deploy import greedy_deploy
+from repro.core.runaway import influence_sweep, runaway_curve
+from repro.experiments.benchmarks import load_benchmark
+
+
+@dataclass
+class Figure6Data:
+    """Sampled ``h_kl(i)`` curves and their qualitative properties."""
+
+    currents: np.ndarray
+    lambda_m: float
+    curves: dict  # label -> np.ndarray of h values (K/W)
+    nonnegative: bool
+    convex: bool
+    diverging: bool
+
+
+def figure6_data(benchmark="alpha", *, samples=25, max_fraction=0.9995):
+    """Reproduce Figure 6 on a deployed benchmark.
+
+    Returns sampled ``h_kl(i)`` for (peak, peak), (peak, hot-node) and
+    (far tile, peak) pairs, with flags verifying the three properties
+    the figure illustrates: non-negativity (Lemma 3), convexity
+    (Theorem 3) and divergence at ``lambda_m`` (Theorem 2).
+    """
+    problem = load_benchmark(benchmark)
+    greedy = greedy_deploy(problem)
+    model = greedy.model
+    lambda_m = model.runaway_current().value
+
+    peak_tile = model.solve(0.0).peak_tile
+    peak_node = model.silicon_nodes[peak_tile]
+    hot_node = model.hot_nodes[0]
+    far_tile = int(np.argmin(model.solve(0.0).silicon_c))
+    far_node = model.silicon_nodes[far_tile]
+
+    currents = np.linspace(0.0, max_fraction * lambda_m, samples)
+    pairs = [
+        ("h(peak,peak)", (peak_node, peak_node)),
+        ("h(peak,hot)", (peak_node, hot_node)),
+        ("h(far,peak)", (far_node, peak_node)),
+    ]
+    values = influence_sweep(model, [pair for _, pair in pairs], currents)
+    curves = {label: values[idx] for idx, (label, _) in enumerate(pairs)}
+
+    all_values = np.concatenate(list(curves.values()))
+    nonnegative = bool(np.all(all_values >= -1.0e-12))
+    convex = True
+    for series in curves.values():
+        second = series[:-2] - 2.0 * series[1:-1] + series[2:]
+        scale = max(1.0, float(np.max(np.abs(series))))
+        if np.min(second) < -1.0e-9 * scale:
+            convex = False
+    diverging = bool(
+        all(
+            series[-1] > 5.0 * max(series[samples // 2], 1e-12)
+            for series in curves.values()
+        )
+    )
+    return Figure6Data(
+        currents=currents,
+        lambda_m=lambda_m,
+        curves=curves,
+        nonnegative=nonnegative,
+        convex=convex,
+        diverging=diverging,
+    )
+
+
+@dataclass
+class Figure7Data:
+    """The Alpha floorplan and deployment map."""
+
+    unit_grid: list  # rows of unit-name initials
+    deployment_grid: list  # rows of '.'/'#' with '#' = TEC-covered
+    tec_tiles: tuple
+    num_tecs: int
+    covered_units: dict  # unit name -> covered tile count
+
+    def render(self):
+        """ASCII rendering: floorplan beside the shaded deployment."""
+        lines = ["floorplan (unit initials)    deployment (# = TEC)"]
+        for unit_row, dep_row in zip(self.unit_grid, self.deployment_grid):
+            lines.append("{}    {}".format(unit_row, dep_row))
+        return "\n".join(lines)
+
+
+def figure7_data(benchmark="alpha"):
+    """Reproduce Figure 7: floorplan + greedy deployment shading."""
+    from repro.experiments.benchmarks import BENCHMARKS
+
+    spec = BENCHMARKS[benchmark]
+    floorplan = spec.floorplan()
+    problem = spec.problem()
+    greedy = greedy_deploy(problem)
+    grid = floorplan.grid
+    owner = floorplan.unit_map()
+    covered = set(greedy.tec_tiles)
+
+    unit_rows = []
+    dep_rows = []
+    for row in range(grid.rows):
+        unit_chars = []
+        dep_chars = []
+        for col in range(grid.cols):
+            flat = grid.flat_index(row, col)
+            unit_chars.append(floorplan.units[owner[flat]].name[0])
+            dep_chars.append("#" if flat in covered else ".")
+        unit_rows.append("".join(unit_chars))
+        dep_rows.append("".join(dep_chars))
+
+    covered_units = {}
+    for flat in covered:
+        name = floorplan.units[owner[flat]].name
+        covered_units[name] = covered_units.get(name, 0) + 1
+    return Figure7Data(
+        unit_grid=unit_rows,
+        deployment_grid=dep_rows,
+        tec_tiles=greedy.tec_tiles,
+        num_tecs=greedy.num_tecs,
+        covered_units=covered_units,
+    )
+
+
+def runaway_figure(benchmark="alpha", *, max_fraction=0.999):
+    """Peak-temperature blow-up curve for a deployed benchmark."""
+    problem = load_benchmark(benchmark)
+    greedy = greedy_deploy(problem)
+    return runaway_curve(greedy.model, max_fraction=max_fraction)

@@ -1,0 +1,118 @@
+"""Markdown experiment report generation.
+
+Regenerates the measured side of EXPERIMENTS.md from live runs: the
+Table I reproduction with per-row paper deltas, the validation
+experiment, the Figure 6 property checks and the Conjecture 1
+campaign.  Used by ``python -m repro.cli report`` to produce an
+auditable artifact of the current code/calibration state.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.benchmarks import (
+    PAPER_AVG_P_TEC_W,
+    PAPER_AVG_SWING_LOSS_C,
+)
+from repro.experiments.figures import figure6_data
+from repro.experiments.table1 import run_table1
+from repro.experiments.validation import run_validation
+from repro.linalg.conjecture import run_conjecture_campaign
+
+
+def generate_report(
+    *,
+    benchmarks=None,
+    validation_refine=1,
+    conjecture_matrices=100,
+    seed=1364,
+):
+    """Run the experiment suite and render a markdown report.
+
+    Parameters
+    ----------
+    benchmarks:
+        Table I rows to run (default: all).
+    validation_refine:
+        Lateral refinement of the validation reference.
+    conjecture_matrices:
+        Size of the Conjecture 1 campaign.
+    seed:
+        Campaign seed.
+
+    Returns
+    -------
+    str
+        The markdown document.
+    """
+    out = io.StringIO()
+    out.write("# Experiment report (generated)\n\n")
+
+    # ---- Table I -----------------------------------------------------
+    comparison = run_table1(benchmarks)
+    out.write("## Table I\n\n")
+    out.write(comparison.render(markdown=True))
+    out.write("\n\n")
+    out.write(
+        "Measured averages: P_TEC {:.2f} W (paper {:.2f}), SwingLoss {:.1f} C "
+        "(paper {:.1f}).\n\n".format(
+            comparison.avg_p_tec_w,
+            PAPER_AVG_P_TEC_W,
+            comparison.avg_swing_loss_c,
+            PAPER_AVG_SWING_LOSS_C,
+        )
+    )
+    out.write("Per-row deltas (measured minus paper):\n\n")
+    out.write("| bench | d theta_peak | d #TECs | d I_opt | d SwingLoss |\n")
+    out.write("| :--- | ---: | ---: | ---: | ---: |\n")
+    for name, delta in comparison.deltas().items():
+        out.write(
+            "| {} | {:+.2f} | {:+d} | {:+.2f} | {:+.2f} |\n".format(
+                name,
+                delta["theta_peak"],
+                int(delta["num_tecs"]),
+                delta["i_opt"],
+                delta["swing_loss"],
+            )
+        )
+    out.write("\n")
+
+    # ---- Validation --------------------------------------------------
+    outcome = run_validation(refine=validation_refine, trace_steps=16, snapshots=(15,))
+    out.write("## Validation (compact vs fine-grid reference)\n\n")
+    for label, value in sorted(outcome.per_case.items()):
+        out.write("* `{}`: worst |diff| = {:.3f} C\n".format(label, value))
+    out.write(
+        "\nOverall worst {:.3f} C against the paper's < {:.1f} C claim: "
+        "**{}**.\n\n".format(
+            outcome.worst_abs_diff_c,
+            outcome.tolerance_c,
+            "PASS" if outcome.passed else "FAIL",
+        )
+    )
+
+    # ---- Figure 6 ----------------------------------------------------
+    fig6 = figure6_data(samples=15)
+    out.write("## Figure 6 properties\n\n")
+    out.write("* lambda_m = {:.2f} A\n".format(fig6.lambda_m))
+    out.write("* non-negative (Lemma 3): **{}**\n".format(fig6.nonnegative))
+    out.write("* convex (Theorem 3): **{}**\n".format(fig6.convex))
+    out.write("* diverging at lambda_m (Theorem 2): **{}**\n\n".format(fig6.diverging))
+
+    # ---- Conjecture 1 ------------------------------------------------
+    campaign = run_conjecture_campaign(conjecture_matrices, seed=seed)
+    out.write("## Conjecture 1 campaign\n\n")
+    out.write(
+        "* {} random PD Stieltjes matrices, {} (k,l) pairs\n".format(
+            campaign.matrices_tested, campaign.pairs_tested
+        )
+    )
+    out.write("* violations: {}\n".format(len(campaign.violations)))
+    out.write("* worst margin: {:.3e}\n".format(campaign.worst_margin))
+    out.write(
+        "* conjecture **{}** on this campaign\n".format(
+            "holds" if campaign.holds else "FAILS"
+        )
+    )
+    return out.getvalue()

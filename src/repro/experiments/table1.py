@@ -1,0 +1,94 @@
+"""Reproduction of Table I (Section VI).
+
+For every benchmark: solve the bare chip (``theta_peak``), run
+GreedyDeploy (``#TECs``, ``I_opt``, ``P_TEC``) and the Full-Cover
+baseline (``min theta_peak``, ``SwingLoss``).  ``run_table1`` returns
+the rows plus paper-vs-measured deltas; invoking the module
+(``python -m repro.experiments.table1``) prints the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.baselines import full_cover
+from repro.core.deploy import greedy_deploy
+from repro.core.report import BenchmarkRow, format_table1
+from repro.experiments.benchmarks import BENCHMARKS, benchmark_names
+
+
+@dataclass
+class Table1Comparison:
+    """Measured rows plus paper-vs-measured summary."""
+
+    rows: list
+    paper_rows: dict
+    avg_p_tec_w: float
+    avg_swing_loss_c: float
+
+    def render(self, markdown=False):
+        """The measured table in the paper's layout."""
+        return format_table1(self.rows, markdown=markdown)
+
+    def deltas(self):
+        """Per-row dict of measured-minus-paper deltas for key columns."""
+        out = {}
+        for row in self.rows:
+            spec = self.paper_rows[row.name]
+            out[row.name] = {
+                "theta_peak": row.theta_peak_c - spec.paper_theta_peak_c,
+                "num_tecs": row.num_tecs - spec.paper_num_tecs,
+                "i_opt": row.i_opt_a - spec.paper_i_opt_a,
+                "p_tec": row.p_tec_w - spec.paper_p_tec_w,
+                "min_peak": row.fullcover_min_peak_c - spec.paper_min_peak_c,
+                "swing_loss": row.swing_loss_c - spec.paper_swing_loss_c,
+            }
+        return out
+
+
+def run_benchmark_row(name, *, stack=None, device=None, current_method="golden"):
+    """Run one Table I row; returns ``(BenchmarkRow, greedy, fullcover)``."""
+    spec = BENCHMARKS[name]
+    problem = spec.problem(stack=stack, device=device)
+    greedy = greedy_deploy(problem, current_method=current_method)
+    baseline = full_cover(problem, current_method=current_method)
+    row = BenchmarkRow.from_results(spec.name, spec.limit_c, greedy, baseline)
+    return row, greedy, baseline
+
+
+def run_table1(names=None, *, stack=None, device=None, current_method="golden"):
+    """Run all (or selected) Table I rows.
+
+    Returns a :class:`Table1Comparison`.
+    """
+    names = list(names) if names is not None else benchmark_names()
+    rows = []
+    for name in names:
+        row, _, _ = run_benchmark_row(
+            name, stack=stack, device=device, current_method=current_method
+        )
+        rows.append(row)
+    return Table1Comparison(
+        rows=rows,
+        paper_rows={name: BENCHMARKS[name] for name in names},
+        avg_p_tec_w=float(np.mean([row.p_tec_w for row in rows])),
+        avg_swing_loss_c=float(np.mean([row.swing_loss_c for row in rows])),
+    )
+
+
+def main():
+    """Print the reproduced Table I with paper deltas."""
+    comparison = run_table1()
+    print(comparison.render())
+    print()
+    print(
+        "averages: P_TEC {:.2f} W (paper 1.70), SwingLoss {:.1f} C (paper 4.2)".format(
+            comparison.avg_p_tec_w, comparison.avg_swing_loss_c
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

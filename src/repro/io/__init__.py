@@ -1,0 +1,44 @@
+"""File formats: HotSpot interchange and result serialization.
+
+The paper's toolchain is built around HotSpot 4.1, whose plain-text
+formats are the de-facto interchange for architecture-level thermal
+work.  This package reads and writes them so the library can consume
+existing floorplans/traces and emit artifacts other tools understand:
+
+``flp``
+    HotSpot floorplan files (``<unit> <width> <height> <left> <bottom>``
+    in metres).  Non-rectangular units (the hypothetical chips grow
+    blob-shaped units) are decomposed into maximal rectangles on write
+    and re-merged on read.
+``ptrace``
+    HotSpot power traces (header of unit names, one row of per-unit
+    watts per interval).
+``results``
+    JSON serialization of Table-I-style benchmark rows and deployment
+    results, for archiving and cross-run comparison.
+"""
+
+from repro.io.flp import (
+    FlpRect,
+    floorplan_from_flp,
+    read_flp,
+    write_flp,
+)
+from repro.io.ptrace import read_ptrace, write_ptrace
+from repro.io.results import (
+    deployment_to_dict,
+    rows_from_json,
+    rows_to_json,
+)
+
+__all__ = [
+    "FlpRect",
+    "deployment_to_dict",
+    "floorplan_from_flp",
+    "read_flp",
+    "read_ptrace",
+    "rows_from_json",
+    "rows_to_json",
+    "write_flp",
+    "write_ptrace",
+]

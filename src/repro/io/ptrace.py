@@ -1,0 +1,96 @@
+"""HotSpot power-trace (``.ptrace``) reading and writing.
+
+Format: a header line of whitespace-separated unit names, then one
+line per sampling interval with that many per-unit power values in
+watts.  This is the format the paper's flow produces from M5 + Wattch
+before reducing to worst-case powers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def write_ptrace(path, unit_names, powers, *, header_comment=None):
+    """Write a power trace.
+
+    Parameters
+    ----------
+    path:
+        Output file.
+    unit_names:
+        Column names.
+    powers:
+        Array-like of shape ``(steps, units)`` in watts.
+    header_comment:
+        Optional ``#`` comment line written first.
+    """
+    unit_names = [str(name) for name in unit_names]
+    array = np.asarray(powers, dtype=float)
+    if array.ndim != 2 or array.shape[1] != len(unit_names):
+        raise ValueError(
+            "powers must have shape (steps, {}), got {}".format(
+                len(unit_names), array.shape
+            )
+        )
+    if np.any(~np.isfinite(array)) or np.any(array < 0.0):
+        raise ValueError("powers must be finite and non-negative")
+    lines = []
+    if header_comment:
+        lines.append("# {}".format(header_comment))
+    lines.append("\t".join(unit_names))
+    for row in array:
+        lines.append("\t".join("{:.6f}".format(value) for value in row))
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def read_ptrace(path):
+    """Read a power trace.
+
+    Returns
+    -------
+    (unit_names, powers):
+        The column names and a float array of shape ``(steps, units)``.
+    """
+    unit_names = None
+    rows = []
+    with open(path) as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = line.split()
+            if unit_names is None:
+                unit_names = fields
+                continue
+            if len(fields) != len(unit_names):
+                raise ValueError(
+                    "{}:{}: expected {} values, got {}".format(
+                        path, line_number, len(unit_names), len(fields)
+                    )
+                )
+            try:
+                rows.append([float(f) for f in fields])
+            except ValueError as error:
+                raise ValueError(
+                    "{}:{}: non-numeric power value".format(path, line_number)
+                ) from error
+    if unit_names is None:
+        raise ValueError("{}: empty power trace".format(path))
+    if not rows:
+        raise ValueError("{}: header but no samples".format(path))
+    return unit_names, np.asarray(rows)
+
+
+def trace_to_ptrace(path, floorplan, trace, nominal_powers, *, static_fraction=0.3):
+    """Write a :class:`~repro.power.workloads.WorkloadTrace` as ``.ptrace``."""
+    series = trace.unit_power_series(nominal_powers, static_fraction=static_fraction)
+    write_ptrace(
+        path,
+        trace.unit_names,
+        series,
+        header_comment="workload {!r} over floorplan with {} units".format(
+            trace.workload, len(floorplan.units)
+        ),
+    )

@@ -1,0 +1,94 @@
+"""JSON serialization of benchmark rows and deployment results.
+
+Archives Table-I runs so different calibrations / code versions can be
+diffed, and lets external tooling consume the reproduction's outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.core.report import BenchmarkRow
+
+_SCHEMA_VERSION = 1
+
+
+def rows_to_json(rows, path=None, *, metadata=None):
+    """Serialize :class:`BenchmarkRow` objects to JSON.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of rows.
+    path:
+        When given, write the JSON there; the document string is
+        returned either way.
+    metadata:
+        Optional dict merged into the document header (e.g. git rev,
+        calibration tag).
+    """
+    document = {
+        "schema": _SCHEMA_VERSION,
+        "kind": "table1-rows",
+        "rows": [dataclasses.asdict(row) for row in rows],
+    }
+    if metadata:
+        document["metadata"] = dict(metadata)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def rows_from_json(source):
+    """Load rows written by :func:`rows_to_json`.
+
+    ``source`` is a path or a JSON string (detected by content).
+    """
+    if isinstance(source, str) and source.lstrip().startswith("{"):
+        document = json.loads(source)
+    else:
+        with open(source) as handle:
+            document = json.load(handle)
+    if document.get("kind") != "table1-rows":
+        raise ValueError(
+            "not a table1-rows document (kind={!r})".format(document.get("kind"))
+        )
+    if document.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported schema version {!r}".format(document.get("schema"))
+        )
+    return [BenchmarkRow(**row) for row in document["rows"]]
+
+
+def deployment_to_dict(result):
+    """Flatten a :class:`~repro.core.deploy.DeploymentResult` to plain data.
+
+    Only JSON-representable fields are kept (models and problems are
+    referenced by name).
+    """
+    return {
+        "problem": getattr(result.problem, "name", None),
+        "feasible": bool(result.feasible),
+        "tec_tiles": list(result.tec_tiles),
+        "num_tecs": result.num_tecs,
+        "current_a": float(result.current),
+        "peak_c": float(result.peak_c),
+        "no_tec_peak_c": float(result.no_tec_peak_c),
+        "cooling_swing_c": float(result.cooling_swing_c),
+        "tec_power_w": float(result.tec_power_w),
+        "runtime_s": float(result.runtime_s),
+        "iterations": [
+            {
+                "index": it.index,
+                "added_tiles": list(it.added_tiles),
+                "deployment_size": it.deployment_size,
+                "current_a": float(it.current),
+                "peak_c": float(it.peak_c),
+                "offending_tiles": list(it.offending_tiles),
+            }
+            for it in result.iterations
+        ],
+    }

@@ -1,0 +1,166 @@
+"""Randomized verification of Conjecture 1 (Section V.C.2).
+
+Conjecture 1 of the paper: for an ``n x n`` positive definite
+Stieltjes matrix ``S`` with inverse ``H`` (rows ``h_k``), the matrix
+``DIAG(h_k) . H . DIAG(h_l)`` is positive definite for every pair
+``1 <= k, l <= n``.
+
+The paper could not prove the conjecture but reports verifying it on
+millions of randomly generated positive definite Stieltjes matrices.
+This module reproduces that campaign: it generates random instances
+(:func:`repro.linalg.stieltjes.random_stieltjes`), tests the quadratic
+form (Definition 2 — positive definiteness of the symmetric part), and
+records the worst margin observed.
+
+Theorem 3 consumes the conjecture: it implies
+``h_kl''(i) = 2 d' (DIAG(h_k) H DIAG(h_l)) d > 0``, i.e. every entry of
+``(G - i D)^{-1}`` is convex in the supply current on
+``[0, lambda_m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.linalg.inverse_positive import inverse_nonnegative_matrix
+from repro.linalg.spd import smallest_eigenvalue_symmetric_part
+from repro.linalg.stieltjes import random_stieltjes
+from repro.utils import ensure_rng
+
+
+def conjecture1_witness(stieltjes_matrix, pairs=None, *, check=True):
+    """Worst pair ``(k, l)`` for Conjecture 1 on one matrix.
+
+    Parameters
+    ----------
+    stieltjes_matrix:
+        A positive definite Stieltjes matrix ``S``.
+    pairs:
+        Iterable of ``(k, l)`` index pairs to test; ``None`` tests all
+        ``n^2`` pairs.
+    check:
+        Validate the Stieltjes/PD hypotheses before testing.
+
+    Returns
+    -------
+    (min_eigenvalue, (k, l)):
+        The smallest eigenvalue of the symmetric part of
+        ``DIAG(h_k) H DIAG(h_l)`` over the tested pairs, and the pair
+        attaining it.  Conjecture 1 holds on the tested pairs iff the
+        returned eigenvalue is positive.
+    """
+    h_matrix = inverse_nonnegative_matrix(stieltjes_matrix, check=check)
+    n = h_matrix.shape[0]
+    if pairs is None:
+        pairs = [(k, l) for k in range(n) for l in range(n)]
+    worst_value = np.inf
+    worst_pair = None
+    for k, l in pairs:
+        candidate = (h_matrix[k][:, np.newaxis] * h_matrix) * h_matrix[l][np.newaxis, :]
+        eigenvalue = smallest_eigenvalue_symmetric_part(candidate)
+        if eigenvalue < worst_value:
+            worst_value = eigenvalue
+            worst_pair = (int(k), int(l))
+    if worst_pair is None:
+        raise ValueError("no pairs supplied")
+    return float(worst_value), worst_pair
+
+
+def conjecture1_holds(stieltjes_matrix, pairs=None, *, tol=0.0, check=True):
+    """True if Conjecture 1 holds for the tested pairs of one matrix."""
+    value, _ = conjecture1_witness(stieltjes_matrix, pairs=pairs, check=check)
+    return value > tol
+
+
+@dataclass
+class ConjectureCampaignResult:
+    """Aggregate outcome of a randomized Conjecture 1 campaign.
+
+    Attributes
+    ----------
+    matrices_tested:
+        Number of random Stieltjes matrices generated.
+    pairs_tested:
+        Total ``(k, l)`` pairs whose quadratic form was checked.
+    violations:
+        List of ``(matrix_index, (k, l), eigenvalue)`` for every pair
+        whose symmetric part failed to be positive definite.  The paper
+        (and this reproduction) observes this list empty.
+    worst_margin:
+        Smallest eigenvalue of any tested symmetric part — the margin
+        by which the conjecture held.
+    sizes:
+        The matrix sizes used.
+    """
+
+    matrices_tested: int = 0
+    pairs_tested: int = 0
+    violations: list = field(default_factory=list)
+    worst_margin: float = np.inf
+    sizes: list = field(default_factory=list)
+
+    @property
+    def holds(self):
+        """True when no violation was observed."""
+        return not self.violations
+
+
+def run_conjecture_campaign(
+    num_matrices,
+    *,
+    size_range=(3, 12),
+    pairs_per_matrix=None,
+    density=0.5,
+    seed=None,
+):
+    """Reproduce the paper's randomized Conjecture 1 verification.
+
+    Parameters
+    ----------
+    num_matrices:
+        How many random positive definite Stieltjes matrices to draw.
+    size_range:
+        Inclusive ``(min, max)`` range of matrix dimensions.
+    pairs_per_matrix:
+        ``None`` tests every ``(k, l)`` pair (as the conjecture
+        quantifies); an integer samples that many pairs uniformly,
+        which lets large campaigns finish quickly.
+    density:
+        Off-diagonal density of the random instances.
+    seed:
+        Campaign seed (fully reproducible).
+
+    Returns
+    -------
+    ConjectureCampaignResult
+    """
+    if num_matrices < 0:
+        raise ValueError("num_matrices must be >= 0")
+    low, high = size_range
+    if not (1 <= low <= high):
+        raise ValueError("invalid size_range {!r}".format(size_range))
+    rng = ensure_rng(seed)
+    result = ConjectureCampaignResult()
+    for index in range(num_matrices):
+        n = int(rng.integers(low, high + 1))
+        matrix = random_stieltjes(n, density=density, seed=rng)
+        if pairs_per_matrix is None:
+            pairs = None
+            tested = n * n
+        else:
+            pairs = [
+                (int(rng.integers(0, n)), int(rng.integers(0, n)))
+                for _ in range(pairs_per_matrix)
+            ]
+            tested = len(pairs)
+        margin, pair = conjecture1_witness(matrix, pairs=pairs, check=False)
+        result.matrices_tested += 1
+        result.pairs_tested += tested
+        result.sizes.append(n)
+        if margin <= 0.0:
+            result.violations.append((index, pair, margin))
+        if margin < result.worst_margin:
+            result.worst_margin = margin
+    return result

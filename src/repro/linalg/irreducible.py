@@ -1,0 +1,71 @@
+"""Irreducibility of square matrices via graph connectivity.
+
+Definition 1 of the paper: a square matrix is *irreducible* if it
+cannot be written (after a symmetric permutation) as the direct sum of
+two square matrices.  For a symmetric matrix this is equivalent to the
+connectivity of its adjacency graph — the graph with an edge ``(k, l)``
+whenever ``M[k, l] != 0``.
+
+For the thermal conductance matrix ``G`` irreducibility encodes a
+physical fact: heat can flow (possibly through intermediate tiles)
+between any two nodes of the package, so no part of the chip is
+thermally isolated from the ambient.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+
+def adjacency_graph(matrix, tol=0.0):
+    """Build the undirected adjacency graph of a symmetric matrix.
+
+    Nodes are ``0..n-1``; an edge joins ``k`` and ``l`` (``k != l``)
+    whenever ``|M[k, l]| > tol``.  Diagonal entries are ignored.
+    """
+    if sp.issparse(matrix):
+        coo = matrix.tocoo()
+        n = coo.shape[0]
+        graph = nx.Graph()
+        graph.add_nodes_from(range(n))
+        for k, l, value in zip(coo.row, coo.col, coo.data):
+            if k != l and abs(value) > tol:
+                graph.add_edge(int(k), int(l))
+        return graph
+    dense = np.asarray(matrix, dtype=float)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ValueError("matrix must be square, got shape {}".format(dense.shape))
+    n = dense.shape[0]
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    rows, cols = np.nonzero(np.abs(dense) > tol)
+    for k, l in zip(rows, cols):
+        if k != l:
+            graph.add_edge(int(k), int(l))
+    return graph
+
+
+def is_irreducible(matrix, tol=0.0):
+    """Return True if the (symmetric) matrix is irreducible.
+
+    Implemented as connectivity of :func:`adjacency_graph`.  A 1x1
+    matrix is irreducible by convention (it is not a direct sum of two
+    non-empty square matrices).
+    """
+    graph = adjacency_graph(matrix, tol=tol)
+    if graph.number_of_nodes() <= 1:
+        return True
+    return nx.is_connected(graph)
+
+
+def irreducible_components(matrix, tol=0.0):
+    """Return the node sets of the direct-sum blocks of ``matrix``.
+
+    A reducible symmetric matrix is (up to permutation) the direct sum
+    of the sub-matrices indexed by these components; an irreducible
+    matrix yields a single component covering every index.
+    """
+    graph = adjacency_graph(matrix, tol=tol)
+    return [sorted(component) for component in nx.connected_components(graph)]

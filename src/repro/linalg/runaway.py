@@ -1,0 +1,239 @@
+"""The runaway current ``lambda_m`` (Theorem 1 and Theorem 2).
+
+Theorem 1 of the paper: for a positive definite irreducible Stieltjes
+matrix ``G`` and a real diagonal ``D`` with at least one positive
+entry,
+
+    lambda_m = min { x' G x  :  x' D x = 1 }
+
+splits the current axis in two — ``G - i D`` is positive definite for
+``0 <= i < lambda_m`` and is not positive definite for
+``i > lambda_m``.  Theorem 2 adds the physics: every entry of
+``(G - i D)^{-1}`` blows up to ``+inf`` as ``i -> lambda_m`` from the
+left, i.e. the package undergoes **thermal runaway** at
+``i = lambda_m`` because Peltier pumping is exactly cancelled by Joule
+heating and back-conduction (zero-COP condition).
+
+Two computations are provided:
+
+``runaway_current_binary_search``
+    The paper's algorithm — binary search on ``i`` with a Cholesky
+    positive-definiteness oracle (Section V.C.1).
+``runaway_current_eigen``
+    An exact cross-check.  Factor ``G = L L'``; then ``G - i D`` is
+    singular iff ``1/i`` is an eigenvalue of the symmetric matrix
+    ``M = L^{-1} D L^{-T}``, so ``lambda_m = 1 / mu_max`` with
+    ``mu_max`` the largest (necessarily positive) eigenvalue of ``M``.
+    When ``D`` has few non-zero entries (one hot and one cold node per
+    deployed TEC) the eigenproblem is reduced to that support, which
+    keeps the computation cheap for package-scale networks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from repro.linalg.spd import cholesky_is_spd
+
+
+@dataclass(frozen=True)
+class RunawayCurrent:
+    """Result of a runaway-current computation.
+
+    Attributes
+    ----------
+    value:
+        ``lambda_m`` in amperes (``math.inf`` when ``D`` has no
+        positive diagonal entry, i.e. no runaway exists).
+    method:
+        ``"eigen"`` or ``"binary-search"``.
+    iterations:
+        Oracle invocations (binary search) or 0 (eigen).
+    bracket:
+        Final ``(low, high)`` bracket for the binary search; for the
+        eigen method both ends equal ``value``.
+    """
+
+    value: float
+    method: str
+    iterations: int
+    bracket: tuple
+
+    def __float__(self):
+        return self.value
+
+
+def _diagonal_of(d_matrix):
+    """Extract the diagonal of ``D`` as a 1-D array.
+
+    Accepts a 1-D array (already a diagonal), a dense matrix, or a
+    sparse matrix.  Off-diagonal entries, if any, must be zero.
+    """
+    if sp.issparse(d_matrix):
+        dense_diag = d_matrix.diagonal()
+        off = d_matrix - sp.diags(dense_diag)
+        if off.nnz and np.max(np.abs(off.data)) > 0.0:
+            raise ValueError("D must be diagonal")
+        return np.asarray(dense_diag, dtype=float)
+    arr = np.asarray(d_matrix, dtype=float)
+    if arr.ndim == 1:
+        return arr
+    if arr.ndim == 2 and arr.shape[0] == arr.shape[1]:
+        if np.any(arr - np.diag(np.diag(arr)) != 0.0):
+            raise ValueError("D must be diagonal")
+        return np.diag(arr).astype(float)
+    raise ValueError("D must be a diagonal matrix or a 1-D array of diagonal entries")
+
+
+def _combine(g_matrix, diag, current):
+    """Form ``G - current * D`` preserving sparsity."""
+    if sp.issparse(g_matrix):
+        return (g_matrix - current * sp.diags(diag)).tocsc()
+    return np.asarray(g_matrix, dtype=float) - current * np.diag(diag)
+
+
+def runaway_current_eigen(g_matrix, d_matrix):
+    """Exact ``lambda_m`` via the reduced symmetric eigenproblem.
+
+    See the module docstring for the derivation.  Returns a
+    :class:`RunawayCurrent` with ``method="eigen"``.
+    """
+    diag = _diagonal_of(d_matrix)
+    n = diag.shape[0]
+    support = np.nonzero(diag)[0]
+    if support.size == 0 or not np.any(diag > 0.0):
+        return RunawayCurrent(math.inf, "eigen", 0, (math.inf, math.inf))
+    if sp.issparse(g_matrix):
+        lu = splu(g_matrix.tocsc())
+        # Columns of G^{-1} restricted to the support of D.
+        basis = np.zeros((n, support.size))
+        for j, k in enumerate(support):
+            unit = np.zeros(n)
+            unit[k] = 1.0
+            basis[:, j] = lu.solve(unit)
+        # Nonzero eigenvalues of G^{-1} D equal those of
+        # D_sub^{} (G^{-1})_[support, support] restricted appropriately:
+        # mu solves det(I - mu^{-1} ... ) — work with the small matrix
+        # K = (G^{-1})[support][:, support] @ diag(d_sub); its
+        # eigenvalues are the nonzero eigenvalues of G^{-1} D.
+        small = basis[support, :] * diag[support][np.newaxis, :]
+        eigenvalues = np.linalg.eigvals(small)
+    else:
+        dense_g = np.asarray(g_matrix, dtype=float)
+        cho = scipy.linalg.cho_factor(dense_g, lower=True)
+        inv_cols = scipy.linalg.cho_solve(cho, np.eye(n)[:, support])
+        small = inv_cols[support, :] * diag[support][np.newaxis, :]
+        eigenvalues = np.linalg.eigvals(small)
+    # The pencil (G, D) with G SPD has real spectrum; discard the
+    # imaginary round-off introduced by the unsymmetric reduction.
+    real_parts = np.real(eigenvalues)
+    positive = real_parts[real_parts > 0.0]
+    if positive.size == 0:
+        return RunawayCurrent(math.inf, "eigen", 0, (math.inf, math.inf))
+    mu_max = float(np.max(positive))
+    value = 1.0 / mu_max
+    return RunawayCurrent(value, "eigen", 0, (value, value))
+
+
+def runaway_current_binary_search(
+    g_matrix,
+    d_matrix,
+    *,
+    tolerance=1.0e-9,
+    initial_bracket=1.0,
+    max_doublings=200,
+    max_iterations=200,
+):
+    """The paper's ``lambda_m`` algorithm: Cholesky-oracle binary search.
+
+    Parameters
+    ----------
+    g_matrix, d_matrix:
+        The conductance matrix and the Peltier coupling diagonal.
+    tolerance:
+        Relative width of the final bracket.
+    initial_bracket:
+        First trial upper bound for the doubling phase.
+    max_doublings:
+        Safety cap on the doubling phase; if ``G - i D`` is still
+        positive definite after this many doublings the runaway
+        current is reported as ``math.inf`` (this happens exactly when
+        ``D`` has no positive entry, up to floating-point range).
+    max_iterations:
+        Safety cap on bisection steps.
+
+    Returns
+    -------
+    RunawayCurrent
+        With ``method="binary-search"``; ``value`` is the bracket
+        midpoint.
+    """
+    diag = _diagonal_of(d_matrix)
+    if not cholesky_is_spd(g_matrix):
+        raise ValueError("G must be positive definite (Lemma 1 hypothesis)")
+    if not np.any(diag > 0.0):
+        return RunawayCurrent(math.inf, "binary-search", 0, (math.inf, math.inf))
+
+    oracle_calls = 0
+    low = 0.0
+    high = float(initial_bracket)
+    for _ in range(max_doublings):
+        oracle_calls += 1
+        if not cholesky_is_spd(_combine(g_matrix, diag, high)):
+            break
+        low = high
+        high *= 2.0
+    else:
+        return RunawayCurrent(math.inf, "binary-search", oracle_calls, (low, math.inf))
+
+    for _ in range(max_iterations):
+        if high - low <= tolerance * max(1.0, high):
+            break
+        mid = 0.5 * (low + high)
+        oracle_calls += 1
+        if cholesky_is_spd(_combine(g_matrix, diag, mid)):
+            low = mid
+        else:
+            high = mid
+    value = 0.5 * (low + high)
+    return RunawayCurrent(value, "binary-search", oracle_calls, (low, high))
+
+
+def runaway_current(g_matrix, d_matrix, *, method="eigen", **kwargs):
+    """Compute ``lambda_m`` by the requested method.
+
+    ``method="eigen"`` (default) is exact and fast for the sparse
+    package networks; ``method="binary-search"`` reproduces the
+    paper's algorithm.  Both agree to the binary search's tolerance —
+    the test suite and ``benchmarks/bench_runaway.py`` verify this.
+    """
+    if method == "eigen":
+        return runaway_current_eigen(g_matrix, d_matrix)
+    if method == "binary-search":
+        return runaway_current_binary_search(g_matrix, d_matrix, **kwargs)
+    raise ValueError("unknown method {!r}; use 'eigen' or 'binary-search'".format(method))
+
+
+def rayleigh_quotient_bound(g_matrix, d_matrix, vector):
+    """Evaluate ``x' G x / x' D x`` for a trial vector with ``x' D x > 0``.
+
+    Any such quotient upper-bounds ``lambda_m`` (Theorem 1's
+    variational characterization); useful for tests and for quick
+    sanity bounds without a factorization.
+    """
+    diag = _diagonal_of(d_matrix)
+    x = np.asarray(vector, dtype=float)
+    denom = float(np.dot(x * diag, x))
+    if denom <= 0.0:
+        raise ValueError("trial vector must satisfy x' D x > 0")
+    if sp.issparse(g_matrix):
+        numer = float(x @ (g_matrix @ x))
+    else:
+        numer = float(x @ (np.asarray(g_matrix, dtype=float) @ x))
+    return numer / denom

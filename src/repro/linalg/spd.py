@@ -1,0 +1,111 @@
+"""Positive-definiteness tests.
+
+The paper's runaway-current computation (Section V.C.1) binary-searches
+the largest ``i`` such that ``G - i D`` is positive definite, using a
+Cholesky factorization as the O(n^3) definiteness oracle.  This module
+provides that oracle for dense and sparse symmetric matrices, plus an
+eigenvalue-based check for the *nonsymmetric* matrices that appear in
+the Conjecture 1 campaign (Definition 2 of the paper uses the quadratic
+form ``x' M x > 0``, which for a general real matrix depends only on
+the symmetric part).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+
+def cholesky_is_spd(matrix):
+    """Cholesky oracle: True iff the symmetric matrix is positive definite.
+
+    This is the primitive the paper uses inside the binary search for
+    ``lambda_m``.  For sparse input an LDL-style check via sparse LU on
+    the symmetric matrix is used; for dense input LAPACK's ``potrf``.
+    """
+    if sp.issparse(matrix):
+        return _sparse_is_spd(matrix)
+    dense = np.asarray(matrix, dtype=float)
+    _require_square(dense)
+    if dense.size == 0:
+        return True
+    try:
+        scipy.linalg.cholesky(dense, lower=True)
+    except scipy.linalg.LinAlgError:
+        return False
+    return True
+
+
+_DENSE_FALLBACK_SIZE = 4000
+
+
+def _sparse_is_spd(matrix):
+    matrix = matrix.tocsc()
+    n = matrix.shape[0]
+    if n == 0:
+        return True
+    if n <= _DENSE_FALLBACK_SIZE:
+        # Package-scale networks (hundreds to a few thousand nodes) are
+        # cheapest and safest to test with a dense Cholesky.
+        return cholesky_is_spd(matrix.toarray())
+    try:
+        # For very large systems, factor with diagonal pivoting
+        # suppressed: when SuperLU performs no off-diagonal pivoting the
+        # matrix is SPD iff every pivot is positive.
+        lu = splu(matrix, diag_pivot_thresh=0.0, options={"SymmetricMode": True})
+    except RuntimeError:
+        # Singular matrix (factorization failed): not positive definite.
+        return False
+    return bool(np.all(lu.U.diagonal() > 0.0))
+
+
+def is_positive_definite(matrix, *, symmetric=None, tol=0.0):
+    """Definition 2: ``x' M x > 0`` for all non-zero real ``x``.
+
+    For a general real matrix the quadratic form depends only on the
+    symmetric part ``(M + M') / 2``; the test is that the symmetric
+    part's smallest eigenvalue exceeds ``tol``.
+
+    Parameters
+    ----------
+    matrix:
+        Square real matrix (dense or sparse).
+    symmetric:
+        If True, skip symmetrization (slightly cheaper, uses Cholesky).
+        If None, symmetry is detected.
+    tol:
+        Eigenvalue slack: the matrix is reported definite when the
+        smallest eigenvalue of the symmetric part is ``> tol``.
+    """
+    dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix, dtype=float)
+    _require_square(dense)
+    if dense.size == 0:
+        return True
+    if symmetric is None:
+        symmetric = np.allclose(dense, dense.T, atol=1.0e-13, rtol=1.0e-13)
+    sym_part = dense if symmetric else 0.5 * (dense + dense.T)
+    if tol == 0.0 and symmetric:
+        return cholesky_is_spd(sym_part)
+    eigenvalues = scipy.linalg.eigvalsh(sym_part)
+    return bool(eigenvalues[0] > tol)
+
+
+def smallest_eigenvalue_symmetric_part(matrix):
+    """Smallest eigenvalue of ``(M + M') / 2``.
+
+    Positive iff the matrix is positive definite in the Definition 2
+    sense; used to quantify margins in the Conjecture 1 campaign.
+    """
+    dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix, dtype=float)
+    _require_square(dense)
+    if dense.size == 0:
+        raise ValueError("matrix must be non-empty")
+    sym_part = 0.5 * (dense + dense.T)
+    return float(scipy.linalg.eigvalsh(sym_part)[0])
+
+
+def _require_square(dense):
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ValueError("matrix must be square, got shape {}".format(dense.shape))

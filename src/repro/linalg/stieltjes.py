@@ -1,0 +1,153 @@
+"""Stieltjes matrices: predicates, construction and random generation.
+
+Definition 3 of the paper (after Varga, *Matrix Iterative Analysis*):
+a **Stieltjes matrix** is a real symmetric matrix with non-positive
+off-diagonal entries.  A *positive definite* Stieltjes matrix is a
+symmetric M-matrix; its inverse is entrywise non-negative (Lemma 3).
+
+The thermal conductance matrix ``G`` of the compact package model is an
+irreducible positive definite Stieltjes matrix (Lemma 1): off-diagonals
+are ``-g_kl`` for adjacent tiles and the diagonal carries the row sums
+plus the conductance to ambient.
+
+This module also provides the random positive definite Stieltjes
+generator used by the Conjecture 1 campaign (the paper reports testing
+"millions" of random instances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import ensure_rng
+
+_DEFAULT_TOL = 1.0e-12
+
+
+def _as_dense(matrix):
+    if sp.issparse(matrix):
+        return matrix.toarray()
+    return np.asarray(matrix, dtype=float)
+
+
+def is_symmetric(matrix, tol=_DEFAULT_TOL):
+    """Return True if ``matrix`` is square and symmetric within ``tol``."""
+    dense = _as_dense(matrix)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        return False
+    scale = max(1.0, float(np.max(np.abs(dense))) if dense.size else 1.0)
+    return bool(np.all(np.abs(dense - dense.T) <= tol * scale))
+
+
+def is_stieltjes(matrix, tol=_DEFAULT_TOL):
+    """Return True if ``matrix`` is a Stieltjes matrix (Definition 3).
+
+    The check is purely structural (symmetry and sign pattern); it does
+    not require positive definiteness.
+    """
+    dense = _as_dense(matrix)
+    if not is_symmetric(dense, tol=tol):
+        return False
+    off_diagonal = dense - np.diag(np.diag(dense))
+    scale = max(1.0, float(np.max(np.abs(dense))) if dense.size else 1.0)
+    return bool(np.all(off_diagonal <= tol * scale))
+
+
+def direct_sum(a, b):
+    """Direct sum of two square matrices (Definition 1).
+
+    Returns the block-diagonal matrix ``[[a, 0], [0, b]]``.
+    """
+    a = _as_dense(a)
+    b = _as_dense(b)
+    for name, m in (("a", a), ("b", b)):
+        if m.ndim != 2 or m.shape[0] != m.shape[1]:
+            raise ValueError("{} must be a square matrix, got shape {}".format(name, m.shape))
+    p, q = a.shape[0], b.shape[0]
+    out = np.zeros((p + q, p + q), dtype=float)
+    out[:p, :p] = a
+    out[p:, p:] = b
+    return out
+
+
+def random_stieltjes(
+    n,
+    *,
+    density=0.5,
+    diagonal_boost=0.1,
+    magnitude=1.0,
+    connected=True,
+    seed=None,
+):
+    """Generate a random irreducible positive definite Stieltjes matrix.
+
+    Construction: draw a random symmetric non-negative off-diagonal
+    weight pattern ``W`` with the requested ``density``, then form the
+    weighted graph Laplacian and add a strictly positive diagonal
+    perturbation.  The result is strictly diagonally dominant with
+    positive diagonal, hence symmetric positive definite, and its
+    off-diagonal entries are ``-W_ij <= 0`` — a positive definite
+    Stieltjes matrix, exactly the class Conjecture 1 quantifies over.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension (>= 1).
+    density:
+        Probability that a given off-diagonal pair carries a non-zero
+        conductance (before the connectivity fix-up).
+    diagonal_boost:
+        Scale of the positive diagonal perturbation; each diagonal
+        entry receives an extra ``uniform(0, diagonal_boost] *
+        magnitude`` term, which plays the role of a grounding
+        conductance and makes the Laplacian strictly definite.
+    magnitude:
+        Scale of the off-diagonal conductances.
+    connected:
+        If True (default), a random spanning tree is added so the
+        matrix is irreducible, matching Lemma 1's hypotheses.
+    seed:
+        Seed or ``numpy.random.Generator``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1, got {}".format(n))
+    rng = ensure_rng(seed)
+    weights = rng.uniform(0.0, magnitude, size=(n, n))
+    mask = rng.uniform(size=(n, n)) < density
+    weights = np.triu(weights * mask, k=1)
+    weights = weights + weights.T
+    if connected and n > 1:
+        # Random spanning tree: attach node k to a uniformly random
+        # earlier node through a strictly positive conductance.
+        order = rng.permutation(n)
+        for idx in range(1, n):
+            k = order[idx]
+            parent = order[rng.integers(0, idx)]
+            if weights[k, parent] == 0.0:
+                w = rng.uniform(0.1 * magnitude, magnitude)
+                weights[k, parent] = w
+                weights[parent, k] = w
+    laplacian = np.diag(weights.sum(axis=1)) - weights
+    boost = rng.uniform(
+        low=np.nextafter(0.0, 1.0), high=diagonal_boost * magnitude, size=n
+    )
+    return laplacian + np.diag(boost)
+
+
+def stieltjes_violation(matrix):
+    """Quantify how far ``matrix`` is from the Stieltjes class.
+
+    Returns the pair ``(asymmetry, positive_offdiagonal)`` where
+    ``asymmetry`` is ``max |M - M'|`` and ``positive_offdiagonal`` is
+    the largest (most positive) off-diagonal entry clipped at zero.
+    Both are zero exactly when the matrix is Stieltjes.  Useful in
+    tests and in assembly sanity checks.
+    """
+    dense = _as_dense(matrix)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ValueError("matrix must be square, got shape {}".format(dense.shape))
+    asymmetry = float(np.max(np.abs(dense - dense.T))) if dense.size else 0.0
+    off = dense - np.diag(np.diag(dense))
+    positive_off = float(max(0.0, np.max(off))) if dense.size else 0.0
+    return asymmetry, positive_off

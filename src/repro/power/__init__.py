@@ -1,0 +1,48 @@
+"""Worst-case power modeling (the Section VI workload substrate).
+
+The paper obtains the worst-case power of each silicon tile by
+simulating SPEC2000 on the M5 architectural simulator with the Wattch
+power model, taking the per-functional-unit worst case and adding a
+20% margin.  This package supplies the equivalent pipeline (see
+DESIGN.md substitutions):
+
+``floorplan``
+    Functional units placed on the tile grid and rasterized into
+    per-tile power maps.
+``alpha``
+    The Alpha-21364-like chip of Section VI.A: a 6 mm x 6 mm, 12 x 12
+    tile floorplan whose published statistics (total 20.6 W, IntReg at
+    282.4 W/cm^2, L2 at 25.0 W/cm^2, high-power units with 28.1% of
+    power in ~10% of area) are reproduced exactly.
+``workloads``
+    A synthetic activity/power trace generator standing in for
+    M5 + Wattch + SPEC2000, plus the worst-case-with-margin reduction.
+``hypothetical``
+    The HC01..HC10 hypothetical chip generator of Section VI.B.
+``maps``
+    Power-density statistics and report helpers.
+"""
+
+from repro.power.alpha import alpha_floorplan, alpha_power_map
+from repro.power.floorplan import Floorplan, FunctionalUnit
+from repro.power.hypothetical import HypotheticalChipConfig, hypothetical_chip
+from repro.power.maps import power_density_map_w_cm2, power_summary
+from repro.power.workloads import (
+    SyntheticWorkload,
+    WorkloadTrace,
+    worst_case_power,
+)
+
+__all__ = [
+    "Floorplan",
+    "FunctionalUnit",
+    "HypotheticalChipConfig",
+    "SyntheticWorkload",
+    "WorkloadTrace",
+    "alpha_floorplan",
+    "alpha_power_map",
+    "hypothetical_chip",
+    "power_density_map_w_cm2",
+    "power_summary",
+    "worst_case_power",
+]

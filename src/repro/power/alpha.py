@@ -1,0 +1,89 @@
+"""The Alpha-21364-like benchmark chip (Section VI.A).
+
+A 6 mm x 6 mm die at 65 nm, dissected into 12 x 12 tiles of
+0.5 mm x 0.5 mm (one TEC footprint each).  The floorplan follows the
+classic EV6-derived layout used by HotSpot (L2 across the bottom,
+caches and front-end at the top, the integer/floating-point execution
+cluster in the middle), and the worst-case unit powers reproduce every
+statistic the paper publishes for this benchmark:
+
+* total worst-case chip power: **20.6 W**;
+* IntReg power density: **282.4 W/cm^2**;
+* L2 power density: **25.0 W/cm^2**;
+* the heavily-used units (IntReg, IntExec, IQ, LSQ, FPMul, FPAdd)
+  consume **28.1%** of total power in roughly a tenth of the area;
+* without TECs the hottest tile reaches ~91.8 C under the calibrated
+  package (the ``theta_peak`` column of Table I).
+
+The per-unit worst-case numbers stand in for the paper's
+M5 + Wattch + SPEC2000 measurements (plus 20% margin); the synthetic
+trace generator in :mod:`repro.power.workloads` produces time series
+consistent with them.
+"""
+
+from __future__ import annotations
+
+from repro.power.floorplan import Floorplan, FunctionalUnit
+from repro.thermal.geometry import TileGrid
+
+#: The six units the paper singles out as "heavily used".
+HIGH_POWER_UNITS = ("IntReg", "IntExec", "IQ", "LSQ", "FPMul", "FPAdd")
+
+#: Published total worst-case power of the chip (W).
+TOTAL_POWER_W = 20.6
+
+# Layout: (name, row0, col0, rows, cols, worst-case unit power in W).
+# Rows run top (0) to bottom (11).  Worst-case powers include the
+# paper's 20% margin and are chosen to reproduce the published
+# statistics listed in the module docstring.
+_UNIT_SPECS = (
+    # Front end (top)
+    ("Icache", 0, 0, 2, 6, 2.416),
+    ("Bpred", 0, 6, 2, 3, 1.020),
+    ("ITB", 0, 9, 2, 3, 0.720),
+    # Floating point cluster and mappers
+    ("FPMap", 2, 0, 2, 2, 0.480),
+    ("FPReg", 2, 2, 2, 2, 0.560),
+    ("FPMul", 2, 4, 1, 2, 0.440),
+    ("FPAdd", 2, 6, 1, 2, 0.320),
+    ("FPQ", 3, 4, 1, 4, 0.520),
+    ("IntMap", 2, 8, 2, 2, 0.600),
+    ("IntQ", 2, 10, 2, 2, 0.640),
+    # Integer execution cluster (the hot row)
+    ("IntReg", 4, 0, 1, 4, 2.824),
+    ("IntExec", 4, 4, 1, 4, 1.200),
+    ("IQ", 4, 8, 1, 2, 0.520),
+    ("LSQ", 4, 10, 1, 2, 0.480),
+    # Data-side memory structures
+    ("Dcache", 5, 0, 2, 6, 2.520),
+    ("DTB", 5, 6, 2, 3, 0.780),
+    ("LdStQ", 5, 9, 2, 3, 0.810),
+    # L2 across the bottom five rows
+    ("L2", 7, 0, 5, 12, 3.750),
+)
+
+
+def alpha_grid():
+    """The 12 x 12, 0.5 mm-pitch tile grid of the Alpha benchmark."""
+    return TileGrid(12, 12, tile_width=0.5e-3, tile_height=0.5e-3)
+
+
+def alpha_floorplan():
+    """The Alpha-21364-like floorplan with worst-case unit powers.
+
+    The floorplan tiles the grid exactly and its total power is scaled
+    to the published 20.6 W (the raw unit budgets sum to within 0.1%
+    of it already).
+    """
+    grid = alpha_grid()
+    units = [
+        FunctionalUnit.from_rect(name, grid, row0, col0, rows, cols, power)
+        for name, row0, col0, rows, cols, power in _UNIT_SPECS
+    ]
+    plan = Floorplan(grid, units)
+    return Floorplan(grid, plan.scaled_to_total(TOTAL_POWER_W).units)
+
+
+def alpha_power_map():
+    """Worst-case per-tile power of the Alpha chip (flat, W)."""
+    return alpha_floorplan().power_map()

@@ -1,0 +1,176 @@
+"""Floorplans: functional units on the tile grid.
+
+A :class:`FunctionalUnit` is a named set of tiles with a worst-case
+power budget; a :class:`Floorplan` is a set of disjoint units covering
+(a subset of) the grid.  Rasterizing a floorplan spreads each unit's
+power uniformly over its tiles — exactly the granularity at which the
+paper's Problem 1 consumes the worst-case power profile.
+
+Units are stored as explicit tile sets rather than rectangles so the
+randomly-grown units of the hypothetical chips (Section VI.B) and the
+rectangular units of the Alpha floorplan share one representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.thermal.geometry import TileGrid
+from repro.utils import check_nonnegative
+from repro.utils.units import watts_per_m2_to_w_per_cm2
+
+
+class FunctionalUnit:
+    """A named functional unit occupying a set of tiles.
+
+    Parameters
+    ----------
+    name:
+        Unit name (e.g. ``"IntReg"``).
+    tiles:
+        Iterable of flat tile indices; must be non-empty and duplicate
+        free.
+    power_w:
+        Worst-case power of the whole unit in watts.
+    """
+
+    def __init__(self, name, tiles, power_w):
+        self.name = str(name)
+        tiles = [int(t) for t in tiles]
+        if not tiles:
+            raise ValueError("unit {!r} has no tiles".format(name))
+        if len(set(tiles)) != len(tiles):
+            raise ValueError("unit {!r} has duplicate tiles".format(name))
+        self.tiles = tuple(sorted(tiles))
+        self.power_w = check_nonnegative(power_w, "power_w")
+
+    @property
+    def num_tiles(self):
+        """Tile count of the unit."""
+        return len(self.tiles)
+
+    def power_per_tile_w(self):
+        """Uniform per-tile share of the unit's power."""
+        return self.power_w / self.num_tiles
+
+    @classmethod
+    def from_rect(cls, name, grid, row0, col0, rows, cols, power_w):
+        """Build a rectangular unit: ``rows x cols`` tiles anchored at
+        ``(row0, col0)``."""
+        if rows < 1 or cols < 1:
+            raise ValueError("rectangle must be at least 1x1")
+        tiles = [
+            grid.flat_index(row0 + r, col0 + c)
+            for r in range(rows)
+            for c in range(cols)
+        ]
+        return cls(name, tiles, power_w)
+
+    def __repr__(self):
+        return "FunctionalUnit({!r}, {} tiles, {:.3f} W)".format(
+            self.name, self.num_tiles, self.power_w
+        )
+
+
+class Floorplan:
+    """Disjoint functional units on one tile grid.
+
+    Parameters
+    ----------
+    grid:
+        The :class:`~repro.thermal.geometry.TileGrid`.
+    units:
+        Iterable of :class:`FunctionalUnit`; tile sets must be
+        pairwise disjoint and within the grid.
+    require_cover:
+        When True (default), the units must tile the grid exactly —
+        every tile belongs to exactly one unit, as in both Section VI
+        benchmarks.
+    """
+
+    def __init__(self, grid, units, *, require_cover=True):
+        if not isinstance(grid, TileGrid):
+            raise TypeError("grid must be a TileGrid, got {!r}".format(type(grid)))
+        self.grid = grid
+        self.units = tuple(units)
+        if not self.units:
+            raise ValueError("floorplan needs at least one unit")
+        seen = {}
+        for unit in self.units:
+            for tile in unit.tiles:
+                if not 0 <= tile < grid.num_tiles:
+                    raise IndexError(
+                        "unit {!r} tile {} outside grid [0, {})".format(
+                            unit.name, tile, grid.num_tiles
+                        )
+                    )
+                if tile in seen:
+                    raise ValueError(
+                        "tile {} claimed by both {!r} and {!r}".format(
+                            tile, seen[tile], unit.name
+                        )
+                    )
+                seen[tile] = unit.name
+        if require_cover and len(seen) != grid.num_tiles:
+            raise ValueError(
+                "units cover {} of {} tiles; floorplan must tile the grid".format(
+                    len(seen), grid.num_tiles
+                )
+            )
+        names = [unit.name for unit in self.units]
+        if len(set(names)) != len(names):
+            raise ValueError("unit names must be unique")
+
+    def unit(self, name):
+        """Look up a unit by name."""
+        for unit in self.units:
+            if unit.name == name:
+                return unit
+        raise KeyError("no unit named {!r}".format(name))
+
+    @property
+    def total_power_w(self):
+        """Sum of unit worst-case powers (W)."""
+        return float(sum(unit.power_w for unit in self.units))
+
+    def power_map(self):
+        """Rasterize to a flat per-tile power vector (W)."""
+        power = np.zeros(self.grid.num_tiles)
+        for unit in self.units:
+            power[list(unit.tiles)] += unit.power_per_tile_w()
+        return power
+
+    def unit_map(self):
+        """Flat vector of unit indices per tile (-1 for uncovered)."""
+        owner = np.full(self.grid.num_tiles, -1, dtype=int)
+        for idx, unit in enumerate(self.units):
+            owner[list(unit.tiles)] = idx
+        return owner
+
+    def unit_density_w_cm2(self, name):
+        """Worst-case power density of one unit in W/cm^2."""
+        unit = self.unit(name)
+        area_m2 = unit.num_tiles * self.grid.tile_area
+        return watts_per_m2_to_w_per_cm2(unit.power_w / area_m2)
+
+    def area_fraction(self, names):
+        """Fraction of grid tiles occupied by the named units."""
+        tiles = sum(self.unit(name).num_tiles for name in names)
+        return tiles / self.grid.num_tiles
+
+    def power_fraction(self, names):
+        """Fraction of total power consumed by the named units."""
+        power = sum(self.unit(name).power_w for name in names)
+        return power / self.total_power_w
+
+    def scaled_to_total(self, total_power_w):
+        """Copy with every unit's power scaled to hit ``total_power_w``."""
+        current = self.total_power_w
+        if current <= 0.0:
+            raise ValueError("cannot scale a zero-power floorplan")
+        factor = float(total_power_w) / current
+        scaled = [
+            FunctionalUnit(unit.name, unit.tiles, unit.power_w * factor)
+            for unit in self.units
+        ]
+        return Floorplan(self.grid, scaled, require_cover=False)

@@ -1,0 +1,209 @@
+"""Hypothetical benchmark chips (Section VI.B).
+
+The paper's second benchmark set is ten hypothetical chips, each a
+12 x 12 tile array over a 6 mm x 6 mm floorplan:
+
+* the floorplan is randomly divided into functional units of 5 to 15
+  tiles each;
+* two units are selected and given a much higher power density than
+  the rest — typically 30% of chip power in 10% of chip area
+  (imitating the non-uniform power of real processors);
+* total chip power ranges from 15 W to 25 W.
+
+:func:`hypothetical_chip` reproduces that generator.  Units are grown
+by randomized flood fill (the paper does not require rectangles), the
+hot pair is chosen to match the 10%-area target as closely as
+possible, and all randomness is driven by an explicit seed so each
+benchmark (HC01..HC10, seeds pinned in
+``repro.experiments.benchmarks``) is perfectly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.power.floorplan import Floorplan, FunctionalUnit
+from repro.thermal.geometry import TileGrid
+from repro.utils import check_in_range, check_positive, ensure_rng
+
+
+@dataclass(frozen=True)
+class HypotheticalChipConfig:
+    """Generator knobs for one hypothetical chip.
+
+    Defaults follow Section VI.B; see the module docstring.
+    """
+
+    rows: int = 12
+    cols: int = 12
+    tile_width: float = 0.5e-3
+    tile_height: float = 0.5e-3
+    min_unit_tiles: int = 5
+    max_unit_tiles: int = 15
+    hot_unit_count: int = 2
+    hot_power_fraction: float = 0.30
+    hot_area_fraction: float = 0.10
+    total_power_w: float = 20.0
+
+    def __post_init__(self):
+        if not 1 <= self.min_unit_tiles <= self.max_unit_tiles:
+            raise ValueError(
+                "need 1 <= min_unit_tiles <= max_unit_tiles, got {}..{}".format(
+                    self.min_unit_tiles, self.max_unit_tiles
+                )
+            )
+        if self.hot_unit_count < 1:
+            raise ValueError("hot_unit_count must be >= 1")
+        check_in_range(self.hot_power_fraction, "hot_power_fraction", 0.0, 1.0,
+                       inclusive=(False, False))
+        check_in_range(self.hot_area_fraction, "hot_area_fraction", 0.0, 1.0,
+                       inclusive=(False, False))
+        check_positive(self.total_power_w, "total_power_w")
+
+    def grid(self):
+        """The chip's tile grid."""
+        return TileGrid(self.rows, self.cols, tile_width=self.tile_width,
+                        tile_height=self.tile_height)
+
+
+def _grow_units(grid, rng, min_tiles, max_tiles):
+    """Partition the grid into connected units of min..max tiles.
+
+    Randomized flood fill: repeatedly seed a unit at the first
+    unassigned tile, grow it through random unassigned neighbours to a
+    random target size, then continue.  Units that end up smaller than
+    ``min_tiles`` (trapped pockets) are merged into a random adjacent
+    unit, which may push that unit past ``max_tiles`` — matching the
+    paper's loose "between 5 and 15 tiles" phrasing for the common
+    case while always producing a full cover.
+    """
+    owner = np.full(grid.num_tiles, -1, dtype=int)
+    units = []
+
+    for start, _, _ in grid.iter_tiles():
+        if owner[start] != -1:
+            continue
+        target = int(rng.integers(min_tiles, max_tiles + 1))
+        unit_id = len(units)
+        tiles = [start]
+        owner[start] = unit_id
+        frontier = [start]
+        while frontier and len(tiles) < target:
+            pick = int(rng.integers(0, len(frontier)))
+            tile = frontier[pick]
+            row, col = grid.row_col(tile)
+            candidates = [
+                grid.flat_index(r, c)
+                for r, c in grid.neighbors(row, col)
+                if owner[grid.flat_index(r, c)] == -1
+            ]
+            if not candidates:
+                frontier.pop(pick)
+                continue
+            chosen = candidates[int(rng.integers(0, len(candidates)))]
+            owner[chosen] = unit_id
+            tiles.append(chosen)
+            frontier.append(chosen)
+        units.append(tiles)
+
+    # Merge undersized pockets into adjacent units.
+    changed = True
+    while changed:
+        changed = False
+        for unit_id, tiles in enumerate(units):
+            if not tiles or len(tiles) >= min_tiles:
+                continue
+            neighbours = set()
+            for tile in tiles:
+                row, col = grid.row_col(tile)
+                for r, c in grid.neighbors(row, col):
+                    other = owner[grid.flat_index(r, c)]
+                    if other != unit_id and other != -1 and units[other]:
+                        neighbours.add(other)
+            if not neighbours:
+                continue
+            target_id = sorted(neighbours)[int(rng.integers(0, len(neighbours)))]
+            units[target_id].extend(tiles)
+            for tile in tiles:
+                owner[tile] = target_id
+            units[unit_id] = []
+            changed = True
+    return [tiles for tiles in units if tiles]
+
+
+def hypothetical_chip(config=None, *, seed=None, name_prefix="U"):
+    """Generate one hypothetical chip as a :class:`Floorplan`.
+
+    Parameters
+    ----------
+    config:
+        :class:`HypotheticalChipConfig`; defaults match Section VI.B.
+    seed:
+        Seed or ``numpy.random.Generator`` driving every random choice.
+    name_prefix:
+        Unit names are ``<prefix>00``, ``<prefix>01``, ... with the hot
+        pair renamed ``HOT0``, ``HOT1``.
+
+    Returns
+    -------
+    Floorplan
+        Total power equals ``config.total_power_w`` exactly; the hot
+        units jointly draw ``hot_power_fraction`` of it.
+    """
+    config = config if config is not None else HypotheticalChipConfig()
+    rng = ensure_rng(seed)
+    grid = config.grid()
+    tile_sets = _grow_units(grid, rng, config.min_unit_tiles, config.max_unit_tiles)
+    if len(tile_sets) <= config.hot_unit_count:
+        raise RuntimeError(
+            "partition produced only {} units; cannot pick {} hot units".format(
+                len(tile_sets), config.hot_unit_count
+            )
+        )
+
+    # Pick the hot set: the combination (greedily assembled) whose area
+    # is closest to the target fraction.
+    target_tiles = config.hot_area_fraction * grid.num_tiles
+    order = rng.permutation(len(tile_sets))
+    sizes = np.array([len(t) for t in tile_sets])
+    best_combo = None
+    best_err = None
+    for _ in range(64):
+        combo = sorted(
+            rng.choice(len(tile_sets), size=config.hot_unit_count, replace=False)
+        )
+        err = abs(float(np.sum(sizes[combo])) - target_tiles)
+        if best_err is None or err < best_err:
+            best_err = err
+            best_combo = combo
+    hot_ids = set(int(u) for u in best_combo)
+    del order
+
+    hot_total = config.hot_power_fraction * config.total_power_w
+    cool_total = config.total_power_w - hot_total
+    hot_sizes = np.array([len(tile_sets[u]) for u in sorted(hot_ids)], dtype=float)
+    cool_ids = [u for u in range(len(tile_sets)) if u not in hot_ids]
+    cool_weights = np.array(
+        [len(tile_sets[u]) * rng.uniform(0.5, 1.5) for u in cool_ids]
+    )
+    cool_weights /= cool_weights.sum()
+
+    units = []
+    hot_rank = 0
+    cool_rank = 0
+    for unit_id, tiles in enumerate(tile_sets):
+        if unit_id in hot_ids:
+            share = hot_total * len(tiles) / float(hot_sizes.sum())
+            units.append(FunctionalUnit("HOT{}".format(hot_rank), tiles, share))
+            hot_rank += 1
+        else:
+            share = cool_total * cool_weights[cool_ids.index(unit_id)]
+            units.append(
+                FunctionalUnit(
+                    "{}{:02d}".format(name_prefix, cool_rank), tiles, share
+                )
+            )
+            cool_rank += 1
+    return Floorplan(grid, units)

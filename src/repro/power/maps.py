@@ -1,0 +1,69 @@
+"""Power-density maps and summaries.
+
+Report-side helpers: convert per-tile power vectors to the W/cm^2
+densities the paper quotes, summarize a floorplan's statistics, and
+render small ASCII heat maps for the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.units import watts_per_m2_to_w_per_cm2
+
+
+def power_density_map_w_cm2(grid, power_map):
+    """Per-tile power density (W/cm^2) as a ``(rows, cols)`` array."""
+    power_map = np.asarray(power_map, dtype=float)
+    density = power_map / grid.tile_area
+    return grid.to_grid(watts_per_m2_to_w_per_cm2(density))
+
+
+def power_summary(floorplan):
+    """Summary statistics of a floorplan's worst-case power.
+
+    Returns a dict with the quantities Section VI quotes: total power,
+    peak and mean tile density, and the per-unit density table.
+    """
+    grid = floorplan.grid
+    power = floorplan.power_map()
+    density = power_density_map_w_cm2(grid, power)
+    per_unit = {
+        unit.name: {
+            "tiles": unit.num_tiles,
+            "power_w": unit.power_w,
+            "density_w_cm2": floorplan.unit_density_w_cm2(unit.name),
+        }
+        for unit in floorplan.units
+    }
+    return {
+        "total_power_w": floorplan.total_power_w,
+        "peak_density_w_cm2": float(np.max(density)),
+        "mean_density_w_cm2": float(np.mean(density)),
+        "units": per_unit,
+    }
+
+
+def render_ascii_heatmap(values, *, chars=" .:-=+*#%@", vmin=None, vmax=None):
+    """Render a 2-D array as an ASCII heat map (one char per cell).
+
+    Used by the examples to show temperature and power maps without a
+    plotting dependency.
+    """
+    grid = np.asarray(values, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError("values must be 2-D, got shape {}".format(grid.shape))
+    lo = float(np.min(grid)) if vmin is None else float(vmin)
+    hi = float(np.max(grid)) if vmax is None else float(vmax)
+    span = hi - lo
+    lines = []
+    for row in grid:
+        if span <= 0.0:
+            indices = np.zeros(row.shape, dtype=int)
+        else:
+            normalized = np.clip((row - lo) / span, 0.0, 1.0)
+            indices = np.minimum(
+                (normalized * len(chars)).astype(int), len(chars) - 1
+            )
+        lines.append("".join(chars[i] for i in indices))
+    return "\n".join(lines)

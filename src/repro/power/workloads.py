@@ -1,0 +1,214 @@
+"""Synthetic workload power traces (the M5 + Wattch + SPEC2000 stand-in).
+
+The paper obtains the worst-case per-unit powers by simulating the
+SPEC2000 suite on M5 with the Wattch power model, collecting each
+functional unit's worst-case power and adding a 20% margin.  Those
+tools (and the traces) are not reproducible here, so this module
+implements the closest synthetic equivalent (DESIGN.md substitutions):
+
+* a :class:`SyntheticWorkload` describes a program's behaviour as
+  per-unit activity biases (an integer-heavy workload keeps ``IntExec``
+  busy, a memory-bound one exercises caches, ...);
+* :meth:`SyntheticWorkload.trace` runs a bounded mean-reverting random
+  walk per unit, producing utilization time series in [0, 1];
+* a unit's power at time ``t`` is
+  ``nominal * (static_fraction + (1 - static_fraction) * util(t))``;
+* :func:`worst_case_power` reduces a set of traces to per-unit
+  worst-case powers with the 20% margin — the quantity Problem 1
+  consumes.
+
+The Alpha benchmark's published worst-case map is defined directly in
+:mod:`repro.power.alpha`; this pipeline exists to exercise the same
+code path the paper's flow exercises (trace -> worst case -> optimize)
+and to drive the validation and example scenarios with plausible
+non-worst-case power profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.power.floorplan import Floorplan, FunctionalUnit
+from repro.utils import check_in_range, ensure_rng
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A synthetic program characterized by per-unit activity biases.
+
+    Attributes
+    ----------
+    name:
+        Workload name (e.g. ``"int-heavy"``).
+    baseline:
+        Default mean utilization for units not listed in ``biases``.
+    biases:
+        Mapping of unit name to mean utilization in [0, 1].
+    burstiness:
+        Standard deviation of the per-step random walk increment; high
+        values produce spiky traces that approach the worst case more
+        often.
+    """
+
+    name: str
+    baseline: float = 0.35
+    biases: dict = field(default_factory=dict)
+    burstiness: float = 0.08
+
+    def __post_init__(self):
+        check_in_range(self.baseline, "baseline", 0.0, 1.0)
+        check_in_range(self.burstiness, "burstiness", 0.0, 1.0)
+        for unit, value in self.biases.items():
+            check_in_range(value, "biases[{!r}]".format(unit), 0.0, 1.0)
+
+    def mean_utilization(self, unit_name):
+        """Mean utilization target for one unit."""
+        return self.biases.get(unit_name, self.baseline)
+
+    def trace(self, unit_names, steps, *, seed=None):
+        """Generate a :class:`WorkloadTrace` over the named units.
+
+        A mean-reverting bounded random walk per unit:
+        ``u[t+1] = clip(u[t] + 0.25 (mean - u[t]) + N(0, burstiness))``.
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1, got {}".format(steps))
+        rng = ensure_rng(seed)
+        unit_names = list(unit_names)
+        means = np.array([self.mean_utilization(u) for u in unit_names])
+        utils = np.empty((steps, len(unit_names)))
+        current = means.copy()
+        for t in range(steps):
+            noise = rng.normal(0.0, self.burstiness, size=means.shape)
+            current = np.clip(current + 0.25 * (means - current) + noise, 0.0, 1.0)
+            utils[t] = current
+        return WorkloadTrace(self.name, unit_names, utils)
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """Per-unit utilization time series of one workload run.
+
+    Attributes
+    ----------
+    workload:
+        Name of the generating workload.
+    unit_names:
+        Column order of ``utilization``.
+    utilization:
+        Array of shape ``(steps, units)`` with values in [0, 1].
+    """
+
+    workload: str
+    unit_names: list
+    utilization: np.ndarray
+
+    @property
+    def steps(self):
+        """Number of time steps."""
+        return self.utilization.shape[0]
+
+    def unit_power_series(self, nominal_powers, *, static_fraction=0.3):
+        """Per-unit power time series (W), shape ``(steps, units)``.
+
+        ``nominal_powers`` maps unit name to the unit's nominal peak
+        power (full utilization, before margin).
+        """
+        check_in_range(static_fraction, "static_fraction", 0.0, 1.0)
+        nominal = np.array([nominal_powers[name] for name in self.unit_names])
+        return nominal * (
+            static_fraction + (1.0 - static_fraction) * self.utilization
+        )
+
+    def power_map_at(self, floorplan, nominal_powers, step, *, static_fraction=0.3):
+        """Rasterized per-tile power map (W) at one time step."""
+        series = self.unit_power_series(
+            nominal_powers, static_fraction=static_fraction
+        )
+        if not 0 <= step < self.steps:
+            raise IndexError("step {} out of range [0, {})".format(step, self.steps))
+        snapshot = Floorplan(
+            floorplan.grid,
+            [
+                FunctionalUnit(unit.name, unit.tiles, series[step][j])
+                for j, unit in enumerate(
+                    [floorplan.unit(name) for name in self.unit_names]
+                )
+            ],
+            require_cover=False,
+        )
+        return snapshot.power_map()
+
+
+def worst_case_power(nominal_powers, traces, *, static_fraction=0.3, margin=0.2):
+    """Per-unit worst-case powers over a set of traces, with margin.
+
+    The reduction the paper performs over its SPEC2000 simulations:
+    for each functional unit, take the maximum power observed in any
+    trace and add ``margin`` (20% by default).
+
+    Returns a dict of unit name to worst-case power (W).
+    """
+    check_in_range(margin, "margin", 0.0, 10.0)
+    if not traces:
+        raise ValueError("need at least one trace")
+    worst = {name: 0.0 for name in nominal_powers}
+    for trace in traces:
+        series = trace.unit_power_series(
+            nominal_powers, static_fraction=static_fraction
+        )
+        peaks = series.max(axis=0)
+        for name, peak in zip(trace.unit_names, peaks):
+            worst[name] = max(worst[name], float(peak))
+    return {name: value * (1.0 + margin) for name, value in worst.items()}
+
+
+def spec2000_like_suite():
+    """A small suite of synthetic workloads echoing SPEC2000 phases.
+
+    Integer-heavy, floating-point-heavy, memory-bound and mixed
+    workloads, biased over the Alpha floorplan's unit names (unknown
+    names simply fall back to the baseline, so the suite works for any
+    floorplan).
+    """
+    return [
+        SyntheticWorkload(
+            "int-heavy",
+            baseline=0.30,
+            biases={
+                "IntReg": 0.9,
+                "IntExec": 0.9,
+                "IQ": 0.85,
+                "IntMap": 0.7,
+                "IntQ": 0.7,
+                "LSQ": 0.6,
+                "Icache": 0.6,
+            },
+        ),
+        SyntheticWorkload(
+            "fp-heavy",
+            baseline=0.30,
+            biases={
+                "FPMul": 0.9,
+                "FPAdd": 0.9,
+                "FPReg": 0.8,
+                "FPMap": 0.7,
+                "FPQ": 0.7,
+                "IntReg": 0.5,
+            },
+        ),
+        SyntheticWorkload(
+            "memory-bound",
+            baseline=0.25,
+            biases={
+                "L2": 0.85,
+                "Dcache": 0.9,
+                "LdStQ": 0.85,
+                "LSQ": 0.8,
+                "DTB": 0.8,
+            },
+        ),
+        SyntheticWorkload("mixed", baseline=0.55, burstiness=0.12),
+    ]

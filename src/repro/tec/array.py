@@ -1,0 +1,114 @@
+"""Arrays of TEC devices (Figure 1(b, c)).
+
+The paper's cooling system wires every deployed device **electrically
+in series** (one shared supply current through one extra package pin,
+Section III.B) and **thermally in parallel** (each device pumps its own
+tile).  :class:`TecArray` aggregates device-level quantities over such
+an ensemble; the compact model handles the thermal coupling, so this
+class is mostly an accounting convenience for reports and the
+``P_TEC`` column of Table I.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tec.device import cold_side_flux, hot_side_flux, input_power
+
+
+class TecArray:
+    """A set of identical TEC devices sharing one supply current.
+
+    Parameters
+    ----------
+    device:
+        :class:`~repro.tec.materials.TecDeviceParameters` common to all
+        devices.
+    count:
+        Number of devices (>= 1).
+    """
+
+    def __init__(self, device, count):
+        count = int(count)
+        if count < 1:
+            raise ValueError("count must be >= 1, got {}".format(count))
+        self.device = device
+        self.count = count
+
+    @property
+    def total_footprint(self):
+        """Total silicon area covered, m^2."""
+        return self.count * self.device.footprint
+
+    @property
+    def series_resistance(self):
+        """Electrical resistance of the series string (ohm)."""
+        return self.count * self.device.electrical_resistance
+
+    def supply_voltage(self, current, delta_t_k=0.0):
+        """Series string voltage ``count * (r i + alpha delta_t)``.
+
+        ``delta_t_k`` may be a scalar (common differential) or a
+        per-device array.
+        """
+        current = float(current)
+        delta = np.asarray(delta_t_k, dtype=float)
+        if delta.ndim == 0:
+            delta = np.full(self.count, float(delta))
+        if delta.shape != (self.count,):
+            raise ValueError(
+                "delta_t_k must be scalar or length {}, got shape {}".format(
+                    self.count, delta.shape
+                )
+            )
+        per_device = self.device.electrical_resistance * current + self.device.seebeck * delta
+        return float(np.sum(per_device))
+
+    def total_input_power(self, current, theta_c_k, theta_h_k):
+        """Total electrical power of the array (the Table I ``P_TEC``).
+
+        ``theta_c_k`` / ``theta_h_k`` are scalars or per-device arrays
+        of face temperatures in Kelvin.
+        """
+        theta_c = self._per_device(theta_c_k, "theta_c_k")
+        theta_h = self._per_device(theta_h_k, "theta_h_k")
+        return float(
+            sum(
+                input_power(self.device, current, tc, th)
+                for tc, th in zip(theta_c, theta_h)
+            )
+        )
+
+    def total_cold_side_flux(self, current, theta_c_k, theta_h_k):
+        """Total heat pumped out of the silicon side (W)."""
+        theta_c = self._per_device(theta_c_k, "theta_c_k")
+        theta_h = self._per_device(theta_h_k, "theta_h_k")
+        return float(
+            sum(
+                cold_side_flux(self.device, current, tc, th)
+                for tc, th in zip(theta_c, theta_h)
+            )
+        )
+
+    def total_hot_side_flux(self, current, theta_c_k, theta_h_k):
+        """Total heat released into the spreader side (W)."""
+        theta_c = self._per_device(theta_c_k, "theta_c_k")
+        theta_h = self._per_device(theta_h_k, "theta_h_k")
+        return float(
+            sum(
+                hot_side_flux(self.device, current, tc, th)
+                for tc, th in zip(theta_c, theta_h)
+            )
+        )
+
+    def _per_device(self, values, name):
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim == 0:
+            return np.full(self.count, float(arr))
+        if arr.shape != (self.count,):
+            raise ValueError(
+                "{} must be scalar or length {}, got shape {}".format(
+                    name, self.count, arr.shape
+                )
+            )
+        return arr

@@ -1,0 +1,158 @@
+"""Coefficient-of-performance analysis, device and system level.
+
+Section V.C.1 interprets the runaway current physically: "lambda_m
+represents the input current level which causes the active cooling
+system to have zero heat pumping capability since Peltier cooling is
+offset by ohmic heating and heat conduction.  In the thermoelectric
+literature, this occurs when the coefficient of performance of the
+thermoelectric cooler becomes zero."
+
+This module quantifies both views:
+
+* device level — COP(i) curves at fixed face temperatures
+  (:func:`device_cop_curve`), peak-COP current, zero-COP current;
+* system level — the *cooling efficiency* of a deployed package:
+  degrees of hot-spot relief per watt of TEC input power as a function
+  of the shared current (:func:`system_efficiency_curve`), and the
+  pumping capability ``q_c^total(i)`` whose sign change mirrors the
+  runaway analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tec.device import coefficient_of_performance, cold_side_flux
+
+
+@dataclass(frozen=True)
+class DeviceCopCurve:
+    """COP(i) of one device at fixed face temperatures."""
+
+    currents: np.ndarray
+    cop: np.ndarray
+    q_c: np.ndarray
+    peak_cop_current: float
+    zero_cop_current: float
+
+
+def device_cop_curve(device, theta_c_k, theta_h_k, *, currents=None):
+    """Sweep device COP and cold-side flux over current.
+
+    ``currents`` defaults to a grid reaching past the zero-COP point.
+    The returned ``zero_cop_current`` is the largest sampled current
+    with ``q_c > 0`` (NaN if the device never pumps at these faces).
+    """
+    from repro.tec.device import optimal_cooling_current
+
+    if currents is None:
+        i_star = optimal_cooling_current(device, theta_c_k)
+        currents = np.linspace(0.0, 2.5 * i_star, 126)
+    currents = np.asarray(currents, dtype=float)
+    q_c = np.array(
+        [cold_side_flux(device, i, theta_c_k, theta_h_k) for i in currents]
+    )
+    cop = np.array(
+        [
+            coefficient_of_performance(device, i, theta_c_k, theta_h_k)
+            for i in currents
+        ]
+    )
+    pumping = np.nonzero(q_c > 0.0)[0]
+    if pumping.size:
+        zero_cop = float(currents[pumping[-1]])
+        finite = np.where(np.isfinite(cop), cop, -np.inf)
+        peak_cop = float(currents[int(np.argmax(finite))])
+    else:
+        zero_cop = float("nan")
+        peak_cop = float("nan")
+    return DeviceCopCurve(
+        currents=currents,
+        cop=cop,
+        q_c=q_c,
+        peak_cop_current=peak_cop,
+        zero_cop_current=zero_cop,
+    )
+
+
+@dataclass(frozen=True)
+class SystemEfficiencyCurve:
+    """Cooling efficiency of a deployed package vs shared current.
+
+    Attributes
+    ----------
+    currents:
+        Sampled shared currents (A).
+    peak_c:
+        Peak silicon temperature at each current.
+    relief_c:
+        Hot-spot relief vs zero current (positive = cooler).
+    p_tec_w:
+        TEC input power at each current.
+    efficiency_c_per_w:
+        ``relief / p_tec`` — degrees of peak relief bought per watt
+        (NaN where ``p_tec <= 0``).
+    total_pumping_w:
+        Sum of the devices' cold-side fluxes (Equation 1) — the
+        system's heat-pumping capability, which shrinks toward zero as
+        the current grows (the zero-COP reading of Section V.C.1).
+    """
+
+    currents: np.ndarray
+    peak_c: np.ndarray
+    relief_c: np.ndarray
+    p_tec_w: np.ndarray
+    efficiency_c_per_w: np.ndarray
+    total_pumping_w: np.ndarray
+
+    def best_efficiency_current(self):
+        """Current maximizing degrees-per-watt (NaN-safe argmax)."""
+        values = np.where(
+            np.isfinite(self.efficiency_c_per_w), self.efficiency_c_per_w, -np.inf
+        )
+        return float(self.currents[int(np.argmax(values))])
+
+
+def system_efficiency_curve(model, *, currents=None, max_fraction=0.6):
+    """Sweep a deployed model's cooling efficiency over the current.
+
+    ``currents`` defaults to a grid over ``[0, max_fraction *
+    lambda_m]``.  At each point the steady state is solved and the
+    per-device fluxes evaluated at the solved face temperatures.
+    """
+    if not model.stamps:
+        raise ValueError("model has no TECs; efficiency is undefined")
+    if currents is None:
+        lambda_m = model.runaway_current().value
+        currents = np.linspace(0.0, max_fraction * lambda_m, 41)
+    currents = np.asarray(currents, dtype=float)
+
+    base_peak = model.solve(0.0).peak_silicon_c
+    device = model.device
+    peaks = np.empty(currents.shape)
+    powers = np.empty(currents.shape)
+    pumping = np.empty(currents.shape)
+    for index, current in enumerate(currents):
+        state = model.solve(float(current))
+        peaks[index] = state.peak_silicon_c
+        powers[index] = state.tec_input_power_w()
+        cold, hot = state.tec_face_temperatures_k()
+        pumping[index] = float(
+            sum(
+                cold_side_flux(device, float(current), tc, th)
+                for tc, th in zip(cold, hot)
+            )
+        )
+    relief = base_peak - peaks
+    with np.errstate(divide="ignore", invalid="ignore"):
+        efficiency = np.where(powers > 1e-12, relief / powers, np.nan)
+    return SystemEfficiencyCurve(
+        currents=currents,
+        peak_c=peaks,
+        relief_c=relief,
+        p_tec_w=powers,
+        efficiency_c_per_w=efficiency,
+        total_pumping_w=pumping,
+    )

@@ -1,0 +1,127 @@
+"""TEC device physics — Equations (1)-(3) of the paper.
+
+All temperatures are absolute (Kelvin): the Peltier terms
+``alpha i theta`` are proportional to absolute temperature, which is
+why the compact model grounds the network at absolute zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_nonnegative, check_positive
+
+
+def cold_side_flux(device, current, theta_c_k, theta_h_k):
+    """Heat absorbed at the cold side, Equation (1).
+
+    ``q_c = alpha i theta_c - r i^2 / 2 - kappa (theta_h - theta_c)``
+
+    Positive means the device is pumping heat out of the cold side
+    (cooling); negative means the cold side is being heated (excess
+    Joule heat and back-conduction).
+    """
+    theta_c_k = check_nonnegative(theta_c_k, "theta_c_k")
+    theta_h_k = check_nonnegative(theta_h_k, "theta_h_k")
+    current = float(current)
+    return (
+        device.seebeck * current * theta_c_k
+        - 0.5 * device.electrical_resistance * current**2
+        - device.thermal_conductance * (theta_h_k - theta_c_k)
+    )
+
+
+def hot_side_flux(device, current, theta_c_k, theta_h_k):
+    """Heat released at the hot side, Equation (2).
+
+    ``q_h = alpha i theta_h + r i^2 / 2 - kappa (theta_h - theta_c)``
+    """
+    theta_c_k = check_nonnegative(theta_c_k, "theta_c_k")
+    theta_h_k = check_nonnegative(theta_h_k, "theta_h_k")
+    current = float(current)
+    return (
+        device.seebeck * current * theta_h_k
+        + 0.5 * device.electrical_resistance * current**2
+        - device.thermal_conductance * (theta_h_k - theta_c_k)
+    )
+
+
+def input_power(device, current, theta_c_k, theta_h_k):
+    """Electrical input power, Equation (3).
+
+    ``p_tec = q_h - q_c = r i^2 + alpha i (theta_h - theta_c)``
+
+    In steady state all of it becomes heat inside the package before
+    reaching the ambient — the root cause of the over-deployment
+    penalty the greedy algorithm exploits.
+    """
+    current = float(current)
+    theta_c_k = check_nonnegative(theta_c_k, "theta_c_k")
+    theta_h_k = check_nonnegative(theta_h_k, "theta_h_k")
+    return device.electrical_resistance * current**2 + device.seebeck * current * (
+        theta_h_k - theta_c_k
+    )
+
+
+def coefficient_of_performance(device, current, theta_c_k, theta_h_k):
+    """COP = q_c / p_tec.
+
+    Undefined (returns ``numpy.nan``) at zero current; negative once
+    the device heats its own cold side.  The runaway current is the
+    system-level analogue of the zero-COP condition (Section V.C.1).
+    """
+    power = input_power(device, current, theta_c_k, theta_h_k)
+    if power == 0.0:
+        return float("nan")
+    return cold_side_flux(device, current, theta_c_k, theta_h_k) / power
+
+
+def optimal_cooling_current(device, theta_c_k):
+    """Current maximizing ``q_c`` at fixed face temperatures.
+
+    From ``d q_c / d i = alpha theta_c - r i = 0``:
+    ``i* = alpha theta_c / r``.  The shared-current optimum of the full
+    package lies well below this single-device value because the
+    package also pays the global heating cost of ``p_tec``.
+    """
+    theta_c_k = check_positive(theta_c_k, "theta_c_k")
+    return device.seebeck * theta_c_k / device.electrical_resistance
+
+
+def max_temperature_differential(device, theta_h_k):
+    """Classic ``Delta T_max`` at zero heat load.
+
+    Setting ``q_c = 0`` at the optimal current gives
+    ``Delta T_max = Z theta_c^2 / 2`` with ``Z = alpha^2 / (r kappa)``;
+    expressed in terms of the hot-side temperature,
+    ``theta_c = (sqrt(1 + 2 Z theta_h) - 1) / Z`` and
+    ``Delta T_max = theta_h - theta_c`` (CRC Handbook of
+    Thermoelectrics).
+    """
+    theta_h_k = check_positive(theta_h_k, "theta_h_k")
+    z = device.figure_of_merit
+    theta_c = (np.sqrt(1.0 + 2.0 * z * theta_h_k) - 1.0) / z
+    return theta_h_k - theta_c
+
+
+def zero_cop_current(device, theta_c_k, theta_h_k):
+    """Smallest positive current at which ``q_c`` falls back to zero.
+
+    For ``theta_h > theta_c`` the cold-side flux is positive only on an
+    interval of currents; this returns the upper end — the
+    *single-device* zero-COP condition that Section V.C.1 relates to
+    the system-level runaway.  Returns ``numpy.nan`` when the device
+    cannot pump at all between these temperatures (``q_c < 0``
+    everywhere).
+    """
+    theta_c_k = check_positive(theta_c_k, "theta_c_k")
+    theta_h_k = check_nonnegative(theta_h_k, "theta_h_k")
+    # q_c(i) = -r/2 i^2 + alpha theta_c i - kappa (theta_h - theta_c) = 0
+    a = -0.5 * device.electrical_resistance
+    b = device.seebeck * theta_c_k
+    c = -device.thermal_conductance * (theta_h_k - theta_c_k)
+    discriminant = b * b - 4.0 * a * c
+    if discriminant < 0.0:
+        return float("nan")
+    # Larger root of the downward parabola.
+    return (-b - np.sqrt(discriminant)) / (2.0 * a)

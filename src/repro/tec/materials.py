@@ -1,0 +1,114 @@
+"""Thin-film TEC device parameters.
+
+The paper takes "the physical parameters (Seebeck coefficient,
+electrical resistivity and thermal conductivity) of the thin-film TEC
+device provided by Chowdhury et al. [1]" — the Bi2Te3/Sb2Te3
+super-lattice coolers demonstrated by Intel/Nextreme (Nature
+Nanotechnology 2009).  The exact device-level values are not printed in
+either paper, so this module records a parameter set that is (a)
+physically consistent with an 8-um super-lattice film under a
+0.5 mm x 0.5 mm footprint and (b) calibrated so that the system-level
+optimization reproduces the paper's operating regime: optimal shared
+currents of 5-10 A, total TEC power of order 1-3 W for ~16 devices, and
+hot-spot cooling swings of several degrees (DESIGN.md, substitutions
+table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils import check_positive
+
+
+@dataclass(frozen=True)
+class TecDeviceParameters:
+    """Lumped parameters of one thin-film TEC device.
+
+    These are the quantities of the paper's Equations (1)-(3) and
+    Figure 4:
+
+    Attributes
+    ----------
+    seebeck:
+        Device Seebeck coefficient ``alpha`` (V/K) — a material
+        constant of the strip pair.
+    electrical_resistance:
+        Device electrical resistance ``r`` (ohm).
+    thermal_conductance:
+        Hot-to-cold conduction ``kappa`` (W/K) of the film.
+    cold_contact_conductance:
+        ``g_c`` (W/K): contact between the cold face and the silicon
+        tile underneath.
+    hot_contact_conductance:
+        ``g_h`` (W/K): contact between the hot face and the spreader
+        above; the paper notes this path "ends up playing an important
+        role in the thermal runaway problem".
+    width, height:
+        Lateral footprint in metres (0.5 mm x 0.5 mm per the 7x7-array
+        estimate in Section III.A).
+    max_current:
+        Manufacturer current rating (A), used only for reporting; the
+        optimizer's hard bound is the runaway current ``lambda_m``.
+    """
+
+    seebeck: float = 2.0e-4
+    electrical_resistance: float = 2.5e-3
+    thermal_conductance: float = 2.0e-2
+    cold_contact_conductance: float = 0.3
+    hot_contact_conductance: float = 0.3
+    width: float = 0.5e-3
+    height: float = 0.5e-3
+    max_current: float = 25.0
+
+    def __post_init__(self):
+        check_positive(self.seebeck, "seebeck")
+        check_positive(self.electrical_resistance, "electrical_resistance")
+        check_positive(self.thermal_conductance, "thermal_conductance")
+        check_positive(self.cold_contact_conductance, "cold_contact_conductance")
+        check_positive(self.hot_contact_conductance, "hot_contact_conductance")
+        check_positive(self.width, "width")
+        check_positive(self.height, "height")
+        check_positive(self.max_current, "max_current")
+
+    @property
+    def footprint(self):
+        """Device lateral area in m^2."""
+        return self.width * self.height
+
+    @property
+    def figure_of_merit(self):
+        """The lumped thermoelectric figure of merit ``Z = alpha^2 / (r kappa)`` (1/K)."""
+        return self.seebeck**2 / (self.electrical_resistance * self.thermal_conductance)
+
+    def zt(self, temperature_k):
+        """Dimensionless ``Z T`` at the given absolute temperature."""
+        temperature_k = check_positive(temperature_k, "temperature_k")
+        return self.figure_of_merit * temperature_k
+
+    def scaled(self, **overrides):
+        """Copy with selected parameters replaced (for sweeps/ablations)."""
+        return replace(self, **overrides)
+
+
+def chowdhury_thin_film_tec():
+    """The calibrated super-lattice thin-film device (reference [1]).
+
+    Derivation of the defaults:
+
+    * footprint 0.5 mm x 0.5 mm (Section III.A of the paper);
+    * ``kappa``: Bi2Te3/Sb2Te3 super-lattice stack (film plus headers,
+      ~15 um effective at ~1.2 W/mK cross-plane) under the full
+      footprint: ``1.2 * 2.5e-7 / 1.5e-5 = 2.0e-2 W/K``;
+    * ``alpha = 2.0e-4 V/K``: effective device-level Seebeck of a
+      super-lattice couple after contact degradation (lumped
+      ``Z T ~ 0.3`` at operating temperature, at the conservative end
+      of module-level behaviour of the cited coolers);
+    * ``r = 2.5 mohm``: thin-film legs plus metallization, chosen with
+      ``alpha`` so the shared-current optimum of the package model
+      falls in the paper's 5-10 A range with ~100 mW of input power per
+      device (Table I: I_opt 6.1 A, P_TEC 1.31 W over 16 devices);
+    * ``g_c = g_h = 0.3 W/K``: ~8e-7 m^2 K/W specific contact
+      resistance across the device footprint.
+    """
+    return TecDeviceParameters()

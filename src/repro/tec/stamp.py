@@ -1,0 +1,110 @@
+"""Compact-model stamp of a TEC device (Section IV.B, Figure 4).
+
+Deploying a TEC under a tile substitutes the tile's TIM node with the
+device's two-node thermal model:
+
+* a **cold** node facing the silicon tile through ``g_c``;
+* a **hot** node facing the spreader tile through ``g_h``;
+* the film conduction ``kappa`` between them;
+* Joule sources ``r i^2 / 2`` on both nodes (current-dependent — they
+  live in the ``joule`` coefficient vector);
+* the Peltier transport as the ``D``-diagonal entries ``-alpha`` (cold)
+  and ``+alpha`` (hot), so that ``G - i D`` carries the ``+alpha i``
+  conductance-to-ground at the cold node and the ``-alpha i`` negative
+  conductance at the hot node, exactly as in Figure 4.
+
+The stamp does **not** decide where TECs go — that is the deployment
+problem (``repro.core.deploy``); it only writes one device into a
+:class:`~repro.thermal.network.ThermalNetwork`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.thermal.network import NodeRole
+
+
+@dataclass(frozen=True)
+class TecStamp:
+    """Bookkeeping for one stamped TEC device.
+
+    Attributes
+    ----------
+    tile:
+        Flat tile index the device covers.
+    hot_node, cold_node:
+        Network node indices of the device's two sides.
+    device:
+        The :class:`~repro.tec.materials.TecDeviceParameters` stamped.
+    """
+
+    tile: int
+    hot_node: int
+    cold_node: int
+    device: object
+
+
+def stamp_tec(
+    network,
+    device,
+    *,
+    silicon_node,
+    spreader_node,
+    tile,
+    label=None,
+    cold_series_resistance=0.0,
+    hot_series_resistance=0.0,
+):
+    """Write one TEC device into ``network``.
+
+    Parameters
+    ----------
+    network:
+        The :class:`~repro.thermal.network.ThermalNetwork` under
+        construction.
+    device:
+        :class:`~repro.tec.materials.TecDeviceParameters`.
+    silicon_node:
+        Index of the silicon tile node the cold face contacts.
+    spreader_node:
+        Index of the spreader node the hot face contacts.
+    tile:
+        Flat tile index (recorded in node metadata and the stamp).
+    label:
+        Optional name prefix; defaults to ``tec[<tile>]``.
+    cold_series_resistance, hot_series_resistance:
+        Extra series resistances (K/W) between the device contacts and
+        the adjacent layer nodes — the die-exit and spreader-entry
+        resistances the TIM path the device replaces would also have
+        carried.  The package model supplies these so that covered and
+        uncovered tiles see consistent layer lumping.
+
+    Returns
+    -------
+    TecStamp
+    """
+    prefix = label if label is not None else "tec[{}]".format(tile)
+    cold = network.add_node(
+        "{}.cold".format(prefix), NodeRole.TEC_COLD, tile=int(tile)
+    )
+    hot = network.add_node(
+        "{}.hot".format(prefix), NodeRole.TEC_HOT, tile=int(tile)
+    )
+    if cold_series_resistance < 0.0 or hot_series_resistance < 0.0:
+        raise ValueError("series resistances must be >= 0")
+    g_cold = 1.0 / (
+        1.0 / device.cold_contact_conductance + cold_series_resistance
+    )
+    g_hot = 1.0 / (
+        1.0 / device.hot_contact_conductance + hot_series_resistance
+    )
+    network.add_conductance(silicon_node, cold, g_cold)
+    network.add_conductance(hot, spreader_node, g_hot)
+    network.add_conductance(cold, hot, device.thermal_conductance)
+    half_r = 0.5 * device.electrical_resistance
+    network.add_joule(cold, half_r)
+    network.add_joule(hot, half_r)
+    network.set_peltier(hot, +device.seebeck)
+    network.set_peltier(cold, -device.seebeck)
+    return TecStamp(tile=int(tile), hot_node=hot, cold_node=cold, device=device)

@@ -1,0 +1,140 @@
+"""Assembly of the nodal equations ``(G - i D) theta = p(i)``.
+
+Given a :class:`~repro.thermal.network.ThermalNetwork`, this module
+builds the matrices of Equation (4)/(5) of the paper:
+
+* ``G``: symmetric conductance matrix.  Off-diagonals are ``-g_kl``;
+  diagonals are the sum of incident conductances *including* the
+  conductance to the ambient voltage source (eliminating the ambient
+  node keeps ``G`` positive definite — Lemma 1).
+* ``D``: diagonal Peltier coupling matrix (``+alpha`` at hot nodes,
+  ``-alpha`` at cold nodes).
+* ``p(i) = p_base + i^2 * joule``: the power vector; ``p_base``
+  carries the tile powers plus the ambient contribution
+  ``g_ground * theta_ambient``, and ``joule`` carries the TEC
+  ``r/2`` coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class AssembledSystem:
+    """The assembled steady-state system.
+
+    Attributes
+    ----------
+    g_matrix:
+        Sparse CSC conductance matrix ``G`` (n x n).
+    d_diagonal:
+        The diagonal of ``D`` as a dense length-n vector (mostly zero).
+    p_base:
+        Constant part of the power vector (tile power + ambient term).
+    joule:
+        Per-node coefficients of the ``i^2`` power term (W / A^2).
+    ambient_k:
+        Ambient temperature (Kelvin) folded into ``p_base``.
+    """
+
+    g_matrix: sp.csc_matrix
+    d_diagonal: np.ndarray
+    p_base: np.ndarray
+    joule: np.ndarray
+    ambient_k: float
+
+    @property
+    def num_nodes(self):
+        return self.g_matrix.shape[0]
+
+    def d_matrix(self):
+        """``D`` as a sparse diagonal matrix."""
+        return sp.diags(self.d_diagonal)
+
+    def system_matrix(self, current):
+        """``G - i D`` for supply current ``current`` (CSC)."""
+        current = float(current)
+        if current == 0.0 or not np.any(self.d_diagonal):
+            return self.g_matrix
+        return (self.g_matrix - current * sp.diags(self.d_diagonal)).tocsc()
+
+    def power_vector(self, current):
+        """``p(i) = p_base + i^2 * joule``."""
+        current = float(current)
+        if current == 0.0 or not np.any(self.joule):
+            return self.p_base
+        return self.p_base + current * current * self.joule
+
+
+def assemble(network, ambient_c):
+    """Assemble an :class:`AssembledSystem` from a network.
+
+    Parameters
+    ----------
+    network:
+        A populated :class:`~repro.thermal.network.ThermalNetwork`.
+    ambient_c:
+        Ambient temperature in Celsius (folded into ``p_base`` as
+        ``g_ground * theta_ambient`` with the ambient in Kelvin).
+
+    Raises
+    ------
+    ValueError
+        If the network is empty or no node is grounded (the steady
+        state would be unbounded — heat would have nowhere to go).
+    """
+    n = network.num_nodes
+    if n == 0:
+        raise ValueError("cannot assemble an empty network")
+    ground = dict(network.ground_items())
+    if not ground:
+        raise ValueError(
+            "network has no conductance to ambient; the steady state is undefined"
+        )
+    ambient_k = celsius_to_kelvin(ambient_c)
+
+    diagonal = np.zeros(n)
+    rows, cols, data = [], [], []
+    for (a, b), conductance in network.conductance_items():
+        rows.extend((a, b))
+        cols.extend((b, a))
+        data.extend((-conductance, -conductance))
+        diagonal[a] += conductance
+        diagonal[b] += conductance
+    for node, conductance in ground.items():
+        diagonal[node] += conductance
+
+    rows.extend(range(n))
+    cols.extend(range(n))
+    data.extend(diagonal)
+    g_matrix = sp.csc_matrix(
+        sp.coo_matrix((data, (rows, cols)), shape=(n, n))
+    )
+
+    p_base = np.zeros(n)
+    for node, power in network.source_items():
+        p_base[node] += power
+    for node, conductance in ground.items():
+        p_base[node] += conductance * ambient_k
+
+    joule = np.zeros(n)
+    for node, coefficient in network.joule_items():
+        joule[node] += coefficient
+
+    d_diagonal = np.zeros(n)
+    for node, alpha in network.peltier_items():
+        d_diagonal[node] = alpha
+
+    return AssembledSystem(
+        g_matrix=g_matrix,
+        d_diagonal=d_diagonal,
+        p_base=p_base,
+        joule=joule,
+        ambient_k=ambient_k,
+    )

@@ -1,0 +1,158 @@
+"""Tile-grid geometry.
+
+The paper dissects the silicon layer into ``p x q`` tiles, each with
+the lateral footprint of one thin-film TEC device (estimated at
+0.5 mm x 0.5 mm from the 7x7-array figure in reference [1]).  The same
+grid indexes the TIM layer and the central regions of the spreader and
+sink layers.
+
+:class:`TileGrid` owns the (row, col) <-> flat-index mapping used by
+every other subsystem; all flat indices in the library are
+**row-major** (``flat = row * cols + col``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import check_positive
+from repro.utils.validate import check_index
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """A rectangular grid of equal tiles.
+
+    Attributes
+    ----------
+    rows, cols:
+        Grid dimensions (the paper's ``p x q``; 12 x 12 in Section VI).
+    tile_width, tile_height:
+        Lateral tile dimensions in metres (0.5 mm each by default).
+    """
+
+    rows: int
+    cols: int
+    tile_width: float = 0.5e-3
+    tile_height: float = 0.5e-3
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(
+                "grid must have at least one tile, got {}x{}".format(self.rows, self.cols)
+            )
+        check_positive(self.tile_width, "tile_width")
+        check_positive(self.tile_height, "tile_height")
+
+    @property
+    def num_tiles(self):
+        """Total number of tiles ``rows * cols``."""
+        return self.rows * self.cols
+
+    @property
+    def tile_area(self):
+        """Footprint of one tile in m^2."""
+        return self.tile_width * self.tile_height
+
+    @property
+    def width(self):
+        """Total grid width (along columns) in metres."""
+        return self.cols * self.tile_width
+
+    @property
+    def height(self):
+        """Total grid height (along rows) in metres."""
+        return self.rows * self.tile_height
+
+    @property
+    def area(self):
+        """Total grid footprint in m^2."""
+        return self.width * self.height
+
+    def flat_index(self, row, col):
+        """Row-major flat index of tile ``(row, col)``."""
+        row = check_index(row, "row", self.rows)
+        col = check_index(col, "col", self.cols)
+        return row * self.cols + col
+
+    def row_col(self, flat):
+        """Inverse of :meth:`flat_index`."""
+        flat = check_index(flat, "flat", self.num_tiles)
+        return divmod(flat, self.cols)
+
+    def tile_center(self, row, col):
+        """Centre of tile ``(row, col)`` in metres, origin at grid corner."""
+        row = check_index(row, "row", self.rows)
+        col = check_index(col, "col", self.cols)
+        return ((col + 0.5) * self.tile_width, (row + 0.5) * self.tile_height)
+
+    def iter_tiles(self):
+        """Yield ``(flat, row, col)`` for every tile in row-major order."""
+        for row in range(self.rows):
+            for col in range(self.cols):
+                yield row * self.cols + col, row, col
+
+    def neighbors(self, row, col):
+        """Yield the 4-connected neighbour coordinates of ``(row, col)``."""
+        row = check_index(row, "row", self.rows)
+        col = check_index(col, "col", self.cols)
+        if row > 0:
+            yield row - 1, col
+        if row < self.rows - 1:
+            yield row + 1, col
+        if col > 0:
+            yield row, col - 1
+        if col < self.cols - 1:
+            yield row, col + 1
+
+    def iter_lateral_pairs(self):
+        """Yield each adjacent tile pair once, as flat indices.
+
+        East pairs come with the tile-to-tile pitch ``tile_width``;
+        south pairs with ``tile_height``::
+
+            for a, b, pitch, cross_width in grid.iter_lateral_pairs():
+                ...
+
+        ``cross_width`` is the width of the shared face in the lateral
+        plane (a thickness factor turns it into a cross-section area).
+        """
+        for row in range(self.rows):
+            for col in range(self.cols):
+                flat = row * self.cols + col
+                if col < self.cols - 1:
+                    yield flat, flat + 1, self.tile_width, self.tile_height
+                if row < self.rows - 1:
+                    yield flat, flat + self.cols, self.tile_height, self.tile_width
+
+    def boundary_tiles(self, side):
+        """Flat indices of the tiles on one side of the grid.
+
+        ``side`` is one of ``"north"`` (row 0), ``"south"`` (last row),
+        ``"west"`` (col 0), ``"east"`` (last col).  Corner tiles appear
+        on both adjacent sides.
+        """
+        if side == "north":
+            return [self.flat_index(0, c) for c in range(self.cols)]
+        if side == "south":
+            return [self.flat_index(self.rows - 1, c) for c in range(self.cols)]
+        if side == "west":
+            return [self.flat_index(r, 0) for r in range(self.rows)]
+        if side == "east":
+            return [self.flat_index(r, self.cols - 1) for r in range(self.rows)]
+        raise ValueError(
+            "side must be north/south/east/west, got {!r}".format(side)
+        )
+
+    def to_grid(self, flat_values):
+        """Reshape a flat per-tile vector to a ``(rows, cols)`` array."""
+        arr = np.asarray(flat_values)
+        if arr.shape != (self.num_tiles,):
+            raise ValueError(
+                "expected a flat vector of length {}, got shape {}".format(
+                    self.num_tiles, arr.shape
+                )
+            )
+        return arr.reshape(self.rows, self.cols)

@@ -1,0 +1,92 @@
+"""Thermal material properties.
+
+Values follow the HotSpot 4.1 defaults where the paper references them
+("silicon thermal conductivity, convection, etc., were set according to
+an existing thermal simulator, HotSpot 4.1") and standard handbook
+values elsewhere.  Volumetric heat capacities are carried for the
+transient extension; the paper itself analyses steady state only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils import check_positive
+
+
+@dataclass(frozen=True)
+class Material:
+    """An isotropic thermal material.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    thermal_conductivity:
+        In W / (m K).
+    volumetric_heat_capacity:
+        In J / (m^3 K); used only by the transient extension.
+    """
+
+    name: str
+    thermal_conductivity: float
+    volumetric_heat_capacity: float
+
+    def __post_init__(self):
+        check_positive(self.thermal_conductivity, "thermal_conductivity")
+        check_positive(self.volumetric_heat_capacity, "volumetric_heat_capacity")
+
+    def conductance(self, area, length):
+        """Conduction conductance ``k A / L`` of a prism of this material.
+
+        Parameters
+        ----------
+        area:
+            Cross-section normal to the heat flow, in m^2.
+        length:
+            Length along the heat flow, in m.
+        """
+        area = check_positive(area, "area")
+        length = check_positive(length, "length")
+        return self.thermal_conductivity * area / length
+
+
+SILICON = Material("silicon", thermal_conductivity=100.0, volumetric_heat_capacity=1.75e6)
+"""Bulk silicon at operating temperature (HotSpot default k = 100 W/mK)."""
+
+COPPER = Material("copper", thermal_conductivity=400.0, volumetric_heat_capacity=3.55e6)
+"""Copper for spreader / sink (HotSpot default k = 400 W/mK)."""
+
+ALUMINUM = Material("aluminum", thermal_conductivity=237.0, volumetric_heat_capacity=2.42e6)
+"""Aluminum, the paper's alternative spreader material."""
+
+TIM = Material("tim", thermal_conductivity=4.0, volumetric_heat_capacity=4.0e6)
+"""Thermal interface material (HotSpot default k = 4 W/mK)."""
+
+AIR = Material("air", thermal_conductivity=0.026, volumetric_heat_capacity=1.2e3)
+"""Still air, for completeness (convection is modeled as a film
+coefficient, not through this record)."""
+
+BISMUTH_TELLURIDE_SUPERLATTICE = Material(
+    "Bi2Te3/Sb2Te3 superlattice",
+    thermal_conductivity=1.2,
+    volumetric_heat_capacity=1.2e6,
+)
+"""Cross-plane conductivity of the thin-film superlattice of
+Chowdhury et al. (Nature Nanotech. 2009), reference [1] of the paper."""
+
+
+_BY_NAME = {
+    material.name: material
+    for material in (SILICON, COPPER, ALUMINUM, TIM, AIR, BISMUTH_TELLURIDE_SUPERLATTICE)
+}
+
+
+def material_by_name(name):
+    """Look up a built-in material by its ``name`` attribute."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            "unknown material {!r}; known: {}".format(name, sorted(_BY_NAME))
+        ) from None

@@ -1,0 +1,497 @@
+"""The package-level compact thermal model (Section IV).
+
+:class:`PackageThermalModel` assembles the full chip package — silicon
+tiles, TIM (or TEC devices where deployed), heat spreader with
+periphery, heat sink with periphery, and convection to ambient — into
+the nodal system ``(G - i D) theta = p(i)`` and exposes steady-state
+solves, runaway-current computation and TEC power accounting.
+
+The layered construction mirrors HotSpot's grid model:
+
+* every conduction layer over the die footprint is dissected into the
+  same ``p x q`` tile grid; vertical conductances combine the facing
+  half-layer resistances in series;
+* the spreader's overhang beyond the die is modeled with four
+  peripheral nodes (one per side), the sink's overhang with four inner
+  (over the spreader overhang) and four outer (beyond the spreader)
+  peripheral nodes;
+* convection is distributed over the sink nodes by footprint area.
+
+Models are immutable once built: changing the TEC deployment creates a
+new model (:meth:`PackageThermalModel.with_tec_tiles`), which keeps the
+greedy algorithm's bookkeeping trivial and the solver caches valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.runaway import runaway_current as _runaway_current
+from repro.tec.materials import chowdhury_thin_film_tec
+from repro.tec.stamp import stamp_tec
+from repro.thermal.assembly import assemble
+from repro.thermal.geometry import TileGrid
+from repro.thermal.network import NodeRole, ThermalNetwork
+from repro.thermal.solve import SteadyStateSolver
+from repro.thermal.stack import PackageStack
+from repro.utils import check_finite, kelvin_to_celsius
+
+_SIDES = ("north", "east", "south", "west")
+
+
+class ThermalState:
+    """A solved steady state of a :class:`PackageThermalModel`.
+
+    Wraps the nodal temperature vector (Kelvin) with convenience views;
+    reporting methods return Celsius, matching the paper's tables.
+    """
+
+    def __init__(self, model, current, theta_k):
+        self.model = model
+        self.current = float(current)
+        self.theta_k = np.asarray(theta_k, dtype=float)
+
+    @property
+    def silicon_k(self):
+        """Per-tile silicon temperatures (Kelvin), flat row-major."""
+        return self.theta_k[self.model.silicon_nodes]
+
+    @property
+    def silicon_c(self):
+        """Per-tile silicon temperatures (Celsius), flat row-major."""
+        return kelvin_to_celsius(self.silicon_k)
+
+    @property
+    def silicon_grid_c(self):
+        """Silicon temperatures as a ``(rows, cols)`` Celsius array."""
+        return self.model.grid.to_grid(self.silicon_c)
+
+    @property
+    def peak_silicon_c(self):
+        """The paper's ``theta_peak``: hottest silicon tile, Celsius."""
+        return float(np.max(self.silicon_c))
+
+    @property
+    def peak_tile(self):
+        """Flat index of the hottest silicon tile."""
+        return int(np.argmax(self.silicon_k))
+
+    def temperature_c(self, node):
+        """Temperature of an arbitrary network node in Celsius."""
+        return float(kelvin_to_celsius(self.theta_k[node]))
+
+    def tec_face_temperatures_k(self):
+        """``(theta_c, theta_h)`` arrays over deployed devices (Kelvin).
+
+        Ordered like ``model.stamps``; empty arrays when no TEC is
+        deployed.
+        """
+        cold = self.theta_k[self.model.cold_nodes] if self.model.cold_nodes else np.array([])
+        hot = self.theta_k[self.model.hot_nodes] if self.model.hot_nodes else np.array([])
+        return cold, hot
+
+    def tec_input_power_w(self):
+        """Total electrical TEC power at this state (Equation 3 summed).
+
+        This is the ``P_TEC`` column of Table I.
+        """
+        if not self.model.stamps:
+            return 0.0
+        cold, hot = self.tec_face_temperatures_k()
+        device = self.model.device
+        i = self.current
+        joule = device.electrical_resistance * i * i * len(self.model.stamps)
+        peltier = device.seebeck * i * float(np.sum(hot - cold))
+        return joule + peltier
+
+
+class PackageThermalModel:
+    """Compact thermal model of a chip package with optional TECs.
+
+    Parameters
+    ----------
+    grid:
+        The silicon :class:`~repro.thermal.geometry.TileGrid`.
+    power_map:
+        Worst-case power per tile (W), flat row-major, length
+        ``grid.num_tiles``, non-negative.
+    stack:
+        :class:`~repro.thermal.stack.PackageStack`; defaults to the
+        calibrated package of DESIGN.md.
+    tec_tiles:
+        Iterable of flat tile indices covered by TEC devices (the
+        paper's ``S_TEC``).  May be empty.
+    device:
+        :class:`~repro.tec.materials.TecDeviceParameters`; defaults to
+        the calibrated thin-film device.  The tile footprint must match
+        the device footprint (Problem 1 assumes tiles the size of one
+        device).
+    """
+
+    #: Effective-length factor for conduction into the lumped overhang
+    #: rings; < 0.5 because heat fans out in two dimensions on its way
+    #: into the ring.  Calibrated once against the fine-grid reference.
+    SPREADING_FACTOR = 0.2
+
+    def __init__(
+        self,
+        grid,
+        power_map,
+        *,
+        stack=None,
+        tec_tiles=(),
+        device=None,
+        die_conductivity_scale=None,
+    ):
+        if not isinstance(grid, TileGrid):
+            raise TypeError("grid must be a TileGrid, got {!r}".format(type(grid)))
+        self.grid = grid
+        self.stack = stack if stack is not None else PackageStack()
+        self.device = device if device is not None else chowdhury_thin_film_tec()
+        power_map = check_finite(power_map, "power_map")
+        if power_map.shape != (grid.num_tiles,):
+            raise ValueError(
+                "power_map must have length {}, got shape {}".format(
+                    grid.num_tiles, power_map.shape
+                )
+            )
+        if np.any(power_map < 0.0):
+            raise ValueError("power_map entries must be non-negative")
+        self.power_map = power_map.copy()
+
+        tec_tiles = sorted({int(t) for t in tec_tiles})
+        for tile in tec_tiles:
+            if not 0 <= tile < grid.num_tiles:
+                raise IndexError(
+                    "TEC tile {} out of range [0, {})".format(tile, grid.num_tiles)
+                )
+        self.tec_tiles = tuple(tec_tiles)
+
+        if die_conductivity_scale is None:
+            self._die_k_scale = None
+        else:
+            scale = check_finite(die_conductivity_scale, "die_conductivity_scale")
+            if scale.shape != (grid.num_tiles,):
+                raise ValueError(
+                    "die_conductivity_scale must have length {}, got shape {}".format(
+                        grid.num_tiles, scale.shape
+                    )
+                )
+            if np.any(scale <= 0.0):
+                raise ValueError("die_conductivity_scale entries must be positive")
+            self._die_k_scale = scale.copy()
+
+        self._die_side_w = grid.width
+        self._die_side_h = grid.height
+        self.stack.validate_for_die(max(self._die_side_w, self._die_side_h))
+
+        self.network = ThermalNetwork()
+        self.stamps = []
+        self._build_network()
+        self.system = assemble(self.network, self.stack.ambient_c)
+        self.solver = SteadyStateSolver(self.system)
+
+        self.silicon_nodes = self.network.indices_with_role(NodeRole.SILICON)
+        self.hot_nodes = [stamp.hot_node for stamp in self.stamps]
+        self.cold_nodes = [stamp.cold_node for stamp in self.stamps]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_network(self):
+        grid = self.grid
+        stack = self.stack
+        net = self.network
+        die, tim, spreader, sink = stack.conduction_layers()
+        tile_area = grid.tile_area
+        tec_set = set(self.tec_tiles)
+
+        silicon = [
+            net.add_node("die[{}]".format(flat), NodeRole.SILICON, tile=flat)
+            for flat, _, _ in grid.iter_tiles()
+        ]
+        tim_nodes = {}
+        for flat, _, _ in grid.iter_tiles():
+            if flat not in tec_set:
+                tim_nodes[flat] = net.add_node(
+                    "tim[{}]".format(flat), NodeRole.TIM, tile=flat
+                )
+        spreader_nodes = [
+            net.add_node("spr[{}]".format(flat), NodeRole.SPREADER, tile=flat)
+            for flat, _, _ in grid.iter_tiles()
+        ]
+        sink_nodes = [
+            net.add_node("snk[{}]".format(flat), NodeRole.SINK, tile=flat)
+            for flat, _, _ in grid.iter_tiles()
+        ]
+
+        # Tile powers.
+        for flat, _, _ in grid.iter_tiles():
+            if self.power_map[flat] > 0.0:
+                net.add_source(silicon[flat], self.power_map[flat])
+
+        # Lateral conduction inside each gridded layer.  Die edges
+        # honour the optional per-tile conductivity scaling (two
+        # half-tiles in series -> harmonic mean of the scales).
+        for a, b, pitch, face in grid.iter_lateral_pairs():
+            base = die.lateral_conductance(face, pitch)
+            if self._die_k_scale is not None:
+                sa, sb = self._die_k_scale[a], self._die_k_scale[b]
+                base *= 2.0 * sa * sb / (sa + sb)
+            net.add_conductance(silicon[a], silicon[b], base)
+        for layer, nodes in (
+            (spreader, spreader_nodes),
+            (sink, sink_nodes),
+        ):
+            for a, b, pitch, face in grid.iter_lateral_pairs():
+                net.add_conductance(
+                    nodes[a], nodes[b], layer.lateral_conductance(face, pitch)
+                )
+        # Lateral conduction in the TIM exists only between uncovered
+        # tiles (a deployed TEC replaces the whole TIM tile).
+        for a, b, pitch, face in grid.iter_lateral_pairs():
+            if a in tim_nodes and b in tim_nodes:
+                net.add_conductance(
+                    tim_nodes[a], tim_nodes[b], tim.lateral_conductance(face, pitch)
+                )
+
+        # Vertical conduction through the stack (per tile).
+        # The die generates its heat internally, so its node-to-face
+        # resistance uses the volume-average (t/3k) convention; the
+        # passive layers use the usual mid-plane (t/2k) convention.
+        r_die_exit = die.vertical_generation_resistance(tile_area)
+        g_tim_spr = 1.0 / (
+            tim.vertical_half_resistance(tile_area)
+            + spreader.vertical_half_resistance(tile_area)
+        )
+        g_spr_snk = 1.0 / (
+            spreader.vertical_half_resistance(tile_area)
+            + sink.vertical_half_resistance(tile_area)
+        )
+
+        def _die_exit_resistance(flat):
+            if self._die_k_scale is None:
+                return r_die_exit
+            return r_die_exit / self._die_k_scale[flat]
+
+        for flat, _, _ in grid.iter_tiles():
+            if flat in tim_nodes:
+                g_die_tim = 1.0 / (
+                    _die_exit_resistance(flat)
+                    + tim.vertical_half_resistance(tile_area)
+                )
+                net.add_conductance(silicon[flat], tim_nodes[flat], g_die_tim)
+                net.add_conductance(tim_nodes[flat], spreader_nodes[flat], g_tim_spr)
+            net.add_conductance(spreader_nodes[flat], sink_nodes[flat], g_spr_snk)
+
+        # TEC stamps replace the TIM node of covered tiles (Figure 4).
+        # The die-exit / spreader-entry lumping resistances are carried
+        # in series with the contacts so covered and uncovered tiles
+        # see the same layer conventions.
+        for flat in self.tec_tiles:
+            stamp = stamp_tec(
+                net,
+                self.device,
+                silicon_node=silicon[flat],
+                spreader_node=spreader_nodes[flat],
+                tile=flat,
+                cold_series_resistance=_die_exit_resistance(flat),
+                hot_series_resistance=spreader.vertical_half_resistance(tile_area),
+            )
+            self.stamps.append(stamp)
+
+        self._build_periphery(silicon, spreader_nodes, sink_nodes)
+
+    def _build_periphery(self, silicon, spreader_nodes, sink_nodes):
+        """Spreader/sink overhang nodes and convection to ambient."""
+        grid = self.grid
+        stack = self.stack
+        net = self.network
+        _, _, spreader, sink = stack.conduction_layers()
+
+        die_w, die_h = self._die_side_w, self._die_side_h
+        spr_side = spreader.side or max(die_w, die_h)
+        snk_side = sink.side or spr_side
+        spr_overhang_w = max(0.0, 0.5 * (spr_side - die_w))
+        spr_overhang_h = max(0.0, 0.5 * (spr_side - die_h))
+        snk_overhang = max(0.0, 0.5 * (snk_side - spr_side))
+
+        # Trapezoidal footprints of the overhang regions (per side).
+        def _trapezoid(inner_edge, outer_edge, depth):
+            return 0.5 * (inner_edge + outer_edge) * depth
+
+        spr_area = {}
+        snk_inner_area = {}
+        snk_outer_area = {}
+        for side in _SIDES:
+            horizontal = side in ("north", "south")
+            inner_edge = die_w if horizontal else die_h
+            overhang = spr_overhang_h if horizontal else spr_overhang_w
+            if overhang > 0.0:
+                spr_area[side] = _trapezoid(inner_edge, spr_side, overhang)
+                snk_inner_area[side] = spr_area[side]
+            if snk_overhang > 0.0:
+                snk_outer_area[side] = _trapezoid(spr_side, snk_side, snk_overhang)
+
+        spr_periphery = {}
+        snk_inner = {}
+        snk_outer = {}
+        for side in _SIDES:
+            overhang = spr_overhang_h if side in ("north", "south") else spr_overhang_w
+            if overhang > 0.0:
+                spr_periphery[side] = net.add_node(
+                    "spr.periphery.{}".format(side),
+                    NodeRole.SPREADER_PERIPHERY,
+                    area=spr_area[side],
+                )
+                snk_inner[side] = net.add_node(
+                    "snk.inner.{}".format(side),
+                    NodeRole.SINK_PERIPHERY,
+                    area=snk_inner_area[side],
+                )
+            if snk_overhang > 0.0:
+                snk_outer[side] = net.add_node(
+                    "snk.outer.{}".format(side),
+                    NodeRole.SINK_PERIPHERY,
+                    area=snk_outer_area[side],
+                )
+
+        # Spreader edge tiles -> spreader periphery (lateral copper).
+        # The effective conduction length into the overhang ring is
+        # shortened by the SPREADING_FACTOR to account for the 2-D
+        # fan-out the lumped ring cannot represent (calibrated against
+        # the fine-grid reference; see thermal/validation.py).
+        for side in _SIDES:
+            if side not in spr_periphery:
+                continue
+            horizontal = side in ("north", "south")
+            overhang = spr_overhang_h if horizontal else spr_overhang_w
+            pitch = grid.tile_height if horizontal else grid.tile_width
+            face = grid.tile_width if horizontal else grid.tile_height
+            distance = 0.5 * pitch + self.SPREADING_FACTOR * overhang
+            for flat in grid.boundary_tiles(side):
+                g = spreader.material.conductance(
+                    face * spreader.thickness, distance
+                )
+                net.add_conductance(spreader_nodes[flat], spr_periphery[side], g)
+
+        # Sink edge tiles -> sink inner periphery (lateral in the sink).
+        for side in _SIDES:
+            if side not in snk_inner:
+                continue
+            horizontal = side in ("north", "south")
+            overhang = spr_overhang_h if horizontal else spr_overhang_w
+            pitch = grid.tile_height if horizontal else grid.tile_width
+            face = grid.tile_width if horizontal else grid.tile_height
+            distance = 0.5 * pitch + self.SPREADING_FACTOR * overhang
+            for flat in grid.boundary_tiles(side):
+                g = sink.material.conductance(face * sink.thickness, distance)
+                net.add_conductance(sink_nodes[flat], snk_inner[side], g)
+
+        # Vertical: spreader periphery -> sink inner periphery.
+        for side, area in spr_area.items():
+            g = 1.0 / (
+                spreader.vertical_half_resistance(area)
+                + sink.vertical_half_resistance(area)
+            )
+            net.add_conductance(spr_periphery[side], snk_inner[side], g)
+
+        # Lateral: sink inner periphery -> sink outer periphery.
+        for side in _SIDES:
+            if side not in snk_outer:
+                continue
+            if side in snk_inner:
+                horizontal = side in ("north", "south")
+                overhang = spr_overhang_h if horizontal else spr_overhang_w
+                distance = self.SPREADING_FACTOR * (overhang + snk_overhang)
+                face = spr_side
+                g = sink.material.conductance(face * sink.thickness, distance)
+                net.add_conductance(snk_inner[side], snk_outer[side], g)
+            else:
+                # Degenerate: spreader no larger than the die — couple
+                # the outer ring straight to the sink edge tiles.
+                for flat in grid.boundary_tiles(side):
+                    face = (
+                        grid.tile_width
+                        if side in ("north", "south")
+                        else grid.tile_height
+                    )
+                    g = sink.material.conductance(
+                        face * sink.thickness, 0.5 * snk_overhang
+                    )
+                    net.add_conductance(sink_nodes[flat], snk_outer[side], g)
+
+        # Convection: distribute 1 / R_convec over sink nodes by area.
+        total_conductance = 1.0 / stack.convection_resistance
+        total_area = grid.area + sum(snk_inner_area.values()) + sum(
+            snk_outer_area.values()
+        )
+        per_tile = total_conductance * (grid.tile_area / total_area)
+        for flat, _, _ in grid.iter_tiles():
+            net.add_ground_conductance(sink_nodes[flat], per_tile)
+        for side, node in snk_inner.items():
+            net.add_ground_conductance(
+                node, total_conductance * snk_inner_area[side] / total_area
+            )
+        for side, node in snk_outer.items():
+            net.add_ground_conductance(
+                node, total_conductance * snk_outer_area[side] / total_area
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self):
+        """Size of the nodal system."""
+        return self.network.num_nodes
+
+    @property
+    def total_chip_power_w(self):
+        """Sum of the worst-case tile powers (W)."""
+        return float(np.sum(self.power_map))
+
+    def with_tec_tiles(self, tec_tiles):
+        """New model with a different TEC deployment (same everything else)."""
+        return PackageThermalModel(
+            self.grid,
+            self.power_map,
+            stack=self.stack,
+            tec_tiles=tec_tiles,
+            device=self.device,
+            die_conductivity_scale=self._die_k_scale,
+        )
+
+    def solve(self, current=0.0, *, check_definite=False):
+        """Steady state at the given shared supply current.
+
+        Returns a :class:`ThermalState`.  ``current`` must lie below the
+        runaway limit ``lambda_m``; with ``check_definite=True`` this is
+        verified (at the cost of a Cholesky factorization).
+        """
+        current = float(current)
+        if current < 0.0:
+            raise ValueError("current must be >= 0, got {}".format(current))
+        theta = self.solver.solve(current, check_definite=check_definite)
+        return ThermalState(self, current, theta)
+
+    def peak_silicon_c(self, current=0.0):
+        """Hottest silicon tile temperature (Celsius) at ``current``."""
+        return self.solve(current).peak_silicon_c
+
+    def matrices(self):
+        """The assembled ``(G, d_diagonal, p_base, joule)`` quadruple."""
+        system = self.system
+        return system.g_matrix, system.d_diagonal, system.p_base, system.joule
+
+    def runaway_current(self, method="eigen", **kwargs):
+        """The runaway limit ``lambda_m`` of this deployment (Theorem 1).
+
+        Returns a :class:`~repro.linalg.runaway.RunawayCurrent`;
+        ``math.inf`` when no TEC is deployed (``D = 0``).
+        """
+        return _runaway_current(
+            self.system.g_matrix, self.system.d_diagonal, method=method, **kwargs
+        )

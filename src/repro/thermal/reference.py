@@ -1,0 +1,328 @@
+"""Independent fine-grid finite-difference reference solver.
+
+Plays the role HotSpot 4.1 plays in Section VI of the paper: an
+independent, finer discretization of the same package physics that the
+compact model is validated against ("the two results agreed closely —
+the worst-case difference is less than 1.5 C").
+
+The solver discretizes the package on a rectilinear voxel grid:
+
+* laterally, the die footprint is subdivided ``refine`` times per tile
+  (so fine cells align with tile boundaries) and the spreader/sink
+  overhangs are subdivided into ``overhang_cells`` rings per side;
+* vertically, each conduction layer is split into a configurable
+  number of slabs;
+* die and TIM voxels exist only over the die footprint, spreader
+  voxels over the spreader footprint, sink voxels everywhere;
+* tile power is injected volumetrically over the die voxels of the
+  tile (consistent with the compact model's one-node-per-tile die
+  layer), and convection is distributed over the top sink voxels by
+  area.
+
+The implementation shares **no code** with the compact model beyond
+the material/stack records: conductances are formed cell-by-cell from
+harmonic means, and the sparse system is assembled directly.  That
+independence is what makes the validation meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import spsolve
+
+from repro.thermal.geometry import TileGrid
+from repro.thermal.stack import PackageStack
+from repro.utils import celsius_to_kelvin, check_finite, kelvin_to_celsius
+
+
+def _segment(lo, hi, cells):
+    """Uniform cell edges from ``lo`` to ``hi`` (``cells`` intervals)."""
+    return np.linspace(lo, hi, cells + 1)
+
+
+class ReferenceGridModel:
+    """Fine-grid steady-state reference solver (no TECs).
+
+    Parameters
+    ----------
+    grid:
+        The silicon tile grid (defines the die footprint and the
+        reporting granularity).
+    power_map:
+        Worst-case power per tile (W), flat row-major.
+    stack:
+        The :class:`~repro.thermal.stack.PackageStack` shared with the
+        compact model under validation.
+    refine:
+        Lateral subdivisions per tile over the die (>= 1).
+    overhang_cells:
+        Lateral cells per overhang region per side (>= 1).
+    die_slabs, tim_slabs, spreader_slabs, sink_slabs:
+        Vertical slabs per layer.
+    """
+
+    def __init__(
+        self,
+        grid,
+        power_map,
+        *,
+        stack=None,
+        refine=2,
+        overhang_cells=3,
+        die_slabs=2,
+        tim_slabs=2,
+        spreader_slabs=3,
+        sink_slabs=3,
+    ):
+        if not isinstance(grid, TileGrid):
+            raise TypeError("grid must be a TileGrid, got {!r}".format(type(grid)))
+        if refine < 1 or overhang_cells < 1:
+            raise ValueError("refine and overhang_cells must be >= 1")
+        for name, value in (
+            ("die_slabs", die_slabs),
+            ("tim_slabs", tim_slabs),
+            ("spreader_slabs", spreader_slabs),
+            ("sink_slabs", sink_slabs),
+        ):
+            if value < 1:
+                raise ValueError("{} must be >= 1, got {}".format(name, value))
+        self.grid = grid
+        self.stack = stack if stack is not None else PackageStack()
+        power_map = check_finite(power_map, "power_map")
+        if power_map.shape != (grid.num_tiles,):
+            raise ValueError(
+                "power_map must have length {}, got shape {}".format(
+                    grid.num_tiles, power_map.shape
+                )
+            )
+        self.power_map = power_map.copy()
+        self.refine = int(refine)
+
+        die, tim, spreader, sink = self.stack.conduction_layers()
+        die_w, die_h = grid.width, grid.height
+        spr_side = spreader.side or max(die_w, die_h)
+        snk_side = sink.side or spr_side
+
+        # ---- lateral edges (common to every layer; voxels are masked).
+        self._x_edges = self._lateral_edges(die_w, spr_side, snk_side, grid.cols, overhang_cells)
+        self._y_edges = self._lateral_edges(die_h, spr_side, snk_side, grid.rows, overhang_cells)
+        self._dx = np.diff(self._x_edges)
+        self._dy = np.diff(self._y_edges)
+        # Offsets of the die region within the lateral grid.
+        self._die_x0 = self._die_offset(die_w, spr_side, snk_side, overhang_cells)
+        self._die_y0 = self._die_offset(die_h, spr_side, snk_side, overhang_cells)
+
+        # ---- vertical slabs, bottom (junction) to top (air).
+        self._layers = []
+        for layer, slabs in (
+            (die, die_slabs),
+            (tim, tim_slabs),
+            (spreader, spreader_slabs),
+            (sink, sink_slabs),
+        ):
+            dz = layer.thickness / slabs
+            for _ in range(slabs):
+                self._layers.append((layer, dz))
+        self._die_slab_count = die_slabs
+
+        # ---- voxel activity masks per slab.
+        self._footprints = {
+            "die": (die_w, die_h),
+            "spreader": (spr_side, spr_side),
+            "sink": (snk_side, snk_side),
+        }
+        self._masks = [self._mask_for(layer) for layer, _ in self._layers]
+
+        self._assemble()
+
+    # ------------------------------------------------------------------
+
+    def _lateral_edges(self, die_side, spr_side, snk_side, die_cells, overhang_cells):
+        refine = self.refine
+        half_die = 0.5 * die_side
+        half_spr = 0.5 * spr_side
+        half_snk = 0.5 * snk_side
+        pieces = []
+        if half_snk > half_spr:
+            pieces.append(_segment(-half_snk, -half_spr, overhang_cells)[:-1])
+        if half_spr > half_die:
+            pieces.append(_segment(-half_spr, -half_die, overhang_cells)[:-1])
+        pieces.append(_segment(-half_die, half_die, die_cells * refine)[:-1])
+        if half_spr > half_die:
+            pieces.append(_segment(half_die, half_spr, overhang_cells)[:-1])
+        if half_snk > half_spr:
+            pieces.append(_segment(half_spr, half_snk, overhang_cells)[:-1])
+        edges = np.concatenate(pieces + [np.array([half_snk])])
+        return edges
+
+    def _die_offset(self, die_side, spr_side, snk_side, overhang_cells):
+        offset = 0
+        if snk_side > spr_side:
+            offset += overhang_cells
+        if spr_side > die_side:
+            offset += overhang_cells
+        return offset
+
+    def _mask_for(self, layer):
+        """Boolean (ny, nx) mask of active voxels for one slab."""
+        name = layer.name
+        if name in ("die", "tim"):
+            side_w, side_h = self._footprints["die"]
+        elif name == "spreader":
+            side_w, side_h = self._footprints["spreader"]
+        else:
+            side_w, side_h = self._footprints["sink"]
+        x_centers = 0.5 * (self._x_edges[:-1] + self._x_edges[1:])
+        y_centers = 0.5 * (self._y_edges[:-1] + self._y_edges[1:])
+        eps = 1.0e-12
+        in_x = np.abs(x_centers) <= 0.5 * side_w + eps
+        in_y = np.abs(y_centers) <= 0.5 * side_h + eps
+        return np.outer(in_y, in_x)
+
+    # ------------------------------------------------------------------
+
+    def _assemble(self):
+        nx = self._dx.shape[0]
+        ny = self._dy.shape[0]
+        nz = len(self._layers)
+
+        index = -np.ones((nz, ny, nx), dtype=int)
+        counter = 0
+        for z in range(nz):
+            mask = self._masks[z]
+            for y in range(ny):
+                for x in range(nx):
+                    if mask[y, x]:
+                        index[z, y, x] = counter
+                        counter += 1
+        self._index = index
+        self.num_cells = counter
+
+        rows, cols, data = [], [], []
+        diagonal = np.zeros(counter)
+        rhs = np.zeros(counter)
+        ambient_k = celsius_to_kelvin(self.stack.ambient_c)
+
+        def couple(a, b, conductance):
+            rows.extend((a, b))
+            cols.extend((b, a))
+            data.extend((-conductance, -conductance))
+            diagonal[a] += conductance
+            diagonal[b] += conductance
+
+        for z in range(nz):
+            layer_z, dz_z = self._layers[z]
+            k_z = layer_z.material.thermal_conductivity
+            for y in range(ny):
+                for x in range(nx):
+                    a = index[z, y, x]
+                    if a < 0:
+                        continue
+                    # +x neighbour
+                    if x + 1 < nx and index[z, y, x + 1] >= 0:
+                        b = index[z, y, x + 1]
+                        face = self._dy[y] * dz_z
+                        g = face / (
+                            0.5 * self._dx[x] / k_z + 0.5 * self._dx[x + 1] / k_z
+                        )
+                        couple(a, b, g)
+                    # +y neighbour
+                    if y + 1 < ny and index[z, y + 1, x] >= 0:
+                        b = index[z, y + 1, x]
+                        face = self._dx[x] * dz_z
+                        g = face / (
+                            0.5 * self._dy[y] / k_z + 0.5 * self._dy[y + 1] / k_z
+                        )
+                        couple(a, b, g)
+                    # +z neighbour
+                    if z + 1 < nz and index[z + 1, y, x] >= 0:
+                        layer_up, dz_up = self._layers[z + 1]
+                        k_up = layer_up.material.thermal_conductivity
+                        b = index[z + 1, y, x]
+                        face = self._dx[x] * self._dy[y]
+                        g = face / (0.5 * dz_z / k_z + 0.5 * dz_up / k_up)
+                        couple(a, b, g)
+
+        # Convection from the top sink slab, distributed by area.
+        top = nz - 1
+        top_mask = self._masks[top]
+        top_area = float(
+            np.sum(np.outer(self._dy, self._dx)[top_mask])
+        )
+        h_total = 1.0 / self.stack.convection_resistance
+        for y in range(ny):
+            for x in range(nx):
+                a = index[top, y, x]
+                if a < 0:
+                    continue
+                area = self._dx[x] * self._dy[y]
+                g = h_total * area / top_area
+                diagonal[a] += g
+                rhs[a] += g * ambient_k
+
+        # Volumetric tile power over the die slabs.
+        refine = self.refine
+        die_volume_slabs = self._die_slab_count
+        for flat, row, col in self.grid.iter_tiles():
+            power = self.power_map[flat]
+            if power == 0.0:
+                continue
+            per_cell = power / (refine * refine * die_volume_slabs)
+            for z in range(die_volume_slabs):
+                for sub_y in range(refine):
+                    for sub_x in range(refine):
+                        y = self._die_y0 + row * refine + sub_y
+                        x = self._die_x0 + col * refine + sub_x
+                        a = index[z, y, x]
+                        if a < 0:
+                            raise RuntimeError(
+                                "die voxel unexpectedly inactive at {}".format((z, y, x))
+                            )
+                        rhs[a] += per_cell
+
+        rows.extend(range(counter))
+        cols.extend(range(counter))
+        data.extend(diagonal)
+        self._matrix = sp.csc_matrix(
+            sp.coo_matrix((data, (rows, cols)), shape=(counter, counter))
+        )
+        self._rhs = rhs
+        self._solution_k = None
+
+    # ------------------------------------------------------------------
+
+    def solve(self):
+        """Solve the fine-grid steady state; cached after the first call."""
+        if self._solution_k is None:
+            self._solution_k = spsolve(self._matrix, self._rhs)
+            if not np.all(np.isfinite(self._solution_k)):
+                raise RuntimeError("reference solve produced non-finite temperatures")
+        return self._solution_k
+
+    def tile_temperatures_c(self):
+        """Per-tile silicon temperatures (Celsius), flat row-major.
+
+        Each tile's value is the volume average of its die voxels over
+        every die slab — consistent with the compact model's lumped
+        one-node-per-tile die layer.
+        """
+        theta = self.solve()
+        refine = self.refine
+        result = np.zeros(self.grid.num_tiles)
+        for flat, row, col in self.grid.iter_tiles():
+            total = 0.0
+            count = 0
+            for z in range(self._die_slab_count):
+                for sub_y in range(refine):
+                    for sub_x in range(refine):
+                        y = self._die_y0 + row * refine + sub_y
+                        x = self._die_x0 + col * refine + sub_x
+                        total += theta[self._index[z, y, x]]
+                        count += 1
+            result[flat] = total / count
+        return kelvin_to_celsius(result)
+
+    def peak_tile_temperature_c(self):
+        """Hottest tile temperature (Celsius)."""
+        return float(np.max(self.tile_temperatures_c()))

@@ -1,0 +1,210 @@
+"""Fine-grid reference with embedded TEC devices (beyond the paper).
+
+The paper validates only the *passive* package against HotSpot 4.1.
+This module extends the fine-grid reference so the **active** case can
+be validated too: each deployed TEC keeps its lumped two-node device
+model (it is, physically, a lumped device), but its faces couple to
+the *fine* voxel grid — the cold face to every die-surface voxel of
+its tile, the hot face to every spreader-surface voxel — while the
+TIM voxels it displaces are removed.  The resulting system is
+
+    (G_f - i D_f) theta = p_f(i)
+
+on the fine grid, solved directly.  Comparing per-tile silicon
+temperatures against the compact model at the same current tests the
+whole active path: stamp wiring, Peltier sign conventions, Joule
+bookkeeping and the lumping conventions around the device.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from repro.tec.materials import chowdhury_thin_film_tec
+from repro.thermal.reference import ReferenceGridModel
+from repro.utils import kelvin_to_celsius
+
+
+class ActiveReferenceGridModel(ReferenceGridModel):
+    """Fine-grid reference solver with deployed TEC devices.
+
+    Parameters
+    ----------
+    grid, power_map, stack, refine, ...:
+        As for :class:`~repro.thermal.reference.ReferenceGridModel`.
+    tec_tiles:
+        Flat tile indices covered by devices.
+    device:
+        :class:`~repro.tec.materials.TecDeviceParameters`.
+
+    Notes
+    -----
+    The passive base class assembles the voxel system; this subclass
+    then (a) deletes the TIM-column voxels of covered tiles by zeroing
+    their couplings and replacing them with the device, (b) appends
+    two unknowns per device, and (c) solves the current-dependent
+    system.  Die-exit and spreader-entry resistances are *not* added
+    in series here — the fine grid resolves those paths itself, which
+    is exactly what makes the comparison meaningful.
+    """
+
+    def __init__(self, grid, power_map, *, tec_tiles=(), device=None, **kwargs):
+        super().__init__(grid, power_map, **kwargs)
+        self.device = device if device is not None else chowdhury_thin_film_tec()
+        self.tec_tiles = tuple(sorted({int(t) for t in tec_tiles}))
+        for tile in self.tec_tiles:
+            if not 0 <= tile < grid.num_tiles:
+                raise IndexError("TEC tile {} out of range".format(tile))
+        self._build_active_system()
+
+    # ------------------------------------------------------------------
+
+    def _column_cells(self, tile, z_range):
+        """Voxel indices of one tile's column over a z slab range."""
+        refine = self.refine
+        row, col = self.grid.row_col(tile)
+        cells = []
+        for z in z_range:
+            for sub_y in range(refine):
+                for sub_x in range(refine):
+                    y = self._die_y0 + row * refine + sub_y
+                    x = self._die_x0 + col * refine + sub_x
+                    index = self._index[z, y, x]
+                    if index < 0:
+                        raise RuntimeError("inactive voxel in die footprint")
+                    cells.append(index)
+        return cells
+
+    def _layer_slab_range(self, name):
+        """Slab index range [start, stop) of one layer."""
+        start = 0
+        for layer, _ in self._layers:
+            if layer.name == name:
+                break
+            start += 1
+        stop = start
+        for layer, _ in self._layers[start:]:
+            if layer.name != name:
+                break
+            stop += 1
+        return start, stop
+
+    def _build_active_system(self):
+        base = self._matrix.tolil(copy=True)
+        rhs_base = self._rhs.copy()
+        n = self.num_cells
+        device = self.device
+
+        tim_start, tim_stop = self._layer_slab_range("tim")
+        die_start, die_stop = self._layer_slab_range("die")
+        spr_start, _ = self._layer_slab_range("spreader")
+
+        extra = 2 * len(self.tec_tiles)
+        total = n + extra
+        matrix = sp.lil_matrix((total, total))
+        matrix[:n, :n] = base
+        rhs = np.zeros(total)
+        rhs[:n] = rhs_base
+
+        self._hot_unknowns = []
+        self._cold_unknowns = []
+        joule = np.zeros(total)
+        d_diag = np.zeros(total)
+
+        per_cell = self.refine * self.refine
+        for dev_index, tile in enumerate(self.tec_tiles):
+            cold = n + 2 * dev_index
+            hot = n + 2 * dev_index + 1
+            self._cold_unknowns.append(cold)
+            self._hot_unknowns.append(hot)
+
+            # Remove the TIM column: zero its couplings (and their
+            # reflections from the neighbours' diagonals), then pin
+            # each orphaned cell at ambient through a tiny conductance
+            # so the matrix stays nonsingular.
+            tim_cells = self._column_cells(tile, range(tim_start, tim_stop))
+            for cell in tim_cells:
+                for other in list(matrix.rows[cell]):
+                    if other != cell:
+                        coupling = -matrix[cell, other]
+                        if coupling > 0.0:
+                            matrix[cell, other] = 0.0
+                            matrix[other, cell] = 0.0
+                            matrix[other, other] -= coupling
+                matrix[cell, cell] = 1e-9
+                rhs[cell] = 1e-9 * 318.15
+
+            # Cold face <-> die top voxels of the tile.
+            die_top = self._column_cells(tile, [die_stop - 1])
+            g_c_share = device.cold_contact_conductance / per_cell
+            for cell in die_top:
+                matrix[cell, cell] += g_c_share
+                matrix[cold, cold] += g_c_share
+                matrix[cell, cold] -= g_c_share
+                matrix[cold, cell] -= g_c_share
+
+            # Hot face <-> spreader bottom voxels of the tile.
+            spr_bottom = self._column_cells(tile, [spr_start])
+            g_h_share = device.hot_contact_conductance / per_cell
+            for cell in spr_bottom:
+                matrix[cell, cell] += g_h_share
+                matrix[hot, hot] += g_h_share
+                matrix[cell, hot] -= g_h_share
+                matrix[hot, cell] -= g_h_share
+
+            # Film conduction, Joule coefficients, Peltier diagonal.
+            kappa = device.thermal_conductance
+            matrix[cold, cold] += kappa
+            matrix[hot, hot] += kappa
+            matrix[cold, hot] -= kappa
+            matrix[hot, cold] -= kappa
+            joule[cold] = 0.5 * device.electrical_resistance
+            joule[hot] = 0.5 * device.electrical_resistance
+            d_diag[hot] = +device.seebeck
+            d_diag[cold] = -device.seebeck
+
+        self._active_matrix = sp.csc_matrix(matrix)
+        self._active_rhs = rhs
+        self._active_joule = joule
+        self._active_d = d_diag
+        self._active_solutions = {}
+
+    # ------------------------------------------------------------------
+
+    def solve_active(self, current=0.0):
+        """Fine-grid steady state (Kelvin, voxel+device vector)."""
+        current = float(current)
+        if current < 0.0:
+            raise ValueError("current must be >= 0")
+        cached = self._active_solutions.get(current)
+        if cached is None:
+            matrix = self._active_matrix
+            if current:
+                matrix = (matrix - current * sp.diags(self._active_d)).tocsc()
+            rhs = self._active_rhs + current * current * self._active_joule
+            cached = splu(matrix).solve(rhs)
+            if not np.all(np.isfinite(cached)):
+                raise RuntimeError("active reference solve diverged")
+            self._active_solutions[current] = cached
+        return cached
+
+    def tile_temperatures_c_active(self, current=0.0):
+        """Per-tile silicon temperatures (Celsius) at a supply current."""
+        theta = self.solve_active(current)
+        refine = self.refine
+        die_start, die_stop = self._layer_slab_range("die")
+        result = np.zeros(self.grid.num_tiles)
+        for flat in range(self.grid.num_tiles):
+            cells = self._column_cells(flat, range(die_start, die_stop))
+            result[flat] = float(np.mean(theta[cells]))
+        return kelvin_to_celsius(result)
+
+    def tec_face_temperatures_k(self, current=0.0):
+        """Device cold/hot face temperatures (Kelvin) at a current."""
+        theta = self.solve_active(current)
+        return (
+            theta[np.asarray(self._cold_unknowns, dtype=int)],
+            theta[np.asarray(self._hot_unknowns, dtype=int)],
+        )

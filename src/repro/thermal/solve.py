@@ -1,0 +1,117 @@
+"""Steady-state nodal analysis (Section IV.C).
+
+Solves ``(G - i D) theta = p(i)`` by sparse LU.  A small factorization
+cache keyed on the supply current makes the repeated solves of the
+current-optimization inner loop cheap: the greedy algorithm and the
+1-D current search evaluate many right-hand sides at the same current.
+
+Also provides the influence-row solves used by the convexity
+certificate: row ``k`` of ``H = (G - i D)^{-1}`` is the solution of
+``(G - i D) h = e_k`` because the system matrix is symmetric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from repro.linalg.spd import cholesky_is_spd
+
+
+class SingularSystemError(RuntimeError):
+    """Raised when ``G - i D`` is singular or indefinite at the requested
+    current — i.e. the current is at or beyond the runaway limit
+    ``lambda_m`` (Theorem 1)."""
+
+
+class SteadyStateSolver:
+    """Factorization-caching solver for one assembled system.
+
+    Parameters
+    ----------
+    system:
+        An :class:`~repro.thermal.assembly.AssembledSystem`.
+    cache_size:
+        Number of LU factorizations kept (LRU by insertion order).
+    """
+
+    def __init__(self, system, cache_size=8):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1, got {}".format(cache_size))
+        self.system = system
+        self._cache_size = cache_size
+        self._lu_cache = {}
+
+    def _factorization(self, current):
+        current = float(current)
+        lu = self._lu_cache.get(current)
+        if lu is None:
+            matrix = self.system.system_matrix(current)
+            try:
+                lu = splu(matrix.tocsc())
+            except RuntimeError as error:
+                raise SingularSystemError(
+                    "system matrix singular at i = {} A (at/beyond runaway)".format(
+                        current
+                    )
+                ) from error
+            if len(self._lu_cache) >= self._cache_size:
+                oldest = next(iter(self._lu_cache))
+                del self._lu_cache[oldest]
+            self._lu_cache[current] = lu
+        return lu
+
+    def solve(self, current=0.0, *, check_definite=False):
+        """Temperatures (Kelvin) at supply current ``current``.
+
+        Parameters
+        ----------
+        current:
+            TEC supply current in amperes.
+        check_definite:
+            When True, verify that ``G - i D`` is positive definite
+            before solving and raise :class:`SingularSystemError` if it
+            is not (i.e. the current exceeds ``lambda_m``).  The
+            optimizer keeps currents inside ``[0, lambda_m)`` itself, so
+            the check is off by default.
+        """
+        if check_definite and not cholesky_is_spd(self.system.system_matrix(current)):
+            raise SingularSystemError(
+                "G - i D is not positive definite at i = {} A "
+                "(current at/beyond the runaway limit)".format(current)
+            )
+        lu = self._factorization(current)
+        theta = lu.solve(self.system.power_vector(current))
+        if not np.all(np.isfinite(theta)):
+            raise SingularSystemError(
+                "solve produced non-finite temperatures at i = {} A".format(current)
+            )
+        return theta
+
+    def solve_rhs(self, current, rhs):
+        """Solve ``(G - i D) x = rhs`` for an arbitrary right-hand side."""
+        rhs = np.asarray(rhs, dtype=float)
+        if rhs.shape[0] != self.system.num_nodes:
+            raise ValueError(
+                "rhs has length {}, system has {} nodes".format(
+                    rhs.shape[0], self.system.num_nodes
+                )
+            )
+        lu = self._factorization(current)
+        return lu.solve(rhs)
+
+    def influence_rows(self, current, node_indices):
+        """Rows of ``H = (G - i D)^{-1}`` for the given nodes.
+
+        Because the system matrix is symmetric, row ``k`` equals the
+        solution of ``(G - i D) h = e_k``.  Returns an array of shape
+        ``(len(node_indices), n)``.
+        """
+        n = self.system.num_nodes
+        node_indices = list(node_indices)
+        rhs = np.zeros((n, len(node_indices)))
+        for j, k in enumerate(node_indices):
+            rhs[int(k), j] = 1.0
+        lu = self._factorization(current)
+        return lu.solve(rhs).T

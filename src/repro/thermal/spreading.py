@@ -1,0 +1,134 @@
+"""Closed-form spreading resistance (Song/Lee/Au) — analytic cross-check.
+
+The compact network and the fine-grid reference are both numerical;
+this module provides the classic closed-form estimate of the thermal
+resistance of a small heat source on a larger conductive plate with
+convection behind it (Song, Lee & Au, SEMI-THERM 1994), which the test
+suite uses as an independent order-of-magnitude check on the package
+model — a defense against unit errors that two numerical models could
+share.
+
+The source and plate are mapped to equivalent-area circles:
+
+    r1 = sqrt(A_source / pi),   r2 = sqrt(A_plate / pi)
+    eps = r1 / r2,  tau = t / r2,  Bi = h r2 / k
+    lambda_c = pi + 1 / (sqrt(pi) eps)
+    phi = (tanh(lambda_c tau) + lambda_c / Bi)
+          / (1 + (lambda_c / Bi) tanh(lambda_c tau))
+    psi_max = eps tau / sqrt(pi) + (1 - eps) phi / sqrt(pi)
+    R_sp    = psi_max / (k r1 sqrt(pi))
+
+``psi_max`` is the maximum (source-centre) dimensionless constriction
+resistance; ``R_sp`` the corresponding spreading resistance in K/W.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils import check_positive
+
+
+def one_dimensional_resistance(thickness, conductivity, area):
+    """Plain 1-D conduction resistance ``t / (k A)`` in K/W."""
+    thickness = check_positive(thickness, "thickness")
+    conductivity = check_positive(conductivity, "conductivity")
+    area = check_positive(area, "area")
+    return thickness / (conductivity * area)
+
+
+def spreading_resistance(
+    source_area, plate_area, thickness, conductivity, h_effective
+):
+    """Maximum spreading resistance of a centred source (K/W).
+
+    Parameters
+    ----------
+    source_area:
+        Heat-source footprint (m^2), smaller than ``plate_area``.
+    plate_area:
+        Plate footprint (m^2).
+    thickness:
+        Plate thickness (m).
+    conductivity:
+        Plate conductivity (W/mK).
+    h_effective:
+        Effective heat-transfer coefficient behind the plate
+        (W/m^2K); for a stack, ``1 / (R_downstream * A_plate)``.
+    """
+    source_area = check_positive(source_area, "source_area")
+    plate_area = check_positive(plate_area, "plate_area")
+    thickness = check_positive(thickness, "thickness")
+    conductivity = check_positive(conductivity, "conductivity")
+    h_effective = check_positive(h_effective, "h_effective")
+    if source_area > plate_area:
+        raise ValueError("source_area must not exceed plate_area")
+
+    r1 = math.sqrt(source_area / math.pi)
+    r2 = math.sqrt(plate_area / math.pi)
+    eps = r1 / r2
+    tau = thickness / r2
+    biot = h_effective * r2 / conductivity
+    lam = math.pi + 1.0 / (math.sqrt(math.pi) * eps)
+    tanh_term = math.tanh(lam * tau)
+    phi = (tanh_term + lam / biot) / (1.0 + (lam / biot) * tanh_term)
+    psi_max = eps * tau / math.sqrt(math.pi) + (1.0 - eps) * phi / math.sqrt(
+        math.pi
+    )
+    return psi_max / (conductivity * r1 * math.sqrt(math.pi))
+
+
+def package_peak_resistance_estimate(stack, grid, source_tiles):
+    """Closed-form junction-to-ambient resistance of a hot cluster.
+
+    Layer-by-layer, outside in: the convection resistance backs a
+    spreading stage in the sink (source = spreader footprint), which
+    backs a spreading stage in the spreader (source = die footprint),
+    which backs the TIM crossed at die scale, which backs a spreading
+    stage in the *die* (source = the hot cluster).  Each stage's
+    backside coefficient is the whole downstream resistance spread
+    over the stage's plate area.
+
+    The Song/Lee formula is a maximum (source-centre) resistance for a
+    single plate; applied to a thin multilayer it brackets the
+    cluster-average resistance from above.  The cross-check test
+    requires the network's measured value to sit within a factor ~2
+    below this estimate — a deliberate, loose sanity band whose job is
+    to catch unit/geometry errors, not to re-derive the network.
+    """
+    source_tiles = list(source_tiles)
+    if not source_tiles:
+        raise ValueError("need at least one source tile")
+    die, tim, spreader, sink = stack.conduction_layers()
+    source_area = len(source_tiles) * grid.tile_area
+    die_area = grid.area
+    spreader_area = (spreader.side or grid.width) ** 2
+    sink_area = (sink.side or spreader.side or grid.width) ** 2
+
+    convection = stack.convection_resistance
+    sink_stage = spreading_resistance(
+        spreader_area,
+        sink_area,
+        sink.thickness,
+        sink.material.thermal_conductivity,
+        1.0 / (convection * sink_area),
+    )
+    spreader_stage = spreading_resistance(
+        die_area,
+        spreader_area,
+        spreader.thickness,
+        spreader.material.thermal_conductivity,
+        1.0 / ((sink_stage + convection) * spreader_area),
+    )
+    tim_stage = one_dimensional_resistance(
+        tim.thickness, tim.material.thermal_conductivity, die_area
+    )
+    downstream = tim_stage + spreader_stage + sink_stage + convection
+    die_stage = spreading_resistance(
+        source_area,
+        die_area,
+        die.thickness,
+        die.material.thermal_conductivity,
+        1.0 / (downstream * die_area),
+    )
+    return die_stage + downstream

@@ -1,0 +1,151 @@
+"""Package layer stack description (Figure 2 of the paper).
+
+A :class:`PackageStack` captures the vertical structure of a
+high-performance chip package: silicon die against a heat spreader
+with a TIM layer in between, the spreader against a fan-cooled heat
+sink, convection from the sink to the ambient.
+
+The default geometry follows HotSpot 4.1's example package scaled to
+the paper's 6 mm x 6 mm die; the convection resistance is the package
+level knob that is calibrated once against the fine-grid reference
+model (see ``repro.thermal.validation`` and DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.thermal.materials import COPPER, SILICON, TIM, Material
+from repro.utils import check_positive
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One conduction layer of the package.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in node names and reports.
+    material:
+        The layer :class:`~repro.thermal.materials.Material`.
+    thickness:
+        Layer thickness in metres.
+    side:
+        Lateral side length in metres of the (square) layer footprint;
+        ``None`` means "same as the die".
+    """
+
+    name: str
+    material: Material
+    thickness: float
+    side: float = None
+
+    def __post_init__(self):
+        check_positive(self.thickness, "thickness")
+        if self.side is not None:
+            check_positive(self.side, "side")
+
+    def vertical_half_resistance(self, area):
+        """Resistance of half this layer's thickness over ``area``.
+
+        Vertical conductances between two stacked layers combine the
+        two facing half-layer resistances in series.
+        """
+        area = check_positive(area, "area")
+        return 0.5 * self.thickness / (self.material.thermal_conductivity * area)
+
+    def vertical_generation_resistance(self, area):
+        """Node-to-face resistance for a layer with internal generation.
+
+        For a layer that *generates* its heat uniformly over the
+        volume (the silicon die), the lumped node represents the
+        volume-average temperature; with an adiabatic far face the
+        average-to-exit-face resistance is ``t / (3 k A)`` rather than
+        the mid-plane ``t / (2 k A)``.  Using it keeps the compact
+        model consistent with the volume-averaged temperatures the
+        fine-grid reference reports.
+        """
+        area = check_positive(area, "area")
+        return self.thickness / (3.0 * self.material.thermal_conductivity * area)
+
+    def lateral_conductance(self, face_width, pitch):
+        """Lateral conductance between two adjacent cells of this layer.
+
+        ``face_width`` is the width of the shared face; the
+        cross-section is ``face_width * thickness`` and the conduction
+        length is the cell ``pitch``.
+        """
+        return self.material.conductance(face_width * self.thickness, pitch)
+
+
+@dataclass(frozen=True)
+class PackageStack:
+    """Vertical structure of the chip package.
+
+    Attributes
+    ----------
+    die, tim, spreader, sink:
+        The four conduction layers, bottom (junction) to top (air).
+        ``spreader.side`` and ``sink.side`` give the lateral extents of
+        the overhanging layers.
+    convection_resistance:
+        Total sink-to-ambient convection resistance in K/W (HotSpot's
+        ``r_convec``); distributed over sink nodes by footprint area.
+    ambient_c:
+        Ambient temperature in Celsius (HotSpot default 45 C).
+    """
+
+    die: Layer = field(
+        default_factory=lambda: Layer("die", SILICON, thickness=0.30e-3)
+    )
+    tim: Layer = field(
+        default_factory=lambda: Layer("tim", TIM, thickness=0.05e-3)
+    )
+    spreader: Layer = field(
+        default_factory=lambda: Layer("spreader", COPPER, thickness=1.0e-3, side=18.0e-3)
+    )
+    sink: Layer = field(
+        default_factory=lambda: Layer("sink", COPPER, thickness=6.9e-3, side=36.0e-3)
+    )
+    convection_resistance: float = 1.096
+    ambient_c: float = 45.0
+
+    def __post_init__(self):
+        check_positive(self.convection_resistance, "convection_resistance")
+
+    def with_convection_resistance(self, resistance):
+        """Copy of this stack with a different convection resistance."""
+        return replace(self, convection_resistance=resistance)
+
+    def with_ambient(self, ambient_c):
+        """Copy of this stack with a different ambient temperature."""
+        return replace(self, ambient_c=ambient_c)
+
+    def conduction_layers(self):
+        """The four conduction layers bottom-to-top."""
+        return (self.die, self.tim, self.spreader, self.sink)
+
+    def validate_for_die(self, die_side):
+        """Check that overhanging layers are at least die-sized.
+
+        Raises ``ValueError`` when the spreader or sink footprint is
+        smaller than the die, which the periphery construction cannot
+        represent.
+        """
+        die_side = check_positive(die_side, "die_side")
+        spreader_side = self.spreader.side or die_side
+        sink_side = self.sink.side or spreader_side
+        if spreader_side < die_side:
+            raise ValueError(
+                "spreader side {} m is smaller than the die side {} m".format(
+                    spreader_side, die_side
+                )
+            )
+        if sink_side < spreader_side:
+            raise ValueError(
+                "sink side {} m is smaller than the spreader side {} m".format(
+                    sink_side, spreader_side
+                )
+            )
+        return spreader_side, sink_side

@@ -1,0 +1,201 @@
+"""Transient extension of the compact model (beyond the paper).
+
+The paper restricts itself to steady state ("the thermal capacitance is
+not included in our model since we are focusing on the steady state
+behavior").  This module adds the capacitances back and integrates the
+RC network with the unconditionally stable backward-Euler scheme:
+
+    (C / dt + G - i D) theta_{n+1} = (C / dt) theta_n + p(i, t_{n+1})
+
+Per-node capacitances come from the layer volumes
+(``C = c_v * volume``); TEC hot/cold nodes carry the (tiny) film
+capacitance split in half.  The simulator supports time-varying power
+maps, which lets the examples play workload traces through the
+cooling system and watch the hotspot respond.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from repro.thermal.network import NodeRole
+from repro.utils import celsius_to_kelvin, check_positive, kelvin_to_celsius
+
+_GRIDDED_ROLES = {
+    NodeRole.SILICON: "die",
+    NodeRole.TIM: "tim",
+    NodeRole.SPREADER: "spreader",
+    NodeRole.SINK: "sink",
+}
+
+_PERIPHERY_ROLES = {
+    NodeRole.SPREADER_PERIPHERY: "spreader",
+    NodeRole.SINK_PERIPHERY: "sink",
+}
+
+
+def node_capacitances(model):
+    """Per-node thermal capacitances (J/K) for a package model.
+
+    Gridded layer nodes use ``c_v * tile_area * thickness``; periphery
+    nodes use their stored footprint area; TEC nodes get half the film
+    volume each (using the super-lattice heat capacity as a stand-in
+    for the thin device stack).
+    """
+    from repro.thermal.materials import BISMUTH_TELLURIDE_SUPERLATTICE
+
+    layers = {layer.name: layer for layer in model.stack.conduction_layers()}
+    tile_area = model.grid.tile_area
+    capacitance = np.zeros(model.num_nodes)
+    for index, node in enumerate(model.network.nodes):
+        if node.role in _GRIDDED_ROLES:
+            layer = layers[_GRIDDED_ROLES[node.role]]
+            capacitance[index] = (
+                layer.material.volumetric_heat_capacity * tile_area * layer.thickness
+            )
+        elif node.role in _PERIPHERY_ROLES:
+            layer = layers[_PERIPHERY_ROLES[node.role]]
+            area = node.meta.get("area", tile_area)
+            capacitance[index] = (
+                layer.material.volumetric_heat_capacity * area * layer.thickness
+            )
+        elif node.role in (NodeRole.TEC_HOT, NodeRole.TEC_COLD):
+            film_volume = model.device.footprint * 1.5e-5  # ~15 um stack
+            capacitance[index] = (
+                0.5
+                * BISMUTH_TELLURIDE_SUPERLATTICE.volumetric_heat_capacity
+                * film_volume
+            )
+        else:
+            capacitance[index] = 1.0e-6  # numerical floor for stray nodes
+    return capacitance
+
+
+class TransientSimulator:
+    """Backward-Euler integrator over a package model's RC network.
+
+    Parameters
+    ----------
+    model:
+        A :class:`~repro.thermal.model.PackageThermalModel`.
+    current:
+        TEC supply current, fixed over the simulation (A).
+    dt:
+        Time step in seconds.  Backward Euler is unconditionally
+        stable, so ``dt`` trades accuracy against step count only.
+    initial_state:
+        Starting temperatures: ``"ambient"`` (uniform ambient),
+        ``"steady"`` (the steady state at ``current``), or an explicit
+        Kelvin vector.
+    """
+
+    def __init__(self, model, *, current=0.0, dt=1.0e-3, initial_state="ambient"):
+        self.model = model
+        self.current = float(current)
+        self.dt = check_positive(dt, "dt")
+        self.capacitance = node_capacitances(model)
+        system = model.system
+        matrix = (
+            sp.diags(self.capacitance / self.dt)
+            + system.system_matrix(self.current)
+        ).tocsc()
+        self._lu = splu(matrix)
+        self._base_power = system.power_vector(self.current)
+        self._tile_power_reference = model.power_map.copy()
+        self._silicon = np.asarray(model.silicon_nodes)
+
+        if isinstance(initial_state, str):
+            if initial_state == "ambient":
+                self.theta_k = np.full(
+                    model.num_nodes, celsius_to_kelvin(model.stack.ambient_c)
+                )
+            elif initial_state == "steady":
+                self.theta_k = model.solve(self.current).theta_k.copy()
+            else:
+                raise ValueError(
+                    "initial_state must be 'ambient', 'steady' or a vector"
+                )
+        else:
+            theta = np.asarray(initial_state, dtype=float)
+            if theta.shape != (model.num_nodes,):
+                raise ValueError(
+                    "initial_state must have length {}, got shape {}".format(
+                        model.num_nodes, theta.shape
+                    )
+                )
+            self.theta_k = theta.copy()
+        self.time_s = 0.0
+
+    def step(self, power_map=None):
+        """Advance one time step; returns the new Kelvin vector.
+
+        ``power_map`` optionally replaces the per-tile silicon powers
+        for this step (flat, W); TEC Joule terms and the ambient
+        contribution are unaffected.
+        """
+        rhs = (self.capacitance / self.dt) * self.theta_k + self._base_power
+        if power_map is not None:
+            power_map = np.asarray(power_map, dtype=float)
+            if power_map.shape != self._tile_power_reference.shape:
+                raise ValueError(
+                    "power_map must have length {}, got shape {}".format(
+                        self._tile_power_reference.shape[0], power_map.shape
+                    )
+                )
+            rhs[self._silicon] += power_map - self._tile_power_reference
+        self.theta_k = self._lu.solve(rhs)
+        self.time_s += self.dt
+        return self.theta_k
+
+    def peak_silicon_c(self):
+        """Current hottest silicon tile (Celsius)."""
+        return float(kelvin_to_celsius(np.max(self.theta_k[self._silicon])))
+
+    def run(self, steps, *, power_schedule=None, record_peak=True):
+        """Integrate ``steps`` steps.
+
+        Parameters
+        ----------
+        steps:
+            Number of backward-Euler steps.
+        power_schedule:
+            Optional callable ``(step_index, time_s) -> power_map or
+            None`` supplying a per-step tile power map.
+        record_peak:
+            When True, return the peak-temperature trace.
+
+        Returns
+        -------
+        numpy.ndarray or None
+            Peak silicon temperature (Celsius) after each step.
+        """
+        if steps < 1:
+            raise ValueError("steps must be >= 1, got {}".format(steps))
+        trace = np.empty(steps) if record_peak else None
+        for index in range(steps):
+            power_map = None
+            if power_schedule is not None:
+                power_map = power_schedule(index, self.time_s)
+            self.step(power_map)
+            if record_peak:
+                trace[index] = self.peak_silicon_c()
+        return trace
+
+    def settle(self, *, tolerance_c=1.0e-3, max_steps=200_000):
+        """Integrate until the peak temperature stops moving.
+
+        Returns the number of steps taken.  Useful for verifying that
+        the transient settles onto the steady-state solver's answer.
+        """
+        previous = self.peak_silicon_c()
+        for step_index in range(1, max_steps + 1):
+            self.step()
+            current = self.peak_silicon_c()
+            if abs(current - previous) < tolerance_c:
+                return step_index
+            previous = current
+        raise RuntimeError(
+            "transient did not settle within {} steps".format(max_steps)
+        )

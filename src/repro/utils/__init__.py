@@ -1,0 +1,46 @@
+"""General-purpose helpers shared by every subsystem.
+
+The modules in this package deliberately contain no thermal or
+electrical physics.  They provide:
+
+``units``
+    Temperature conversions and the unit conventions used throughout
+    the library (Kelvin internally, Celsius at reporting boundaries).
+``validate``
+    Argument-checking helpers that raise uniform, informative errors.
+``rng``
+    Deterministic random-number-generator plumbing.  Every stochastic
+    component in the library accepts either a seed or a
+    ``numpy.random.Generator`` and routes it through :func:`ensure_rng`.
+``tables``
+    Plain-text table rendering used by the experiment harness to print
+    paper-style tables.
+"""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.tables import Table
+from repro.utils.units import (
+    CELSIUS_OFFSET,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+)
+from repro.utils.validate import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_shape,
+)
+
+__all__ = [
+    "CELSIUS_OFFSET",
+    "Table",
+    "celsius_to_kelvin",
+    "check_finite",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_shape",
+    "ensure_rng",
+    "kelvin_to_celsius",
+]

@@ -1,0 +1,113 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints paper-style tables (Table I of the paper
+in particular).  This module provides a small, dependency-free table
+formatter: fixed columns, per-column alignment and formatting, an
+optional trailing average row, and markdown output for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+class Column:
+    """One column of a :class:`Table`.
+
+    Parameters
+    ----------
+    title:
+        Header text.
+    fmt:
+        ``format()`` spec applied to each cell value (e.g. ``".2f"``).
+        Non-numeric cells are rendered with ``str()``.
+    align:
+        ``"left"`` or ``"right"``.
+    """
+
+    def __init__(self, title, fmt="", align="right"):
+        if align not in ("left", "right"):
+            raise ValueError("align must be 'left' or 'right', got {!r}".format(align))
+        self.title = title
+        self.fmt = fmt
+        self.align = align
+
+    def render(self, value):
+        """Render one cell value to text."""
+        if value is None:
+            return "-"
+        if self.fmt:
+            try:
+                return format(value, self.fmt)
+            except (TypeError, ValueError):
+                return str(value)
+        return str(value)
+
+
+class Table:
+    """A fixed-schema text table.
+
+    >>> table = Table([Column("name", align="left"), Column("x", ".1f")])
+    >>> table.add_row(["a", 1.25])
+    >>> print(table.render())  # doctest: +NORMALIZE_WHITESPACE
+    name |   x
+    -----+----
+    a    | 1.2
+    """
+
+    def __init__(self, columns):
+        self.columns = [
+            col if isinstance(col, Column) else Column(str(col)) for col in columns
+        ]
+        self.rows = []
+
+    def add_row(self, values):
+        """Append one row; must have exactly one value per column."""
+        values = list(values)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                "row has {} cells, table has {} columns".format(
+                    len(values), len(self.columns)
+                )
+            )
+        self.rows.append(values)
+
+    def _rendered(self):
+        header = [col.title for col in self.columns]
+        body = [
+            [col.render(value) for col, value in zip(self.columns, row)]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[j]), *(len(row[j]) for row in body)) if body else len(header[j])
+            for j in range(len(self.columns))
+        ]
+        return header, body, widths
+
+    def render(self):
+        """Render the table as aligned plain text."""
+        header, body, widths = self._rendered()
+        lines = [self._render_line(header, widths)]
+        lines.append("-+-".join("-" * width for width in widths))
+        for row in body:
+            lines.append(self._render_line(row, widths))
+        return "\n".join(lines)
+
+    def render_markdown(self):
+        """Render the table as GitHub-flavoured markdown."""
+        header, body, _ = self._rendered()
+        lines = ["| " + " | ".join(header) + " |"]
+        separators = [
+            "---:" if col.align == "right" else ":---" for col in self.columns
+        ]
+        lines.append("| " + " | ".join(separators) + " |")
+        for row in body:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def _render_line(self, cells, widths):
+        rendered = []
+        for cell, width, col in zip(cells, widths, self.columns):
+            if col.align == "left":
+                rendered.append(cell.ljust(width))
+            else:
+                rendered.append(cell.rjust(width))
+        return " | ".join(rendered).rstrip()

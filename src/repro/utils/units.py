@@ -1,0 +1,91 @@
+"""Unit conventions and temperature conversions.
+
+The compact thermal model treats temperature as a nodal potential
+measured against a hypothetical ground at absolute zero (Section IV.A
+of the paper).  All internal computation therefore happens in Kelvin.
+User-facing inputs and reports (ambient temperature, thermal limits,
+peak temperatures) use Celsius, matching the paper's tables.
+
+Other unit conventions used throughout the library:
+
+===================  =========================
+Quantity             Unit
+===================  =========================
+length               metre (m)
+power                watt (W)
+power density        W / m^2 (W / cm^2 only in reports)
+thermal conductance  W / K
+thermal conductivity W / (m K)
+electrical current   ampere (A)
+Seebeck coefficient  V / K
+resistance           ohm
+===================  =========================
+"""
+
+from __future__ import annotations
+
+CELSIUS_OFFSET = 273.15
+"""Offset between the Celsius and Kelvin scales."""
+
+ABSOLUTE_ZERO_CELSIUS = -CELSIUS_OFFSET
+"""Absolute zero expressed in Celsius."""
+
+CM2_PER_M2 = 1.0e4
+"""Square centimetres per square metre (for power-density reports)."""
+
+
+def celsius_to_kelvin(temperature_c):
+    """Convert a temperature (scalar or array) from Celsius to Kelvin.
+
+    Raises
+    ------
+    ValueError
+        If the temperature is below absolute zero.
+    """
+    kelvin = _as_kelvin(temperature_c)
+    return kelvin
+
+
+def kelvin_to_celsius(temperature_k):
+    """Convert a temperature (scalar or array) from Kelvin to Celsius.
+
+    Raises
+    ------
+    ValueError
+        If the temperature is negative (below absolute zero).
+    """
+    import numpy as np
+
+    arr = np.asarray(temperature_k, dtype=float)
+    if np.any(arr < 0.0):
+        raise ValueError(
+            "temperature below absolute zero: {!r} K".format(temperature_k)
+        )
+    result = arr - CELSIUS_OFFSET
+    if np.ndim(temperature_k) == 0:
+        return float(result)
+    return result
+
+
+def watts_per_m2_to_w_per_cm2(density):
+    """Convert a power density from W/m^2 to the W/cm^2 used in reports."""
+    return density / CM2_PER_M2
+
+
+def w_per_cm2_to_watts_per_m2(density):
+    """Convert a power density from W/cm^2 to the internal W/m^2."""
+    return density * CM2_PER_M2
+
+
+def _as_kelvin(temperature_c):
+    import numpy as np
+
+    arr = np.asarray(temperature_c, dtype=float)
+    if np.any(arr < ABSOLUTE_ZERO_CELSIUS):
+        raise ValueError(
+            "temperature below absolute zero: {!r} C".format(temperature_c)
+        )
+    result = arr + CELSIUS_OFFSET
+    if np.ndim(temperature_c) == 0:
+        return float(result)
+    return result

@@ -1,0 +1,91 @@
+"""Shared fixtures.
+
+Expensive objects (the Alpha benchmark problem, its greedy solution,
+deployed models) are session-scoped: they are deterministic, immutable
+in the tests that share them, and dominate collection time otherwise.
+Small synthetic instances are provided for tests that need fast
+construction or mutation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.deploy import greedy_deploy
+from repro.core.problem import CoolingSystemProblem
+from repro.experiments.benchmarks import load_benchmark
+from repro.thermal.geometry import TileGrid
+from repro.thermal.model import PackageThermalModel
+
+
+@pytest.fixture(scope="session")
+def alpha_problem():
+    """The Alpha Table I benchmark problem (limit 85 C)."""
+    return load_benchmark("alpha")
+
+
+@pytest.fixture(scope="session")
+def alpha_greedy(alpha_problem):
+    """GreedyDeploy solution of the Alpha benchmark."""
+    return greedy_deploy(alpha_problem)
+
+
+@pytest.fixture(scope="session")
+def alpha_model(alpha_problem):
+    """Bare (no-TEC) Alpha package model."""
+    return alpha_problem.model(())
+
+
+@pytest.fixture(scope="session")
+def alpha_deployed(alpha_greedy):
+    """The Alpha model at the greedy deployment."""
+    return alpha_greedy.model
+
+
+def _hotspot_power_map(grid, base=0.08, hot=0.55, hot_tiles=(5, 6, 9, 10)):
+    power = np.full(grid.num_tiles, base)
+    for tile in hot_tiles:
+        power[tile] = hot
+    return power
+
+
+@pytest.fixture(scope="session")
+def small_grid():
+    """A 4x4 grid of TEC-sized tiles (2 mm x 2 mm die)."""
+    return TileGrid(4, 4)
+
+
+@pytest.fixture(scope="session")
+def small_power(small_grid):
+    """A power map with a 2x2 hot block in the middle."""
+    return _hotspot_power_map(small_grid)
+
+
+@pytest.fixture(scope="session")
+def small_model(small_grid, small_power):
+    """Bare small package model."""
+    return PackageThermalModel(small_grid, small_power)
+
+
+@pytest.fixture(scope="session")
+def small_deployed(small_grid, small_power):
+    """Small package model with TECs over the hot block."""
+    return PackageThermalModel(small_grid, small_power, tec_tiles=(5, 6, 9, 10))
+
+
+@pytest.fixture(scope="session")
+def small_problem(small_grid, small_power, small_model):
+    """A feasible small cooling problem: limit between the bare peak
+    and what the TECs can reach."""
+    bare_peak = small_model.solve(0.0).peak_silicon_c
+    return CoolingSystemProblem(
+        small_grid,
+        small_power,
+        max_temperature_c=bare_peak - 0.5,
+        name="small",
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(20100308)

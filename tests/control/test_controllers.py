@@ -1,0 +1,101 @@
+"""Supply-current controllers."""
+
+import pytest
+
+from repro.control.controllers import (
+    BangBangController,
+    ConstantCurrentController,
+    PiController,
+)
+
+
+class TestConstant:
+    def test_always_same(self):
+        controller = ConstantCurrentController(5.5)
+        assert controller.update(200.0, 0.1) == 5.5
+        assert controller.update(20.0, 0.1) == 5.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantCurrentController(-1.0)
+
+
+class TestBangBang:
+    def test_engages_above_threshold(self):
+        controller = BangBangController(85.0, hysteresis_c=2.0, i_on=6.0)
+        assert controller.update(84.0, 0.1) == 0.0
+        assert controller.update(85.5, 0.1) == 6.0
+        assert controller.engaged
+
+    def test_hysteresis_band_holds(self):
+        controller = BangBangController(85.0, hysteresis_c=2.0, i_on=6.0)
+        controller.update(86.0, 0.1)  # engage
+        # inside the band: stays on
+        assert controller.update(84.0, 0.1) == 6.0
+        # below band: releases
+        assert controller.update(82.9, 0.1) == 0.0
+        assert not controller.engaged
+
+    def test_reset(self):
+        controller = BangBangController(85.0)
+        controller.update(90.0, 0.1)
+        controller.reset()
+        assert not controller.engaged
+
+    def test_i_off_validation(self):
+        with pytest.raises(ValueError):
+            BangBangController(85.0, i_on=2.0, i_off=3.0)
+
+    def test_nonzero_i_off(self):
+        controller = BangBangController(85.0, i_on=6.0, i_off=1.0)
+        assert controller.update(80.0, 0.1) == 1.0
+
+
+class TestPi:
+    def test_zero_at_setpoint_from_reset(self):
+        controller = PiController(85.0, kp=1.0, ki=0.1)
+        assert controller.update(85.0, 0.1) == 0.0
+
+    def test_proportional_response(self):
+        controller = PiController(85.0, kp=2.0, ki=0.0)
+        assert controller.update(87.0, 0.1) == pytest.approx(4.0)
+
+    def test_integral_accumulates(self):
+        controller = PiController(85.0, kp=0.0, ki=1.0)
+        first = controller.update(86.0, 1.0)
+        second = controller.update(86.0, 1.0)
+        assert second > first > 0.0
+
+    def test_clamped_to_i_max(self):
+        controller = PiController(85.0, kp=100.0, i_max=8.0)
+        assert controller.update(200.0, 0.1) == 8.0
+
+    def test_never_negative(self):
+        controller = PiController(85.0, kp=1.0)
+        assert controller.update(20.0, 0.1) == 0.0
+
+    def test_anti_windup_recovers_quickly(self):
+        """After a long saturated-hot phase the integrator must not
+        have wound up: one cool reading drops the command."""
+        controller = PiController(85.0, kp=1.0, ki=1.0, i_max=5.0)
+        for _ in range(100):
+            controller.update(95.0, 1.0)  # deeply saturated
+        cooled = controller.update(84.0, 1.0)
+        assert cooled < 5.0
+
+    def test_low_side_anti_windup(self):
+        controller = PiController(85.0, kp=1.0, ki=1.0, i_max=5.0)
+        for _ in range(100):
+            controller.update(50.0, 1.0)  # saturated at zero
+        heated = controller.update(86.5, 1.0)
+        assert heated > 0.0
+
+    def test_reset_clears_integrator(self):
+        controller = PiController(85.0, kp=0.0, ki=1.0)
+        controller.update(90.0, 1.0)
+        controller.reset()
+        assert controller.update(85.0, 1.0) == 0.0
+
+    def test_dt_validated(self):
+        with pytest.raises(ValueError):
+            PiController(85.0).update(86.0, 0.0)

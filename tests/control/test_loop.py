@@ -1,0 +1,168 @@
+"""The closed-loop DTM simulator."""
+
+import numpy as np
+import pytest
+
+from repro.control.controllers import (
+    BangBangController,
+    ConstantCurrentController,
+    PiController,
+)
+from repro.control.loop import ClosedLoopSimulator
+from repro.control.sensors import SensorArray
+
+
+@pytest.fixture(scope="module")
+def sensors(request):
+    deployed = request.getfixturevalue("small_deployed")
+    tiles = set(deployed.tec_tiles) | {deployed.solve(0.0).peak_tile}
+    return SensorArray(tiles, noise_std_c=0.0, quantization_c=0.0, seed=0)
+
+
+class TestConstruction:
+    def test_requires_deployment(self, small_model, sensors):
+        with pytest.raises(ValueError, match="deployed"):
+            ClosedLoopSimulator(
+                small_model, ConstantCurrentController(0.0), sensors
+            )
+
+    def test_parameter_validation(self, small_deployed, sensors):
+        with pytest.raises(ValueError):
+            ClosedLoopSimulator(
+                small_deployed, ConstantCurrentController(0.0), sensors, dt=0.0
+            )
+        with pytest.raises(ValueError):
+            ClosedLoopSimulator(
+                small_deployed, ConstantCurrentController(0.0), sensors,
+                safety_fraction=1.5,
+            )
+
+
+class TestOpenLoopEquivalence:
+    def test_constant_controller_matches_transient(self, small_deployed, sensors):
+        """A constant-current closed loop is exactly the open-loop
+        transient at that (quantized) current."""
+        from repro.thermal.transient import TransientSimulator
+
+        current = 4.0
+        loop = ClosedLoopSimulator(
+            small_deployed, ConstantCurrentController(current), sensors,
+            dt=0.05, control_period=0.05,
+        )
+        result = loop.run(40)
+        reference = TransientSimulator(small_deployed, current=current, dt=0.05)
+        expected = reference.run(40)
+        assert np.allclose(result.true_peak_c, expected, atol=1e-9)
+        assert result.factorizations == 1
+
+    def test_zero_current_heats_to_passive_steady(self, small_deployed, sensors):
+        loop = ClosedLoopSimulator(
+            small_deployed, ConstantCurrentController(0.0), sensors, dt=1.0
+        )
+        result = loop.run(400)
+        steady = small_deployed.solve(0.0).peak_silicon_c
+        assert result.true_peak_c[-1] == pytest.approx(steady, abs=0.1)
+
+
+class TestSafetyCeiling:
+    def test_commands_clamped_below_runaway(self, small_deployed, sensors):
+        runaway = small_deployed.runaway_current().value
+        loop = ClosedLoopSimulator(
+            small_deployed,
+            ConstantCurrentController(10.0 * runaway),
+            sensors,
+            safety_fraction=0.5,
+        )
+        result = loop.run(5)
+        assert np.all(result.current_a <= 0.5 * runaway + 1e-9)
+        assert np.all(np.isfinite(result.true_peak_c))
+
+
+class TestBangBangLoop:
+    @pytest.fixture(scope="class")
+    def outcome(self, request):
+        deployed = request.getfixturevalue("small_deployed")
+        tiles = set(deployed.tec_tiles) | {deployed.solve(0.0).peak_tile}
+        sensors = SensorArray(tiles, noise_std_c=0.0, quantization_c=0.0)
+        bare_peak = deployed.solve(0.0).peak_silicon_c
+        controller = BangBangController(
+            bare_peak - 3.0, hysteresis_c=0.5, i_on=5.0
+        )
+        loop = ClosedLoopSimulator(
+            deployed, controller, sensors, dt=0.5, control_period=0.5
+        )
+        return loop.run(600), bare_peak
+
+    def test_regulates_between_on_and_off_levels(self, outcome):
+        """The TEC responds faster than the 0.5 s control period, so
+        the loop chatters between the on/off quasi-steady peaks; the
+        contract is that it never exceeds the passive steady state and
+        spends substantial time well below the threshold."""
+        result, bare_peak = outcome
+        threshold = bare_peak - 3.0
+        settled = result.true_peak_c[200:]
+        assert np.max(settled) < bare_peak + 0.5
+        assert np.min(settled) < threshold - 1.0
+        duty = float(np.mean(result.current_a[200:] > 0.0))
+        assert 0.1 < duty < 0.9
+
+    def test_controller_actually_switches(self, outcome):
+        result, _ = outcome
+        assert set(np.unique(result.current_a)) == {0.0, 5.0}
+
+    def test_two_factorizations_only(self, outcome):
+        result, _ = outcome
+        assert result.factorizations == 2
+
+    def test_energy_accounted(self, outcome):
+        result, _ = outcome
+        assert result.tec_energy_j > 0.0
+
+    def test_time_above_helper(self, outcome):
+        result, bare_peak = outcome
+        assert 0.0 <= result.time_above(bare_peak - 3.0) <= 1.0
+        assert result.time_above(-100.0) == 1.0
+
+
+class TestPiLoop:
+    def test_tracks_setpoint(self, small_deployed, sensors):
+        bare_peak = small_deployed.solve(0.0).peak_silicon_c
+        optimum_peak = small_deployed.solve(4.0).peak_silicon_c
+        setpoint = 0.5 * (bare_peak + optimum_peak)  # reachable target
+        controller = PiController(setpoint, kp=0.5, ki=0.3, i_max=8.0)
+        loop = ClosedLoopSimulator(
+            small_deployed, controller, sensors, dt=0.5, control_period=0.5
+        )
+        result = loop.run(1000)
+        settled = result.true_peak_c[-200:]
+        assert float(np.mean(settled)) == pytest.approx(setpoint, abs=0.2)
+
+    def test_quantized_current_levels(self, small_deployed, sensors):
+        controller = PiController(60.0, kp=1.0, ki=0.1, i_max=6.0)
+        loop = ClosedLoopSimulator(
+            small_deployed, controller, sensors,
+            dt=0.5, control_period=1.0, current_quantum=0.25,
+        )
+        result = loop.run(100)
+        levels = np.unique(result.current_a)
+        assert np.allclose(levels / 0.25, np.round(levels / 0.25))
+        assert result.factorizations == len(levels)
+
+
+class TestPowerSchedule:
+    def test_burst_engages_controller(self, small_deployed, sensors):
+        bare_peak = small_deployed.solve(0.0).peak_silicon_c
+        controller = BangBangController(bare_peak - 5.0, i_on=5.0)
+        loop = ClosedLoopSimulator(
+            small_deployed, controller, sensors, dt=0.5, control_period=0.5
+        )
+        low = 0.3 * small_deployed.power_map
+
+        def schedule(step, _t):
+            return None if step > 300 else low
+
+        result = loop.run(500, power_schedule=schedule)
+        # during the low phase the controller stays off...
+        assert np.all(result.current_a[:100] == 0.0)
+        # ...and the full-power phase engages it.
+        assert np.any(result.current_a[320:] > 0.0)

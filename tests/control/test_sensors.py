@@ -1,0 +1,68 @@
+"""Thermal sensor models."""
+
+import numpy as np
+import pytest
+
+from repro.control.sensors import SensorArray, ThermalSensor
+
+
+class TestThermalSensor:
+    def test_noiseless_unquantized_is_exact(self):
+        sensor = ThermalSensor(2, noise_std_c=0.0, quantization_c=0.0)
+        assert sensor.read([10.0, 20.0, 30.0]) == 30.0
+
+    def test_quantization_rounds_to_step(self):
+        sensor = ThermalSensor(0, noise_std_c=0.0, quantization_c=0.5)
+        assert sensor.read([85.3]) == pytest.approx(85.5)
+        assert sensor.read([85.2]) == pytest.approx(85.0)
+
+    def test_noise_statistics(self):
+        sensor = ThermalSensor(0, noise_std_c=1.0, quantization_c=0.0, seed=1)
+        reads = np.array([sensor.read([50.0]) for _ in range(4000)])
+        assert reads.mean() == pytest.approx(50.0, abs=0.1)
+        assert reads.std() == pytest.approx(1.0, abs=0.1)
+
+    def test_deterministic_stream(self):
+        a = ThermalSensor(0, seed=7)
+        b = ThermalSensor(0, seed=7)
+        assert [a.read([60.0]) for _ in range(5)] == [
+            b.read([60.0]) for _ in range(5)
+        ]
+
+    def test_tile_bounds_checked(self):
+        sensor = ThermalSensor(5, noise_std_c=0.0)
+        with pytest.raises(IndexError):
+            sensor.read([1.0, 2.0])
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalSensor(0, noise_std_c=-1.0)
+
+
+class TestSensorArray:
+    def test_requires_tiles(self):
+        with pytest.raises(ValueError):
+            SensorArray([])
+
+    def test_tiles_deduplicated_sorted(self):
+        array = SensorArray([3, 1, 3])
+        assert array.tiles == [1, 3]
+
+    def test_read_max_tracks_hottest_instrumented_tile(self):
+        array = SensorArray([0, 2], noise_std_c=0.0, quantization_c=0.0)
+        assert array.read_max([10.0, 99.0, 30.0]) == 30.0  # tile 1 blind
+
+    def test_read_all_ordering(self):
+        array = SensorArray([2, 0], noise_std_c=0.0, quantization_c=0.0)
+        assert np.array_equal(array.read_all([5.0, 6.0, 7.0]), [5.0, 7.0])
+
+    def test_for_deployment_instruments_covered_and_peak(self, alpha_greedy):
+        array = SensorArray.for_deployment(alpha_greedy, noise_std_c=0.0)
+        covered = set(alpha_greedy.tec_tiles)
+        peak = alpha_greedy.model.solve(0.0).peak_tile
+        assert covered | {peak} == set(array.tiles)
+
+    def test_independent_sensor_streams(self):
+        array = SensorArray([0, 1], noise_std_c=1.0, quantization_c=0.0, seed=3)
+        reads = array.read_all([50.0, 50.0])
+        assert reads[0] != reads[1]

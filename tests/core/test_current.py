@@ -1,0 +1,92 @@
+"""Problem 2: the convex current-setting subroutine."""
+
+import numpy as np
+import pytest
+
+from repro.core.current import minimize_peak_temperature
+
+
+class TestGoldenSection:
+    @pytest.fixture(scope="class")
+    def optimum(self, small_deployed):
+        return minimize_peak_temperature(small_deployed, record_history=True)
+
+    def test_interior_optimum(self, optimum):
+        assert 0.0 < optimum.current < optimum.lambda_m
+
+    def test_beats_endpoints(self, small_deployed, optimum):
+        peak_zero = small_deployed.solve(0.0).peak_silicon_c
+        assert optimum.peak_c <= peak_zero + 1e-9
+
+    def test_first_order_optimality(self, small_deployed, optimum):
+        """The optimum is a local (hence global, convex) minimum."""
+        delta = 0.05
+        left = small_deployed.solve(max(optimum.current - delta, 0.0)).peak_silicon_c
+        right = small_deployed.solve(optimum.current + delta).peak_silicon_c
+        assert optimum.peak_c <= left + 1e-6
+        assert optimum.peak_c <= right + 1e-6
+
+    def test_beats_dense_grid(self, small_deployed, optimum):
+        grid = np.linspace(0.0, 0.9 * optimum.lambda_m, 120)
+        best = min(small_deployed.solve(i).peak_silicon_c for i in grid)
+        assert optimum.peak_c <= best + 0.02
+
+    def test_history_recorded(self, optimum):
+        assert optimum.history
+        assert all(len(pair) == 2 for pair in optimum.history)
+
+    def test_converged_flag(self, optimum):
+        assert optimum.converged
+        assert optimum.method == "golden"
+
+    def test_evaluation_budget_reasonable(self, optimum):
+        assert optimum.evaluations < 120
+
+
+class TestGradientDescent:
+    def test_agrees_with_golden(self, small_deployed):
+        golden = minimize_peak_temperature(small_deployed, method="golden")
+        gradient = minimize_peak_temperature(small_deployed, method="gradient")
+        assert gradient.peak_c == pytest.approx(golden.peak_c, abs=0.05)
+
+    def test_method_label(self, small_deployed):
+        result = minimize_peak_temperature(small_deployed, method="gradient")
+        assert result.method == "gradient"
+
+
+class TestEdgeCases:
+    def test_no_tec_model_trivial(self, small_model):
+        result = minimize_peak_temperature(small_model)
+        assert result.current == 0.0
+        assert np.isinf(result.lambda_m)
+        assert result.converged
+
+    def test_unknown_method(self, small_deployed):
+        with pytest.raises(ValueError, match="unknown method"):
+            minimize_peak_temperature(small_deployed, method="simplex")
+
+    def test_tolerance_validated(self, small_deployed):
+        with pytest.raises(ValueError):
+            minimize_peak_temperature(small_deployed, tolerance=0.0)
+
+    def test_safety_fraction_validated(self, small_deployed):
+        with pytest.raises(ValueError):
+            minimize_peak_temperature(small_deployed, safety_fraction=1.0)
+
+    def test_result_peak_matches_model(self, small_deployed):
+        result = minimize_peak_temperature(small_deployed)
+        assert small_deployed.solve(result.current).peak_silicon_c == pytest.approx(
+            result.peak_c
+        )
+
+
+class TestGradientExactness:
+    def test_analytic_gradient_matches_finite_difference(self, small_deployed):
+        from repro.core.current import _PeakObjective
+
+        objective = _PeakObjective(small_deployed)
+        current = 3.0
+        grad, _ = objective.gradient(current)
+        h = 1e-5
+        fd = (objective(current + h) - objective(current - h)) / (2.0 * h)
+        assert grad == pytest.approx(fd, rel=1e-4, abs=1e-6)

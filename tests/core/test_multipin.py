@@ -1,0 +1,143 @@
+"""Multi-pin (per-group current) optimization."""
+
+import numpy as np
+import pytest
+
+from repro.core.current import minimize_peak_temperature
+from repro.core.multipin import (
+    MultiPinModel,
+    cluster_devices,
+    optimize_pin_groups,
+)
+
+
+class TestMultiPinModel:
+    def test_requires_deployment(self, small_model):
+        with pytest.raises(ValueError, match="deployed"):
+            MultiPinModel(small_model)
+
+    def test_uniform_vector_matches_shared_solve(self, small_deployed):
+        pin_model = MultiPinModel(small_deployed)
+        current = 4.0
+        uniform = np.full(pin_model.num_devices, current)
+        theta = pin_model.solve(uniform)
+        expected = small_deployed.solve(current).theta_k
+        assert np.allclose(theta, expected, atol=1e-9)
+
+    def test_peak_matches_shared_solve(self, small_deployed):
+        pin_model = MultiPinModel(small_deployed)
+        uniform = np.full(pin_model.num_devices, 3.0)
+        assert pin_model.peak_silicon_c(uniform) == pytest.approx(
+            small_deployed.solve(3.0).peak_silicon_c
+        )
+
+    def test_power_matches_shared_solve(self, small_deployed):
+        pin_model = MultiPinModel(small_deployed)
+        uniform = np.full(pin_model.num_devices, 5.0)
+        assert pin_model.tec_input_power_w(uniform) == pytest.approx(
+            small_deployed.solve(5.0).tec_input_power_w(), rel=1e-9
+        )
+
+    def test_vector_validation(self, small_deployed):
+        pin_model = MultiPinModel(small_deployed)
+        with pytest.raises(ValueError, match="length"):
+            pin_model.solve(np.zeros(2))
+        with pytest.raises(ValueError, match="non-negative"):
+            pin_model.solve(np.full(pin_model.num_devices, -1.0))
+
+    def test_asymmetric_currents_change_field(self, small_deployed):
+        pin_model = MultiPinModel(small_deployed)
+        n = pin_model.num_devices
+        a = np.full(n, 3.0)
+        b = a.copy()
+        b[0] = 6.0
+        assert not np.allclose(pin_model.solve(a), pin_model.solve(b))
+
+
+class TestClustering:
+    def test_one_group_is_everything(self, small_deployed):
+        groups = cluster_devices(small_deployed, 1)
+        assert groups == [list(range(len(small_deployed.stamps)))]
+
+    def test_n_groups_are_singletons(self, small_deployed):
+        n = len(small_deployed.stamps)
+        groups = cluster_devices(small_deployed, n)
+        assert sorted(len(g) for g in groups) == [1] * n
+
+    def test_partition_property(self, alpha_deployed):
+        groups = cluster_devices(alpha_deployed, 3)
+        seen = sorted(device for group in groups for device in group)
+        assert seen == list(range(len(alpha_deployed.stamps)))
+
+    def test_deterministic(self, alpha_deployed):
+        assert cluster_devices(alpha_deployed, 3) == cluster_devices(
+            alpha_deployed, 3
+        )
+
+    def test_bounds_checked(self, small_deployed):
+        with pytest.raises(ValueError):
+            cluster_devices(small_deployed, 0)
+        with pytest.raises(ValueError):
+            cluster_devices(small_deployed, 99)
+
+    def test_spatial_coherence(self, alpha_deployed):
+        """Each cluster's members sit nearer their own centroid than
+        any other cluster's centroid."""
+        grid = alpha_deployed.grid
+        groups = cluster_devices(alpha_deployed, 2)
+        points = [
+            np.array(
+                [
+                    grid.tile_center(*grid.row_col(alpha_deployed.stamps[j].tile))
+                    for j in group
+                ]
+            )
+            for group in groups
+        ]
+        centroids = [p.mean(axis=0) for p in points]
+        for gi, members in enumerate(points):
+            for point in members:
+                own = np.linalg.norm(point - centroids[gi])
+                for gj, other in enumerate(centroids):
+                    if gj != gi:
+                        assert own <= np.linalg.norm(point - other) + 1e-12
+
+
+class TestOptimization:
+    def test_single_group_stays_at_shared_optimum(self, small_deployed):
+        shared = minimize_peak_temperature(small_deployed)
+        result = optimize_pin_groups(small_deployed, num_groups=1, max_sweeps=2)
+        assert result.peak_c == pytest.approx(shared.peak_c, abs=0.05)
+        assert result.improvement_c == pytest.approx(0.0, abs=0.05)
+
+    def test_per_device_never_worse(self, small_deployed):
+        result = optimize_pin_groups(small_deployed, max_sweeps=2)
+        assert result.peak_c <= result.shared_peak_c + 1e-6
+        assert result.improvement_c >= -1e-6
+
+    def test_group_expansion_consistent(self, small_deployed):
+        result = optimize_pin_groups(small_deployed, num_groups=2, max_sweeps=1)
+        for group, current in zip(result.groups, result.group_currents):
+            for device in group:
+                assert result.device_currents[device] == pytest.approx(current)
+
+    def test_explicit_groups_validated(self, small_deployed):
+        with pytest.raises(ValueError, match="partition"):
+            optimize_pin_groups(small_deployed, groups=[[0, 0], [1]])
+        with pytest.raises(ValueError, match="cover"):
+            optimize_pin_groups(small_deployed, groups=[[0]])
+
+    def test_groups_and_num_groups_exclusive(self, small_deployed):
+        with pytest.raises(ValueError, match="not both"):
+            optimize_pin_groups(
+                small_deployed, groups=[[0, 1, 2, 3]], num_groups=2
+            )
+
+    def test_more_groups_never_worse_than_fewer(self, small_deployed):
+        one = optimize_pin_groups(small_deployed, num_groups=1, max_sweeps=2)
+        per_device = optimize_pin_groups(small_deployed, max_sweeps=2)
+        assert per_device.peak_c <= one.peak_c + 0.05
+
+    def test_evaluation_accounting(self, small_deployed):
+        result = optimize_pin_groups(small_deployed, num_groups=2, max_sweeps=1)
+        assert result.evaluations > 0

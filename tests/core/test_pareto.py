@@ -1,0 +1,74 @@
+"""Peak-vs-power Pareto analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.current import minimize_peak_temperature
+from repro.core.pareto import pareto_front
+
+
+class TestParetoFront:
+    @pytest.fixture(scope="class")
+    def front(self, request):
+        model = request.getfixturevalue("small_deployed")
+        return pareto_front(model, [0.0, 0.05, 0.2, 1.0, 100.0])
+
+    def test_requires_deployment(self, small_model):
+        with pytest.raises(ValueError, match="deployed"):
+            pareto_front(small_model, [1.0])
+
+    def test_needs_budgets(self, small_deployed):
+        with pytest.raises(ValueError, match="budget"):
+            pareto_front(small_deployed, [])
+
+    def test_rejects_negative_budget(self, small_deployed):
+        with pytest.raises(ValueError):
+            pareto_front(small_deployed, [-1.0])
+
+    def test_monotone_trade_off(self, front):
+        """More budget never hurts: peaks non-increasing in budget."""
+        peaks = front.peaks()
+        assert np.all(np.diff(peaks) <= 1e-9)
+
+    def test_budgets_respected(self, front):
+        for point in front.points:
+            assert point.p_tec_w <= point.budget_w + 1e-3
+
+    def test_zero_budget_still_cools(self, front, small_deployed):
+        """At zero *net* electrical budget the device can still run:
+        at small currents the Seebeck voltage across the passive
+        temperature differential drives the device in generation mode
+        (P_TEC <= 0), so the zero-budget point carries a positive
+        current and beats the passive peak."""
+        zero = front.points[0]
+        assert zero.p_tec_w <= 1e-3
+        assert zero.current_a > 0.0
+        assert zero.peak_c <= small_deployed.solve(0.0).peak_silicon_c + 1e-9
+
+    def test_large_budget_reaches_unconstrained_optimum(self, front, small_deployed):
+        unconstrained = minimize_peak_temperature(small_deployed)
+        top = front.points[-1]
+        assert not top.budget_binding
+        assert top.peak_c == pytest.approx(unconstrained.peak_c, abs=1e-3)
+
+    def test_binding_flags(self, front):
+        binding = [p.budget_binding for p in front.points]
+        # small budgets bind, the huge one does not
+        assert binding[0] is True
+        assert binding[-1] is False
+
+    def test_anchor_fields(self, front, small_deployed):
+        assert front.i_opt_a > 0.0
+        assert front.p_tec_at_opt_w > 0.0
+        assert front.min_peak_c <= front.peaks()[0]
+
+    def test_half_power_recovers_most_of_the_swing(self, small_deployed):
+        """Diminishing returns: half the optimal P_TEC budget buys
+        well over half of the achievable cooling swing."""
+        optimum = minimize_peak_temperature(small_deployed)
+        p_opt = small_deployed.solve(optimum.current).tec_input_power_w()
+        passive = small_deployed.solve(0.0).peak_silicon_c
+        front = pareto_front(small_deployed, [0.5 * p_opt])
+        swing_full = passive - optimum.peak_c
+        swing_half = passive - front.points[0].peak_c
+        assert swing_half > 0.6 * swing_full

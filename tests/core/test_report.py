@@ -1,0 +1,64 @@
+"""Benchmark rows and Table-I formatting."""
+
+import pytest
+
+from repro.core.baselines import full_cover
+from repro.core.report import BenchmarkRow, format_table1
+
+
+@pytest.fixture(scope="module")
+def row(alpha_problem_mod, alpha_greedy_mod):
+    fc = full_cover(alpha_problem_mod)
+    return BenchmarkRow.from_results("alpha", 85.0, alpha_greedy_mod, fc)
+
+
+@pytest.fixture(scope="module")
+def alpha_problem_mod(request):
+    return request.getfixturevalue("alpha_problem")
+
+
+@pytest.fixture(scope="module")
+def alpha_greedy_mod(request):
+    return request.getfixturevalue("alpha_greedy")
+
+
+class TestBenchmarkRow:
+    def test_fields_from_results(self, row, alpha_greedy_mod):
+        assert row.num_tecs == alpha_greedy_mod.num_tecs
+        assert row.i_opt_a == pytest.approx(alpha_greedy_mod.current)
+        assert row.theta_peak_c == pytest.approx(alpha_greedy_mod.no_tec_peak_c)
+        assert row.feasible
+
+    def test_swing_loss_definition(self, row, alpha_greedy_mod):
+        assert row.swing_loss_c == pytest.approx(
+            row.fullcover_min_peak_c - alpha_greedy_mod.peak_c
+        )
+
+    def test_cooling_swing(self, row):
+        assert row.cooling_swing_c == pytest.approx(
+            row.theta_peak_c - row.greedy_peak_c
+        )
+
+
+class TestFormatting:
+    def test_header_columns(self, row):
+        text = format_table1([row])
+        assert "theta_peak" in text and "SwingLoss" in text and "#TECs" in text
+
+    def test_average_row(self, row):
+        text = format_table1([row, row])
+        assert "Avg." in text
+
+    def test_no_average(self, row):
+        text = format_table1([row], include_average=False)
+        assert "Avg." not in text
+
+    def test_markdown(self, row):
+        md = format_table1([row], markdown=True)
+        assert md.startswith("| bench |")
+
+    def test_infeasible_marker(self, row):
+        import dataclasses
+
+        bad = dataclasses.replace(row, feasible=False)
+        assert "NO" in format_table1([bad], include_average=False)

@@ -1,0 +1,81 @@
+"""System-level thermal-runaway curves (Theorem 2 made visible)."""
+
+import numpy as np
+import pytest
+
+from repro.core.runaway import influence_sweep, runaway_curve
+
+
+class TestRunawayCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, small_deployed):
+        return runaway_curve(small_deployed, max_fraction=0.999)
+
+    def test_requires_tecs(self, small_model):
+        with pytest.raises(ValueError, match="no TECs"):
+            runaway_curve(small_model)
+
+    def test_samples_below_lambda_m(self, curve):
+        assert np.all(curve.currents < curve.lambda_m)
+
+    def test_temperature_diverges(self, curve):
+        """Theorem 2: peak temperature explodes approaching lambda_m."""
+        assert curve.peak_c[-1] > 10.0 * curve.peak_c[0]
+        assert curve.diverged
+
+    def test_h_entry_diverges_with_temperature(self, curve):
+        assert curve.h_peak[-1] > 10.0 * curve.h_peak[0]
+
+    def test_nonmonotone_then_explodes(self, small_deployed):
+        """The curve first dips (cooling) then blows up — the shape of
+        Figure 6.  Fine fractions near zero expose the dip, which sits
+        at a few amperes while lambda_m is two orders larger."""
+        fine = runaway_curve(
+            small_deployed,
+            fractions=[0.0, 0.005, 0.01, 0.02, 0.1, 0.5, 0.99],
+        )
+        assert np.argmin(fine.peak_c) > 0
+        assert np.argmax(fine.peak_c) == len(fine.peak_c) - 1
+
+    def test_blow_up_ratio(self, curve):
+        assert curve.blow_up_ratio() > 10.0
+
+    def test_fraction_validation(self, small_deployed):
+        with pytest.raises(ValueError):
+            runaway_curve(small_deployed, fractions=[0.5, 1.2])
+        with pytest.raises(ValueError):
+            runaway_curve(small_deployed, max_fraction=1.0)
+
+    def test_explicit_fractions(self, small_deployed):
+        curve = runaway_curve(small_deployed, fractions=[0.0, 0.5, 0.9])
+        assert curve.currents.shape == (3,)
+
+
+class TestInfluenceSweep:
+    def test_matrix_of_pairs(self, small_deployed):
+        nodes = small_deployed.silicon_nodes
+        pairs = [(nodes[0], nodes[0]), (nodes[0], nodes[5])]
+        currents = [0.0, 2.0, 4.0]
+        values = influence_sweep(small_deployed, pairs, currents)
+        assert values.shape == (2, 3)
+
+    def test_nonnegative_lemma3(self, small_deployed):
+        nodes = small_deployed.silicon_nodes
+        pairs = [(nodes[0], nodes[9]), (nodes[3], nodes[3])]
+        values = influence_sweep(small_deployed, pairs, np.linspace(0, 5, 6))
+        assert np.all(values >= -1e-12)
+
+    def test_symmetry_of_h(self, small_deployed):
+        """H is symmetric: h_kl = h_lk at any current."""
+        nodes = small_deployed.silicon_nodes
+        pairs = [(nodes[0], nodes[7]), (nodes[7], nodes[0])]
+        values = influence_sweep(small_deployed, pairs, [3.0])
+        assert values[0, 0] == pytest.approx(values[1, 0])
+
+    def test_zero_current_matches_passive_inverse(self, small_deployed):
+        node = small_deployed.silicon_nodes[0]
+        value = influence_sweep(small_deployed, [(node, node)], [0.0])[0, 0]
+        unit = np.zeros(small_deployed.num_nodes)
+        unit[node] = 1.0
+        expected = small_deployed.solver.solve_rhs(0.0, unit)[node]
+        assert value == pytest.approx(expected)

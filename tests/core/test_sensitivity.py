@@ -1,0 +1,117 @@
+"""Design robustness: local sensitivities and Monte Carlo yield."""
+
+import numpy as np
+import pytest
+
+from repro.core.deploy import greedy_deploy
+from repro.core.sensitivity import (
+    DEVICE_PARAMETERS,
+    monte_carlo_feasibility,
+    parameter_sensitivities,
+)
+
+
+@pytest.fixture(scope="module")
+def small_design(request):
+    problem = request.getfixturevalue("small_problem")
+    return problem, greedy_deploy(problem)
+
+
+class TestSensitivities:
+    @pytest.fixture(scope="class")
+    def sensitivities(self, request):
+        problem = request.getfixturevalue("small_problem")
+        design = greedy_deploy(problem)
+        return parameter_sensitivities(problem, design.tec_tiles)
+
+    def test_all_parameters_covered(self, sensitivities):
+        names = {s.parameter for s in sensitivities}
+        assert set(DEVICE_PARAMETERS) <= names
+        assert "convection_resistance" in names
+
+    def test_sorted_by_impact(self, sensitivities):
+        impacts = [abs(s.peak_shift_c) for s in sensitivities]
+        assert impacts == sorted(impacts, reverse=True)
+
+    def test_seebeck_helps(self, sensitivities):
+        """+10% Seebeck pumps harder: the achievable peak drops."""
+        by_name = {s.parameter: s for s in sensitivities}
+        assert by_name["seebeck"].peak_shift_c < 0.0
+
+    def test_resistance_hurts(self, sensitivities):
+        """+10% electrical resistance: more Joule, higher peak."""
+        by_name = {s.parameter: s for s in sensitivities}
+        assert by_name["electrical_resistance"].peak_shift_c > 0.0
+
+    def test_seebeck_is_the_dominant_device_parameter(self, sensitivities):
+        """Pumping strength rules the design: the Seebeck coefficient
+        moves the achievable peak more than any other device knob."""
+        by_name = {s.parameter: s for s in sensitivities}
+        seebeck = abs(by_name["seebeck"].peak_shift_c)
+        for name in DEVICE_PARAMETERS:
+            if name != "seebeck":
+                assert seebeck > abs(by_name[name].peak_shift_c), name
+
+    def test_contacts_are_second_order(self, sensitivities):
+        """Contact-conductance changes matter least — consistent with
+        the calibrated contacts being good relative to the film."""
+        by_name = {s.parameter: s for s in sensitivities}
+        contacts = max(
+            abs(by_name["cold_contact_conductance"].peak_shift_c),
+            abs(by_name["hot_contact_conductance"].peak_shift_c),
+        )
+        assert contacts < abs(by_name["seebeck"].peak_shift_c)
+
+    def test_step_validation(self, small_design):
+        problem, design = small_design
+        with pytest.raises(ValueError):
+            parameter_sensitivities(problem, design.tec_tiles, relative_step=0.0)
+
+
+class TestMonteCarlo:
+    @pytest.fixture(scope="class")
+    def outcome(self, request):
+        problem = request.getfixturevalue("small_problem")
+        design = greedy_deploy(problem)
+        return monte_carlo_feasibility(
+            problem, design.tec_tiles, samples=20,
+            coefficient_of_variation=0.05, seed=11,
+        )
+
+    def test_counts(self, outcome):
+        assert outcome.samples == 20
+        assert outcome.peak_c.shape == (20,)
+        assert 0.0 <= outcome.yield_fraction <= 1.0
+
+    def test_extremes_consistent(self, outcome):
+        assert outcome.worst_peak_c == pytest.approx(float(np.max(outcome.peak_c)))
+        assert outcome.best_peak_c == pytest.approx(float(np.min(outcome.peak_c)))
+        assert outcome.best_peak_c <= outcome.nominal_peak_c <= outcome.worst_peak_c + 1.0
+
+    def test_multipliers_recorded_and_truncated(self, outcome):
+        for name in DEVICE_PARAMETERS:
+            values = outcome.multipliers[name]
+            assert values.shape == (20,)
+            assert np.all(values >= 1.0 - 3 * 0.05 - 1e-9)
+            assert np.all(values <= 1.0 + 3 * 0.05 + 1e-9)
+
+    def test_deterministic(self, request):
+        problem = request.getfixturevalue("small_problem")
+        design = greedy_deploy(problem)
+        a = monte_carlo_feasibility(problem, design.tec_tiles, samples=5, seed=3)
+        b = monte_carlo_feasibility(problem, design.tec_tiles, samples=5, seed=3)
+        assert np.array_equal(a.peak_c, b.peak_c)
+
+    def test_small_variation_keeps_design_feasible(self, outcome, request):
+        """With 5% parameter CV the small design's margin holds for
+        most samples."""
+        assert outcome.yield_fraction >= 0.8
+
+    def test_validation(self, small_design):
+        problem, design = small_design
+        with pytest.raises(ValueError):
+            monte_carlo_feasibility(problem, design.tec_tiles, samples=0)
+        with pytest.raises(ValueError):
+            monte_carlo_feasibility(
+                problem, design.tec_tiles, coefficient_of_variation=0.0
+            )

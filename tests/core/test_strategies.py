@@ -1,0 +1,95 @@
+"""Alternative deployment strategies."""
+
+import pytest
+
+from repro.core.deploy import greedy_deploy
+from repro.core.strategies import (
+    compare_strategies,
+    density_threshold_deploy,
+    incremental_deploy,
+)
+
+
+class TestIncremental:
+    @pytest.fixture(scope="class")
+    def outcome(self, request):
+        return incremental_deploy(request.getfixturevalue("small_problem"))
+
+    def test_feasible(self, outcome, small_problem):
+        assert outcome.feasible
+        assert outcome.peak_c <= small_problem.max_temperature_c + 1e-9
+
+    def test_no_larger_than_batch_greedy(self, outcome, small_problem):
+        batch = greedy_deploy(small_problem)
+        assert outcome.num_tecs <= batch.num_tecs
+
+    def test_devices_on_hot_region(self, outcome):
+        assert set(outcome.tec_tiles) <= {5, 6, 9, 10, 0, 1, 2, 4, 8}
+
+    def test_budget_respected(self, small_problem):
+        outcome = incremental_deploy(small_problem, max_devices=1)
+        assert outcome.num_tecs <= 1
+
+    def test_trivial_problem_deploys_nothing(self, small_problem):
+        relaxed = small_problem.with_limit(200.0)
+        outcome = incremental_deploy(relaxed)
+        assert outcome.feasible and outcome.num_tecs == 0
+
+    def test_infeasible_detected(self, small_problem):
+        impossible = small_problem.with_limit(
+            small_problem.stack.ambient_c + 0.5
+        )
+        outcome = incremental_deploy(impossible, max_devices=8)
+        assert not outcome.feasible
+
+
+class TestDensityThreshold:
+    def test_high_threshold_covers_nothing(self, small_problem):
+        outcome = density_threshold_deploy(small_problem, 1e9)
+        assert outcome.num_tecs == 0
+        assert outcome.current_a == 0.0
+
+    def test_zero_threshold_is_full_cover(self, small_problem):
+        outcome = density_threshold_deploy(small_problem, 0.0)
+        assert outcome.num_tecs == small_problem.grid.num_tiles
+
+    def test_intermediate_threshold_selects_hot_block(self, small_problem):
+        # hot tiles: 0.55 W over 0.25 mm^2 = 220 W/cm^2; base 32 W/cm^2.
+        outcome = density_threshold_deploy(small_problem, 100.0)
+        assert set(outcome.tec_tiles) == {5, 6, 9, 10}
+
+    def test_label_carries_threshold(self, small_problem):
+        outcome = density_threshold_deploy(small_problem, 100.0)
+        assert "100" in outcome.strategy
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def outcomes(self, request):
+        return compare_strategies(
+            request.getfixturevalue("small_problem"),
+            density_thresholds=(100.0,),
+        )
+
+    def test_all_strategies_present(self, outcomes):
+        assert {"greedy (Fig. 5)", "incremental", "full-cover"} <= set(outcomes)
+        assert any(key.startswith("density") for key in outcomes)
+
+    def test_greedy_meets_limit_with_far_fewer_devices(self, outcomes):
+        """On the 16-tile toy chip full cover can out-cool greedy (the
+        over-deployment penalty needs package scale — asserted on the
+        Alpha chip in tests/core/test_baselines.py); what always holds
+        is that greedy meets the limit at a fraction of the devices
+        and the device power."""
+        greedy = outcomes["greedy (Fig. 5)"]
+        cover = outcomes["full-cover"]
+        assert greedy.feasible
+        assert greedy.num_tecs <= cover.num_tecs // 2
+        assert greedy.tec_power_w < cover.tec_power_w
+
+    def test_incremental_minimal_devices(self, outcomes):
+        feasible = [o for o in outcomes.values() if o.feasible]
+        assert min(o.num_tecs for o in feasible) == outcomes["incremental"].num_tecs
+
+    def test_runtimes_recorded(self, outcomes):
+        assert all(o.runtime_s >= 0.0 for o in outcomes.values())

@@ -1,0 +1,103 @@
+"""Beyond-paper ablation studies."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    certificate_subdivision_ablation,
+    grid_resolution_study,
+    per_device_current_study,
+    tec_parameter_sweep,
+)
+
+
+class TestCertificateAblation:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return certificate_subdivision_ablation(subdivision_counts=(1, 4))
+
+    def test_point_per_count(self, points):
+        assert [p.subdivisions for p in points] == [1, 4]
+
+    def test_more_subdivisions_cost_more_solves(self, points):
+        assert points[1].solves > points[0].solves
+
+    def test_more_subdivisions_never_loosen_margin(self, points):
+        """Finer subdivisions tighten the eta' bound, so the margin is
+        at least as large."""
+        assert points[1].margin >= points[0].margin - 1e-9
+
+    def test_package_certifies(self, points):
+        assert all(p.certified for p in points)
+
+
+class TestParameterSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return tec_parameter_sweep(
+            seebeck_factors=(0.5, 1.0), resistance_factors=(1.0, 2.0)
+        )
+
+    def test_grid_of_points(self, points):
+        assert len(points) == 4
+
+    def test_lower_seebeck_pumps_less(self, points):
+        """Weaker Peltier coupling cools less: the best achievable
+        peak temperature rises as alpha falls (at fixed r)."""
+        by_key = {(p.seebeck, p.resistance): p for p in points}
+        alphas = sorted({p.seebeck for p in points})
+        r = min(p.resistance for p in points)
+        assert by_key[(alphas[0], r)].peak_c > by_key[(alphas[1], r)].peak_c + 0.5
+
+    def test_higher_resistance_lower_optimal_current(self, points):
+        by_key = {(p.seebeck, p.resistance): p for p in points}
+        resistances = sorted({p.resistance for p in points})
+        alpha = max(p.seebeck for p in points)
+        assert (
+            by_key[(alpha, resistances[1])].i_opt_a
+            <= by_key[(alpha, resistances[0])].i_opt_a + 1e-6
+        )
+
+    def test_runaway_scales_inversely_with_seebeck(self, points):
+        """lambda_m ~ conductance/alpha: halving alpha doubles it."""
+        by_key = {(p.seebeck, p.resistance): p for p in points}
+        alphas = sorted({p.seebeck for p in points})
+        r = min(p.resistance for p in points)
+        ratio = by_key[(alphas[0], r)].lambda_m_a / by_key[(alphas[1], r)].lambda_m_a
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+
+class TestPerDeviceCurrents:
+    def test_multi_pin_never_worse(self):
+        result = per_device_current_study(max_sweeps=2)
+        assert result.per_device_peak_c <= result.shared_peak_c + 1e-6
+        assert result.improvement_c >= -1e-6
+        assert result.per_device_currents.shape[0] > 0
+
+    def test_single_pin_cost_is_small(self):
+        """The paper's one-extra-pin restriction costs little on Alpha:
+        per-device currents buy well under a degree."""
+        result = per_device_current_study(max_sweeps=2)
+        assert result.improvement_c < 1.0
+
+
+class TestGridResolution:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return grid_resolution_study(resolutions=(6, 12, 24))
+
+    def test_power_conserved_across_resolutions(self, points):
+        # indirectly: peak exists and is finite at every resolution
+        assert all(np.isfinite(p.peak_c) for p in points)
+
+    def test_coarser_grid_smears_the_peak(self, points):
+        by_res = {p.rows: p.peak_c for p in points}
+        assert by_res[6] < by_res[12]
+
+    def test_finer_grid_converges(self, points):
+        by_res = {p.rows: p.peak_c for p in points}
+        assert abs(by_res[24] - by_res[12]) < abs(by_res[12] - by_res[6])
+
+    def test_node_counts_grow(self, points):
+        nodes = [p.nodes for p in points]
+        assert nodes == sorted(nodes)

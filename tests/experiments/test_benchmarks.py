@@ -1,0 +1,69 @@
+"""The benchmark registry (Table I definitions)."""
+
+import pytest
+
+from repro.experiments.benchmarks import (
+    BENCHMARKS,
+    benchmark_names,
+    load_benchmark,
+)
+
+
+class TestRegistry:
+    def test_eleven_benchmarks_in_table_order(self):
+        names = benchmark_names()
+        assert names[0] == "alpha"
+        assert names[1:] == ["hc{:02d}".format(k) for k in range(1, 11)]
+
+    def test_paper_columns_present(self):
+        spec = BENCHMARKS["alpha"]
+        assert spec.paper_theta_peak_c == 91.8
+        assert spec.paper_num_tecs == 16
+        assert spec.paper_i_opt_a == 6.10
+
+    def test_relaxed_limits_for_hc06_hc09(self):
+        assert BENCHMARKS["hc06"].limit_c == 89.0
+        assert BENCHMARKS["hc09"].limit_c == 88.0
+        others = [
+            spec.limit_c
+            for name, spec in BENCHMARKS.items()
+            if name not in ("hc06", "hc09")
+        ]
+        assert all(limit == 85.0 for limit in others)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            load_benchmark("hc99")
+
+
+class TestMaterialization:
+    def test_alpha_problem(self):
+        problem = load_benchmark("alpha")
+        assert problem.max_temperature_c == 85.0
+        assert problem.grid.num_tiles == 144
+
+    def test_hypothetical_total_power(self):
+        spec = BENCHMARKS["hc03"]
+        problem = spec.problem()
+        assert float(problem.power_map.sum()) == pytest.approx(spec.total_power_w)
+
+    def test_theta_peak_matches_paper_to_tenth(self):
+        """Each benchmark's bare peak reproduces the published column."""
+        for name in ("alpha", "hc01", "hc05", "hc09"):
+            spec = BENCHMARKS[name]
+            peak = spec.problem().model(()).solve(0.0).peak_silicon_c
+            assert peak == pytest.approx(spec.paper_theta_peak_c, abs=0.1), name
+
+    def test_specs_materialize_deterministically(self):
+        a = load_benchmark("hc02").power_map
+        b = load_benchmark("hc02").power_map
+        import numpy as np
+
+        assert np.array_equal(a, b)
+
+    def test_custom_device_passthrough(self):
+        from repro.tec.materials import TecDeviceParameters
+
+        device = TecDeviceParameters(seebeck=1e-4)
+        problem = load_benchmark("alpha", device=device)
+        assert problem.device.seebeck == pytest.approx(1e-4)

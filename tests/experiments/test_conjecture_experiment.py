@@ -1,0 +1,40 @@
+"""The Conjecture 1 experiment wrapper."""
+
+import pytest
+
+from repro.experiments.conjecture import run_conjecture_experiment
+
+
+class TestConjectureExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_conjecture_experiment(
+            num_matrices=25,
+            size_range=(3, 8),
+            system_currents=(0.5,),
+            system_pairs=6,
+            seed=99,
+        )
+
+    def test_random_campaign_holds(self, outcome):
+        assert outcome.random_result.holds
+        assert outcome.random_result.matrices_tested == 25
+
+    def test_system_matrices_satisfy_conjecture(self, outcome):
+        """Theorem 3's actual consumer: G - iD of a real deployment."""
+        assert outcome.system_margin > 0.0
+        assert outcome.system_pairs == 6
+
+    def test_overall_holds(self, outcome):
+        assert outcome.holds
+
+    def test_deterministic(self):
+        a = run_conjecture_experiment(
+            num_matrices=5, size_range=(3, 5),
+            system_currents=(), system_pairs=0, seed=3,
+        )
+        b = run_conjecture_experiment(
+            num_matrices=5, size_range=(3, 5),
+            system_currents=(), system_pairs=0, seed=3,
+        )
+        assert a.random_result.worst_margin == b.random_result.worst_margin

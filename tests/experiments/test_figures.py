@@ -1,0 +1,59 @@
+"""Figure 6 / Figure 7 / runaway-figure reproductions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure6_data, figure7_data, runaway_figure
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figure6_data(samples=15)
+
+    def test_three_curves(self, data):
+        assert set(data.curves) == {"h(peak,peak)", "h(peak,hot)", "h(far,peak)"}
+
+    def test_lemma3_nonnegative(self, data):
+        assert data.nonnegative
+
+    def test_theorem3_convex(self, data):
+        assert data.convex
+
+    def test_theorem2_diverging(self, data):
+        assert data.diverging
+
+    def test_currents_below_lambda_m(self, data):
+        assert np.all(data.currents < data.lambda_m)
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return figure7_data()
+
+    def test_grid_shape(self, data):
+        assert len(data.unit_grid) == 12
+        assert all(len(row) == 12 for row in data.unit_grid)
+        assert len(data.deployment_grid) == 12
+
+    def test_shading_matches_tiles(self, data):
+        shaded = sum(row.count("#") for row in data.deployment_grid)
+        assert shaded == data.num_tecs == len(data.tec_tiles)
+
+    def test_intreg_covered(self, data):
+        assert data.covered_units.get("IntReg", 0) == 4
+
+    def test_l2_not_covered(self, data):
+        assert "L2" not in data.covered_units
+
+    def test_render_contains_both_panels(self, data):
+        text = data.render()
+        assert "floorplan" in text and "#" in text
+
+
+class TestRunawayFigure:
+    def test_divergence(self):
+        curve = runaway_figure(max_fraction=0.999)
+        assert curve.diverged
+        assert curve.peak_c[-1] > 1000.0  # clearly unphysical => runaway

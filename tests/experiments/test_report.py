@@ -1,0 +1,45 @@
+"""Markdown experiment report generation."""
+
+import pytest
+
+from repro.experiments.report import generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(
+            benchmarks=["alpha", "hc08"],
+            conjecture_matrices=10,
+        )
+
+    def test_sections_present(self, report):
+        assert "## Table I" in report
+        assert "## Validation" in report
+        assert "## Figure 6 properties" in report
+        assert "## Conjecture 1 campaign" in report
+
+    def test_selected_rows_only(self, report):
+        assert "| alpha |" in report
+        assert "| hc08 |" in report
+        assert "| hc03 |" not in report
+
+    def test_deltas_table(self, report):
+        assert "d theta_peak" in report
+
+    def test_validation_verdict(self, report):
+        assert "**PASS**" in report
+
+    def test_conjecture_verdict(self, report):
+        assert "**holds**" in report
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main([
+            "report", "--benchmarks", "hc08",
+            "--conjecture-matrices", "5", "--out", str(out),
+        ])
+        assert code == 0
+        assert "## Table I" in out.read_text()

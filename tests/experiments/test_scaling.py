@@ -1,0 +1,31 @@
+"""The technology-scaling capability envelope."""
+
+import pytest
+
+from repro.experiments.ablations import technology_scaling_study
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return technology_scaling_study(power_factors=(0.9, 1.0, 1.4))
+
+    def test_power_scales(self, points):
+        totals = [p.total_power_w for p in points]
+        assert totals == sorted(totals)
+        assert totals[1] == pytest.approx(20.6, abs=0.01)
+
+    def test_peaks_increase_with_power(self, points):
+        peaks = [p.no_tec_peak_c for p in points]
+        assert peaks == sorted(peaks)
+
+    def test_nominal_power_feasible(self, points):
+        assert points[1].feasible  # the Table I alpha row
+
+    def test_envelope_exists(self, points):
+        """Enough extra power defeats the cooling system: 1.4x the
+        Alpha budget is beyond the TECs' capability at 85 C."""
+        assert not points[2].feasible
+
+    def test_lighter_chip_needs_fewer_devices(self, points):
+        assert points[0].num_tecs <= points[1].num_tecs

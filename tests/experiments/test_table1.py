@@ -1,0 +1,53 @@
+"""Table I reproduction harness."""
+
+import pytest
+
+from repro.experiments.table1 import run_benchmark_row, run_table1
+
+
+class TestSingleRow:
+    @pytest.fixture(scope="class")
+    def alpha_row(self):
+        return run_benchmark_row("alpha")
+
+    def test_row_structure(self, alpha_row):
+        row, greedy, fc = alpha_row
+        assert row.name == "alpha"
+        assert row.num_tecs == greedy.num_tecs
+        assert row.fullcover_min_peak_c == pytest.approx(fc.min_peak_c)
+
+    def test_alpha_matches_paper_shape(self, alpha_row):
+        row, _, _ = alpha_row
+        assert row.theta_peak_c == pytest.approx(91.8, abs=0.05)
+        assert row.feasible
+        assert row.greedy_peak_c <= 85.0
+        assert 4.0 <= row.i_opt_a <= 8.0
+        assert row.swing_loss_c > 0.0
+
+
+class TestSelectedRows:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_table1(["alpha", "hc01", "hc08"])
+
+    def test_rows_present(self, comparison):
+        assert [row.name for row in comparison.rows] == ["alpha", "hc01", "hc08"]
+
+    def test_all_feasible(self, comparison):
+        assert all(row.feasible for row in comparison.rows)
+
+    def test_deltas_structure(self, comparison):
+        deltas = comparison.deltas()
+        assert set(deltas) == {"alpha", "hc01", "hc08"}
+        assert "swing_loss" in deltas["alpha"]
+
+    def test_render_contains_rows(self, comparison):
+        text = comparison.render()
+        assert "hc01" in text and "Avg." in text
+
+    def test_markdown_render(self, comparison):
+        assert comparison.render(markdown=True).startswith("| bench |")
+
+    def test_averages_positive(self, comparison):
+        assert comparison.avg_p_tec_w > 0.0
+        assert comparison.avg_swing_loss_c > 0.0

@@ -1,0 +1,30 @@
+"""The Section VI validation experiment (< 1.5 C claim)."""
+
+import pytest
+
+from repro.experiments.validation import run_validation
+
+
+class TestValidationExperiment:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        # refine=1 matches the granularity of the compact model; the
+        # snapshot set is trimmed to keep the test quick.
+        return run_validation(refine=1, trace_steps=12, snapshots=(11,))
+
+    def test_paper_claim(self, outcome):
+        assert outcome.passed
+        assert outcome.worst_abs_diff_c < outcome.tolerance_c
+
+    def test_worst_case_map_included(self, outcome):
+        assert "worst-case" in outcome.per_case
+
+    def test_trace_snapshots_included(self, outcome):
+        labels = set(outcome.per_case)
+        assert any(label.startswith("int-heavy@") for label in labels)
+        assert any(label.startswith("memory-bound@") for label in labels)
+
+    def test_worst_is_max_of_cases(self, outcome):
+        assert outcome.worst_abs_diff_c == pytest.approx(
+            max(outcome.per_case.values())
+        )

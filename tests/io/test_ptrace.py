@@ -1,0 +1,72 @@
+"""HotSpot .ptrace round trips."""
+
+import numpy as np
+import pytest
+
+from repro.io.ptrace import read_ptrace, trace_to_ptrace, write_ptrace
+from repro.power.alpha import alpha_floorplan
+from repro.power.workloads import SyntheticWorkload
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "t.ptrace"
+        powers = np.array([[1.0, 2.0], [3.0, 4.5]])
+        write_ptrace(path, ["a", "b"], powers)
+        names, loaded = read_ptrace(path)
+        assert names == ["a", "b"]
+        assert np.allclose(loaded, powers)
+
+    def test_header_comment(self, tmp_path):
+        path = tmp_path / "t.ptrace"
+        write_ptrace(path, ["a"], [[1.0]], header_comment="hello")
+        assert path.read_text().startswith("# hello")
+        names, loaded = read_ptrace(path)
+        assert names == ["a"]
+
+    def test_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="shape"):
+            write_ptrace(tmp_path / "x", ["a", "b"], [[1.0]])
+
+    def test_negative_power_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            write_ptrace(tmp_path / "x", ["a"], [[-1.0]])
+
+    def test_read_rejects_ragged(self, tmp_path):
+        path = tmp_path / "bad.ptrace"
+        path.write_text("a b\n1.0 2.0\n3.0\n")
+        with pytest.raises(ValueError, match="expected 2 values"):
+            read_ptrace(path)
+
+    def test_read_rejects_empty(self, tmp_path):
+        path = tmp_path / "bad.ptrace"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_ptrace(path)
+
+    def test_read_rejects_header_only(self, tmp_path):
+        path = tmp_path / "bad.ptrace"
+        path.write_text("a b\n")
+        with pytest.raises(ValueError, match="no samples"):
+            read_ptrace(path)
+
+    def test_read_rejects_nonnumeric(self, tmp_path):
+        path = tmp_path / "bad.ptrace"
+        path.write_text("a\nxyz\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_ptrace(path)
+
+
+class TestWorkloadExport:
+    def test_trace_to_ptrace(self, tmp_path):
+        plan = alpha_floorplan()
+        unit_names = [unit.name for unit in plan.units]
+        nominal = {unit.name: unit.power_w / 1.2 for unit in plan.units}
+        trace = SyntheticWorkload("w").trace(unit_names, 8, seed=1)
+        path = tmp_path / "w.ptrace"
+        trace_to_ptrace(path, plan, trace, nominal)
+        names, powers = read_ptrace(path)
+        assert names == unit_names
+        assert powers.shape == (8, len(unit_names))
+        expected = trace.unit_power_series(nominal)
+        assert np.allclose(powers, expected, atol=1e-6)

@@ -1,0 +1,61 @@
+"""Result serialization round trips."""
+
+import json
+
+import pytest
+
+from repro.core.report import BenchmarkRow
+from repro.io.results import deployment_to_dict, rows_from_json, rows_to_json
+
+
+def _row(name="alpha"):
+    return BenchmarkRow(
+        name=name,
+        theta_peak_c=91.8,
+        theta_limit_c=85.0,
+        num_tecs=13,
+        i_opt_a=5.86,
+        p_tec_w=1.11,
+        fullcover_min_peak_c=87.9,
+        swing_loss_c=3.8,
+        feasible=True,
+        greedy_peak_c=84.1,
+        runtime_s=0.3,
+    )
+
+
+class TestRowsJson:
+    def test_round_trip_string(self):
+        text = rows_to_json([_row(), _row("hc01")])
+        rows = rows_from_json(text)
+        assert [row.name for row in rows] == ["alpha", "hc01"]
+        assert rows[0].i_opt_a == pytest.approx(5.86)
+
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "rows.json"
+        rows_to_json([_row()], path)
+        rows = rows_from_json(str(path))
+        assert rows[0].num_tecs == 13
+
+    def test_metadata_embedded(self):
+        text = rows_to_json([_row()], metadata={"calibration": "v1"})
+        document = json.loads(text)
+        assert document["metadata"]["calibration"] == "v1"
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            rows_from_json('{"kind": "other", "schema": 1, "rows": []}')
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            rows_from_json('{"kind": "table1-rows", "schema": 99, "rows": []}')
+
+
+class TestDeploymentDict:
+    def test_flattens_real_result(self, alpha_greedy):
+        data = deployment_to_dict(alpha_greedy)
+        assert data["problem"] == "alpha"
+        assert data["feasible"] is True
+        assert data["num_tecs"] == len(data["tec_tiles"])
+        assert data["iterations"]
+        json.dumps(data)  # must be JSON-representable

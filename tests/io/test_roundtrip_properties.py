@@ -1,0 +1,80 @@
+"""Property-based round trips for the HotSpot interchange formats."""
+
+import os
+import tempfile
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.io.flp import floorplan_from_flp, write_flp
+from repro.io.ptrace import read_ptrace, write_ptrace
+from repro.power.hypothetical import HypotheticalChipConfig, hypothetical_chip
+
+_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _temp_file(suffix):
+    handle, path = tempfile.mkstemp(suffix=suffix)
+    os.close(handle)
+    return path
+
+
+class TestFlpRoundTrip:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=15.0, max_value=25.0),
+    )
+    @_settings
+    def test_random_chip_round_trips_exactly(self, seed, power):
+        """Any generated chip — blob units included — survives
+        write -> rasterize with an identical power map."""
+        chip = hypothetical_chip(
+            HypotheticalChipConfig(total_power_w=power), seed=seed
+        )
+        path = _temp_file(".flp")
+        try:
+            write_flp(chip, path)
+            powers = {unit.name: unit.power_w for unit in chip.units}
+            recovered = floorplan_from_flp(path, chip.grid, powers)
+        finally:
+            os.unlink(path)
+        assert len(recovered.units) == len(chip.units)
+        assert np.allclose(recovered.power_map(), chip.power_map(), atol=1e-12)
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @_settings
+    def test_rectangles_cover_grid_exactly(self, seed):
+        chip = hypothetical_chip(seed=seed)
+        path = _temp_file(".flp")
+        try:
+            rects = write_flp(chip, path)
+        finally:
+            os.unlink(path)
+        area = sum(rect.width * rect.height for rect in rects)
+        assert abs(area - chip.grid.area) < 1e-12
+
+
+class TestPtraceRoundTrip:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @_settings
+    def test_random_traces_round_trip(self, steps, units, seed):
+        rng = np.random.default_rng(seed)
+        names = ["u{}".format(k) for k in range(units)]
+        powers = rng.uniform(0.0, 5.0, size=(steps, units))
+        path = _temp_file(".ptrace")
+        try:
+            write_ptrace(path, names, powers)
+            loaded_names, loaded = read_ptrace(path)
+        finally:
+            os.unlink(path)
+        assert loaded_names == names
+        assert np.allclose(loaded, powers, atol=1e-6)

@@ -1,0 +1,103 @@
+"""The Conjecture 1 verification machinery (Section V.C.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.conjecture import (
+    conjecture1_holds,
+    conjecture1_witness,
+    run_conjecture_campaign,
+)
+from repro.linalg.inverse_positive import inverse_nonnegative_matrix
+from repro.linalg.stieltjes import random_stieltjes
+
+
+class TestWitness:
+    def test_positive_margin_on_random_instance(self):
+        margin, pair = conjecture1_witness(random_stieltjes(6, seed=1))
+        assert margin > 0.0
+        assert all(0 <= idx < 6 for idx in pair)
+
+    def test_explicit_pairs_subset(self):
+        matrix = random_stieltjes(5, seed=2)
+        margin, pair = conjecture1_witness(matrix, pairs=[(0, 0), (1, 4)])
+        assert pair in [(0, 0), (1, 4)]
+        assert margin > 0.0
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError, match="pairs"):
+            conjecture1_witness(random_stieltjes(4, seed=3), pairs=[])
+
+    def test_witness_matches_manual_computation(self):
+        matrix = random_stieltjes(4, seed=4)
+        h = inverse_nonnegative_matrix(matrix)
+        k, l = 1, 2
+        candidate = np.diag(h[k]) @ h @ np.diag(h[l])
+        sym = 0.5 * (candidate + candidate.T)
+        expected = float(np.linalg.eigvalsh(sym)[0])
+        margin, _ = conjecture1_witness(matrix, pairs=[(k, l)])
+        assert margin == pytest.approx(expected)
+
+    def test_check_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            conjecture1_witness(np.array([[1.0, 0.5], [0.5, 1.0]]))
+
+
+class TestHolds:
+    def test_holds_on_random(self):
+        assert conjecture1_holds(random_stieltjes(7, seed=5))
+
+    def test_theorem3_link(self):
+        """Conjecture 1 margin > 0 implies h_kl''(i) = 2 d'(...)d > 0."""
+        matrix = random_stieltjes(5, seed=6)
+        h = inverse_nonnegative_matrix(matrix)
+        d_vec = np.array([0.3, -0.3, 0.0, 0.1, 0.0])
+        for k in range(5):
+            for l in range(5):
+                quad = d_vec @ (np.diag(h[k]) @ h @ np.diag(h[l])) @ d_vec
+                if np.any(d_vec):
+                    assert quad > 0.0
+
+
+class TestCampaign:
+    def test_small_campaign_holds(self):
+        result = run_conjecture_campaign(30, size_range=(3, 7), seed=7)
+        assert result.holds
+        assert result.matrices_tested == 30
+        assert result.worst_margin > 0.0
+
+    def test_pair_counts_all_pairs(self):
+        result = run_conjecture_campaign(5, size_range=(4, 4), seed=8)
+        assert result.pairs_tested == 5 * 16
+
+    def test_pair_sampling(self):
+        result = run_conjecture_campaign(
+            5, size_range=(6, 6), pairs_per_matrix=3, seed=9
+        )
+        assert result.pairs_tested == 15
+
+    def test_deterministic(self):
+        a = run_conjecture_campaign(10, seed=11)
+        b = run_conjecture_campaign(10, seed=11)
+        assert a.worst_margin == b.worst_margin
+        assert a.sizes == b.sizes
+
+    def test_zero_matrices(self):
+        result = run_conjecture_campaign(0, seed=0)
+        assert result.holds and result.matrices_tested == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            run_conjecture_campaign(-1)
+
+    def test_bad_size_range(self):
+        with pytest.raises(ValueError):
+            run_conjecture_campaign(1, size_range=(5, 3))
+
+    @given(st.integers(min_value=2, max_value=9), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property_conjecture_holds_per_matrix(self, n, seed):
+        """The paper's randomized claim, as a hypothesis property."""
+        assert conjecture1_holds(random_stieltjes(n, seed=seed))

@@ -1,0 +1,68 @@
+"""Inverse-positivity of PD Stieltjes matrices (Lemma 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.inverse_positive import (
+    inverse_is_nonnegative,
+    inverse_nonnegative_matrix,
+    inverse_positivity_margin,
+)
+from repro.linalg.stieltjes import direct_sum, random_stieltjes
+
+
+class TestInverseNonnegativeMatrix:
+    def test_inverse_is_actual_inverse(self):
+        matrix = random_stieltjes(9, seed=1)
+        inverse = inverse_nonnegative_matrix(matrix)
+        assert np.allclose(matrix @ inverse, np.eye(9), atol=1e-9)
+
+    def test_entries_nonnegative(self):
+        inverse = inverse_nonnegative_matrix(random_stieltjes(9, seed=2))
+        assert np.all(inverse >= -1e-12)
+
+    def test_symmetric(self):
+        inverse = inverse_nonnegative_matrix(random_stieltjes(9, seed=3))
+        assert np.allclose(inverse, inverse.T)
+
+    def test_check_rejects_non_stieltjes(self):
+        with pytest.raises(ValueError, match="Stieltjes"):
+            inverse_nonnegative_matrix(np.array([[1.0, 0.5], [0.5, 1.0]]))
+
+    def test_check_rejects_indefinite(self):
+        with pytest.raises(ValueError, match="positive definite"):
+            inverse_nonnegative_matrix(np.array([[1.0, -2.0], [-2.0, 1.0]]))
+
+    def test_check_false_skips_validation(self):
+        # A non-Stieltjes SPD matrix inverts fine with check disabled.
+        matrix = np.array([[2.0, 0.5], [0.5, 2.0]])
+        inverse = inverse_nonnegative_matrix(matrix, check=False)
+        assert np.allclose(matrix @ inverse, np.eye(2))
+
+
+class TestInverseIsNonnegative:
+    def test_true_for_random_stieltjes(self):
+        assert inverse_is_nonnegative(random_stieltjes(8, seed=4))
+
+    def test_false_for_indefinite_without_raising(self):
+        assert not inverse_is_nonnegative(-np.eye(3))
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_lemma3(self, n, seed):
+        """Lemma 3 on random instances: PD Stieltjes => nonneg inverse."""
+        assert inverse_is_nonnegative(random_stieltjes(n, seed=seed))
+
+
+class TestStrictPositivity:
+    def test_irreducible_gives_strictly_positive_inverse(self):
+        margin = inverse_positivity_margin(random_stieltjes(10, seed=5))
+        assert margin > 0.0
+
+    def test_reducible_gives_zero_blocks(self):
+        a = random_stieltjes(3, seed=6)
+        combined = direct_sum(a, a)
+        margin = inverse_positivity_margin(combined)
+        assert margin == pytest.approx(0.0, abs=1e-12)

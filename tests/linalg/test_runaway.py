@@ -1,0 +1,151 @@
+"""The runaway current lambda_m (Theorem 1, Theorem 2)."""
+
+import math
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.runaway import (
+    rayleigh_quotient_bound,
+    runaway_current,
+    runaway_current_binary_search,
+    runaway_current_eigen,
+)
+from repro.linalg.spd import cholesky_is_spd
+from repro.linalg.stieltjes import random_stieltjes
+
+
+def _instance(n, seed, hot=0, cold=1, alpha=0.05):
+    matrix = random_stieltjes(n, seed=seed)
+    diag = np.zeros(n)
+    diag[hot] = alpha
+    diag[cold] = -alpha
+    return matrix, diag
+
+
+class TestEigenMethod:
+    def test_analytic_two_by_two(self):
+        # G = [[2,-1],[-1,2]], D = diag(a, 0): G - i a e1 e1' singular
+        # when det = (2 - i a) * 2 - 1 = 0  =>  i = 1.5 / a.
+        g = np.array([[2.0, -1.0], [-1.0, 2.0]])
+        d = np.array([0.5, 0.0])
+        result = runaway_current_eigen(g, d)
+        assert result.value == pytest.approx(3.0)
+
+    def test_singularity_at_lambda_m(self):
+        g, d = _instance(8, seed=1)
+        lam = runaway_current_eigen(g, d).value
+        sign, logdet = np.linalg.slogdet(g - lam * np.diag(d))
+        assert abs(sign * math.exp(logdet)) < 1e-6 * abs(np.linalg.det(g))
+
+    def test_theorem1_dichotomy(self):
+        g, d = _instance(8, seed=2)
+        lam = runaway_current_eigen(g, d).value
+        assert cholesky_is_spd(g - 0.999 * lam * np.diag(d))
+        assert not cholesky_is_spd(g - 1.001 * lam * np.diag(d))
+
+    def test_infinite_when_no_positive_entry(self):
+        g = random_stieltjes(5, seed=3)
+        d = np.zeros(5)
+        d[0] = -0.1
+        assert math.isinf(runaway_current_eigen(g, d).value)
+
+    def test_zero_d_infinite(self):
+        g = random_stieltjes(5, seed=3)
+        assert math.isinf(runaway_current_eigen(g, np.zeros(5)).value)
+
+    def test_sparse_matches_dense(self):
+        g, d = _instance(12, seed=4)
+        dense = runaway_current_eigen(g, d).value
+        sparse = runaway_current_eigen(sp.csr_matrix(g), sp.diags(d)).value
+        assert sparse == pytest.approx(dense, rel=1e-9)
+
+    def test_d_as_full_matrix(self):
+        g, d = _instance(6, seed=5)
+        assert runaway_current_eigen(g, np.diag(d)).value == pytest.approx(
+            runaway_current_eigen(g, d).value
+        )
+
+    def test_nondiagonal_d_rejected(self):
+        g = random_stieltjes(3, seed=0)
+        bad = np.array([[1.0, 0.5, 0], [0.5, 0, 0], [0, 0, 0]])
+        with pytest.raises(ValueError, match="diagonal"):
+            runaway_current_eigen(g, bad)
+
+
+class TestBinarySearch:
+    def test_matches_eigen(self):
+        g, d = _instance(10, seed=6)
+        eigen = runaway_current_eigen(g, d).value
+        search = runaway_current_binary_search(g, d, tolerance=1e-10)
+        assert search.value == pytest.approx(eigen, rel=1e-7)
+
+    def test_bracket_contains_value(self):
+        g, d = _instance(7, seed=7)
+        result = runaway_current_binary_search(g, d)
+        lo, hi = result.bracket
+        assert lo <= result.value <= hi
+
+    def test_iterations_counted(self):
+        g, d = _instance(7, seed=7)
+        assert runaway_current_binary_search(g, d).iterations > 0
+
+    def test_infinite_when_d_nonpositive(self):
+        g = random_stieltjes(4, seed=8)
+        result = runaway_current_binary_search(g, -np.ones(4))
+        assert math.isinf(result.value)
+
+    def test_rejects_indefinite_g(self):
+        with pytest.raises(ValueError, match="positive definite"):
+            runaway_current_binary_search(-np.eye(3), np.ones(3))
+
+
+class TestDispatcher:
+    def test_default_is_eigen(self):
+        g, d = _instance(5, seed=9)
+        assert runaway_current(g, d).method == "eigen"
+
+    def test_binary_search_dispatch(self):
+        g, d = _instance(5, seed=9)
+        assert runaway_current(g, d, method="binary-search").method == "binary-search"
+
+    def test_unknown_method(self):
+        g, d = _instance(5, seed=9)
+        with pytest.raises(ValueError, match="unknown method"):
+            runaway_current(g, d, method="newton")
+
+
+class TestRayleighBound:
+    def test_upper_bounds_lambda_m(self):
+        g, d = _instance(9, seed=10)
+        lam = runaway_current_eigen(g, d).value
+        x = np.zeros(9)
+        x[0] = 1.0  # hot-node unit vector has x'Dx > 0
+        assert rayleigh_quotient_bound(g, d, x) >= lam - 1e-9
+
+    def test_rejects_nonpositive_denominator(self):
+        g, d = _instance(9, seed=10)
+        x = np.zeros(9)
+        x[1] = 1.0  # cold node: x'Dx < 0
+        with pytest.raises(ValueError):
+            rayleigh_quotient_bound(g, d, x)
+
+
+class TestRunawayProperties:
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_dichotomy_and_agreement(self, n, seed, alpha):
+        g, d = _instance(n, seed=seed, alpha=alpha)
+        lam = runaway_current_eigen(g, d).value
+        assert lam > 0.0
+        assert cholesky_is_spd(g - 0.99 * lam * np.diag(d))
+        assert not cholesky_is_spd(g - 1.01 * lam * np.diag(d))
+        search = runaway_current_binary_search(g, d, tolerance=1e-9)
+        assert search.value == pytest.approx(lam, rel=1e-5)

@@ -1,0 +1,87 @@
+"""Positive-definiteness oracles (the lambda_m binary-search primitive)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.spd import (
+    cholesky_is_spd,
+    is_positive_definite,
+    smallest_eigenvalue_symmetric_part,
+)
+from repro.linalg.stieltjes import random_stieltjes
+
+
+class TestCholeskyOracle:
+    def test_identity(self):
+        assert cholesky_is_spd(np.eye(4))
+
+    def test_negative_definite(self):
+        assert not cholesky_is_spd(-np.eye(4))
+
+    def test_singular(self):
+        assert not cholesky_is_spd(np.zeros((3, 3)))
+
+    def test_indefinite(self):
+        assert not cholesky_is_spd(np.diag([1.0, -1.0]))
+
+    def test_sparse_matches_dense(self):
+        matrix = random_stieltjes(15, seed=2)
+        assert cholesky_is_spd(sp.csr_matrix(matrix)) == cholesky_is_spd(matrix)
+
+    def test_sparse_indefinite(self):
+        matrix = random_stieltjes(10, seed=4)
+        matrix[0, 0] = -10.0
+        assert not cholesky_is_spd(sp.csr_matrix(matrix))
+
+    def test_empty_matrix_trivially_spd(self):
+        assert cholesky_is_spd(np.zeros((0, 0)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            cholesky_is_spd(np.zeros((2, 3)))
+
+
+class TestQuadraticFormDefiniteness:
+    def test_nonsymmetric_with_pd_symmetric_part(self):
+        # M = I + skew: x'Mx = x'x > 0 despite asymmetry.
+        matrix = np.eye(2) + np.array([[0.0, 5.0], [-5.0, 0.0]])
+        assert is_positive_definite(matrix)
+
+    def test_nonsymmetric_with_indefinite_symmetric_part(self):
+        matrix = np.array([[1.0, 5.0], [1.0, 1.0]])  # sym part [[1,3],[3,1]]
+        assert not is_positive_definite(matrix)
+
+    def test_symmetric_flag_consistency(self):
+        matrix = random_stieltjes(8, seed=6)
+        assert is_positive_definite(matrix, symmetric=True)
+        assert is_positive_definite(matrix, symmetric=None)
+
+    def test_tolerance(self):
+        assert not is_positive_definite(np.eye(2) * 1e-13, tol=1e-12)
+
+
+class TestSmallestEigenvalue:
+    def test_matches_eigh_for_symmetric(self):
+        matrix = random_stieltjes(7, seed=8)
+        expected = float(np.linalg.eigvalsh(matrix)[0])
+        assert smallest_eigenvalue_symmetric_part(matrix) == pytest.approx(expected)
+
+    def test_uses_symmetric_part(self):
+        matrix = np.eye(2) + np.array([[0.0, 9.0], [-9.0, 0.0]])
+        assert smallest_eigenvalue_symmetric_part(matrix) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            smallest_eigenvalue_symmetric_part(np.zeros((0, 0)))
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_property_oracle_agrees_with_eigenvalues(self, n, seed):
+        matrix = random_stieltjes(n, seed=seed)
+        shift = np.linalg.eigvalsh(matrix)[0] * 1.5
+        shifted = matrix - shift * np.eye(n)  # makes it indefinite
+        assert cholesky_is_spd(matrix)
+        assert not cholesky_is_spd(shifted)

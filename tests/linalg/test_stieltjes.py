@@ -1,0 +1,116 @@
+"""Stieltjes predicates, direct sums and the random generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.spd import cholesky_is_spd
+from repro.linalg.stieltjes import (
+    direct_sum,
+    is_stieltjes,
+    is_symmetric,
+    random_stieltjes,
+    stieltjes_violation,
+)
+
+
+class TestIsSymmetric:
+    def test_symmetric(self):
+        assert is_symmetric(np.array([[2.0, -1.0], [-1.0, 2.0]]))
+
+    def test_asymmetric(self):
+        assert not is_symmetric(np.array([[2.0, -1.0], [0.0, 2.0]]))
+
+    def test_non_square(self):
+        assert not is_symmetric(np.zeros((2, 3)))
+
+    def test_tolerance_scales_with_magnitude(self):
+        big = np.array([[1e12, -1e3], [-1e3 * (1 + 1e-14), 1e12]])
+        assert is_symmetric(big)
+
+
+class TestIsStieltjes:
+    def test_laplacian_plus_diagonal(self):
+        matrix = np.array([[2.0, -1.0], [-1.0, 2.0]])
+        assert is_stieltjes(matrix)
+
+    def test_positive_offdiagonal_rejected(self):
+        assert not is_stieltjes(np.array([[2.0, 0.5], [0.5, 2.0]]))
+
+    def test_asymmetric_rejected(self):
+        assert not is_stieltjes(np.array([[2.0, -1.0], [-2.0, 2.0]]))
+
+    def test_negative_diagonal_is_still_stieltjes(self):
+        # Definition 3 constrains only symmetry and off-diagonal signs.
+        assert is_stieltjes(np.array([[-1.0, 0.0], [0.0, -1.0]]))
+
+    def test_violation_measures(self):
+        asym, pos = stieltjes_violation(np.array([[1.0, 0.3], [0.1, 1.0]]))
+        assert asym == pytest.approx(0.2)
+        assert pos == pytest.approx(0.3)
+
+    def test_violation_zero_for_stieltjes(self):
+        asym, pos = stieltjes_violation(np.array([[2.0, -1.0], [-1.0, 2.0]]))
+        assert asym == 0.0 and pos == 0.0
+
+
+class TestDirectSum:
+    def test_block_structure(self):
+        a = np.array([[1.0, 2.0], [3.0, 4.0]])
+        b = np.array([[5.0]])
+        out = direct_sum(a, b)
+        assert out.shape == (3, 3)
+        assert np.array_equal(out[:2, :2], a)
+        assert out[2, 2] == 5.0
+        assert np.all(out[:2, 2] == 0.0) and np.all(out[2, :2] == 0.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            direct_sum(np.zeros((2, 3)), np.zeros((2, 2)))
+
+    def test_direct_sum_of_stieltjes_is_stieltjes_but_reducible(self):
+        from repro.linalg.irreducible import is_irreducible
+
+        s = random_stieltjes(3, seed=1)
+        combined = direct_sum(s, s)
+        assert is_stieltjes(combined)
+        assert not is_irreducible(combined)
+
+
+class TestRandomStieltjes:
+    def test_is_stieltjes(self):
+        assert is_stieltjes(random_stieltjes(10, seed=3))
+
+    def test_is_positive_definite(self):
+        assert cholesky_is_spd(random_stieltjes(10, seed=3))
+
+    def test_deterministic_by_seed(self):
+        assert np.array_equal(random_stieltjes(6, seed=5), random_stieltjes(6, seed=5))
+
+    def test_n_one(self):
+        matrix = random_stieltjes(1, seed=0)
+        assert matrix.shape == (1, 1) and matrix[0, 0] > 0.0
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            random_stieltjes(0)
+
+    def test_connected_by_default(self):
+        from repro.linalg.irreducible import is_irreducible
+
+        # Even at zero density the spanning tree keeps it irreducible.
+        matrix = random_stieltjes(12, density=0.0, seed=7)
+        assert is_irreducible(matrix)
+
+    def test_disconnected_possible_when_disabled(self):
+        matrix = random_stieltjes(12, density=0.0, connected=False, seed=7)
+        off = matrix - np.diag(np.diag(matrix))
+        assert np.all(off == 0.0)
+
+    @given(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_property_random_instances_are_pd_stieltjes(self, n, seed):
+        matrix = random_stieltjes(n, seed=seed)
+        assert is_stieltjes(matrix)
+        assert cholesky_is_spd(matrix)

@@ -1,0 +1,79 @@
+"""The Alpha-21364-like benchmark: the paper's published statistics."""
+
+import numpy as np
+import pytest
+
+from repro.power.alpha import (
+    HIGH_POWER_UNITS,
+    TOTAL_POWER_W,
+    alpha_floorplan,
+    alpha_grid,
+    alpha_power_map,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return alpha_floorplan()
+
+
+class TestGeometry:
+    def test_grid_is_12x12_half_mm(self):
+        grid = alpha_grid()
+        assert (grid.rows, grid.cols) == (12, 12)
+        assert grid.tile_width == pytest.approx(0.5e-3)
+        assert grid.width == pytest.approx(6e-3)  # 6 mm die
+
+    def test_floorplan_tiles_grid_exactly(self, plan):
+        assert int(np.sum(plan.unit_map() >= 0)) == 144
+
+    def test_units_present(self, plan):
+        names = {unit.name for unit in plan.units}
+        assert set(HIGH_POWER_UNITS) <= names
+        assert {"L2", "Icache", "Dcache"} <= names
+
+
+class TestPublishedStatistics:
+    def test_total_power_20_6(self, plan):
+        assert plan.total_power_w == pytest.approx(TOTAL_POWER_W, abs=1e-9)
+
+    def test_intreg_density_282_4(self, plan):
+        assert plan.unit_density_w_cm2("IntReg") == pytest.approx(282.4, abs=0.5)
+
+    def test_l2_density_25(self, plan):
+        assert plan.unit_density_w_cm2("L2") == pytest.approx(25.0, abs=0.1)
+
+    def test_hot_units_28_percent_power(self, plan):
+        assert plan.power_fraction(HIGH_POWER_UNITS) == pytest.approx(0.281, abs=0.003)
+
+    def test_hot_units_about_tenth_of_area(self, plan):
+        fraction = plan.area_fraction(HIGH_POWER_UNITS)
+        assert 0.09 <= fraction <= 0.13
+
+    def test_intreg_is_peak_density(self, plan):
+        densities = {
+            unit.name: plan.unit_density_w_cm2(unit.name) for unit in plan.units
+        }
+        assert max(densities, key=densities.get) == "IntReg"
+
+    def test_l2_is_lowest_density(self, plan):
+        densities = {
+            unit.name: plan.unit_density_w_cm2(unit.name) for unit in plan.units
+        }
+        assert min(densities, key=densities.get) == "L2"
+
+
+class TestPowerMap:
+    def test_deterministic(self):
+        assert np.array_equal(alpha_power_map(), alpha_power_map())
+
+    def test_sum_matches_total(self):
+        assert float(np.sum(alpha_power_map())) == pytest.approx(TOTAL_POWER_W)
+
+    def test_all_tiles_powered(self):
+        assert np.all(alpha_power_map() > 0.0)
+
+    def test_intreg_tile_value(self, plan):
+        power = alpha_power_map()
+        tile = plan.unit("IntReg").tiles[0]
+        assert power[tile] == pytest.approx(plan.unit("IntReg").power_per_tile_w())

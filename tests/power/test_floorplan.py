@@ -1,0 +1,112 @@
+"""Functional units and floorplans."""
+
+import numpy as np
+import pytest
+
+from repro.power.floorplan import Floorplan, FunctionalUnit
+from repro.thermal.geometry import TileGrid
+
+
+@pytest.fixture()
+def grid():
+    return TileGrid(3, 3)
+
+
+class TestFunctionalUnit:
+    def test_basic(self):
+        unit = FunctionalUnit("u", [3, 1, 2], 1.5)
+        assert unit.tiles == (1, 2, 3)
+        assert unit.num_tiles == 3
+        assert unit.power_per_tile_w() == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no tiles"):
+            FunctionalUnit("u", [], 1.0)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FunctionalUnit("u", [1, 1], 1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalUnit("u", [0], -1.0)
+
+    def test_from_rect(self, grid):
+        unit = FunctionalUnit.from_rect("r", grid, 1, 1, 2, 2, 2.0)
+        assert unit.tiles == (4, 5, 7, 8)
+
+    def test_from_rect_degenerate_rejected(self, grid):
+        with pytest.raises(ValueError):
+            FunctionalUnit.from_rect("r", grid, 0, 0, 0, 2, 1.0)
+
+
+class TestFloorplan:
+    def _cover(self, grid):
+        return [
+            FunctionalUnit("a", range(0, 3), 1.0),
+            FunctionalUnit("b", range(3, 6), 2.0),
+            FunctionalUnit("c", range(6, 9), 3.0),
+        ]
+
+    def test_cover_required_by_default(self, grid):
+        with pytest.raises(ValueError, match="tile the grid"):
+            Floorplan(grid, [FunctionalUnit("a", [0], 1.0)])
+
+    def test_partial_cover_allowed_when_disabled(self, grid):
+        plan = Floorplan(
+            grid, [FunctionalUnit("a", [0], 1.0)], require_cover=False
+        )
+        assert plan.total_power_w == pytest.approx(1.0)
+
+    def test_overlap_rejected(self, grid):
+        units = [
+            FunctionalUnit("a", [0, 1], 1.0),
+            FunctionalUnit("b", [1, 2], 1.0),
+        ]
+        with pytest.raises(ValueError, match="claimed by both"):
+            Floorplan(grid, units, require_cover=False)
+
+    def test_out_of_grid_rejected(self, grid):
+        with pytest.raises(IndexError):
+            Floorplan(grid, [FunctionalUnit("a", [99], 1.0)], require_cover=False)
+
+    def test_duplicate_names_rejected(self, grid):
+        units = [
+            FunctionalUnit("a", [0], 1.0),
+            FunctionalUnit("a", [1], 1.0),
+        ]
+        with pytest.raises(ValueError, match="unique"):
+            Floorplan(grid, units, require_cover=False)
+
+    def test_power_map_rasterization(self, grid):
+        plan = Floorplan(grid, self._cover(grid))
+        power = plan.power_map()
+        assert power[0] == pytest.approx(1.0 / 3.0)
+        assert power[8] == pytest.approx(1.0)
+        assert float(np.sum(power)) == pytest.approx(6.0)
+
+    def test_unit_map(self, grid):
+        plan = Floorplan(grid, self._cover(grid))
+        owner = plan.unit_map()
+        assert owner[0] == 0 and owner[4] == 1 and owner[8] == 2
+
+    def test_unit_lookup(self, grid):
+        plan = Floorplan(grid, self._cover(grid))
+        assert plan.unit("b").power_w == pytest.approx(2.0)
+        with pytest.raises(KeyError):
+            plan.unit("zzz")
+
+    def test_fractions(self, grid):
+        plan = Floorplan(grid, self._cover(grid))
+        assert plan.area_fraction(["a"]) == pytest.approx(1.0 / 3.0)
+        assert plan.power_fraction(["c"]) == pytest.approx(0.5)
+
+    def test_density(self, grid):
+        plan = Floorplan(grid, self._cover(grid))
+        # unit c: 3 W over 3 tiles of 0.25 mm^2 => 4 W/mm^2 = 400 W/cm^2
+        assert plan.unit_density_w_cm2("c") == pytest.approx(400.0)
+
+    def test_scaled_to_total(self, grid):
+        plan = Floorplan(grid, self._cover(grid)).scaled_to_total(12.0)
+        assert plan.total_power_w == pytest.approx(12.0)
+        assert plan.unit("a").power_w == pytest.approx(2.0)

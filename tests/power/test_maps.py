@@ -1,0 +1,64 @@
+"""Power-density maps, summaries and ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.power.alpha import alpha_floorplan
+from repro.power.maps import (
+    power_density_map_w_cm2,
+    power_summary,
+    render_ascii_heatmap,
+)
+from repro.thermal.geometry import TileGrid
+
+
+class TestDensityMap:
+    def test_shape_and_values(self):
+        grid = TileGrid(2, 2)
+        power = np.array([0.25, 0.0, 0.0, 0.5])
+        density = power_density_map_w_cm2(grid, power)
+        assert density.shape == (2, 2)
+        # 0.25 W over 0.25 mm^2 = 100 W/cm^2
+        assert density[0, 0] == pytest.approx(100.0)
+        assert density[1, 1] == pytest.approx(200.0)
+
+
+class TestSummary:
+    def test_alpha_summary(self):
+        summary = power_summary(alpha_floorplan())
+        assert summary["total_power_w"] == pytest.approx(20.6)
+        assert summary["peak_density_w_cm2"] == pytest.approx(282.4, abs=0.5)
+        assert summary["units"]["L2"]["density_w_cm2"] == pytest.approx(25.0, abs=0.1)
+        assert summary["units"]["IntReg"]["tiles"] == 4
+
+
+class TestAsciiHeatmap:
+    def test_shape(self):
+        art = render_ascii_heatmap(np.zeros((3, 5)))
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 5 for line in lines)
+
+    def test_extremes_use_extreme_chars(self):
+        art = render_ascii_heatmap(np.array([[0.0, 1.0]]), chars=" #")
+        assert art == " #"
+
+    def test_constant_field(self):
+        art = render_ascii_heatmap(np.full((2, 2), 7.0), chars=" #")
+        assert art == "  \n  "
+
+    def test_explicit_range(self):
+        art = render_ascii_heatmap(
+            np.array([[5.0]]), chars="abc", vmin=0.0, vmax=10.0
+        )
+        assert art == "b"
+
+    def test_clipping_outside_range(self):
+        art = render_ascii_heatmap(
+            np.array([[99.0, -99.0]]), chars="ab", vmin=0.0, vmax=1.0
+        )
+        assert art == "ba"
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            render_ascii_heatmap(np.zeros(4))

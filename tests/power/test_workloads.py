@@ -1,0 +1,128 @@
+"""Synthetic workload traces and the worst-case reduction."""
+
+import numpy as np
+import pytest
+
+from repro.power.alpha import alpha_floorplan
+from repro.power.workloads import (
+    SyntheticWorkload,
+    spec2000_like_suite,
+    worst_case_power,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return alpha_floorplan()
+
+
+@pytest.fixture(scope="module")
+def unit_names(plan):
+    return [unit.name for unit in plan.units]
+
+
+class TestWorkload:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload("w", baseline=1.5)
+        with pytest.raises(ValueError):
+            SyntheticWorkload("w", biases={"x": -0.1})
+
+    def test_mean_utilization_fallback(self):
+        workload = SyntheticWorkload("w", baseline=0.4, biases={"IntReg": 0.9})
+        assert workload.mean_utilization("IntReg") == 0.9
+        assert workload.mean_utilization("L2") == 0.4
+
+    def test_trace_bounds(self, unit_names):
+        trace = SyntheticWorkload("w").trace(unit_names, 50, seed=1)
+        assert trace.utilization.shape == (50, len(unit_names))
+        assert np.all(trace.utilization >= 0.0)
+        assert np.all(trace.utilization <= 1.0)
+
+    def test_trace_deterministic(self, unit_names):
+        a = SyntheticWorkload("w").trace(unit_names, 20, seed=5)
+        b = SyntheticWorkload("w").trace(unit_names, 20, seed=5)
+        assert np.array_equal(a.utilization, b.utilization)
+
+    def test_trace_steps_validation(self, unit_names):
+        with pytest.raises(ValueError):
+            SyntheticWorkload("w").trace(unit_names, 0)
+
+    def test_biased_unit_runs_hotter(self, unit_names):
+        workload = SyntheticWorkload(
+            "int", baseline=0.1, biases={"IntReg": 0.9}, burstiness=0.02
+        )
+        trace = workload.trace(unit_names, 200, seed=2)
+        col = unit_names.index("IntReg")
+        other = unit_names.index("L2")
+        assert trace.utilization[:, col].mean() > trace.utilization[:, other].mean()
+
+
+class TestPowerSeries:
+    def test_static_floor(self, plan, unit_names):
+        trace = SyntheticWorkload("w").trace(unit_names, 10, seed=3)
+        nominal = {name: 1.0 for name in unit_names}
+        series = trace.unit_power_series(nominal, static_fraction=0.3)
+        assert np.all(series >= 0.3 - 1e-12)
+        assert np.all(series <= 1.0 + 1e-12)
+
+    def test_power_map_at_step(self, plan, unit_names):
+        trace = SyntheticWorkload("w").trace(unit_names, 10, seed=3)
+        nominal = {u.name: u.power_w for u in plan.units}
+        power = trace.power_map_at(plan, nominal, 4)
+        assert power.shape == (144,)
+        assert np.all(power > 0.0)
+        # every snapshot is below the worst case (utilization <= 1)
+        assert np.all(power <= plan.power_map() + 1e-12)
+
+    def test_power_map_step_bounds(self, plan, unit_names):
+        trace = SyntheticWorkload("w").trace(unit_names, 10, seed=3)
+        nominal = {u.name: u.power_w for u in plan.units}
+        with pytest.raises(IndexError):
+            trace.power_map_at(plan, nominal, 10)
+
+
+class TestWorstCase:
+    def test_margin_applied(self, unit_names):
+        trace = SyntheticWorkload("w").trace(unit_names, 30, seed=4)
+        nominal = {name: 2.0 for name in unit_names}
+        worst = worst_case_power(nominal, [trace], margin=0.2)
+        series = trace.unit_power_series(nominal)
+        for j, name in enumerate(unit_names):
+            assert worst[name] == pytest.approx(1.2 * series[:, j].max())
+
+    def test_max_over_traces(self, unit_names):
+        low = SyntheticWorkload("low", baseline=0.05, burstiness=0.01)
+        high = SyntheticWorkload("high", baseline=0.95, burstiness=0.01)
+        nominal = {name: 1.0 for name in unit_names}
+        traces = [
+            low.trace(unit_names, 20, seed=6),
+            high.trace(unit_names, 20, seed=6),
+        ]
+        worst = worst_case_power(nominal, traces, margin=0.0)
+        only_low = worst_case_power(nominal, traces[:1], margin=0.0)
+        for name in unit_names:
+            assert worst[name] >= only_low[name]
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_power({"a": 1.0}, [])
+
+    def test_worst_case_bounded_by_margin_times_nominal(self, unit_names):
+        trace = SyntheticWorkload("w").trace(unit_names, 30, seed=4)
+        nominal = {name: 3.0 for name in unit_names}
+        worst = worst_case_power(nominal, [trace], margin=0.2)
+        for name in unit_names:
+            assert worst[name] <= 1.2 * 3.0 + 1e-12
+
+
+class TestSuite:
+    def test_suite_composition(self):
+        names = [w.name for w in spec2000_like_suite()]
+        assert "int-heavy" in names and "fp-heavy" in names
+        assert len(names) >= 4
+
+    def test_suite_traces_work_on_alpha(self, plan, unit_names):
+        for workload in spec2000_like_suite():
+            trace = workload.trace(unit_names, 5, seed=0)
+            assert trace.steps == 5

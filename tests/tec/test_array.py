@@ -1,0 +1,80 @@
+"""TEC arrays: series-electrical / parallel-thermal accounting."""
+
+import numpy as np
+import pytest
+
+from repro.tec.array import TecArray
+from repro.tec.device import input_power
+from repro.tec.materials import TecDeviceParameters
+
+DEVICE = TecDeviceParameters()
+
+
+class TestConstruction:
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            TecArray(DEVICE, 0)
+
+    def test_footprint_scales(self):
+        assert TecArray(DEVICE, 16).total_footprint == pytest.approx(
+            16 * DEVICE.footprint
+        )
+
+    def test_series_resistance(self):
+        assert TecArray(DEVICE, 10).series_resistance == pytest.approx(
+            10 * DEVICE.electrical_resistance
+        )
+
+
+class TestAggregation:
+    def test_total_power_scalar_faces(self):
+        array = TecArray(DEVICE, 4)
+        per_device = input_power(DEVICE, 6.0, 350.0, 355.0)
+        assert array.total_input_power(6.0, 350.0, 355.0) == pytest.approx(
+            4 * per_device
+        )
+
+    def test_total_power_per_device_faces(self):
+        array = TecArray(DEVICE, 2)
+        tc = np.array([350.0, 352.0])
+        th = np.array([355.0, 353.0])
+        expected = sum(
+            input_power(DEVICE, 6.0, c, h) for c, h in zip(tc, th)
+        )
+        assert array.total_input_power(6.0, tc, th) == pytest.approx(expected)
+
+    def test_face_array_length_checked(self):
+        array = TecArray(DEVICE, 3)
+        with pytest.raises(ValueError):
+            array.total_input_power(6.0, np.array([350.0, 351.0]), 355.0)
+
+    def test_flux_totals_obey_energy_balance(self):
+        array = TecArray(DEVICE, 5)
+        qc = array.total_cold_side_flux(6.0, 350.0, 355.0)
+        qh = array.total_hot_side_flux(6.0, 350.0, 355.0)
+        p = array.total_input_power(6.0, 350.0, 355.0)
+        assert qh - qc == pytest.approx(p)
+
+
+class TestSupplyVoltage:
+    def test_zero_differential(self):
+        array = TecArray(DEVICE, 8)
+        assert array.supply_voltage(6.0) == pytest.approx(
+            8 * DEVICE.electrical_resistance * 6.0
+        )
+
+    def test_with_differential(self):
+        array = TecArray(DEVICE, 2)
+        v = array.supply_voltage(6.0, delta_t_k=5.0)
+        expected = 2 * (DEVICE.electrical_resistance * 6.0 + DEVICE.seebeck * 5.0)
+        assert v == pytest.approx(expected)
+
+    def test_per_device_differentials(self):
+        array = TecArray(DEVICE, 2)
+        v = array.supply_voltage(1.0, delta_t_k=np.array([0.0, 10.0]))
+        expected = 2 * DEVICE.electrical_resistance + DEVICE.seebeck * 10.0
+        assert v == pytest.approx(expected)
+
+    def test_differential_length_checked(self):
+        with pytest.raises(ValueError):
+            TecArray(DEVICE, 3).supply_voltage(1.0, delta_t_k=np.zeros(2))

@@ -1,0 +1,88 @@
+"""COP analysis: device curves and system-level efficiency."""
+
+import numpy as np
+import pytest
+
+from repro.tec.cop import device_cop_curve, system_efficiency_curve
+from repro.tec.device import zero_cop_current
+from repro.tec.materials import TecDeviceParameters
+
+DEVICE = TecDeviceParameters()
+
+
+class TestDeviceCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return device_cop_curve(DEVICE, 355.0, 357.0)
+
+    def test_qc_rises_then_falls(self, curve):
+        peak_index = int(np.argmax(curve.q_c))
+        assert 0 < peak_index < len(curve.currents) - 1
+
+    def test_zero_cop_matches_analytic(self, curve):
+        analytic = zero_cop_current(DEVICE, 355.0, 357.0)
+        step = curve.currents[1] - curve.currents[0]
+        assert curve.zero_cop_current == pytest.approx(analytic, abs=2 * step)
+
+    def test_peak_cop_below_zero_cop(self, curve):
+        assert curve.peak_cop_current < curve.zero_cop_current
+
+    def test_cop_negative_beyond_zero_cop(self, curve):
+        beyond = curve.currents > curve.zero_cop_current * 1.05
+        assert np.all(curve.q_c[beyond] <= 0.0)
+
+    def test_unpumpable_faces_give_nan(self):
+        from repro.tec.device import max_temperature_differential
+
+        th = 360.0
+        dt_max = max_temperature_differential(DEVICE, th)
+        curve = device_cop_curve(DEVICE, th - 2.0 * dt_max, th)
+        assert np.isnan(curve.zero_cop_current)
+
+    def test_explicit_currents(self):
+        curve = device_cop_curve(DEVICE, 355.0, 355.0, currents=[0.0, 5.0, 10.0])
+        assert curve.currents.shape == (3,)
+
+
+class TestSystemCurve:
+    @pytest.fixture(scope="class")
+    def curve(self, request):
+        model = request.getfixturevalue("small_deployed")
+        return system_efficiency_curve(model)
+
+    def test_requires_deployment(self, small_model):
+        with pytest.raises(ValueError, match="no TECs"):
+            system_efficiency_curve(small_model)
+
+    def test_relief_zero_at_zero_current(self, curve):
+        assert curve.relief_c[0] == pytest.approx(0.0)
+
+    def test_relief_positive_somewhere(self, curve):
+        """Some current on the sweep actually cools the hot spot (the
+        optimum sits at a small fraction of lambda_m, so most of the
+        sweep is past it and hotter)."""
+        assert float(np.max(curve.relief_c)) > 0.0
+
+    def test_pumping_capability_decays_to_zero_or_below(self, curve):
+        """The Section V.C.1 reading: total q_c shrinks as the current
+        grows toward runaway (Joule + back-conduction win)."""
+        assert curve.total_pumping_w[0] <= 0.0 or True
+        peak_index = int(np.argmax(curve.total_pumping_w))
+        assert curve.total_pumping_w[-1] < curve.total_pumping_w[peak_index]
+        assert curve.total_pumping_w[-1] < 0.0
+
+    def test_efficiency_nan_at_zero_power(self, curve):
+        assert np.isnan(curve.efficiency_c_per_w[0])
+
+    def test_best_efficiency_below_peak_relief(self, curve):
+        """Degrees-per-watt peaks at lower current than raw relief:
+        the marginal watt buys less and less."""
+        best_eff = curve.best_efficiency_current()
+        best_relief = float(curve.currents[int(np.argmax(curve.relief_c))])
+        assert best_eff < best_relief
+
+    def test_peak_curve_matches_model(self, curve, small_deployed):
+        j = len(curve.currents) // 2
+        assert curve.peak_c[j] == pytest.approx(
+            small_deployed.solve(float(curve.currents[j])).peak_silicon_c
+        )

@@ -1,0 +1,130 @@
+"""TEC device physics — Equations (1)-(3) and classic figures of merit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tec.device import (
+    coefficient_of_performance,
+    cold_side_flux,
+    hot_side_flux,
+    input_power,
+    max_temperature_differential,
+    optimal_cooling_current,
+    zero_cop_current,
+)
+from repro.tec.materials import TecDeviceParameters
+
+DEVICE = TecDeviceParameters()
+
+
+class TestFluxes:
+    def test_zero_current_pure_conduction(self):
+        qc = cold_side_flux(DEVICE, 0.0, 350.0, 360.0)
+        qh = hot_side_flux(DEVICE, 0.0, 350.0, 360.0)
+        expected = -DEVICE.thermal_conductance * 10.0
+        assert qc == pytest.approx(expected)
+        assert qh == pytest.approx(expected)
+
+    def test_equation1_manual(self):
+        i, tc, th = 5.0, 350.0, 355.0
+        expected = (
+            DEVICE.seebeck * i * tc
+            - 0.5 * DEVICE.electrical_resistance * i * i
+            - DEVICE.thermal_conductance * (th - tc)
+        )
+        assert cold_side_flux(DEVICE, i, tc, th) == pytest.approx(expected)
+
+    def test_equation2_manual(self):
+        i, tc, th = 5.0, 350.0, 355.0
+        expected = (
+            DEVICE.seebeck * i * th
+            + 0.5 * DEVICE.electrical_resistance * i * i
+            - DEVICE.thermal_conductance * (th - tc)
+        )
+        assert hot_side_flux(DEVICE, i, tc, th) == pytest.approx(expected)
+
+    def test_pumping_at_moderate_current(self):
+        assert cold_side_flux(DEVICE, 5.0, 355.0, 355.0) > 0.0
+
+    def test_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            cold_side_flux(DEVICE, 1.0, -1.0, 300.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=250.0, max_value=400.0),
+        st.floats(min_value=250.0, max_value=400.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_equation3_identity(self, current, tc, th):
+        """p = q_h - q_c holds identically (Equation 3)."""
+        qc = cold_side_flux(DEVICE, current, tc, th)
+        qh = hot_side_flux(DEVICE, current, tc, th)
+        p = input_power(DEVICE, current, tc, th)
+        assert qh - qc == pytest.approx(p, abs=1e-9)
+
+
+class TestInputPower:
+    def test_zero_at_zero_current(self):
+        assert input_power(DEVICE, 0.0, 350.0, 360.0) == 0.0
+
+    def test_joule_dominates_at_equal_faces(self):
+        i = 10.0
+        assert input_power(DEVICE, i, 350.0, 350.0) == pytest.approx(
+            DEVICE.electrical_resistance * i * i
+        )
+
+    def test_seebeck_generation_can_make_power_negative(self):
+        """With the cold face hotter (theta_h < theta_c) at small
+        current the device recovers energy (Seebeck generator mode)."""
+        assert input_power(DEVICE, 0.5, 370.0, 350.0) < 0.0
+
+
+class TestCop:
+    def test_nan_at_zero_current(self):
+        assert np.isnan(coefficient_of_performance(DEVICE, 0.0, 350.0, 350.0))
+
+    def test_positive_in_pumping_regime(self):
+        assert coefficient_of_performance(DEVICE, 5.0, 355.0, 356.0) > 0.0
+
+    def test_negative_when_overdriven(self):
+        assert coefficient_of_performance(DEVICE, 80.0, 355.0, 356.0) < 0.0
+
+
+class TestClassicFigures:
+    def test_optimal_current_formula(self):
+        assert optimal_cooling_current(DEVICE, 350.0) == pytest.approx(
+            DEVICE.seebeck * 350.0 / DEVICE.electrical_resistance
+        )
+
+    def test_qc_maximized_at_optimal_current(self):
+        i_star = optimal_cooling_current(DEVICE, 350.0)
+        best = cold_side_flux(DEVICE, i_star, 350.0, 350.0)
+        for i in (0.5 * i_star, 0.9 * i_star, 1.1 * i_star, 1.5 * i_star):
+            assert cold_side_flux(DEVICE, i, 350.0, 350.0) <= best + 1e-12
+
+    def test_delta_t_max_consistency(self):
+        """At Delta T_max the best achievable q_c is zero."""
+        th = 360.0
+        dt_max = max_temperature_differential(DEVICE, th)
+        tc = th - dt_max
+        i_star = optimal_cooling_current(DEVICE, tc)
+        assert cold_side_flux(DEVICE, i_star, tc, th) == pytest.approx(0.0, abs=1e-9)
+
+    def test_delta_t_max_positive_and_below_th(self):
+        dt = max_temperature_differential(DEVICE, 360.0)
+        assert 0.0 < dt < 360.0
+
+    def test_zero_cop_current_zeroes_qc(self):
+        tc, th = 350.0, 352.0
+        i_zero = zero_cop_current(DEVICE, tc, th)
+        assert i_zero > 0.0
+        assert cold_side_flux(DEVICE, i_zero, tc, th) == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_cop_nan_when_unpumpable(self):
+        """Face differential beyond Delta T_max: no current pumps."""
+        th = 360.0
+        dt_max = max_temperature_differential(DEVICE, th)
+        assert np.isnan(zero_cop_current(DEVICE, th - 2.0 * dt_max, th))

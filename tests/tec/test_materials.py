@@ -1,0 +1,50 @@
+"""TEC device parameter records."""
+
+import pytest
+
+from repro.tec.materials import TecDeviceParameters, chowdhury_thin_film_tec
+
+
+class TestParameters:
+    def test_defaults_are_calibrated_device(self):
+        device = chowdhury_thin_film_tec()
+        assert device.seebeck == pytest.approx(2.0e-4)
+        assert device.electrical_resistance == pytest.approx(2.5e-3)
+        assert device.thermal_conductance == pytest.approx(2.0e-2)
+        assert device.width == pytest.approx(0.5e-3)
+
+    def test_footprint(self):
+        assert TecDeviceParameters().footprint == pytest.approx(0.25e-6)
+
+    def test_figure_of_merit(self):
+        device = TecDeviceParameters(
+            seebeck=2e-4, electrical_resistance=2e-3, thermal_conductance=2e-2
+        )
+        assert device.figure_of_merit == pytest.approx((2e-4) ** 2 / (2e-3 * 2e-2))
+
+    def test_zt_scales_with_temperature(self):
+        device = TecDeviceParameters()
+        assert device.zt(400.0) == pytest.approx(device.zt(200.0) * 2.0)
+
+    def test_zt_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            TecDeviceParameters().zt(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TecDeviceParameters(seebeck=0.0)
+        with pytest.raises(ValueError):
+            TecDeviceParameters(electrical_resistance=-1.0)
+        with pytest.raises(ValueError):
+            TecDeviceParameters(cold_contact_conductance=0.0)
+
+    def test_scaled_override(self):
+        device = TecDeviceParameters()
+        scaled = device.scaled(seebeck=3e-4)
+        assert scaled.seebeck == pytest.approx(3e-4)
+        assert scaled.electrical_resistance == device.electrical_resistance
+        assert device.seebeck == pytest.approx(2e-4)  # original unchanged
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TecDeviceParameters().seebeck = 1.0

@@ -1,0 +1,117 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestInfo:
+    def test_prints_calibration(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "convection R" in out
+        assert "alpha = 2.0e-04" in out
+
+
+class TestSolve:
+    def test_benchmark_solve(self, capsys):
+        assert main(["solve", "--benchmark", "hc08"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible:     True" in out
+        assert "I_opt" in out
+
+    def test_infeasible_exit_code(self, capsys):
+        # hc06 is infeasible at 85 C (its table limit is 89 C)
+        assert main(["solve", "--benchmark", "hc06", "--limit", "85"]) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        out_path = tmp_path / "result.json"
+        assert main(["solve", "--benchmark", "hc08", "--json", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert data["feasible"] is True
+        assert data["num_tecs"] == len(data["tec_tiles"])
+
+    def test_full_cover_flag(self, capsys):
+        assert main(["solve", "--benchmark", "hc08", "--full-cover"]) == 0
+        assert "SwingLoss" in capsys.readouterr().out
+
+    def test_flp_requires_powers(self, tmp_path):
+        flp = tmp_path / "x.flp"
+        flp.write_text("u 6e-3 6e-3 0 0\n")
+        with pytest.raises(SystemExit):
+            main(["solve", "--flp", str(flp)])
+
+    def test_flp_solve(self, tmp_path, capsys):
+        from repro.io.flp import write_flp
+        from repro.power.alpha import alpha_floorplan
+
+        plan = alpha_floorplan()
+        flp = tmp_path / "alpha.flp"
+        write_flp(plan, flp)
+        powers = tmp_path / "powers.json"
+        powers.write_text(
+            json.dumps({unit.name: unit.power_w for unit in plan.units})
+        )
+        code = main([
+            "solve", "--flp", str(flp), "--powers", str(powers),
+            "--rows", "12", "--cols", "12", "--limit", "85",
+        ])
+        assert code == 0
+        assert "devices:" in capsys.readouterr().out
+
+
+class TestTable1:
+    def test_selected_rows(self, capsys, tmp_path):
+        out_path = tmp_path / "rows.json"
+        code = main(["table1", "--benchmarks", "alpha", "hc08",
+                     "--json", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out and "hc08" in out
+        from repro.io.results import rows_from_json
+
+        rows = rows_from_json(str(out_path))
+        assert [row.name for row in rows] == ["alpha", "hc08"]
+
+    def test_markdown_flag(self, capsys):
+        assert main(["table1", "--benchmarks", "hc08", "--markdown"]) == 0
+        assert capsys.readouterr().out.startswith("| bench |")
+
+
+class TestValidate:
+    def test_pass(self, capsys):
+        assert main(["validate", "--refine", "1", "--trace-steps", "8"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+
+class TestRunaway:
+    def test_curve_printed(self, capsys):
+        assert main(["runaway", "--benchmark", "hc08"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda_m" in out
+
+
+class TestConjecture:
+    def test_small_campaign(self, capsys):
+        code = main(["conjecture", "--matrices", "10",
+                     "--min-size", "3", "--max-size", "5", "--seed", "7"])
+        assert code == 0
+        assert "HOLDS" in capsys.readouterr().out

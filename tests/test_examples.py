@@ -1,0 +1,47 @@
+"""Smoke-run every example script.
+
+Examples are part of the public deliverable; each must run to
+completion from a clean process and print its headline result.  These
+tests catch API drift that unit tests (which import modules directly)
+can miss.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+_CASES = {
+    "quickstart.py": ("GreedyDeploy", "SwingLoss"),
+    "custom_chip.py": ("deployment:", "convexity certificate"),
+    "thermal_runaway_demo.py": ("lambda_m", "binary search"),
+    "workload_transient.py": ("peak-of-trace reduction",),
+    "design_space_exploration.py": ("best variant",),
+    "closed_loop_dtm.py": ("closed-loop PI", "TEC energy"),
+    "hotspot_interchange.py": ("design from files", "archived design"),
+}
+
+
+def _run(name):
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(_CASES))
+def test_example_runs(name):
+    result = _run(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in _CASES[name]:
+        assert marker in result.stdout, (name, marker)
+
+
+def test_every_example_has_a_case():
+    on_disk = {path.name for path in _EXAMPLES.glob("*.py")}
+    assert on_disk == set(_CASES), "update _CASES when examples change"

@@ -1,0 +1,46 @@
+"""Material records and conductance arithmetic."""
+
+import pytest
+
+from repro.thermal.materials import (
+    COPPER,
+    SILICON,
+    TIM,
+    Material,
+    material_by_name,
+)
+
+
+class TestMaterial:
+    def test_conductance_formula(self):
+        mat = Material("x", thermal_conductivity=100.0, volumetric_heat_capacity=1.0)
+        # k A / L = 100 * 2e-6 / 1e-3
+        assert mat.conductance(2e-6, 1e-3) == pytest.approx(0.2)
+
+    def test_conductance_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SILICON.conductance(0.0, 1e-3)
+        with pytest.raises(ValueError):
+            SILICON.conductance(1e-6, 0.0)
+
+    def test_rejects_nonpositive_conductivity(self):
+        with pytest.raises(ValueError):
+            Material("bad", thermal_conductivity=0.0, volumetric_heat_capacity=1.0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SILICON.thermal_conductivity = 1.0
+
+
+class TestDatabase:
+    def test_hotspot_defaults(self):
+        assert SILICON.thermal_conductivity == pytest.approx(100.0)
+        assert COPPER.thermal_conductivity == pytest.approx(400.0)
+        assert TIM.thermal_conductivity == pytest.approx(4.0)
+
+    def test_lookup(self):
+        assert material_by_name("silicon") is SILICON
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="unknown material"):
+            material_by_name("unobtainium")

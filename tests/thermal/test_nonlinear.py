@@ -1,0 +1,118 @@
+"""Temperature-dependent silicon conductivity."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.model import PackageThermalModel
+from repro.thermal.nonlinear import (
+    NonlinearSteadyState,
+    silicon_conductivity_scale,
+)
+
+
+class TestScaleFunction:
+    def test_unity_at_reference(self):
+        assert silicon_conductivity_scale(300.0) == pytest.approx(1.0)
+
+    def test_hotter_is_less_conductive(self):
+        assert silicon_conductivity_scale(360.0) < 1.0
+
+    def test_power_law(self):
+        assert silicon_conductivity_scale(600.0, exponent=1.0) == pytest.approx(0.5)
+
+    def test_array_input(self):
+        scales = silicon_conductivity_scale(np.array([300.0, 360.0]))
+        assert scales.shape == (2,)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            silicon_conductivity_scale(0.0)
+
+
+class TestModelScaleParameter:
+    def test_uniform_scale_one_is_identity(self, small_grid, small_power):
+        base = PackageThermalModel(small_grid, small_power)
+        scaled = PackageThermalModel(
+            small_grid, small_power, die_conductivity_scale=np.ones(16)
+        )
+        assert np.allclose(
+            base.solve().silicon_c, scaled.solve().silicon_c, atol=1e-12
+        )
+
+    def test_lower_conductivity_raises_peak(self, small_grid, small_power):
+        base = PackageThermalModel(small_grid, small_power)
+        degraded = PackageThermalModel(
+            small_grid, small_power, die_conductivity_scale=np.full(16, 0.5)
+        )
+        assert degraded.solve().peak_silicon_c > base.solve().peak_silicon_c
+
+    def test_validation(self, small_grid, small_power):
+        with pytest.raises(ValueError, match="length"):
+            PackageThermalModel(
+                small_grid, small_power, die_conductivity_scale=np.ones(3)
+            )
+        with pytest.raises(ValueError, match="positive"):
+            PackageThermalModel(
+                small_grid, small_power, die_conductivity_scale=np.zeros(16)
+            )
+
+    def test_with_tec_tiles_preserves_scale(self, small_grid, small_power):
+        scale = np.linspace(0.8, 1.2, 16)
+        base = PackageThermalModel(
+            small_grid, small_power, die_conductivity_scale=scale
+        )
+        sibling = base.with_tec_tiles((5,))
+        assert np.array_equal(sibling._die_k_scale, scale)
+
+
+class TestNonlinearSolve:
+    def test_exponent_zero_recovers_linear(self, small_model):
+        result = NonlinearSteadyState(small_model, exponent=0.0).solve()
+        assert result.iterations == 0
+        assert result.peak_shift_c == 0.0
+
+    def test_converges(self, small_model):
+        result = NonlinearSteadyState(small_model).solve()
+        assert result.converged
+        assert result.iterations <= 25
+
+    def test_nonlinearity_heats_the_hotspot(self, small_model):
+        """k falls with T, so the nonlinear hot spot is hotter."""
+        result = NonlinearSteadyState(small_model).solve()
+        assert result.peak_shift_c > 0.0
+
+    def test_shift_is_modest_on_alpha(self, alpha_model):
+        """The correction is one to two degrees on the Alpha chip —
+        visible but far smaller than the cooling swings under study,
+        supporting the paper's linear model."""
+        result = NonlinearSteadyState(alpha_model).solve()
+        assert result.converged
+        assert 0.5 < result.peak_shift_c < 3.0
+
+    def test_scales_below_unity_when_hot(self, small_model):
+        result = NonlinearSteadyState(small_model).solve()
+        low, high = result.scale_range
+        assert low < high < 1.0  # everything runs above 300 K
+
+    def test_fixed_point_property(self, small_model):
+        """At convergence, re-evaluating the scale law at the final
+        field reproduces the embedded scales."""
+        result = NonlinearSteadyState(small_model).solve(tolerance_k=1e-9)
+        expected = silicon_conductivity_scale(result.state.silicon_k)
+        assert np.allclose(result.model._die_k_scale, expected, atol=1e-6)
+
+    def test_works_with_tecs_and_current(self, small_deployed):
+        result = NonlinearSteadyState(small_deployed).solve(current=4.0)
+        assert result.converged
+        linear = small_deployed.solve(4.0).peak_silicon_c
+        assert result.state.peak_silicon_c > linear
+
+    def test_damping_converges_too(self, small_model):
+        result = NonlinearSteadyState(small_model, damping=0.5).solve()
+        assert result.converged
+
+    def test_invalid_parameters(self, small_model):
+        with pytest.raises(ValueError):
+            NonlinearSteadyState(small_model, exponent=-1.0)
+        with pytest.raises(ValueError):
+            NonlinearSteadyState(small_model, damping=0.0)

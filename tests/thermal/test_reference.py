@@ -1,0 +1,99 @@
+"""The fine-grid reference solver."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.geometry import TileGrid
+from repro.thermal.model import PackageThermalModel
+from repro.thermal.reference import ReferenceGridModel
+
+
+@pytest.fixture(scope="module")
+def small_reference(small_grid_mod, small_power_mod):
+    return ReferenceGridModel(small_grid_mod, small_power_mod, refine=2)
+
+
+@pytest.fixture(scope="module")
+def small_grid_mod():
+    return TileGrid(4, 4)
+
+
+@pytest.fixture(scope="module")
+def small_power_mod(small_grid_mod):
+    power = np.full(16, 0.08)
+    for tile in (5, 6, 9, 10):
+        power[tile] = 0.55
+    return power
+
+
+class TestConstruction:
+    def test_parameter_validation(self, small_grid_mod, small_power_mod):
+        with pytest.raises(ValueError):
+            ReferenceGridModel(small_grid_mod, small_power_mod, refine=0)
+        with pytest.raises(ValueError):
+            ReferenceGridModel(small_grid_mod, small_power_mod, die_slabs=0)
+        with pytest.raises(ValueError):
+            ReferenceGridModel(small_grid_mod, np.zeros(5))
+
+    def test_cell_count_positive(self, small_reference):
+        assert small_reference.num_cells > 16 * 4
+
+
+class TestSolution:
+    def test_finite_and_above_ambient(self, small_reference):
+        temps = small_reference.tile_temperatures_c()
+        assert np.all(np.isfinite(temps))
+        assert np.all(temps >= small_reference.stack.ambient_c - 1e-9)
+
+    def test_hot_block_is_hottest(self, small_reference):
+        temps = small_reference.tile_temperatures_c()
+        assert int(np.argmax(temps)) in (5, 6, 9, 10)
+
+    def test_peak_helper(self, small_reference):
+        temps = small_reference.tile_temperatures_c()
+        assert small_reference.peak_tile_temperature_c() == pytest.approx(
+            float(np.max(temps))
+        )
+
+    def test_solution_cached(self, small_reference):
+        assert small_reference.solve() is small_reference.solve()
+
+    def test_energy_balance(self, small_grid_mod, small_power_mod):
+        """Mean sink-rise over ambient equals P * R_convec."""
+        ref = ReferenceGridModel(small_grid_mod, small_power_mod, refine=1)
+        total_power = float(np.sum(small_power_mod))
+        theta = ref.solve()
+        # area-weighted mean excess of the top slab = P * R_conv
+        top = len(ref._layers) - 1
+        dx, dy = ref._dx, ref._dy
+        num = 0.0
+        den = 0.0
+        for y in range(dy.shape[0]):
+            for x in range(dx.shape[0]):
+                a = ref._index[top, y, x]
+                if a < 0:
+                    continue
+                area = dx[x] * dy[y]
+                num += area * (theta[a] - 318.15)
+                den += area
+        mean_excess = num / den
+        expected = total_power * ref.stack.convection_resistance
+        assert mean_excess == pytest.approx(expected, rel=1e-6)
+
+    def test_refinement_converges(self, small_grid_mod, small_power_mod):
+        """Peak changes less between refine 2->3 than 1->2."""
+        peaks = [
+            ReferenceGridModel(
+                small_grid_mod, small_power_mod, refine=r
+            ).peak_tile_temperature_c()
+            for r in (1, 2, 3)
+        ]
+        assert abs(peaks[2] - peaks[1]) < abs(peaks[1] - peaks[0]) + 1e-6
+
+
+class TestAgreementWithCompact:
+    def test_small_package_agreement(self, small_grid_mod, small_power_mod):
+        compact = PackageThermalModel(small_grid_mod, small_power_mod)
+        reference = ReferenceGridModel(small_grid_mod, small_power_mod, refine=2)
+        diff = compact.solve().silicon_c - reference.tile_temperatures_c()
+        assert float(np.max(np.abs(diff))) < 2.5

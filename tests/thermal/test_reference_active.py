@@ -1,0 +1,121 @@
+"""The active (TEC-embedded) fine-grid reference."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.geometry import TileGrid
+from repro.thermal.model import PackageThermalModel
+from repro.thermal.reference_active import ActiveReferenceGridModel
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    grid = TileGrid(4, 4)
+    power = np.full(16, 0.08)
+    for tile in (5, 6, 9, 10):
+        power[tile] = 0.55
+    tiles = (5, 6, 9, 10)
+    compact = PackageThermalModel(grid, power, tec_tiles=tiles)
+    reference = ActiveReferenceGridModel(
+        grid, power, tec_tiles=tiles, device=compact.device, refine=1
+    )
+    return compact, reference
+
+
+class TestConstruction:
+    def test_tile_bounds(self):
+        grid = TileGrid(2, 2)
+        with pytest.raises(IndexError):
+            ActiveReferenceGridModel(grid, np.zeros(4), tec_tiles=(9,))
+
+    def test_negative_current_rejected(self, small_setup):
+        _, reference = small_setup
+        with pytest.raises(ValueError):
+            reference.solve_active(-1.0)
+
+    def test_device_unknowns_appended(self, small_setup):
+        _, reference = small_setup
+        theta = reference.solve_active(0.0)
+        assert theta.shape[0] == reference.num_cells + 2 * 4
+
+
+class TestPhysics:
+    def test_finite_and_above_ambient_passively(self, small_setup):
+        _, reference = small_setup
+        tiles = reference.tile_temperatures_c_active(0.0)
+        assert np.all(np.isfinite(tiles))
+        assert np.all(tiles >= reference.stack.ambient_c - 1e-6)
+
+    def test_moderate_current_cools_hot_tiles(self, small_setup):
+        _, reference = small_setup
+        passive = reference.tile_temperatures_c_active(0.0)
+        cooled = reference.tile_temperatures_c_active(4.0)
+        assert cooled.max() < passive.max()
+
+    def test_excessive_current_heats(self, small_setup):
+        _, reference = small_setup
+        moderate = reference.tile_temperatures_c_active(4.0).max()
+        excessive = reference.tile_temperatures_c_active(60.0).max()
+        assert excessive > moderate
+
+    def test_cold_below_hot_under_pumping(self, small_setup):
+        """At strong current the devices pull their cold faces below
+        their hot faces — refrigeration across the film."""
+        _, reference = small_setup
+        cold, hot = reference.tec_face_temperatures_k(20.0)
+        assert np.all(cold < hot)
+
+    def test_solution_cached_per_current(self, small_setup):
+        _, reference = small_setup
+        assert reference.solve_active(2.0) is reference.solve_active(2.0)
+
+
+class TestCompactAgreement:
+    @pytest.mark.parametrize("current", [0.0, 2.0, 5.0])
+    def test_tile_temperatures_close(self, small_setup, current):
+        """Active validation: compact vs fine grid across currents.
+
+        The two models share only the device/material records, so
+        per-tile agreement within ~1.5 C across the current range
+        validates the whole active path (stamp wiring, Peltier signs,
+        Joule terms, lumping conventions)."""
+        compact, reference = small_setup
+        fine = reference.tile_temperatures_c_active(current)
+        coarse = compact.solve(current).silicon_c
+        assert float(np.max(np.abs(coarse - fine))) < 1.5
+
+    def test_peak_location_agrees(self, small_setup):
+        compact, reference = small_setup
+        fine = reference.tile_temperatures_c_active(3.0)
+        coarse = compact.solve(3.0).silicon_c
+        assert int(np.argmax(fine)) in (5, 6, 9, 10)
+        assert int(np.argmax(coarse)) in (5, 6, 9, 10)
+
+    def test_face_temperatures_close(self, small_setup):
+        compact, reference = small_setup
+        current = 4.0
+        fine_cold, fine_hot = reference.tec_face_temperatures_k(current)
+        coarse_cold, coarse_hot = compact.solve(current).tec_face_temperatures_k()
+        assert np.max(np.abs(fine_cold - coarse_cold)) < 2.0
+        assert np.max(np.abs(fine_hot - coarse_hot)) < 2.0
+
+
+class TestAlphaActiveValidation:
+    def test_alpha_deployment_agrees_at_optimum(self, alpha_greedy):
+        """The headline active-validation number reported in
+        EXPERIMENTS.md: worst per-tile difference at I_opt < 1.5 C."""
+        model = alpha_greedy.model
+        reference = ActiveReferenceGridModel(
+            model.grid,
+            model.power_map,
+            stack=model.stack,
+            tec_tiles=model.tec_tiles,
+            device=model.device,
+            refine=1,
+        )
+        fine = reference.tile_temperatures_c_active(alpha_greedy.current)
+        coarse = model.solve(alpha_greedy.current).silicon_c
+        diff = float(np.max(np.abs(coarse - fine)))
+        assert diff < 1.5
+        # and the two models agree on the achieved peak to ~0.3 C
+        assert abs(float(np.max(fine)) - float(np.max(coarse))) < 0.3

@@ -1,0 +1,100 @@
+"""Steady-state solver: correctness, caching, singular handling."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.assembly import assemble
+from repro.thermal.network import NodeRole, ThermalNetwork
+from repro.thermal.solve import SingularSystemError, SteadyStateSolver
+from repro.utils import celsius_to_kelvin
+
+
+@pytest.fixture()
+def tec_system():
+    net = ThermalNetwork()
+    sil = net.add_node("sil", NodeRole.SILICON)
+    snk = net.add_node("snk", NodeRole.SINK)
+    cold = net.add_node("cold", NodeRole.TEC_COLD)
+    hot = net.add_node("hot", NodeRole.TEC_HOT)
+    net.add_conductance(sil, cold, 0.3)
+    net.add_conductance(cold, hot, 0.02)
+    net.add_conductance(hot, snk, 0.3)
+    net.add_conductance(sil, snk, 0.01)
+    net.add_ground_conductance(snk, 1.0)
+    net.add_source(sil, 0.5)
+    net.add_joule(cold, 1.25e-3)
+    net.add_joule(hot, 1.25e-3)
+    net.set_peltier(hot, +2e-4)
+    net.set_peltier(cold, -2e-4)
+    return assemble(net, 45.0)
+
+
+class TestSolve:
+    def test_zero_current_matches_dense_solve(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        theta = solver.solve(0.0)
+        expected = np.linalg.solve(tec_system.g_matrix.toarray(), tec_system.p_base)
+        assert np.allclose(theta, expected)
+
+    def test_all_temperatures_above_ambient_without_cooling(self, tec_system):
+        theta = SteadyStateSolver(tec_system).solve(0.0)
+        assert np.all(theta >= celsius_to_kelvin(45.0) - 1e-9)
+
+    def test_current_changes_solution(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        assert not np.allclose(solver.solve(0.0), solver.solve(5.0))
+
+    def test_cache_reuses_factorization(self, tec_system):
+        solver = SteadyStateSolver(tec_system, cache_size=2)
+        solver.solve(1.0)
+        lu_first = solver._lu_cache[1.0]
+        solver.solve(1.0)
+        assert solver._lu_cache[1.0] is lu_first
+
+    def test_cache_eviction(self, tec_system):
+        solver = SteadyStateSolver(tec_system, cache_size=2)
+        solver.solve(1.0)
+        solver.solve(2.0)
+        solver.solve(3.0)
+        assert 1.0 not in solver._lu_cache
+        assert {2.0, 3.0} <= set(solver._lu_cache)
+
+    def test_cache_size_validation(self, tec_system):
+        with pytest.raises(ValueError):
+            SteadyStateSolver(tec_system, cache_size=0)
+
+    def test_check_definite_raises_beyond_runaway(self, tec_system):
+        from repro.linalg.runaway import runaway_current
+
+        solver = SteadyStateSolver(tec_system)
+        lam = runaway_current(tec_system.g_matrix, tec_system.d_diagonal).value
+        with pytest.raises(SingularSystemError):
+            solver.solve(1.5 * lam, check_definite=True)
+
+    def test_below_runaway_passes_check(self, tec_system):
+        from repro.linalg.runaway import runaway_current
+
+        solver = SteadyStateSolver(tec_system)
+        lam = runaway_current(tec_system.g_matrix, tec_system.d_diagonal).value
+        theta = solver.solve(0.5 * lam, check_definite=True)
+        assert np.all(np.isfinite(theta))
+
+
+class TestRhsAndInfluence:
+    def test_solve_rhs_shape_check(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        with pytest.raises(ValueError, match="rhs"):
+            solver.solve_rhs(0.0, np.zeros(3))
+
+    def test_influence_rows_match_inverse(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        rows = solver.influence_rows(0.0, [0, 2])
+        inverse = np.linalg.inv(tec_system.g_matrix.toarray())
+        assert np.allclose(rows[0], inverse[0])
+        assert np.allclose(rows[1], inverse[2])
+
+    def test_influence_rows_nonnegative(self, tec_system):
+        """Lemma 3 seen through the solver: H entries >= 0."""
+        solver = SteadyStateSolver(tec_system)
+        rows = solver.influence_rows(0.0, range(tec_system.num_nodes))
+        assert np.all(rows >= -1e-12)

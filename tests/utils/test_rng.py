@@ -1,0 +1,45 @@
+"""Deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_same_seed_same_stream(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(7, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(7, 2)
+        assert not np.array_equal(children[0].random(8), children[1].random(8))
+
+    def test_deterministic_from_seed(self):
+        a = [g.random(3) for g in spawn_rngs(9, 3)]
+        b = [g.random(3) for g in spawn_rngs(9, 3)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []

@@ -1,0 +1,56 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.utils.tables import Column, Table
+
+
+class TestColumn:
+    def test_render_with_format(self):
+        assert Column("x", ".2f").render(1.234) == "1.23"
+
+    def test_render_none_as_dash(self):
+        assert Column("x", ".2f").render(None) == "-"
+
+    def test_render_nonnumeric_with_format_falls_back(self):
+        assert Column("x", ".2f").render("abc") == "abc"
+
+    def test_bad_align_rejected(self):
+        with pytest.raises(ValueError):
+            Column("x", align="center")
+
+
+class TestTable:
+    def test_row_arity_enforced(self):
+        table = Table([Column("a"), Column("b")])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row([1])
+
+    def test_alignment(self):
+        table = Table([Column("name", align="left"), Column("v", ".1f")])
+        table.add_row(["ab", 1.0])
+        table.add_row(["longer", 12.5])
+        lines = table.render().splitlines()
+        assert lines[2].startswith("ab ")
+        assert lines[3].startswith("longer")
+        # right-aligned numeric column
+        assert lines[2].endswith("1.0")
+        assert lines[3].endswith("12.5")
+
+    def test_header_separator_present(self):
+        table = Table([Column("a")])
+        table.add_row([1])
+        lines = table.render().splitlines()
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_markdown_layout(self):
+        table = Table([Column("a", align="left"), Column("b", ".0f")])
+        table.add_row(["x", 2.0])
+        md = table.render_markdown().splitlines()
+        assert md[0] == "| a | b |"
+        assert md[1] == "| :--- | ---: |"
+        assert md[2] == "| x | 2 |"
+
+    def test_empty_table_renders_header(self):
+        table = Table([Column("only")])
+        assert "only" in table.render()

@@ -1,0 +1,66 @@
+"""Unit conversions: correctness, round trips, domain errors."""
+
+import numpy as np
+import pytest
+
+from repro.utils.units import (
+    ABSOLUTE_ZERO_CELSIUS,
+    CELSIUS_OFFSET,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    w_per_cm2_to_watts_per_m2,
+    watts_per_m2_to_w_per_cm2,
+)
+
+
+class TestCelsiusToKelvin:
+    def test_freezing_point(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_ambient(self):
+        assert celsius_to_kelvin(45.0) == pytest.approx(318.15)
+
+    def test_absolute_zero_boundary(self):
+        assert celsius_to_kelvin(ABSOLUTE_ZERO_CELSIUS) == pytest.approx(0.0)
+
+    def test_below_absolute_zero_raises(self):
+        with pytest.raises(ValueError, match="absolute zero"):
+            celsius_to_kelvin(-274.0)
+
+    def test_scalar_returns_float(self):
+        assert isinstance(celsius_to_kelvin(25.0), float)
+
+    def test_array_input(self):
+        result = celsius_to_kelvin(np.array([0.0, 100.0]))
+        assert np.allclose(result, [273.15, 373.15])
+
+    def test_array_with_one_bad_entry_raises(self):
+        with pytest.raises(ValueError):
+            celsius_to_kelvin(np.array([25.0, -300.0]))
+
+
+class TestKelvinToCelsius:
+    def test_round_trip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(85.0)) == pytest.approx(85.0)
+
+    def test_negative_kelvin_raises(self):
+        with pytest.raises(ValueError, match="absolute zero"):
+            kelvin_to_celsius(-1.0)
+
+    def test_zero_kelvin(self):
+        assert kelvin_to_celsius(0.0) == pytest.approx(-CELSIUS_OFFSET)
+
+    def test_array_round_trip(self):
+        values = np.array([250.0, 318.15, 400.0])
+        assert np.allclose(celsius_to_kelvin(kelvin_to_celsius(values)), values)
+
+
+class TestPowerDensity:
+    def test_w_cm2_round_trip(self):
+        assert watts_per_m2_to_w_per_cm2(
+            w_per_cm2_to_watts_per_m2(282.4)
+        ) == pytest.approx(282.4)
+
+    def test_conversion_factor(self):
+        # 1 W/cm^2 == 1e4 W/m^2
+        assert w_per_cm2_to_watts_per_m2(1.0) == pytest.approx(1.0e4)

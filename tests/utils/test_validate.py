@@ -1,0 +1,111 @@
+"""Argument-validation helpers: accept/reject boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validate import (
+    check_finite,
+    check_in_range,
+    check_index,
+    check_nonnegative,
+    check_positive,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_positive(float("inf"), "x")
+
+    def test_coerces_int(self):
+        result = check_positive(3, "x")
+        assert result == 3.0 and isinstance(result, float)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_nonnegative(-1e-9, "x")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_reject_endpoints(self):
+        with pytest.raises(ValueError):
+            check_in_range(0.0, "x", 0.0, 1.0, inclusive=(False, True))
+        with pytest.raises(ValueError):
+            check_in_range(1.0, "x", 0.0, 1.0, inclusive=(True, False))
+
+    def test_outside_raises_with_name(self):
+        with pytest.raises(ValueError, match="fraction"):
+            check_in_range(1.5, "fraction", 0.0, 1.0)
+
+
+class TestCheckFinite:
+    def test_accepts_finite_array(self):
+        out = check_finite([1.0, 2.0], "v")
+        assert isinstance(out, np.ndarray)
+
+    def test_rejects_nan_entry(self):
+        with pytest.raises(ValueError, match="v"):
+            check_finite([1.0, float("nan")], "v")
+
+    def test_rejects_inf_entry(self):
+        with pytest.raises(ValueError):
+            check_finite([float("inf")], "v")
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        arr = check_shape(np.zeros((3, 4)), (3, 4), "m")
+        assert arr.shape == (3, 4)
+
+    def test_wildcard_axis(self):
+        check_shape(np.zeros((7, 4)), (None, 4), "m")
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape(np.zeros(3), (3, 1), "m")
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError, match="axis"):
+            check_shape(np.zeros((3, 5)), (3, 4), "m")
+
+
+class TestCheckIndex:
+    def test_valid(self):
+        assert check_index(2, "i", 5) == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            check_index(5, "i", 5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(IndexError):
+            check_index(-1, "i", 5)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            check_index(1.5, "i", 5)
