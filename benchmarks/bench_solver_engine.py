@@ -1,0 +1,79 @@
+"""The fused solve engine vs the legacy per-current path.
+
+Runs GreedyDeploy on the Table I Alpha instance twice — once with the
+engine defaults (``mode="reuse"`` + incremental assembly) and once with
+the pre-engine configuration (``mode="direct"``, rebuild every model) —
+and checks the acceptance criteria of the engine PR:
+
+* the engine performs at least 2x fewer sparse LU factorizations;
+* the deployment is identical (same tiles, same current to 1e-3 A,
+  same peak to 1e-6 C).
+
+Run:  pytest benchmarks/bench_solver_engine.py -s
+      pytest benchmarks/bench_solver_engine.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core.deploy import greedy_deploy
+from repro.experiments.benchmarks import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def engine_result():
+    problem = load_benchmark("alpha")  # engine defaults: reuse + incremental
+    return greedy_deploy(problem)
+
+
+@pytest.fixture(scope="module")
+def legacy_result():
+    problem = load_benchmark("alpha").configure_solver(
+        mode="direct", incremental=False
+    )
+    return greedy_deploy(problem)
+
+
+def test_factorization_reduction(engine_result, legacy_result):
+    engine = engine_result.solver_stats
+    legacy = legacy_result.solver_stats
+    print()
+    print("legacy : " + legacy.summary())
+    print("engine : " + engine.summary())
+    ratio = legacy.factorizations / max(engine.factorizations, 1)
+    print("sparse LU reduction: {:.1f}x".format(ratio))
+    assert engine.factorizations * 2 <= legacy.factorizations
+
+
+def test_identical_deployment(engine_result, legacy_result):
+    assert engine_result.tec_tiles == legacy_result.tec_tiles
+    assert engine_result.feasible == legacy_result.feasible
+    assert engine_result.current == pytest.approx(legacy_result.current, abs=1e-3)
+    assert engine_result.peak_c == pytest.approx(legacy_result.peak_c, abs=1e-6)
+
+
+def test_engine_skips_full_rebuilds(engine_result):
+    stats = engine_result.solver_stats
+    assert stats.incremental_builds > 0
+    # only the blueprint-recording first model builds from scratch
+    assert stats.full_builds <= 1
+
+
+@pytest.mark.benchmark(group="solver-engine")
+def test_greedy_deploy_engine_timing(benchmark):
+    def run():
+        return greedy_deploy(load_benchmark("alpha"))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.feasible
+
+
+@pytest.mark.benchmark(group="solver-engine")
+def test_greedy_deploy_legacy_timing(benchmark):
+    def run():
+        problem = load_benchmark("alpha").configure_solver(
+            mode="direct", incremental=False
+        )
+        return greedy_deploy(problem)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.feasible

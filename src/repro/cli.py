@@ -80,6 +80,19 @@ def _add_solve(subparsers):
         "--full-cover", action="store_true",
         help="also run the Full-Cover baseline and report SwingLoss",
     )
+    parser.add_argument(
+        "--solver-mode", choices=["reuse", "direct"], default=None,
+        help="steady-state solve engine: 'reuse' (factorization reuse, "
+             "default) or 'direct' (one LU per distinct current)",
+    )
+    parser.add_argument(
+        "--solver-cache-size", type=int, default=None,
+        help="per-current factorization/solution cache size (default 8)",
+    )
+    parser.add_argument(
+        "--solver-stats", action="store_true",
+        help="print solve-engine instrumentation after the run",
+    )
     parser.set_defaults(func=_cmd_solve)
 
 
@@ -91,6 +104,13 @@ def _cmd_solve(args):
     problem = _load_problem(args)
     if args.limit is not None:
         problem = problem.with_limit(args.limit)
+    if args.solver_mode is not None or args.solver_cache_size is not None:
+        try:
+            problem.configure_solver(
+                mode=args.solver_mode, cache_size=args.solver_cache_size
+            )
+        except ValueError as error:
+            raise SystemExit("repro solve: error: {}".format(error))
 
     result = greedy_deploy(problem)
     print("problem: {} (limit {:.1f} C)".format(problem.name, problem.max_temperature_c))
@@ -105,6 +125,10 @@ def _cmd_solve(args):
         baseline = full_cover(problem)
         print("full-cover best peak: {:.2f} C (SwingLoss {:.2f} C)".format(
             baseline.min_peak_c, baseline.min_peak_c - result.peak_c))
+    if args.solver_stats and result.solver_stats is not None:
+        print("solver stats ({} engine):".format(problem.solver_mode))
+        for line in result.solver_stats.summary().splitlines():
+            print("  " + line)
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(deployment_to_dict(result), handle, indent=2)

@@ -59,17 +59,18 @@ def _tec_indicator(model):
 def eta_zeta(model, current):
     """``eta_k(i)`` and ``zeta_k(i)`` for every silicon tile.
 
-    Returns a pair of flat arrays over tiles (row-major).  Each costs
-    one sparse solve against the already-factorized ``G - i D``.
+    Returns a pair of flat arrays over tiles (row-major).  Both columns
+    are solved in a single batched call against the already-factorized
+    ``G - i D``.
     """
     if not model.stamps:
         raise ValueError("model has no TECs; eta/zeta are undefined")
     silicon = model.silicon_nodes
-    eta_full = model.solver.solve_rhs(current, _tec_indicator(model))
     p_sil = np.zeros(model.num_nodes)
     p_sil[silicon] = model.power_map
-    zeta_full = model.solver.solve_rhs(current, p_sil)
-    return eta_full[silicon], zeta_full[silicon]
+    rhs = np.column_stack([_tec_indicator(model), p_sil])
+    solution = model.solver.solve_rhs(current, rhs)
+    return solution[silicon, 0], solution[silicon, 1]
 
 
 def eta_derivative(model, current):

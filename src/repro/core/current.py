@@ -54,9 +54,15 @@ class CurrentOptimizationResult:
         ``"golden"`` or ``"gradient"``.
     converged:
         True when the bracket/step tolerance was met within the
-        iteration budget.
+        iteration budget.  For the gradient method this also requires
+        that an Armijo line-search failure happened at a (projected)
+        stationary point — exhausting the backtracking loop far from
+        one reports False.
     history:
         Optional list of ``(current, peak_c)`` pairs visited.
+    stats:
+        :class:`~repro.thermal.solve.SolverStats` delta accumulated by
+        the model's solve engine during this optimization.
     """
 
     current: float
@@ -66,6 +72,7 @@ class CurrentOptimizationResult:
     method: str
     converged: bool
     history: list = field(default_factory=list)
+    stats: object = None
 
 
 class _PeakObjective:
@@ -135,6 +142,7 @@ def minimize_peak_temperature(
     check_positive(tolerance, "tolerance")
     check_in_range(safety_fraction, "safety_fraction", 0.0, 1.0, inclusive=(False, False))
     objective = _PeakObjective(model, record_history=record_history)
+    stats_before = model.solver.stats.copy()
 
     lambda_m = model.runaway_current().value
     if not model.stamps:
@@ -147,6 +155,7 @@ def minimize_peak_temperature(
             method=method,
             converged=True,
             history=objective.history or [],
+            stats=model.solver.stats.diff(stats_before),
         )
 
     if math.isinf(lambda_m):
@@ -173,6 +182,7 @@ def minimize_peak_temperature(
         method=method,
         converged=converged,
         history=objective.history or [],
+        stats=model.solver.stats.diff(stats_before),
     )
 
 
@@ -244,6 +254,15 @@ def _gradient_descent(objective, upper, tolerance, max_iterations):
                 break
             trial_step *= 0.5
         if not improved:
-            converged = True
+            # Armijo exhaustion only certifies a (projected) stationary
+            # point when a tolerance-sized move the *other* way does not
+            # improve either — a misleading gradient (e.g. from a
+            # near-singular solve) would otherwise be reported as
+            # converged far from the minimizer.
+            probe = min(max(current - direction * tolerance, 0.0), upper)
+            probe_value = objective(probe) if probe != current else value
+            converged = not (
+                probe_value < value - 1.0e-9 * max(1.0, abs(value))
+            )
             break
     return float(current), float(value), converged

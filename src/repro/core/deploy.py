@@ -71,6 +71,10 @@ class DeploymentResult:
         Wall-clock time of the whole deployment run.
     problem / model:
         The problem instance and the final deployed model.
+    solver_stats:
+        :class:`~repro.thermal.solve.SolverStats` delta accumulated by
+        the problem's solve engine over the whole run (None when the
+        problem does not expose shared stats).
     """
 
     feasible: bool
@@ -84,6 +88,7 @@ class DeploymentResult:
     problem: object = None
     model: object = None
     current_result: object = None
+    solver_stats: object = None
 
     @property
     def num_tecs(self):
@@ -119,6 +124,17 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
     start = time.perf_counter()
     if max_rounds is None:
         max_rounds = problem.grid.num_tiles
+    max_rounds = int(max_rounds)
+    if max_rounds < 0:
+        raise ValueError("max_rounds must be non-negative, got {}".format(max_rounds))
+
+    shared_stats = getattr(problem, "solver_stats", None)
+    stats_before = shared_stats.copy() if shared_stats is not None else None
+
+    def _stats_delta():
+        if shared_stats is None:
+            return None
+        return shared_stats.diff(stats_before)
 
     bare_model = problem.model(())
     bare_state = bare_model.solve(0.0)
@@ -141,6 +157,26 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
             problem=problem,
             model=bare_model,
             current_result=None,
+            solver_stats=_stats_delta(),
+        )
+
+    if max_rounds == 0:
+        # No optimization budget: the bare chip violates the limit and
+        # we are not allowed to deploy anything, so report infeasible
+        # instead of crashing on an absent optimum.
+        return DeploymentResult(
+            feasible=False,
+            tec_tiles=(),
+            current=0.0,
+            peak_c=no_tec_peak,
+            no_tec_peak_c=no_tec_peak,
+            tec_power_w=0.0,
+            iterations=[],
+            runtime_s=time.perf_counter() - start,
+            problem=problem,
+            model=bare_model,
+            current_result=None,
+            solver_stats=_stats_delta(),
         )
 
     model = bare_model
@@ -184,4 +220,5 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
         problem=problem,
         model=model,
         current_result=optimum,
+        solver_stats=_stats_delta(),
     )

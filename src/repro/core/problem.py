@@ -15,6 +15,7 @@ import numpy as np
 from repro.power.floorplan import Floorplan
 from repro.tec.materials import chowdhury_thin_film_tec
 from repro.thermal.model import PackageThermalModel
+from repro.thermal.solve import SOLVER_MODES, SolverStats
 from repro.thermal.stack import PackageStack
 from repro.utils import check_finite
 
@@ -40,6 +41,21 @@ class CoolingSystemProblem:
         the calibrated thin-film device).
     name:
         Label used in reports.
+    solver_mode:
+        Steady-state solve engine mode for every model built by this
+        problem: ``"reuse"`` (default — one sparse LU per deployment,
+        Woodbury updates across currents) or ``"direct"`` (one sparse
+        LU per distinct current, the pre-engine behaviour).
+    solver_cache_size:
+        Per-current cache size forwarded to the solver.
+    incremental_assembly:
+        When True (default), the first model records a
+        :class:`~repro.thermal.assembly.NetworkBlueprint` and every
+        later deployment is replayed from it instead of rebuilt.
+
+    All solver/build instrumentation aggregates in
+    :attr:`solver_stats`, a shared
+    :class:`~repro.thermal.solve.SolverStats`.
     """
 
     def __init__(
@@ -51,6 +67,9 @@ class CoolingSystemProblem:
         stack=None,
         device=None,
         name="unnamed",
+        solver_mode="reuse",
+        solver_cache_size=8,
+        incremental_assembly=True,
     ):
         self.grid = grid
         self.power_map = check_finite(power_map, "power_map")
@@ -72,7 +91,40 @@ class CoolingSystemProblem:
                     self.max_temperature_c, self.stack.ambient_c
                 )
             )
+        self.solver_mode = solver_mode
+        self.solver_cache_size = solver_cache_size
+        self.incremental_assembly = bool(incremental_assembly)
+        self.solver_stats = SolverStats()
         self._model_cache = {}
+        self._blueprint = None
+
+    def configure_solver(self, *, mode=None, cache_size=None, incremental=None):
+        """Reconfigure the solve engine; drops cached models/blueprints.
+
+        Keyword-only knobs mirror the constructor's ``solver_mode``,
+        ``solver_cache_size`` and ``incremental_assembly``.  Counters in
+        :attr:`solver_stats` are reset so runs under different
+        configurations can be compared.  Returns ``self``.
+        """
+        if mode is not None:
+            if mode not in SOLVER_MODES:
+                raise ValueError(
+                    "mode must be one of {}, got {!r}".format(SOLVER_MODES, mode)
+                )
+            self.solver_mode = mode
+        if cache_size is not None:
+            cache_size = int(cache_size)
+            if cache_size < 1:
+                raise ValueError(
+                    "cache_size must be >= 1, got {}".format(cache_size)
+                )
+            self.solver_cache_size = cache_size
+        if incremental is not None:
+            self.incremental_assembly = bool(incremental)
+        self.solver_stats = SolverStats()
+        self._model_cache = {}
+        self._blueprint = None
+        return self
 
     @classmethod
     def from_floorplan(cls, floorplan, *, max_temperature_c=85.0, stack=None,
@@ -100,7 +152,11 @@ class CoolingSystemProblem:
 
         Models are cached per deployment: the greedy loop revisits the
         no-TEC model and monotonically growing tile sets, and model
-        construction dominates the cost of small instances.
+        construction dominates the cost of small instances.  With
+        ``incremental_assembly`` on, the first model records the shared
+        network blueprint and every later deployment is replayed from
+        it, so the per-round rebuild of the greedy loop skips the layer
+        physics entirely.
         """
         key = tuple(sorted({int(t) for t in tec_tiles}))
         model = self._model_cache.get(key)
@@ -111,7 +167,13 @@ class CoolingSystemProblem:
                 stack=self.stack,
                 tec_tiles=key,
                 device=self.device,
+                blueprint=self._blueprint,
+                solver_mode=self.solver_mode,
+                solver_cache_size=self.solver_cache_size,
+                solver_stats=self.solver_stats,
             )
+            if self.incremental_assembly and self._blueprint is None:
+                self._blueprint = model.network_blueprint()
             self._model_cache[key] = model
         return model
 
@@ -123,16 +185,24 @@ class CoolingSystemProblem:
         """Copy of the problem with a different temperature limit.
 
         Used for the HC06/HC09 rows of Table I, which are infeasible at
-        85 C but feasible at a slightly relaxed limit.
+        85 C but feasible at a slightly relaxed limit.  The copy keeps
+        the solver configuration and shares the recorded network
+        blueprint (temperature limits do not enter the matrices), but
+        gets fresh stats and model caches.
         """
-        return CoolingSystemProblem(
+        sibling = CoolingSystemProblem(
             self.grid,
             self.power_map,
             max_temperature_c=max_temperature_c,
             stack=self.stack,
             device=self.device,
             name=self.name,
+            solver_mode=self.solver_mode,
+            solver_cache_size=self.solver_cache_size,
+            incremental_assembly=self.incremental_assembly,
         )
+        sibling._blueprint = self._blueprint
+        return sibling
 
     def __repr__(self):
         return (

@@ -80,6 +80,11 @@ def deployment_to_dict(result):
         "cooling_swing_c": float(result.cooling_swing_c),
         "tec_power_w": float(result.tec_power_w),
         "runtime_s": float(result.runtime_s),
+        "solver_stats": (
+            result.solver_stats.as_dict()
+            if getattr(result, "solver_stats", None) is not None
+            else None
+        ),
         "iterations": [
             {
                 "index": it.index,

@@ -39,6 +39,7 @@ from repro.thermal.spreading import (
 )
 from repro.thermal.reference import ReferenceGridModel
 from repro.thermal.reference_active import ActiveReferenceGridModel
+from repro.thermal.solve import SolverStats, SteadyStateSolver
 from repro.thermal.stack import Layer, PackageStack
 from repro.thermal.transient import TransientSimulator, node_capacitances
 from repro.thermal.validation import ValidationReport, validate_against_reference
@@ -56,6 +57,8 @@ __all__ = [
     "PackageThermalModel",
     "ReferenceGridModel",
     "SILICON",
+    "SolverStats",
+    "SteadyStateSolver",
     "TIM",
     "ThermalNetwork",
     "ThermalState",

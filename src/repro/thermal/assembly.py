@@ -13,15 +13,27 @@ builds the matrices of Equation (4)/(5) of the paper:
   carries the tile powers plus the ambient contribution
   ``g_ground * theta_ambient``, and ``joule`` carries the TEC
   ``r/2`` coefficients.
+
+The module also provides :class:`NetworkBlueprint`, the incremental
+assembly cache of the solve engine: the deployment-independent build
+stream of a package network (the ``G`` skeleton with every TIM tile
+present) is recorded once, together with per-tile TEC stamp templates,
+and any concrete deployment is then *replayed* — TIM nodes of covered
+tiles dropped, stamp deltas inserted — without re-deriving any layer
+physics.  Replay emits the exact same builder-call stream the direct
+build would, in the same order, so the assembled matrices are bitwise
+identical.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.thermal.network import NodeRole, ThermalNetwork
 from repro.utils import celsius_to_kelvin
 
 
@@ -57,12 +69,45 @@ class AssembledSystem:
         """``D`` as a sparse diagonal matrix."""
         return sp.diags(self.d_diagonal)
 
+    def _support_positions(self):
+        """CSC data positions of ``G``'s diagonal on ``D``'s support.
+
+        Computed lazily once; lets :meth:`system_matrix` form
+        ``G - i D`` by patching a copy of ``G.data`` instead of going
+        through sparse subtraction (``D`` never adds structure because
+        every node's diagonal is populated).
+        """
+        cached = getattr(self, "_support_pos_cache", None)
+        if cached is None:
+            support = np.flatnonzero(self.d_diagonal)
+            indptr = self.g_matrix.indptr
+            indices = self.g_matrix.indices
+            positions = np.empty(support.size, dtype=np.int64)
+            for j, k in enumerate(support):
+                start, stop = indptr[k], indptr[k + 1]
+                offset = np.searchsorted(indices[start:stop], k)
+                positions[j] = start + offset
+            cached = (support, positions)
+            object.__setattr__(self, "_support_pos_cache", cached)
+        return cached
+
     def system_matrix(self, current):
-        """``G - i D`` for supply current ``current`` (CSC)."""
+        """``G - i D`` for supply current ``current`` (CSC).
+
+        The result shares ``G``'s sparsity structure (index arrays are
+        reused; only the data vector is copied and patched on the
+        Peltier support), so repeated calls across currents are cheap.
+        """
         current = float(current)
         if current == 0.0 or not np.any(self.d_diagonal):
             return self.g_matrix
-        return (self.g_matrix - current * sp.diags(self.d_diagonal)).tocsc()
+        support, positions = self._support_positions()
+        data = self.g_matrix.data.copy()
+        data[positions] -= current * self.d_diagonal[support]
+        return sp.csc_matrix(
+            (data, self.g_matrix.indices, self.g_matrix.indptr),
+            shape=self.g_matrix.shape,
+        )
 
     def power_vector(self, current):
         """``p(i) = p_base + i^2 * joule``."""
@@ -70,6 +115,196 @@ class AssembledSystem:
         if current == 0.0 or not np.any(self.joule):
             return self.p_base
         return self.p_base + current * current * self.joule
+
+
+#: Event tags of the blueprint stream.
+_NODE, _COND, _GROUND, _SOURCE, _JOULE, _PELTIER, _STAMPS = range(7)
+
+
+class NetworkBlueprint:
+    """Deployment-independent recording of a package network build.
+
+    The model builder runs once against this object exactly as it
+    would against a :class:`~repro.thermal.network.ThermalNetwork`,
+    with *every* TIM tile present and no TEC stamped; the stream of
+    builder calls is recorded verbatim.  TEC stamp deltas are recorded
+    separately, one template per tile, between
+    :meth:`begin_stamp_template` / :meth:`end_stamp_template`, and
+    :meth:`mark_stamp_section` marks where stamps belong in the stream.
+
+    :meth:`instantiate` then replays the stream for a concrete
+    deployment: TIM nodes of covered tiles (and every component
+    incident to them) are skipped, surviving node indices are renumbered
+    in stream order, and the covered tiles' stamp templates are emitted
+    at the marker.  Because the replayed call sequence is identical to
+    what a from-scratch build of the same deployment produces, the
+    assembled system is bitwise identical — only the repeated layer
+    physics and node bookkeeping are skipped.
+    """
+
+    def __init__(self):
+        self._events = []
+        self._templates = {}
+        self._template = None
+        self._template_tile = None
+        self._num_nodes = 0
+        self._tim_node_tile = {}
+        self._has_marker = False
+
+    # ------------------------------------------------------------------
+    # Builder API (duck-compatible with ThermalNetwork)
+    # ------------------------------------------------------------------
+
+    def add_node(self, name, role=NodeRole.OTHER, **meta):
+        if self._template is not None:
+            token = -(1 + sum(1 for e in self._template if e[0] == _NODE))
+            self._template.append((_NODE, token, str(name), role, meta))
+            return token
+        index = self._num_nodes
+        self._num_nodes += 1
+        if role is NodeRole.TIM:
+            self._tim_node_tile[index] = int(meta.get("tile", -1))
+        self._events.append((_NODE, index, str(name), role, meta))
+        return index
+
+    def _sink(self):
+        return self._events if self._template is None else self._template
+
+    def add_conductance(self, a, b, conductance):
+        self._sink().append((_COND, a, b, float(conductance)))
+
+    def add_ground_conductance(self, node, conductance):
+        self._sink().append((_GROUND, node, float(conductance)))
+
+    def add_source(self, node, power):
+        self._sink().append((_SOURCE, node, float(power)))
+
+    def add_joule(self, node, coefficient):
+        self._sink().append((_JOULE, node, float(coefficient)))
+
+    def set_peltier(self, node, alpha_signed):
+        self._sink().append((_PELTIER, node, float(alpha_signed)))
+
+    # ------------------------------------------------------------------
+    # Recording structure
+    # ------------------------------------------------------------------
+
+    def mark_stamp_section(self):
+        """Mark the point of the stream where TEC stamps are inserted."""
+        if self._has_marker:
+            raise RuntimeError("stamp section already marked")
+        self._events.append((_STAMPS,))
+        self._has_marker = True
+
+    def begin_stamp_template(self, tile):
+        """Start recording the stamp delta of ``tile``."""
+        if self._template is not None:
+            raise RuntimeError("a stamp template is already being recorded")
+        if tile in self._templates:
+            raise ValueError("tile {} already has a stamp template".format(tile))
+        self._template = []
+        self._template_tile = int(tile)
+
+    def end_stamp_template(self, stamp):
+        """Finish the active template; ``stamp`` is the token-valued
+        :class:`~repro.tec.stamp.TecStamp` returned by ``stamp_tec``."""
+        if self._template is None:
+            raise RuntimeError("no stamp template is being recorded")
+        self._templates[self._template_tile] = (self._template, stamp)
+        self._template = None
+
+    @property
+    def num_tiles_templated(self):
+        return len(self._templates)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def instantiate(self, tec_tiles):
+        """Replay the recorded build for a concrete deployment.
+
+        Returns ``(network, stamps)`` — a populated
+        :class:`~repro.thermal.network.ThermalNetwork` and the list of
+        :class:`~repro.tec.stamp.TecStamp` records with real node
+        indices, ordered by tile.
+        """
+        if self._template is not None:
+            raise RuntimeError("cannot instantiate while recording a template")
+        if not self._has_marker:
+            raise RuntimeError("blueprint has no stamp section marker")
+        covered = {int(t) for t in tec_tiles}
+        missing = covered - set(self._templates)
+        if missing:
+            raise ValueError(
+                "no stamp template for tiles {}".format(sorted(missing))
+            )
+        net = ThermalNetwork()
+        index = {}
+        stamps = []
+        for event in self._events:
+            kind = event[0]
+            if kind == _NODE:
+                _, bare, name, role, meta = event
+                tile = self._tim_node_tile.get(bare)
+                if tile is not None and tile in covered:
+                    index[bare] = None
+                else:
+                    index[bare] = net.add_node(name, role, **meta)
+            elif kind == _STAMPS:
+                for tile in sorted(covered):
+                    stamps.append(self._replay_template(net, tile, index))
+            else:
+                self._apply(net, event, index)
+        return net, stamps
+
+    def _apply(self, net, event, index):
+        kind = event[0]
+        if kind == _COND:
+            a, b = index[event[1]], index[event[2]]
+            if a is None or b is None:
+                return
+            net.add_conductance(a, b, event[3])
+            return
+        node = index[event[1]]
+        if node is None:
+            return
+        if kind == _GROUND:
+            net.add_ground_conductance(node, event[2])
+        elif kind == _SOURCE:
+            net.add_source(node, event[2])
+        elif kind == _JOULE:
+            net.add_joule(node, event[2])
+        elif kind == _PELTIER:
+            net.set_peltier(node, event[2])
+
+    def _replay_template(self, net, tile, index):
+        events, stamp = self._templates[tile]
+        local = {}
+
+        def resolve(token):
+            return local[token] if token < 0 else index[token]
+
+        for event in events:
+            kind = event[0]
+            if kind == _NODE:
+                _, token, name, role, meta = event
+                local[token] = net.add_node(name, role, **meta)
+            elif kind == _COND:
+                net.add_conductance(resolve(event[1]), resolve(event[2]), event[3])
+            elif kind == _GROUND:
+                net.add_ground_conductance(resolve(event[1]), event[2])
+            elif kind == _SOURCE:
+                net.add_source(resolve(event[1]), event[2])
+            elif kind == _JOULE:
+                net.add_joule(resolve(event[1]), event[2])
+            elif kind == _PELTIER:
+                net.set_peltier(resolve(event[1]), event[2])
+        return dataclasses.replace(
+            stamp,
+            hot_node=resolve(stamp.hot_node),
+            cold_node=resolve(stamp.cold_node),
+        )
 
 
 def assemble(network, ambient_c):

@@ -24,15 +24,17 @@ greedy algorithm's bookkeeping trivial and the solver caches valid.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.linalg.runaway import runaway_current as _runaway_current
 from repro.tec.materials import chowdhury_thin_film_tec
 from repro.tec.stamp import stamp_tec
-from repro.thermal.assembly import assemble
+from repro.thermal.assembly import NetworkBlueprint, assemble
 from repro.thermal.geometry import TileGrid
 from repro.thermal.network import NodeRole, ThermalNetwork
-from repro.thermal.solve import SteadyStateSolver
+from repro.thermal.solve import SolverStats, SteadyStateSolver
 from repro.thermal.stack import PackageStack
 from repro.utils import check_finite, kelvin_to_celsius
 
@@ -126,6 +128,19 @@ class PackageThermalModel:
         the calibrated thin-film device.  The tile footprint must match
         the device footprint (Problem 1 assumes tiles the size of one
         device).
+    blueprint:
+        Optional :class:`~repro.thermal.assembly.NetworkBlueprint`
+        recorded from a sibling model (same grid/stack/device/powers):
+        the network is then replayed incrementally instead of rebuilt
+        from scratch — bitwise-identical matrices, a fraction of the
+        build cost.  Obtain one via :meth:`network_blueprint`.
+    solver_mode / solver_cache_size:
+        Engine knobs forwarded to
+        :class:`~repro.thermal.solve.SteadyStateSolver` (``"direct"``
+        or ``"reuse"``).
+    solver_stats:
+        Optional shared :class:`~repro.thermal.solve.SolverStats` that
+        build and solve instrumentation is reported into.
     """
 
     #: Effective-length factor for conduction into the lumped overhang
@@ -142,6 +157,10 @@ class PackageThermalModel:
         tec_tiles=(),
         device=None,
         die_conductivity_scale=None,
+        blueprint=None,
+        solver_mode="direct",
+        solver_cache_size=8,
+        solver_stats=None,
     ):
         if not isinstance(grid, TileGrid):
             raise TypeError("grid must be a TileGrid, got {!r}".format(type(grid)))
@@ -185,11 +204,24 @@ class PackageThermalModel:
         self._die_side_h = grid.height
         self.stack.validate_for_die(max(self._die_side_w, self._die_side_h))
 
-        self.network = ThermalNetwork()
-        self.stamps = []
-        self._build_network()
+        stats = solver_stats if solver_stats is not None else SolverStats()
+        self._blueprint = blueprint
+        self._solver_mode = solver_mode
+        self._solver_cache_size = solver_cache_size
+        build_start = time.perf_counter()
+        if blueprint is None:
+            self.network = ThermalNetwork()
+            self.stamps = []
+            self._build_network()
+            stats.full_builds += 1
+        else:
+            self.network, self.stamps = blueprint.instantiate(self.tec_tiles)
+            stats.incremental_builds += 1
         self.system = assemble(self.network, self.stack.ambient_c)
-        self.solver = SteadyStateSolver(self.system)
+        stats.assembly_time_s += time.perf_counter() - build_start
+        self.solver = SteadyStateSolver(
+            self.system, solver_cache_size, mode=solver_mode, stats=stats
+        )
 
         self.silicon_nodes = self.network.indices_with_role(NodeRole.SILICON)
         self.hot_nodes = [stamp.hot_node for stamp in self.stamps]
@@ -200,12 +232,76 @@ class PackageThermalModel:
     # ------------------------------------------------------------------
 
     def _build_network(self):
+        net = self.network
+        silicon, spreader_nodes, sink_nodes = self._build_core(
+            net, set(self.tec_tiles)
+        )
+        for flat in self.tec_tiles:
+            self.stamps.append(
+                self._stamp_tile(net, flat, silicon[flat], spreader_nodes[flat])
+            )
+        self._build_periphery(net, silicon, spreader_nodes, sink_nodes)
+
+    def _stamp_tile(self, net, flat, silicon_node, spreader_node):
+        """Stamp one TEC device under tile ``flat`` (Figure 4).
+
+        The die-exit / spreader-entry lumping resistances are carried
+        in series with the contacts so covered and uncovered tiles see
+        the same layer conventions.
+        """
+        _, _, spreader, _ = self.stack.conduction_layers()
+        return stamp_tec(
+            net,
+            self.device,
+            silicon_node=silicon_node,
+            spreader_node=spreader_node,
+            tile=flat,
+            cold_series_resistance=self._die_exit_resistance(flat),
+            hot_series_resistance=spreader.vertical_half_resistance(
+                self.grid.tile_area
+            ),
+        )
+
+    def _die_exit_resistance(self, flat):
+        """Die node-to-exit-face resistance of tile ``flat`` (t/3k)."""
+        die = self.stack.conduction_layers()[0]
+        r_die_exit = die.vertical_generation_resistance(self.grid.tile_area)
+        if self._die_k_scale is None:
+            return r_die_exit
+        return r_die_exit / self._die_k_scale[flat]
+
+    def network_blueprint(self):
+        """Record a :class:`~repro.thermal.assembly.NetworkBlueprint`.
+
+        The blueprint captures this model's deployment-independent
+        build stream (every TIM tile present) plus one TEC stamp
+        template per tile; sibling models for *any* deployment of the
+        same grid/stack/device/powers can then be instantiated from it
+        incrementally (see ``blueprint=`` in the constructor).
+        """
+        bp = NetworkBlueprint()
+        silicon, spreader_nodes, sink_nodes = self._build_core(bp, frozenset())
+        bp.mark_stamp_section()
+        for flat, _, _ in self.grid.iter_tiles():
+            bp.begin_stamp_template(flat)
+            stamp = self._stamp_tile(bp, flat, silicon[flat], spreader_nodes[flat])
+            bp.end_stamp_template(stamp)
+        self._build_periphery(bp, silicon, spreader_nodes, sink_nodes)
+        return bp
+
+    def _build_core(self, net, tec_set):
+        """Nodes, sources and layer conduction of the tile grid.
+
+        ``net`` is a :class:`ThermalNetwork` or a recording
+        :class:`~repro.thermal.assembly.NetworkBlueprint`; ``tec_set``
+        holds the covered tiles (empty when recording a blueprint —
+        coverage is applied at replay).  Returns the silicon, spreader
+        and sink node lists.
+        """
         grid = self.grid
         stack = self.stack
-        net = self.network
         die, tim, spreader, sink = stack.conduction_layers()
         tile_area = grid.tile_area
-        tec_set = set(self.tec_tiles)
 
         silicon = [
             net.add_node("die[{}]".format(flat), NodeRole.SILICON, tile=flat)
@@ -260,7 +356,6 @@ class PackageThermalModel:
         # The die generates its heat internally, so its node-to-face
         # resistance uses the volume-average (t/3k) convention; the
         # passive layers use the usual mid-plane (t/2k) convention.
-        r_die_exit = die.vertical_generation_resistance(tile_area)
         g_tim_spr = 1.0 / (
             tim.vertical_half_resistance(tile_area)
             + spreader.vertical_half_resistance(tile_area)
@@ -270,44 +365,22 @@ class PackageThermalModel:
             + sink.vertical_half_resistance(tile_area)
         )
 
-        def _die_exit_resistance(flat):
-            if self._die_k_scale is None:
-                return r_die_exit
-            return r_die_exit / self._die_k_scale[flat]
-
         for flat, _, _ in grid.iter_tiles():
             if flat in tim_nodes:
                 g_die_tim = 1.0 / (
-                    _die_exit_resistance(flat)
+                    self._die_exit_resistance(flat)
                     + tim.vertical_half_resistance(tile_area)
                 )
                 net.add_conductance(silicon[flat], tim_nodes[flat], g_die_tim)
                 net.add_conductance(tim_nodes[flat], spreader_nodes[flat], g_tim_spr)
             net.add_conductance(spreader_nodes[flat], sink_nodes[flat], g_spr_snk)
 
-        # TEC stamps replace the TIM node of covered tiles (Figure 4).
-        # The die-exit / spreader-entry lumping resistances are carried
-        # in series with the contacts so covered and uncovered tiles
-        # see the same layer conventions.
-        for flat in self.tec_tiles:
-            stamp = stamp_tec(
-                net,
-                self.device,
-                silicon_node=silicon[flat],
-                spreader_node=spreader_nodes[flat],
-                tile=flat,
-                cold_series_resistance=_die_exit_resistance(flat),
-                hot_series_resistance=spreader.vertical_half_resistance(tile_area),
-            )
-            self.stamps.append(stamp)
+        return silicon, spreader_nodes, sink_nodes
 
-        self._build_periphery(silicon, spreader_nodes, sink_nodes)
-
-    def _build_periphery(self, silicon, spreader_nodes, sink_nodes):
+    def _build_periphery(self, net, silicon, spreader_nodes, sink_nodes):
         """Spreader/sink overhang nodes and convection to ambient."""
         grid = self.grid
         stack = self.stack
-        net = self.network
         _, _, spreader, sink = stack.conduction_layers()
 
         die_w, die_h = self._die_side_w, self._die_side_h
@@ -454,7 +527,12 @@ class PackageThermalModel:
         return float(np.sum(self.power_map))
 
     def with_tec_tiles(self, tec_tiles):
-        """New model with a different TEC deployment (same everything else)."""
+        """New model with a different TEC deployment (same everything else).
+
+        The sibling shares this model's solver configuration and stats,
+        and — when available — its network blueprint, so the rebuild is
+        incremental.
+        """
         return PackageThermalModel(
             self.grid,
             self.power_map,
@@ -462,6 +540,10 @@ class PackageThermalModel:
             tec_tiles=tec_tiles,
             device=self.device,
             die_conductivity_scale=self._die_k_scale,
+            blueprint=self._blueprint,
+            solver_mode=self._solver_mode,
+            solver_cache_size=self._solver_cache_size,
+            solver_stats=self.solver.stats,
         )
 
     def solve(self, current=0.0, *, check_definite=False):

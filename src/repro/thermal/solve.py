@@ -1,9 +1,32 @@
-"""Steady-state nodal analysis (Section IV.C).
+"""Steady-state nodal analysis (Section IV.C) and the solve engine.
 
-Solves ``(G - i D) theta = p(i)`` by sparse LU.  A small factorization
-cache keyed on the supply current makes the repeated solves of the
-current-optimization inner loop cheap: the greedy algorithm and the
-1-D current search evaluate many right-hand sides at the same current.
+Solves ``(G - i D) theta = p(i)`` by sparse LU.  Two engine modes are
+provided, selected per :class:`SteadyStateSolver`:
+
+``mode="direct"``
+    One sparse LU per distinct current, kept in a true-LRU cache.  The
+    seed behaviour, now with recency-refreshing eviction so the
+    alternating-current access pattern of the golden-section search and
+    the Armijo backtracking line search actually hits.
+
+``mode="reuse"``
+    Factorization reuse across currents.  ``D`` is diagonal and only
+    non-zero on the TEC hot/cold nodes, so ``G - i D`` is a low-rank
+    diagonal perturbation of ``G``.  The engine factorizes ``G`` once
+    per assembled system, batch-solves the ``2 m`` influence columns
+    ``W = G^{-1} I_S`` (``S`` = Peltier support), and answers every
+    current through the Woodbury identity
+
+        (G - i D)^{-1} b = x + W (I - i d Z)^{-1} (i d x_S)
+
+    with ``x = G^{-1} b``, ``Z = I_S^T W`` and ``d`` the support
+    diagonal.  Per current this costs one triangular solve plus a dense
+    ``2m x 2m`` factorization — no new sparse LU — which is what makes
+    the repeated-solve pattern of GreedyDeploy cheap.
+
+Every solver carries a :class:`SolverStats` instrumentation object
+(optionally shared across solvers) counting factorizations, cache
+traffic, solves and wall time per phase.
 
 Also provides the influence-row solves used by the convexity
 certificate: row ``k`` of ``H = (G - i D)^{-1}`` is the solution of
@@ -12,17 +35,119 @@ certificate: row ``k`` of ``H = (G - i D)^{-1}`` is the solution of
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+
 import numpy as np
-import scipy.sparse as sp
+import scipy.linalg
 from scipy.sparse.linalg import splu
 
 from repro.linalg.spd import cholesky_is_spd
+
+#: Engine modes accepted by :class:`SteadyStateSolver`.
+SOLVER_MODES = ("direct", "reuse")
 
 
 class SingularSystemError(RuntimeError):
     """Raised when ``G - i D`` is singular or indefinite at the requested
     current — i.e. the current is at or beyond the runaway limit
     ``lambda_m`` (Theorem 1)."""
+
+
+@dataclass
+class SolverStats:
+    """Instrumentation counters for the steady-state solve engine.
+
+    One instance can be shared by many solvers (every model built by a
+    :class:`~repro.core.problem.CoolingSystemProblem` reports into the
+    problem's stats object), so the counters aggregate over a whole
+    GreedyDeploy run.
+
+    Attributes
+    ----------
+    factorizations:
+        Sparse LU factorizations performed (``splu`` calls).
+    cap_factorizations:
+        Dense Woodbury capacitance-matrix factorizations (reuse mode;
+        ``2m x 2m``, orders of magnitude cheaper than a sparse LU).
+    cache_hits / cache_misses / evictions:
+        Per-current factorization-cache traffic.
+    solves:
+        ``solve`` / ``solve_rhs`` / ``influence_rows`` calls.
+    rhs_columns:
+        Total right-hand-side columns pushed through a factorization.
+    solution_hits:
+        ``solve`` calls answered from the per-current solution cache
+        without any triangular solve.
+    factor_time_s / solve_time_s:
+        Cumulative wall time in factorization and in solves.
+    full_builds / incremental_builds:
+        Package networks built from scratch vs replayed from a cached
+        :class:`~repro.thermal.assembly.NetworkBlueprint`.
+    assembly_time_s:
+        Cumulative wall time building networks and assembling matrices.
+    """
+
+    factorizations: int = 0
+    cap_factorizations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
+    solves: int = 0
+    rhs_columns: int = 0
+    solution_hits: int = 0
+    factor_time_s: float = 0.0
+    solve_time_s: float = 0.0
+    full_builds: int = 0
+    incremental_builds: int = 0
+    assembly_time_s: float = 0.0
+
+    def copy(self):
+        """An independent snapshot of the current counters."""
+        return SolverStats(**self.as_dict())
+
+    def diff(self, baseline):
+        """Counters accumulated since ``baseline`` (an earlier copy)."""
+        return SolverStats(**{
+            f.name: getattr(self, f.name) - getattr(baseline, f.name)
+            for f in fields(self)
+        })
+
+    def merge(self, other):
+        """Fold another stats object into this one (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    @property
+    def cache_hit_rate(self):
+        """Hit fraction of the per-current cache (0 when untouched)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self):
+        """Plain-data view (JSON-representable)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self):
+        """Compact one-line report for CLIs and benchmarks."""
+        return (
+            "{} LU + {} cap factorizations, {} solves ({} rhs cols), "
+            "cache {}/{} hit ({:.0f}%), {} evictions, "
+            "builds {} full + {} incremental".format(
+                self.factorizations,
+                self.cap_factorizations,
+                self.solves,
+                self.rhs_columns,
+                self.cache_hits,
+                self.cache_hits + self.cache_misses,
+                100.0 * self.cache_hit_rate,
+                self.evictions,
+                self.full_builds,
+                self.incremental_builds,
+            )
+        )
 
 
 class SteadyStateSolver:
@@ -33,34 +158,152 @@ class SteadyStateSolver:
     system:
         An :class:`~repro.thermal.assembly.AssembledSystem`.
     cache_size:
-        Number of LU factorizations kept (LRU by insertion order).
+        Number of per-current cache entries kept (true LRU): LU
+        factorizations in ``direct`` mode, dense capacitance
+        factorizations in ``reuse`` mode, and solved temperature
+        vectors in both.
+    mode:
+        ``"direct"`` (one sparse LU per current) or ``"reuse"``
+        (one sparse LU per system + Woodbury per current).
+    stats:
+        Optional shared :class:`SolverStats`; a private one is created
+        when omitted.
     """
 
-    def __init__(self, system, cache_size=8):
+    def __init__(self, system, cache_size=8, *, mode="direct", stats=None):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1, got {}".format(cache_size))
+        if mode not in SOLVER_MODES:
+            raise ValueError(
+                "mode must be one of {}, got {!r}".format(SOLVER_MODES, mode)
+            )
         self.system = system
+        self.mode = mode
+        self.stats = stats if stats is not None else SolverStats()
         self._cache_size = cache_size
-        self._lu_cache = {}
+        self._lu_cache = OrderedDict()
+        self._solution_cache = OrderedDict()
+        # Reuse-mode state, built lazily on first solve.
+        self._base_lu = None
+        self._support = None
+        self._d_support = None
+        self._w = None
+        self._z = None
+        self._cap_cache = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _cache_get(self, cache, key):
+        entry = cache.get(key)
+        if entry is not None:
+            cache.move_to_end(key)
+        return entry
+
+    def _cache_put(self, cache, key, entry):
+        if len(cache) >= self._cache_size:
+            cache.popitem(last=False)
+            self.stats.evictions += 1
+        cache[key] = entry
+
+    # ------------------------------------------------------------------
+    # Direct mode: one sparse LU per current
+    # ------------------------------------------------------------------
+
+    def _splu(self, matrix, current):
+        start = time.perf_counter()
+        try:
+            lu = splu(matrix.tocsc())
+        except RuntimeError as error:
+            raise SingularSystemError(
+                "system matrix singular at i = {} A (at/beyond runaway)".format(
+                    current
+                )
+            ) from error
+        finally:
+            self.stats.factor_time_s += time.perf_counter() - start
+        self.stats.factorizations += 1
+        return lu
 
     def _factorization(self, current):
         current = float(current)
-        lu = self._lu_cache.get(current)
+        lu = self._cache_get(self._lu_cache, current)
         if lu is None:
-            matrix = self.system.system_matrix(current)
-            try:
-                lu = splu(matrix.tocsc())
-            except RuntimeError as error:
-                raise SingularSystemError(
-                    "system matrix singular at i = {} A (at/beyond runaway)".format(
-                        current
-                    )
-                ) from error
-            if len(self._lu_cache) >= self._cache_size:
-                oldest = next(iter(self._lu_cache))
-                del self._lu_cache[oldest]
-            self._lu_cache[current] = lu
+            self.stats.cache_misses += 1
+            lu = self._splu(self.system.system_matrix(current), current)
+            self._cache_put(self._lu_cache, current, lu)
+        else:
+            self.stats.cache_hits += 1
         return lu
+
+    # ------------------------------------------------------------------
+    # Reuse mode: factorize G once, Woodbury per current
+    # ------------------------------------------------------------------
+
+    def _base_factorization(self):
+        if self._base_lu is None:
+            self._base_lu = self._splu(self.system.g_matrix, 0.0)
+            support = np.flatnonzero(self.system.d_diagonal)
+            self._support = support
+            self._d_support = self.system.d_diagonal[support]
+            if support.size:
+                rhs = np.zeros((self.system.num_nodes, support.size))
+                rhs[support, np.arange(support.size)] = 1.0
+                start = time.perf_counter()
+                self._w = self._base_lu.solve(rhs)
+                self.stats.solve_time_s += time.perf_counter() - start
+                self.stats.rhs_columns += int(support.size)
+                self._z = self._w[support, :]
+        return self._base_lu
+
+    def _capacitance(self, current):
+        """LU factors of ``I - i d Z`` for the Woodbury correction."""
+        factors = self._cache_get(self._cap_cache, current)
+        if factors is None:
+            self.stats.cache_misses += 1
+            size = self._support.size
+            cap = np.eye(size) - current * (self._d_support[:, None] * self._z)
+            factors = scipy.linalg.lu_factor(cap, check_finite=False)
+            self.stats.cap_factorizations += 1
+            self._cache_put(self._cap_cache, current, factors)
+        else:
+            self.stats.cache_hits += 1
+        return factors
+
+    def _apply_inverse(self, current, rhs):
+        """``(G - i D)^{-1} rhs`` in the active engine mode.
+
+        ``rhs`` may be 1-D or 2-D (columns are independent right-hand
+        sides sharing one factorization).
+        """
+        columns = 1 if rhs.ndim == 1 else rhs.shape[1]
+        if self.mode == "direct":
+            lu = self._factorization(current)
+            start = time.perf_counter()
+            x = lu.solve(rhs)
+            self.stats.solve_time_s += time.perf_counter() - start
+            self.stats.rhs_columns += columns
+            return x
+        lu = self._base_factorization()
+        start = time.perf_counter()
+        x = lu.solve(rhs)
+        self.stats.solve_time_s += time.perf_counter() - start
+        self.stats.rhs_columns += columns
+        if current == 0.0 or self._support.size == 0:
+            return x
+        factors = self._capacitance(current)
+        x_support = x[self._support]
+        small = scipy.linalg.lu_solve(
+            factors,
+            current * (self._d_support * x_support.T).T,
+            check_finite=False,
+        )
+        return x + self._w @ small
+
+    # ------------------------------------------------------------------
+    # Public solves
+    # ------------------------------------------------------------------
 
     def solve(self, current=0.0, *, check_definite=False):
         """Temperatures (Kelvin) at supply current ``current``.
@@ -76,21 +319,32 @@ class SteadyStateSolver:
             optimizer keeps currents inside ``[0, lambda_m)`` itself, so
             the check is off by default.
         """
+        current = float(current)
         if check_definite and not cholesky_is_spd(self.system.system_matrix(current)):
             raise SingularSystemError(
                 "G - i D is not positive definite at i = {} A "
                 "(current at/beyond the runaway limit)".format(current)
             )
-        lu = self._factorization(current)
-        theta = lu.solve(self.system.power_vector(current))
+        self.stats.solves += 1
+        cached = self._cache_get(self._solution_cache, current)
+        if cached is not None:
+            self.stats.solution_hits += 1
+            return cached.copy()
+        theta = self._apply_inverse(current, self.system.power_vector(current))
         if not np.all(np.isfinite(theta)):
             raise SingularSystemError(
                 "solve produced non-finite temperatures at i = {} A".format(current)
             )
+        self._cache_put(self._solution_cache, current, theta.copy())
         return theta
 
     def solve_rhs(self, current, rhs):
-        """Solve ``(G - i D) x = rhs`` for an arbitrary right-hand side."""
+        """Solve ``(G - i D) x = rhs`` for arbitrary right-hand sides.
+
+        ``rhs`` may be a length-``n`` vector or an ``(n, k)`` matrix of
+        ``k`` independent right-hand sides solved in one batched pass
+        against the shared factorization.
+        """
         rhs = np.asarray(rhs, dtype=float)
         if rhs.shape[0] != self.system.num_nodes:
             raise ValueError(
@@ -98,20 +352,20 @@ class SteadyStateSolver:
                     rhs.shape[0], self.system.num_nodes
                 )
             )
-        lu = self._factorization(current)
-        return lu.solve(rhs)
+        self.stats.solves += 1
+        return self._apply_inverse(float(current), rhs)
 
     def influence_rows(self, current, node_indices):
         """Rows of ``H = (G - i D)^{-1}`` for the given nodes.
 
         Because the system matrix is symmetric, row ``k`` equals the
         solution of ``(G - i D) h = e_k``.  Returns an array of shape
-        ``(len(node_indices), n)``.
+        ``(len(node_indices), n)``; all columns share one factorization
+        (batched multi-RHS solve).
         """
         n = self.system.num_nodes
         node_indices = list(node_indices)
         rhs = np.zeros((n, len(node_indices)))
         for j, k in enumerate(node_indices):
             rhs[int(k), j] = 1.0
-        lu = self._factorization(current)
-        return lu.solve(rhs).T
+        return self.solve_rhs(current, rhs).T

@@ -90,3 +90,74 @@ class TestGradientExactness:
         h = 1e-5
         fd = (objective(current + h) - objective(current - h)) / (2.0 * h)
         assert grad == pytest.approx(fd, rel=1e-4, abs=1e-6)
+
+
+class TestConvergedFlag:
+    def test_gradient_converged_on_real_model(self, small_deployed):
+        result = minimize_peak_temperature(small_deployed, method="gradient")
+        assert result.converged
+
+    def test_golden_converged_on_real_model(self, small_deployed):
+        result = minimize_peak_temperature(small_deployed, method="golden")
+        assert result.converged
+
+    def test_line_search_exhaustion_far_from_optimum_not_converged(self):
+        """A misleading gradient must not be reported as convergence.
+
+        The objective decreases monotonically (f(i) = i going down as i
+        shrinks... here f(i) = i with claimed gradient -1), so Armijo
+        backtracking in the claimed descent direction (+1) always fails
+        while the true improvement lies the other way.
+        """
+        from repro.core.current import _gradient_descent
+
+        class Misleading:
+            def __call__(self, current):
+                return float(current)
+
+            def gradient(self, current):
+                return -1.0, None  # claims descent towards larger i
+
+        current, value, converged = _gradient_descent(
+            Misleading(), upper=10.0, tolerance=1e-4, max_iterations=50
+        )
+        assert not converged
+
+    def test_boundary_minimum_still_converged(self):
+        """Exhaustion at a genuine (projected) stationary point stays
+        converged: the minimum of f(i) = (i - 20)^2 on [0, 10] is the
+        boundary i = 10; no tolerance-sized move improves."""
+        from repro.core.current import _gradient_descent
+
+        class Boundary:
+            def __call__(self, current):
+                return (float(current) - 20.0) ** 2
+
+            def gradient(self, current):
+                return 2.0 * (float(current) - 20.0), None
+
+        current, value, converged = _gradient_descent(
+            Boundary(), upper=10.0, tolerance=1e-4, max_iterations=200
+        )
+        assert current == pytest.approx(10.0, abs=1e-3)
+        assert converged
+
+
+class TestAttachedStats:
+    def test_stats_delta_attached(self, small_grid, small_power):
+        from repro.core.problem import CoolingSystemProblem
+
+        problem = CoolingSystemProblem(small_grid, small_power, name="stats")
+        model = problem.model((5, 6, 9, 10))
+        result = minimize_peak_temperature(model)
+        assert result.stats is not None
+        assert result.stats.solves == result.evaluations
+        assert result.stats.solves > 0
+
+    def test_trivial_model_stats(self, small_grid, small_power):
+        from repro.thermal.model import PackageThermalModel
+
+        model = PackageThermalModel(small_grid, small_power)
+        result = minimize_peak_temperature(model)
+        assert result.stats is not None
+        assert result.stats.solves == 1

@@ -114,3 +114,75 @@ class TestAlphaBenchmark:
     def test_max_rounds_cap_respected(self, alpha_problem):
         result = greedy_deploy(alpha_problem, max_rounds=1)
         assert len(result.iterations) <= 1
+
+
+class TestMaxRoundsZero:
+    def test_zero_rounds_returns_infeasible(self, small_problem):
+        """max_rounds=0 on a violating chip must not crash on the absent
+        optimum; it reports the bare chip as infeasible."""
+        result = greedy_deploy(small_problem, max_rounds=0)
+        assert not result.feasible
+        assert result.tec_tiles == ()
+        assert result.current == 0.0
+        assert result.peak_c == pytest.approx(result.no_tec_peak_c)
+        assert result.iterations == []
+        assert result.tec_power_w == 0.0
+
+    def test_zero_rounds_trivial_instance_feasible(self, small_problem):
+        result = greedy_deploy(small_problem.with_limit(200.0), max_rounds=0)
+        assert result.feasible
+        assert result.tec_tiles == ()
+
+    def test_negative_rounds_rejected(self, small_problem):
+        with pytest.raises(ValueError, match="max_rounds"):
+            greedy_deploy(small_problem, max_rounds=-1)
+
+
+class TestSolveEngineRegression:
+    """The fused engine must not change what GreedyDeploy returns."""
+
+    @pytest.fixture(scope="class")
+    def engine_and_legacy(self, small_grid, small_power, small_problem):
+        from repro.core.problem import CoolingSystemProblem
+
+        limit = small_problem.max_temperature_c
+        engine = CoolingSystemProblem(
+            small_grid, small_power, max_temperature_c=limit, name="engine",
+        )
+        legacy = CoolingSystemProblem(
+            small_grid, small_power, max_temperature_c=limit, name="legacy",
+        ).configure_solver(mode="direct", incremental=False)
+        return greedy_deploy(engine), greedy_deploy(legacy)
+
+    def test_same_deployment(self, engine_and_legacy):
+        engine, legacy = engine_and_legacy
+        assert engine.tec_tiles == legacy.tec_tiles
+        assert engine.feasible == legacy.feasible
+
+    def test_same_current_and_peak(self, engine_and_legacy):
+        engine, legacy = engine_and_legacy
+        assert engine.current == pytest.approx(legacy.current, abs=1e-6)
+        assert engine.peak_c == pytest.approx(legacy.peak_c, abs=1e-9)
+
+    def test_engine_factorizes_less(self, engine_and_legacy):
+        engine, legacy = engine_and_legacy
+        assert engine.solver_stats.factorizations < legacy.solver_stats.factorizations
+
+    def test_engine_replays_builds(self, engine_and_legacy):
+        engine, legacy = engine_and_legacy
+        assert engine.solver_stats.incremental_builds > 0
+        assert legacy.solver_stats.incremental_builds == 0
+
+
+class TestSolverStatsField:
+    def test_stats_attached_and_serializable(self, small_problem):
+        import json
+
+        from repro.io.results import deployment_to_dict
+
+        result = greedy_deploy(small_problem)
+        assert result.solver_stats is not None
+        assert result.solver_stats.solves > 0
+        payload = deployment_to_dict(result)
+        assert payload["solver_stats"]["solves"] == result.solver_stats.solves
+        json.dumps(payload)  # must be JSON-representable

@@ -220,3 +220,57 @@ class TestDegenerateGeometries:
             small_grid, small_power, tec_tiles=(5,), device=device
         )
         assert model.system.d_diagonal[model.hot_nodes[0]] == pytest.approx(1e-4)
+
+
+class TestNetworkBlueprint:
+    """Incremental assembly must be indistinguishable from a rebuild."""
+
+    @pytest.fixture(scope="class")
+    def blueprint(self, small_grid, small_power):
+        return PackageThermalModel(small_grid, small_power).network_blueprint()
+
+    @pytest.mark.parametrize(
+        "tiles", [(), (5,), (5, 6), (5, 6, 9, 10), tuple(range(16))]
+    )
+    def test_replay_matches_scratch_build(self, small_grid, small_power,
+                                          blueprint, tiles):
+        scratch = PackageThermalModel(small_grid, small_power, tec_tiles=tiles)
+        replayed = PackageThermalModel(
+            small_grid, small_power, tec_tiles=tiles, blueprint=blueprint
+        )
+        assert np.array_equal(
+            scratch.system.g_matrix.toarray(), replayed.system.g_matrix.toarray()
+        )
+        assert np.array_equal(scratch.system.d_diagonal, replayed.system.d_diagonal)
+        assert np.array_equal(scratch.system.p_base, replayed.system.p_base)
+        assert np.array_equal(scratch.system.joule, replayed.system.joule)
+        assert [n.name for n in scratch.network.nodes] == [
+            n.name for n in replayed.network.nodes
+        ]
+        assert len(scratch.stamps) == len(replayed.stamps)
+        for a, b in zip(scratch.stamps, replayed.stamps):
+            assert (a.tile, a.hot_node, a.cold_node) == (b.tile, b.hot_node, b.cold_node)
+
+    def test_replayed_model_solves_identically(self, small_grid, small_power,
+                                               blueprint):
+        tiles = (5, 6, 9, 10)
+        scratch = PackageThermalModel(small_grid, small_power, tec_tiles=tiles)
+        replayed = PackageThermalModel(
+            small_grid, small_power, tec_tiles=tiles, blueprint=blueprint
+        )
+        state_a = scratch.solve(2.0)
+        state_b = replayed.solve(2.0)
+        assert np.array_equal(state_a.theta_k, state_b.theta_k)
+
+    def test_build_counters(self, small_grid, small_power, blueprint):
+        from repro.thermal.solve import SolverStats
+
+        stats = SolverStats()
+        PackageThermalModel(
+            small_grid, small_power, tec_tiles=(5,), blueprint=blueprint,
+            solver_stats=stats,
+        )
+        assert stats.incremental_builds == 1
+        assert stats.full_builds == 0
+        PackageThermalModel(small_grid, small_power, solver_stats=stats)
+        assert stats.full_builds == 1

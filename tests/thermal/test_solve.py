@@ -98,3 +98,132 @@ class TestRhsAndInfluence:
         solver = SteadyStateSolver(tec_system)
         rows = solver.influence_rows(0.0, range(tec_system.num_nodes))
         assert np.all(rows >= -1e-12)
+
+
+class TestLruPolicy:
+    def test_recently_used_entry_survives_eviction(self, tec_system):
+        """True LRU: re-touching a current refreshes its recency, so the
+        alternating access pattern of the section search keeps hitting."""
+        solver = SteadyStateSolver(tec_system, cache_size=2)
+        rhs = tec_system.p_base
+        solver.solve_rhs(1.0, rhs)
+        solver.solve_rhs(2.0, rhs)
+        solver.solve_rhs(1.0, rhs)  # refresh 1.0
+        solver.solve_rhs(3.0, rhs)  # must evict 2.0, not 1.0
+        assert 1.0 in solver._lu_cache
+        assert 2.0 not in solver._lu_cache
+        assert 3.0 in solver._lu_cache
+
+    def test_eviction_counter(self, tec_system):
+        solver = SteadyStateSolver(tec_system, cache_size=2)
+        rhs = tec_system.p_base
+        for current in (1.0, 2.0, 3.0, 4.0):
+            solver.solve_rhs(current, rhs)
+        assert solver.stats.evictions == 2
+
+    def test_hit_and_miss_counters(self, tec_system):
+        solver = SteadyStateSolver(tec_system, cache_size=4)
+        rhs = tec_system.p_base
+        solver.solve_rhs(1.0, rhs)
+        solver.solve_rhs(2.0, rhs)
+        solver.solve_rhs(1.0, rhs)
+        assert solver.stats.cache_misses == 2
+        assert solver.stats.cache_hits == 1
+        assert solver.stats.cache_hit_rate == pytest.approx(1.0 / 3.0)
+
+    def test_solution_cache_hit(self, tec_system):
+        solver = SteadyStateSolver(tec_system, cache_size=4)
+        first = solver.solve(2.0)
+        second = solver.solve(2.0)
+        assert solver.stats.solution_hits == 1
+        assert np.array_equal(first, second)
+        # Returned arrays are copies: mutating one must not poison the cache.
+        second[:] = 0.0
+        assert np.array_equal(solver.solve(2.0), first)
+
+
+class TestReuseMode:
+    def test_matches_direct_mode(self, tec_system):
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        reuse = SteadyStateSolver(tec_system, mode="reuse")
+        for current in (0.0, 0.5, 1.0, 2.0):
+            assert np.allclose(
+                reuse.solve(current), direct.solve(current), rtol=1e-10, atol=1e-10
+            )
+
+    def test_single_sparse_factorization(self, tec_system):
+        solver = SteadyStateSolver(tec_system, mode="reuse")
+        for current in (0.1, 0.7, 1.3, 2.1, 2.9):
+            solver.solve(current)
+        assert solver.stats.factorizations == 1
+        assert solver.stats.cap_factorizations == 5
+
+    def test_solve_rhs_matches_direct(self, tec_system):
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        reuse = SteadyStateSolver(tec_system, mode="reuse")
+        rhs = np.arange(1.0, tec_system.num_nodes + 1.0)
+        assert np.allclose(
+            reuse.solve_rhs(1.5, rhs), direct.solve_rhs(1.5, rhs),
+            rtol=1e-10, atol=1e-10,
+        )
+
+    def test_influence_rows_match_direct(self, tec_system):
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        reuse = SteadyStateSolver(tec_system, mode="reuse")
+        nodes = range(tec_system.num_nodes)
+        assert np.allclose(
+            reuse.influence_rows(1.0, nodes), direct.influence_rows(1.0, nodes),
+            rtol=1e-10, atol=1e-10,
+        )
+
+    def test_mode_validation(self, tec_system):
+        with pytest.raises(ValueError, match="mode"):
+            SteadyStateSolver(tec_system, mode="iterative")
+
+
+class TestBatchedRhs:
+    def test_matrix_rhs_matches_column_solves(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        rhs = np.column_stack([
+            tec_system.p_base,
+            np.arange(float(tec_system.num_nodes)),
+        ])
+        batched = solver.solve_rhs(1.0, rhs)
+        assert batched.shape == rhs.shape
+        for j in range(rhs.shape[1]):
+            assert np.allclose(batched[:, j], solver.solve_rhs(1.0, rhs[:, j]))
+
+    def test_rhs_columns_counted(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        solver.solve_rhs(0.0, np.zeros((tec_system.num_nodes, 3)))
+        assert solver.stats.rhs_columns == 3
+
+
+class TestSolverStats:
+    def test_diff_and_copy(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        before = solver.stats.copy()
+        solver.solve(1.0)
+        delta = solver.stats.diff(before)
+        assert delta.solves == 1
+        assert delta.factorizations == 1
+        assert before.solves == 0  # the snapshot is independent
+
+    def test_as_dict_round_trips(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        solver.solve(0.5)
+        data = solver.stats.as_dict()
+        assert data["solves"] == 1
+        assert set(data) == {
+            "factorizations", "cap_factorizations", "cache_hits",
+            "cache_misses", "evictions", "solves", "rhs_columns",
+            "solution_hits", "factor_time_s", "solve_time_s",
+            "full_builds", "incremental_builds", "assembly_time_s",
+        }
+
+    def test_summary_is_single_line(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        solver.solve(0.5)
+        summary = solver.stats.summary()
+        assert "\n" not in summary
+        assert "1 LU" in summary
