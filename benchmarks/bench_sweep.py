@@ -1,0 +1,82 @@
+"""Sweep-engine acceptance: parallel speedup and bit-identity at scale.
+
+Runs a 16-scenario device-parameter grid (one ``optimize`` scenario
+per Seebeck x resistance point on the Alpha greedy deployment) through
+the serial backend and through a 4-worker process pool, and checks the
+acceptance criteria of the sweep-engine PR:
+
+* the process backend reproduces the serial ``values`` payloads
+  bit-for-bit;
+* with at least 4 physical cores, the 4-worker pool is at least 2x
+  faster wall-clock than the serial run (the speedup assertion is
+  skipped — but the timings still printed — on smaller machines,
+  where a process pool cannot beat its own spawning overhead).
+
+Run:  pytest benchmarks/bench_sweep.py -s
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.sweep import SweepRunner, SweepSpec
+from repro.sweep import worker as sweep_worker
+
+_FACTORS = (0.7, 0.9, 1.1, 1.3)
+_WORKERS = 4
+
+
+@pytest.fixture(scope="module")
+def spec(alpha_greedy):
+    built = SweepSpec.device_grid(
+        "alpha",
+        alpha_greedy.tec_tiles,
+        seebeck_factors=_FACTORS,
+        resistance_factors=_FACTORS,
+    )
+    assert len(built) == 16
+    return built
+
+
+@pytest.fixture(scope="module")
+def reports(spec):
+    # Parallel first: on Linux the pool forks, so running the serial
+    # backend beforehand would hand every child a pre-warmed optimum
+    # cache and time an empty workload.
+    sweep_worker.clear_caches()
+    start = time.perf_counter()
+    parallel = SweepRunner(_WORKERS).run(spec)
+    parallel_wall = time.perf_counter() - start
+    sweep_worker.clear_caches()
+    start = time.perf_counter()
+    serial = SweepRunner().run(spec)
+    serial_wall = time.perf_counter() - start
+    return serial, serial_wall, parallel, parallel_wall
+
+
+def test_bit_identical_results(reports):
+    serial, _, parallel, _ = reports
+    assert serial.ok and parallel.ok
+    assert [(r.index, r.name, r.values) for r in serial.results] == [
+        (r.index, r.name, r.values) for r in parallel.results
+    ]
+
+
+def test_parallel_speedup(reports):
+    serial, serial_wall, parallel, parallel_wall = reports
+    speedup = serial_wall / parallel_wall
+    print()
+    print("serial   : {:6.2f} s  ({})".format(serial_wall, serial.summary().splitlines()[1]))
+    print("x{} pool  : {:6.2f} s  ({})".format(
+        _WORKERS, parallel_wall, parallel.summary().splitlines()[1]))
+    print("wall-clock speedup: {:.2f}x on {} cores".format(
+        speedup, os.cpu_count()))
+    cores = os.cpu_count() or 1
+    if cores < _WORKERS:
+        pytest.skip(
+            "only {} core(s): the >= 2x speedup criterion needs {}".format(
+                cores, _WORKERS
+            )
+        )
+    assert speedup >= 2.0

@@ -3,6 +3,9 @@
 Usage (also installed as the ``repro`` console script)::
 
     python -m repro.cli table1 [--benchmarks alpha hc01 ...] [--json OUT]
+                               [--workers 4] [--sweep-report OUT]
+    python -m repro.cli sweep [--benchmark alpha] [--power-scales 0.9 1.1]
+                              [--budgets 0 0.5 1.0] [--workers 4]
     python -m repro.cli solve --benchmark alpha [--limit 85] [--json OUT]
     python -m repro.cli solve --flp chip.flp --powers powers.json --limit 85
     python -m repro.cli validate [--refine 2]
@@ -33,14 +36,24 @@ def _add_table1(subparsers):
     )
     parser.add_argument("--markdown", action="store_true", help="markdown output")
     parser.add_argument("--json", metavar="PATH", help="also write rows as JSON")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="fan the rows out over a process pool of N workers "
+             "(default: serial; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--sweep-report", metavar="PATH",
+        help="write the sweep engine's report (timings, solver stats, "
+             "per-row payloads) as JSON",
+    )
     parser.set_defaults(func=_cmd_table1)
 
 
 def _cmd_table1(args):
     from repro.experiments.table1 import run_table1
-    from repro.io.results import rows_to_json
+    from repro.io.results import rows_to_json, sweep_report_to_json
 
-    comparison = run_table1(args.benchmarks)
+    comparison = run_table1(args.benchmarks, workers=args.workers)
     print(comparison.render(markdown=args.markdown))
     print()
     print(
@@ -51,7 +64,91 @@ def _cmd_table1(args):
     if args.json:
         rows_to_json(comparison.rows, args.json, metadata={"tool": "repro " + __version__})
         print("rows written to {}".format(args.json))
+    if args.sweep_report:
+        if comparison.sweep_report is None:
+            raise SystemExit(
+                "repro table1: error: no sweep report available for this run"
+            )
+        sweep_report_to_json(
+            comparison.sweep_report, args.sweep_report,
+            metadata={"tool": "repro " + __version__},
+        )
+        print("sweep report written to {}".format(args.sweep_report))
     return 0 if all(row.feasible for row in comparison.rows) else 1
+
+
+def _add_sweep(subparsers):
+    parser = subparsers.add_parser(
+        "sweep",
+        help="run a many-scenario sweep (power scaling or Pareto budgets) "
+             "over the parallel sweep engine",
+    )
+    parser.add_argument("--benchmark", default="alpha", help="base benchmark")
+    kind = parser.add_mutually_exclusive_group()
+    kind.add_argument(
+        "--power-scales", nargs="+", type=float, default=None,
+        metavar="FACTOR",
+        help="GreedyDeploy capability envelope over scaled power maps "
+             "(default sweep: 0.9 1.0 1.1 1.2 1.3)",
+    )
+    kind.add_argument(
+        "--budgets", nargs="+", type=float, default=None, metavar="W",
+        help="Pareto budget sweep (W) over the benchmark's greedy deployment",
+    )
+    parser.add_argument(
+        "--limit", type=float, default=85.0,
+        help="temperature limit for power-scaling sweeps (default 85 C)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size (default: serial)",
+    )
+    parser.add_argument(
+        "--sweep-report", metavar="PATH", help="write the SweepReport as JSON"
+    )
+    parser.set_defaults(func=_cmd_sweep)
+
+
+def _cmd_sweep(args):
+    from repro.io.results import sweep_report_to_json
+    from repro.sweep import SweepRunner, SweepSpec
+
+    if args.budgets is not None:
+        from repro.core.deploy import greedy_deploy
+        from repro.core.pareto import front_from_sweep
+        from repro.experiments.benchmarks import load_benchmark
+
+        greedy = greedy_deploy(load_benchmark(args.benchmark))
+        spec = SweepSpec.budget_sweep(
+            args.benchmark, greedy.tec_tiles, args.budgets
+        )
+    else:
+        factors = args.power_scales or (0.9, 1.0, 1.1, 1.2, 1.3)
+        spec = SweepSpec.power_scaling(
+            args.benchmark, factors=factors, limit_c=args.limit
+        )
+    report = SweepRunner(args.workers).run(spec)
+    if args.budgets is not None and report.ok:
+        front = front_from_sweep(report)
+        print("{:>12} {:>10} {:>12} {:>10}".format(
+            "budget (W)", "i (A)", "P_TEC (W)", "peak (C)"))
+        for point in front.points:
+            print("{:>12.4g} {:>10.3f} {:>12.4g} {:>10.2f}".format(
+                point.budget_w, point.current_a, point.p_tec_w, point.peak_c))
+    else:
+        for result in report.results:
+            values = result.values
+            print("{:<16} feasible={} TECs={:<3} i={:.2f} A peak={:.2f} C".format(
+                result.name, values["feasible"], values["num_tecs"],
+                values["current_a"], values["peak_c"]))
+    print()
+    print(report.summary())
+    if args.sweep_report:
+        sweep_report_to_json(
+            report, args.sweep_report, metadata={"tool": "repro " + __version__}
+        )
+        print("sweep report written to {}".format(args.sweep_report))
+    return 0 if report.ok else 1
 
 
 def _add_solve(subparsers):
@@ -298,6 +395,7 @@ def build_parser():
     parser.add_argument("--version", action="version", version="repro " + __version__)
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_table1(subparsers)
+    _add_sweep(subparsers)
     _add_solve(subparsers)
     _add_validate(subparsers)
     _add_runaway(subparsers)

@@ -74,7 +74,21 @@ def _power_at(model, current):
 
 
 def _current_for_budget(model, budget_w, i_opt, *, tolerance=1.0e-4):
-    """Largest current in [0, i_opt] with P_TEC <= budget (bisection)."""
+    """Largest current in [0, i_opt] with P_TEC <= budget (bisection).
+
+    Bracket audit (the Seebeck-generation edge): ``P_TEC(0) = 0`` so the
+    lower end is feasible for every budget ``B >= 0``, and over
+    ``(0, i_opt]`` the power dips *negative* (generation mode:
+    ``theta_h < theta_c`` drives the Peltier term below the Joule term)
+    before rising monotonically through ``B`` exactly once — so the
+    feasible set ``{ i : P_TEC(i) <= B }`` is the prefix interval
+    ``[0, i_B]`` and the predicate ``P_TEC(mid) <= B`` is monotone in
+    ``mid``.  The invariant maintained is ``P_TEC(lo) <= B < P_TEC(hi)``;
+    the returned ``lo`` end is therefore always budget-feasible, and a
+    **zero** budget still lands at a strictly positive current
+    (energy-neutral cooling).  ``tests/core/test_pareto.py`` pins this
+    behaviour.
+    """
     if _power_at(model, i_opt) <= budget_w:
         return i_opt
     lo, hi = 0.0, i_opt
@@ -85,6 +99,44 @@ def _current_for_budget(model, budget_w, i_opt, *, tolerance=1.0e-4):
         else:
             hi = mid
     return lo
+
+
+def evaluate_budget(model, budget_w, optimum, p_at_opt, *, tolerance=1.0e-4):
+    """One point of the trade-off: best current under a single budget.
+
+    Parameters
+    ----------
+    model:
+        A deployed :class:`~repro.thermal.model.PackageThermalModel`.
+    budget_w:
+        TEC power budget (W, >= 0).
+    optimum / p_at_opt:
+        The unconstrained Problem 2 optimum
+        (:class:`~repro.core.current.CurrentOptimizationResult`) and
+        the TEC power at it — shared across budgets so sweeps anchor
+        every point on one optimization.
+
+    This is the per-budget unit of work of :func:`pareto_front`, split
+    out so the scenario-sweep engine (``repro.sweep``) can evaluate
+    budgets as independent scenarios.
+    """
+    budget = check_nonnegative(budget_w, "budget")
+    if budget >= p_at_opt:
+        current = optimum.current
+        binding = False
+    else:
+        current = _current_for_budget(
+            model, budget, optimum.current, tolerance=tolerance
+        )
+        binding = True
+    state = model.solve(current)
+    return ParetoPoint(
+        budget_w=budget,
+        current_a=current,
+        peak_c=state.peak_silicon_c,
+        p_tec_w=state.tec_input_power_w(),
+        budget_binding=binding,
+    )
 
 
 def pareto_front(model, budgets_w, *, current_tolerance=1.0e-4):
@@ -109,29 +161,58 @@ def pareto_front(model, budgets_w, *, current_tolerance=1.0e-4):
     optimum = minimize_peak_temperature(model, tolerance=current_tolerance)
     p_at_opt = _power_at(model, optimum.current)
 
-    points = []
-    for budget in budgets:
-        if budget >= p_at_opt:
-            current = optimum.current
-            binding = False
-        else:
-            current = _current_for_budget(
-                model, budget, optimum.current, tolerance=current_tolerance
-            )
-            binding = True
-        state = model.solve(current)
-        points.append(
-            ParetoPoint(
-                budget_w=budget,
-                current_a=current,
-                peak_c=state.peak_silicon_c,
-                p_tec_w=state.tec_input_power_w(),
-                budget_binding=binding,
-            )
-        )
+    points = [
+        evaluate_budget(model, budget, optimum, p_at_opt,
+                        tolerance=current_tolerance)
+        for budget in budgets
+    ]
     return ParetoFront(
         points=tuple(points),
         i_opt_a=optimum.current,
         min_peak_c=optimum.peak_c,
         p_tec_at_opt_w=p_at_opt,
+    )
+
+
+def front_from_sweep(report):
+    """Assemble a :class:`ParetoFront` from a budget-sweep report.
+
+    ``report`` is a :class:`~repro.sweep.report.SweepReport` whose
+    scenarios were built by
+    :meth:`repro.sweep.spec.SweepSpec.budget_sweep` (task ``pareto``,
+    one budget per scenario).  Raises ``ValueError`` when any budget
+    scenario failed — a front with holes is not a front.
+    """
+    if report.errors:
+        failed = ", ".join(
+            "{} ({}: {})".format(e.name, e.error_type, e.message)
+            for e in report.errors
+        )
+        raise ValueError("budget sweep had failures: {}".format(failed))
+    if not report.results:
+        raise ValueError("budget sweep produced no points")
+    for result in report.results:
+        if result.task != "pareto":
+            raise ValueError(
+                "scenario {!r} has task {!r}, expected 'pareto'".format(
+                    result.name, result.task
+                )
+            )
+    ordered = sorted(report.results, key=lambda r: r.values["budget_w"])
+    points = tuple(
+        ParetoPoint(
+            budget_w=r.values["budget_w"],
+            current_a=r.values["current_a"],
+            peak_c=r.values["peak_c"],
+            p_tec_w=r.values["p_tec_w"],
+            budget_binding=r.values["budget_binding"],
+        )
+        for r in ordered
+    )
+    anchor = ordered[0].values
+    return ParetoFront(
+        points=points,
+        i_opt_a=anchor["i_opt_a"],
+        min_peak_c=anchor["min_peak_c"],
+        p_tec_at_opt_w=anchor["p_tec_at_opt_w"],
     )

@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.convexity import certify_convexity
-from repro.core.current import minimize_peak_temperature
 from repro.core.deploy import greedy_deploy
 from repro.experiments.benchmarks import load_benchmark
 
@@ -82,37 +81,44 @@ def tec_parameter_sweep(
     *,
     seebeck_factors=(0.5, 1.0, 1.5),
     resistance_factors=(0.5, 1.0, 2.0),
+    workers=None,
 ):
     """Sweep device Seebeck/resistance; re-optimize the current each time.
 
     The deployment is held at the default device's greedy solution so
-    the sweep isolates the current-setting response.
+    the sweep isolates the current-setting response.  Each grid point
+    is one ``optimize`` scenario of the sweep engine; ``workers`` fans
+    them out over a process pool.
     """
+    from repro.sweep import SweepRunner, SweepSpec
+
     problem = load_benchmark(benchmark)
     greedy = greedy_deploy(problem)
-    base_device = problem.device
-    points = []
-    for sf in seebeck_factors:
-        for rf in resistance_factors:
-            device = base_device.scaled(
-                seebeck=base_device.seebeck * sf,
-                electrical_resistance=base_device.electrical_resistance * rf,
+    spec = SweepSpec.device_grid(
+        benchmark,
+        greedy.tec_tiles,
+        seebeck_factors=seebeck_factors,
+        resistance_factors=resistance_factors,
+    )
+    report = SweepRunner(workers).run(spec)
+    if report.errors:
+        first = report.errors[0]
+        raise RuntimeError(
+            "device grid point {!r} failed: {}: {}".format(
+                first.name, first.error_type, first.message
             )
-            sibling = load_benchmark(benchmark, device=device)
-            model = sibling.model(greedy.tec_tiles)
-            optimum = minimize_peak_temperature(model)
-            state = model.solve(optimum.current)
-            points.append(
-                ParameterSweepPoint(
-                    seebeck=device.seebeck,
-                    resistance=device.electrical_resistance,
-                    i_opt_a=optimum.current,
-                    peak_c=state.peak_silicon_c,
-                    p_tec_w=state.tec_input_power_w(),
-                    lambda_m_a=optimum.lambda_m,
-                )
-            )
-    return points
+        )
+    return [
+        ParameterSweepPoint(
+            seebeck=result.values["seebeck"],
+            resistance=result.values["resistance"],
+            i_opt_a=result.values["i_opt_a"],
+            peak_c=result.values["peak_c"],
+            p_tec_w=result.values["p_tec_w"],
+            lambda_m_a=result.values["lambda_m_a"],
+        )
+        for result in report.results
+    ]
 
 
 @dataclass
@@ -170,7 +176,8 @@ class ScalingPoint:
 
 
 def technology_scaling_study(
-    benchmark="alpha", *, power_factors=(0.9, 1.0, 1.1, 1.2, 1.3), limit_c=85.0
+    benchmark="alpha", *, power_factors=(0.9, 1.0, 1.1, 1.2, 1.3), limit_c=85.0,
+    workers=None,
 ):
     """How far can TEC cooling carry a scaling power budget?
 
@@ -180,32 +187,34 @@ def technology_scaling_study(
     envelope*: the chip power beyond which no deployment meets the
     limit (HC06/HC09 in Table I are two individual points past their
     envelopes; this sweeps the whole curve).
-    """
-    from repro.core.problem import CoolingSystemProblem
 
-    base = load_benchmark(benchmark)
-    points = []
-    for factor in power_factors:
-        problem = CoolingSystemProblem(
-            base.grid,
-            base.power_map * float(factor),
-            max_temperature_c=limit_c,
-            stack=base.stack,
-            device=base.device,
-            name="{}x{:.2f}".format(benchmark, factor),
-        )
-        result = greedy_deploy(problem)
-        points.append(
-            ScalingPoint(
-                total_power_w=float(np.sum(problem.power_map)),
-                no_tec_peak_c=result.no_tec_peak_c,
-                feasible=result.feasible,
-                num_tecs=result.num_tecs,
-                i_opt_a=result.current,
-                greedy_peak_c=result.peak_c,
+    Every scaling factor is one ``greedy`` scenario of the sweep
+    engine; ``workers`` fans the envelope out over a process pool.
+    """
+    from repro.sweep import SweepRunner, SweepSpec
+
+    spec = SweepSpec.power_scaling(
+        benchmark, factors=power_factors, limit_c=limit_c
+    )
+    report = SweepRunner(workers).run(spec)
+    if report.errors:
+        first = report.errors[0]
+        raise RuntimeError(
+            "scaling point {!r} failed: {}: {}".format(
+                first.name, first.error_type, first.message
             )
         )
-    return points
+    return [
+        ScalingPoint(
+            total_power_w=result.values["total_power_w"],
+            no_tec_peak_c=result.values["no_tec_peak_c"],
+            feasible=result.values["feasible"],
+            num_tecs=result.values["num_tecs"],
+            i_opt_a=result.values["current_a"],
+            greedy_peak_c=result.values["peak_c"],
+        )
+        for result in report.results
+    ]
 
 
 @dataclass

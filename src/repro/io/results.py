@@ -1,7 +1,9 @@
-"""JSON serialization of benchmark rows and deployment results.
+"""JSON serialization of benchmark rows, deployments and sweep reports.
 
 Archives Table-I runs so different calibrations / code versions can be
 diffed, and lets external tooling consume the reproduction's outputs.
+Sweep reports (``repro.sweep``) round-trip losslessly: every record in
+a :class:`~repro.sweep.report.SweepReport` is plain data by design.
 """
 
 from __future__ import annotations
@@ -12,6 +14,24 @@ import json
 from repro.core.report import BenchmarkRow
 
 _SCHEMA_VERSION = 1
+
+
+def _load_document(source, kind):
+    """Parse a path or JSON string and check the document ``kind``."""
+    if isinstance(source, str) and source.lstrip().startswith("{"):
+        document = json.loads(source)
+    else:
+        with open(source) as handle:
+            document = json.load(handle)
+    if document.get("kind") != kind:
+        raise ValueError(
+            "not a {} document (kind={!r})".format(kind, document.get("kind"))
+        )
+    if document.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported schema version {!r}".format(document.get("schema"))
+        )
+    return document
 
 
 def rows_to_json(rows, path=None, *, metadata=None):
@@ -47,20 +67,51 @@ def rows_from_json(source):
 
     ``source`` is a path or a JSON string (detected by content).
     """
-    if isinstance(source, str) and source.lstrip().startswith("{"):
-        document = json.loads(source)
-    else:
-        with open(source) as handle:
-            document = json.load(handle)
-    if document.get("kind") != "table1-rows":
-        raise ValueError(
-            "not a table1-rows document (kind={!r})".format(document.get("kind"))
-        )
-    if document.get("schema") != _SCHEMA_VERSION:
-        raise ValueError(
-            "unsupported schema version {!r}".format(document.get("schema"))
-        )
+    document = _load_document(source, "table1-rows")
     return [BenchmarkRow(**row) for row in document["rows"]]
+
+
+def sweep_report_to_json(report, path=None, *, metadata=None):
+    """Serialize a :class:`~repro.sweep.report.SweepReport` to JSON.
+
+    Same conventions as :func:`rows_to_json`: the document string is
+    returned, and also written to ``path`` when given.
+    """
+    document = {
+        "schema": _SCHEMA_VERSION,
+        "kind": "sweep-report",
+        "report": dataclasses.asdict(report),
+    }
+    if metadata:
+        document["metadata"] = dict(metadata)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def sweep_report_from_json(source):
+    """Load a report written by :func:`sweep_report_to_json`.
+
+    ``source`` is a path or a JSON string (detected by content).
+    Returns a fully reconstructed
+    :class:`~repro.sweep.report.SweepReport`.
+    """
+    from repro.sweep.report import ScenarioError, ScenarioResult, SweepReport
+
+    document = _load_document(source, "sweep-report")
+    payload = document["report"]
+    return SweepReport(
+        spec_name=payload["spec_name"],
+        backend=payload["backend"],
+        workers=payload["workers"],
+        results=tuple(ScenarioResult(**r) for r in payload["results"]),
+        errors=tuple(ScenarioError(**e) for e in payload["errors"]),
+        wall_time_s=payload["wall_time_s"],
+        scenario_time_s=payload["scenario_time_s"],
+        metadata=payload.get("metadata", {}),
+    )
 
 
 def deployment_to_dict(result):

@@ -1,0 +1,35 @@
+"""Parallel scenario-sweep engine.
+
+The paper's workflow is inherently many-scenario: Table I rows,
+GreedyDeploy candidates, Pareto budget sweeps and ablations all
+evaluate independent ``(power map, deployment, current)`` instances.
+This package fans them out:
+
+* :class:`~repro.sweep.spec.Scenario` / :class:`~repro.sweep.spec.SweepSpec`
+  enumerate instances as plain data;
+* :class:`~repro.sweep.runner.SweepRunner` executes them over a serial
+  or process-pool backend, capturing per-scenario failures as
+  :class:`~repro.sweep.report.ScenarioError` records;
+* :class:`~repro.sweep.report.SweepReport` aggregates results, solver
+  statistics and throughput metrics (JSON via
+  :func:`repro.io.results.sweep_report_to_json`).
+
+Serial and process backends are bit-identical by construction; see
+:mod:`repro.sweep.worker`.
+"""
+
+from repro.sweep.report import ScenarioError, ScenarioResult, SweepReport
+from repro.sweep.runner import BACKENDS, SweepRunner, run_sweep
+from repro.sweep.spec import TASKS, Scenario, SweepSpec
+
+__all__ = [
+    "BACKENDS",
+    "TASKS",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioResult",
+    "SweepReport",
+    "SweepRunner",
+    "SweepSpec",
+    "run_sweep",
+]

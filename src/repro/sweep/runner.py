@@ -1,0 +1,127 @@
+"""Fault-tolerant parallel execution of a :class:`~repro.sweep.spec.SweepSpec`.
+
+Two backends:
+
+``serial``
+    Run every scenario in the calling process, in spec order.  This is
+    the deterministic reference backend: tests assert that the process
+    backend reproduces its results bit-for-bit.
+``process``
+    Fan scenarios out over a ``concurrent.futures.ProcessPoolExecutor``.
+    Scenarios are pure functions of their plain-data description, so
+    the only coordination is the result hand-back; workers rebuild
+    problems from the scenario payload and amortize package
+    construction through the per-process blueprint cache in
+    :mod:`repro.sweep.worker`.
+
+Failures never abort the sweep: a scenario that raises is captured as
+a :class:`~repro.sweep.report.ScenarioError` (with the formatted
+traceback) and every other scenario still completes.  A broken worker
+process (hard crash) is also contained — the affected scenarios are
+reported as errors.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.sweep.report import ScenarioError, SweepReport
+from repro.sweep.spec import SweepSpec
+from repro.sweep.worker import execute
+
+#: Backends accepted by :class:`SweepRunner`.
+BACKENDS = ("serial", "process")
+
+
+class SweepRunner:
+    """Execute sweeps over a chosen backend.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count.  ``None``, 0 or 1 select the serial
+        backend; larger values the process backend (unless ``backend``
+        overrides the choice).  Negative values mean "all cores".
+    backend:
+        Force ``"serial"`` or ``"process"`` regardless of ``workers``.
+    """
+
+    def __init__(self, workers=None, *, backend=None):
+        if workers is not None:
+            workers = int(workers)
+            if workers < 0:
+                workers = os.cpu_count() or 1
+        if backend is None:
+            backend = "process" if workers is not None and workers > 1 else "serial"
+        if backend not in BACKENDS:
+            raise ValueError(
+                "backend must be one of {}, got {!r}".format(BACKENDS, backend)
+            )
+        if backend == "process" and (workers is None or workers < 1):
+            workers = os.cpu_count() or 1
+        self.backend = backend
+        self.workers = workers if backend == "process" else 1
+
+    def run(self, spec):
+        """Run every scenario of ``spec``; returns a :class:`SweepReport`.
+
+        Results and errors keep spec order regardless of completion
+        order, so reports are reproducible across backends.
+        """
+        if not isinstance(spec, SweepSpec):
+            spec = SweepSpec(scenarios=tuple(spec))
+        start = time.perf_counter()
+        if self.backend == "serial":
+            outcomes = [
+                execute(index, scenario)
+                for index, scenario in enumerate(spec)
+            ]
+        else:
+            outcomes = self._run_process_pool(spec)
+        wall = time.perf_counter() - start
+
+        results = []
+        errors = []
+        for outcome in outcomes:
+            (errors if isinstance(outcome, ScenarioError) else results).append(
+                outcome
+            )
+        return SweepReport(
+            spec_name=spec.name,
+            backend=self.backend,
+            workers=self.workers,
+            results=tuple(sorted(results, key=lambda r: r.index)),
+            errors=tuple(sorted(errors, key=lambda e: e.index)),
+            wall_time_s=wall,
+            scenario_time_s=sum(r.elapsed_s for r in results),
+            metadata=dict(spec.metadata),
+        )
+
+    def _run_process_pool(self, spec):
+        outcomes = []
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = {
+                pool.submit(execute, index, scenario): (index, scenario)
+                for index, scenario in enumerate(spec)
+            }
+            for future, (index, scenario) in futures.items():
+                try:
+                    outcomes.append(future.result())
+                except Exception as error:  # pool/pickling/crash failures
+                    outcomes.append(
+                        ScenarioError(
+                            index=index,
+                            name=scenario.name,
+                            task=scenario.task,
+                            error_type=type(error).__name__,
+                            message=str(error),
+                        )
+                    )
+        return outcomes
+
+
+def run_sweep(spec, *, workers=None, backend=None):
+    """One-call convenience wrapper around :class:`SweepRunner`."""
+    return SweepRunner(workers, backend=backend).run(spec)

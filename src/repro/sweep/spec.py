@@ -1,0 +1,309 @@
+"""Scenario enumeration for the sweep engine.
+
+A :class:`Scenario` is a *plain-data* description of one independent
+``(package geometry, power map, deployment, current/budget)`` problem
+instance — everything a worker process needs to rebuild the problem
+from scratch, and nothing that cannot cross a process boundary (no
+models, no factorizations, no open handles).  A :class:`SweepSpec` is
+an ordered collection of scenarios plus builder classmethods for the
+sweeps the experiments actually run: Table I rows, power-scaling
+envelopes, device-parameter grids, Pareto budget sweeps and generic
+deployment x current grids.
+
+Scenario tasks
+--------------
+``greedy``
+    Run GreedyDeploy on the instance (Table-I-style single row without
+    the Full-Cover baseline).
+``table1``
+    GreedyDeploy *plus* the Full-Cover baseline — one full Table I row.
+``optimize``
+    Fix the deployment (``tec_tiles``) and solve Problem 2 (optimal
+    shared current) on it.
+``solve``
+    Fix deployment *and* current; report the steady state.
+``pareto``
+    Fix the deployment; find the best current under one TEC power
+    budget (``budget_w``) — one point of the Pareto front.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+
+#: Task identifiers accepted by :class:`Scenario`.
+TASKS = ("greedy", "table1", "optimize", "solve", "pareto")
+
+#: Tasks that require a fixed deployment (``tec_tiles``).
+_DEPLOYED_TASKS = ("optimize", "solve", "pareto")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One independent problem instance of a sweep.
+
+    Exactly one geometry source must be given: ``benchmark`` (a
+    registered Table I name) or an explicit ``rows x cols`` grid with a
+    ``power_map`` (flat row-major W per tile, TEC-sized tiles).
+
+    Attributes
+    ----------
+    name:
+        Unique label inside the sweep (used in reports and errors).
+    task:
+        One of :data:`TASKS`.
+    benchmark:
+        Registered benchmark key (``alpha``, ``hc01`` ...).
+    rows / cols / power_map:
+        Explicit geometry (mutually exclusive with ``benchmark``).
+    power_scale:
+        Multiplier applied to the instance's power map (capability
+        envelopes, Section VI.B-style scaling).
+    limit_c:
+        Temperature-limit override; None keeps the benchmark's own
+        limit (or 85 C for explicit geometries).
+    seebeck_factor / resistance_factor:
+        Device-parameter scaling relative to the calibrated thin-film
+        TEC (ablation sweeps).
+    tec_tiles:
+        Fixed deployment for ``optimize`` / ``solve`` / ``pareto``
+        tasks (flat indices).
+    current_a:
+        Supply current for ``solve`` tasks.
+    budget_w:
+        TEC power budget for ``pareto`` tasks (>= 0).
+    current_method / current_tolerance:
+        Problem 2 solver knobs forwarded to
+        :func:`~repro.core.current.minimize_peak_temperature`.
+    """
+
+    name: str
+    task: str
+    benchmark: str = None
+    rows: int = None
+    cols: int = None
+    power_map: tuple = None
+    power_scale: float = 1.0
+    limit_c: float = None
+    seebeck_factor: float = 1.0
+    resistance_factor: float = 1.0
+    tec_tiles: tuple = None
+    current_a: float = None
+    budget_w: float = None
+    current_method: str = "golden"
+    current_tolerance: float = 1.0e-4
+
+    def __post_init__(self):
+        if self.task not in TASKS:
+            raise ValueError(
+                "task must be one of {}, got {!r}".format(TASKS, self.task)
+            )
+        has_benchmark = self.benchmark is not None
+        has_explicit = self.power_map is not None
+        if has_benchmark == has_explicit:
+            raise ValueError(
+                "scenario {!r} needs exactly one geometry source: "
+                "benchmark or rows/cols/power_map".format(self.name)
+            )
+        if has_explicit:
+            if not self.rows or not self.cols:
+                raise ValueError(
+                    "explicit scenario {!r} needs rows and cols".format(self.name)
+                )
+            object.__setattr__(
+                self, "power_map", tuple(float(p) for p in self.power_map)
+            )
+            if len(self.power_map) != self.rows * self.cols:
+                raise ValueError(
+                    "power_map of {!r} has {} entries for a {}x{} grid".format(
+                        self.name, len(self.power_map), self.rows, self.cols
+                    )
+                )
+        if self.power_scale <= 0.0:
+            raise ValueError("power_scale must be positive")
+        if self.task in _DEPLOYED_TASKS:
+            if self.tec_tiles is None:
+                raise ValueError(
+                    "{} scenario {!r} needs tec_tiles".format(self.task, self.name)
+                )
+            object.__setattr__(
+                self, "tec_tiles", tuple(sorted({int(t) for t in self.tec_tiles}))
+            )
+        if self.task == "solve" and self.current_a is None:
+            raise ValueError("solve scenario {!r} needs current_a".format(self.name))
+        if self.task == "pareto":
+            if self.budget_w is None or self.budget_w < 0.0:
+                raise ValueError(
+                    "pareto scenario {!r} needs budget_w >= 0".format(self.name)
+                )
+
+    def geometry_key(self):
+        """Hashable key identifying the *package* this scenario builds.
+
+        Scenarios sharing a key share one
+        :class:`~repro.core.problem.CoolingSystemProblem` (and through
+        it one recorded
+        :class:`~repro.thermal.assembly.NetworkBlueprint`) inside a
+        worker process — the temperature limit is excluded because
+        limit siblings share blueprints too.
+        """
+        return (
+            self.benchmark,
+            self.rows,
+            self.cols,
+            self.power_map,
+            self.power_scale,
+            self.seebeck_factor,
+            self.resistance_factor,
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered enumeration of scenarios.
+
+    Iterable and sized; scenario names must be unique so reports can be
+    addressed by name.
+    """
+
+    scenarios: tuple
+    name: str = "sweep"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        for scenario in self.scenarios:
+            if not isinstance(scenario, Scenario):
+                raise TypeError(
+                    "SweepSpec takes Scenario objects, got {!r}".format(
+                        type(scenario)
+                    )
+                )
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError("duplicate scenario names: {}".format(dupes))
+
+    def __len__(self):
+        return len(self.scenarios)
+
+    def __iter__(self):
+        return iter(self.scenarios)
+
+    def geometry_keys(self):
+        """Distinct package geometries of the sweep (build/cache units)."""
+        return list(dict.fromkeys(s.geometry_key() for s in self.scenarios))
+
+    # ------------------------------------------------------------------
+    # Builders for the standard sweeps
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def table1(cls, names=None, *, current_method="golden"):
+        """One ``table1`` scenario per Table I benchmark row."""
+        from repro.experiments.benchmarks import benchmark_names
+
+        names = list(names) if names is not None else benchmark_names()
+        return cls(
+            scenarios=[
+                Scenario(name=name, task="table1", benchmark=name,
+                         current_method=current_method)
+                for name in names
+            ],
+            name="table1",
+        )
+
+    @classmethod
+    def power_scaling(cls, benchmark="alpha", *,
+                      factors=(0.9, 1.0, 1.1, 1.2, 1.3), limit_c=85.0):
+        """GreedyDeploy across a scaled-power capability envelope."""
+        return cls(
+            scenarios=[
+                Scenario(
+                    name="{}x{:.2f}".format(benchmark, factor),
+                    task="greedy",
+                    benchmark=benchmark,
+                    power_scale=float(factor),
+                    limit_c=limit_c,
+                )
+                for factor in factors
+            ],
+            name="power-scaling[{}]".format(benchmark),
+        )
+
+    @classmethod
+    def device_grid(cls, benchmark, tec_tiles, *,
+                    seebeck_factors=(0.5, 1.0, 1.5),
+                    resistance_factors=(0.5, 1.0, 2.0),
+                    current_method="golden"):
+        """Problem 2 re-optimization across a device-parameter grid.
+
+        The deployment is held fixed (normally the base device's greedy
+        solution) so the grid isolates the current-setting response —
+        the ``tec_parameter_sweep`` ablation.
+        """
+        scenarios = [
+            Scenario(
+                name="{}[a*{:g},r*{:g}]".format(benchmark, sf, rf),
+                task="optimize",
+                benchmark=benchmark,
+                seebeck_factor=float(sf),
+                resistance_factor=float(rf),
+                tec_tiles=tuple(tec_tiles),
+                current_method=current_method,
+            )
+            for sf, rf in itertools.product(seebeck_factors, resistance_factors)
+        ]
+        return cls(scenarios=scenarios, name="device-grid[{}]".format(benchmark))
+
+    @classmethod
+    def budget_sweep(cls, benchmark, tec_tiles, budgets_w, *,
+                     limit_c=None, current_tolerance=1.0e-4):
+        """One ``pareto`` scenario per TEC power budget (ascending)."""
+        budgets = sorted(float(b) for b in budgets_w)
+        if not budgets:
+            raise ValueError("need at least one budget")
+        scenarios = [
+            Scenario(
+                name="{}@{:.6g}W".format(benchmark, budget),
+                task="pareto",
+                benchmark=benchmark,
+                limit_c=limit_c,
+                tec_tiles=tuple(tec_tiles),
+                budget_w=budget,
+                current_tolerance=current_tolerance,
+            )
+            for budget in budgets
+        ]
+        return cls(scenarios=scenarios, name="budget-sweep[{}]".format(benchmark))
+
+    @classmethod
+    def solve_grid(cls, benchmarks, deployments, currents_a, *,
+                   power_scales=(1.0,)):
+        """Cross product: benchmarks x power scales x deployments x currents.
+
+        The general many-scenario workload of the ROADMAP: every
+        combination becomes one ``solve`` scenario.
+        """
+        scenarios = []
+        for bench, scale, (dep_label, tiles), current in itertools.product(
+            benchmarks, power_scales, list(deployments), currents_a
+        ):
+            scenarios.append(
+                Scenario(
+                    name="{}x{:.2f}/{}/i={:.4g}".format(
+                        bench, scale, dep_label, current
+                    ),
+                    task="solve",
+                    benchmark=bench,
+                    power_scale=float(scale),
+                    tec_tiles=tuple(tiles),
+                    current_a=float(current),
+                )
+            )
+        return cls(scenarios=scenarios, name="solve-grid")
+
+    def with_name(self, name):
+        """Copy of the spec under a different name."""
+        return replace(self, name=str(name))

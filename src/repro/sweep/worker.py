@@ -1,0 +1,286 @@
+"""Worker-side scenario execution.
+
+Every function here runs inside a sweep worker — either the parent
+process (serial backend) or a ``ProcessPoolExecutor`` child (process
+backend).  The contract with the runner is narrow: :func:`execute`
+takes ``(index, scenario)`` plain data and returns a
+:class:`~repro.sweep.report.ScenarioResult` *or* a
+:class:`~repro.sweep.report.ScenarioError` — it never raises, so one
+bad scenario cannot abort a sweep or poison the pool.
+
+Package geometries are cached per process: scenarios sharing a
+:meth:`~repro.sweep.spec.Scenario.geometry_key` share one
+:class:`~repro.core.problem.CoolingSystemProblem`, and through it one
+recorded :class:`~repro.thermal.assembly.NetworkBlueprint`, so a
+sweep over N deployments of one package pays the layer physics once
+per worker instead of N times.  Because blueprint replay is
+bit-identical to a fresh build (see ``thermal/assembly.py``) and every
+solve is deterministic, per-scenario results do not depend on which
+scenarios a worker happened to run before — serial and process
+backends produce bit-identical reports.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+import numpy as np
+
+from repro.sweep.report import ScenarioError, ScenarioResult
+
+#: Per-process caches (worker lifetime).  Keyed so that results are
+#: independent of cache warmth — see the module docstring.
+_GEOMETRY = {}   # geometry_key -> first CoolingSystemProblem built for it
+_PROBLEMS = {}   # (geometry_key, limit_c) -> CoolingSystemProblem
+_OPTIMA = {}     # (geometry_key, limit_c, tiles, method, tol) -> (optimum, p_at_opt)
+
+
+def clear_caches():
+    """Drop the per-process caches (tests and memory-sensitive callers)."""
+    _GEOMETRY.clear()
+    _PROBLEMS.clear()
+    _OPTIMA.clear()
+
+
+def _limit_for(scenario):
+    if scenario.limit_c is not None:
+        return float(scenario.limit_c)
+    if scenario.benchmark is not None:
+        from repro.experiments.benchmarks import BENCHMARKS
+
+        return float(BENCHMARKS[scenario.benchmark].limit_c)
+    return 85.0
+
+
+def _build_problem(scenario, limit_c):
+    from repro.core.problem import CoolingSystemProblem
+    from repro.tec.materials import chowdhury_thin_film_tec
+
+    device = chowdhury_thin_film_tec()
+    if scenario.seebeck_factor != 1.0 or scenario.resistance_factor != 1.0:
+        device = device.scaled(
+            seebeck=device.seebeck * scenario.seebeck_factor,
+            electrical_resistance=(
+                device.electrical_resistance * scenario.resistance_factor
+            ),
+        )
+    if scenario.benchmark is not None:
+        from repro.experiments.benchmarks import BENCHMARKS
+
+        floorplan = BENCHMARKS[scenario.benchmark].floorplan()
+        grid = floorplan.grid
+        power = floorplan.power_map() * scenario.power_scale
+        name = scenario.benchmark
+    else:
+        from repro.thermal.geometry import TileGrid
+
+        grid = TileGrid(scenario.rows, scenario.cols)
+        power = np.array(scenario.power_map, dtype=float) * scenario.power_scale
+        name = scenario.name
+    return CoolingSystemProblem(
+        grid,
+        power,
+        max_temperature_c=limit_c,
+        device=device,
+        name=name,
+    )
+
+
+def problem_for(scenario):
+    """The (cached) problem instance of a scenario.
+
+    Limit siblings of one geometry share the recorded network
+    blueprint via ``CoolingSystemProblem.with_limit``.
+    """
+    key = scenario.geometry_key()
+    limit = _limit_for(scenario)
+    problem = _PROBLEMS.get((key, limit))
+    if problem is None:
+        base = _GEOMETRY.get(key)
+        if base is None:
+            problem = _build_problem(scenario, limit)
+            _GEOMETRY[key] = problem
+        else:
+            problem = base.with_limit(limit)
+        _PROBLEMS[(key, limit)] = problem
+    return problem
+
+
+def _optimum_for(scenario, model):
+    """Cached Problem 2 optimum of a fixed deployment.
+
+    Budget sweeps share one deployment across many ``pareto``
+    scenarios; the optimum anchors every point and is deterministic,
+    so recomputing it per scenario would only burn solves.
+    """
+    from repro.core.current import minimize_peak_temperature
+
+    key = (
+        scenario.geometry_key(),
+        _limit_for(scenario),
+        scenario.tec_tiles,
+        scenario.current_method,
+        scenario.current_tolerance,
+    )
+    cached = _OPTIMA.get(key)
+    if cached is None:
+        optimum = minimize_peak_temperature(
+            model,
+            method=scenario.current_method,
+            tolerance=scenario.current_tolerance,
+        )
+        p_at_opt = model.solve(optimum.current).tec_input_power_w()
+        cached = (optimum, p_at_opt)
+        _OPTIMA[key] = cached
+    return cached
+
+
+# ----------------------------------------------------------------------
+# Task implementations — every return value is plain data.
+# ----------------------------------------------------------------------
+
+def _greedy_values(scenario, problem):
+    from repro.core.deploy import greedy_deploy
+
+    result = greedy_deploy(
+        problem,
+        current_method=scenario.current_method,
+        current_tolerance=scenario.current_tolerance,
+    )
+    return result, {
+        "feasible": bool(result.feasible),
+        "tec_tiles": [int(t) for t in result.tec_tiles],
+        "num_tecs": int(result.num_tecs),
+        "current_a": float(result.current),
+        "peak_c": float(result.peak_c),
+        "no_tec_peak_c": float(result.no_tec_peak_c),
+        "tec_power_w": float(result.tec_power_w),
+        "cooling_swing_c": float(result.cooling_swing_c),
+        "rounds": len(result.iterations),
+        "limit_c": float(problem.max_temperature_c),
+        "total_power_w": float(np.sum(problem.power_map)),
+    }
+
+
+def _task_greedy(scenario, problem):
+    _, values = _greedy_values(scenario, problem)
+    return values
+
+
+def _task_table1(scenario, problem):
+    from repro.core.baselines import full_cover
+
+    greedy, values = _greedy_values(scenario, problem)
+    baseline = full_cover(
+        problem,
+        current_method=scenario.current_method,
+        current_tolerance=scenario.current_tolerance,
+    )
+    values.update(
+        {
+            "fullcover_min_peak_c": float(baseline.min_peak_c),
+            "fullcover_current_a": float(baseline.current),
+            "fullcover_p_tec_w": float(baseline.tec_power_w),
+            "fullcover_meets_limit": bool(baseline.meets_limit),
+            "swing_loss_c": float(baseline.min_peak_c - greedy.peak_c),
+        }
+    )
+    return values
+
+
+def _task_optimize(scenario, problem):
+    model = problem.model(scenario.tec_tiles)
+    optimum, p_at_opt = _optimum_for(scenario, model)
+    state = model.solve(optimum.current)
+    return {
+        "i_opt_a": float(optimum.current),
+        "peak_c": float(state.peak_silicon_c),
+        "p_tec_w": float(state.tec_input_power_w()),
+        "lambda_m_a": float(optimum.lambda_m),
+        "evaluations": int(optimum.evaluations),
+        "num_tecs": len(scenario.tec_tiles),
+        "seebeck": float(problem.device.seebeck),
+        "resistance": float(problem.device.electrical_resistance),
+        "p_tec_at_opt_w": float(p_at_opt),
+    }
+
+
+def _task_solve(scenario, problem):
+    model = problem.model(scenario.tec_tiles)
+    state = model.solve(scenario.current_a)
+    return {
+        "current_a": float(scenario.current_a),
+        "peak_c": float(state.peak_silicon_c),
+        "peak_tile": int(state.peak_tile),
+        "p_tec_w": float(state.tec_input_power_w()),
+    }
+
+
+def _task_pareto(scenario, problem):
+    from repro.core.pareto import evaluate_budget
+
+    model = problem.model(scenario.tec_tiles)
+    optimum, p_at_opt = _optimum_for(scenario, model)
+    point = evaluate_budget(
+        model,
+        scenario.budget_w,
+        optimum,
+        p_at_opt,
+        tolerance=scenario.current_tolerance,
+    )
+    return {
+        "budget_w": float(point.budget_w),
+        "current_a": float(point.current_a),
+        "peak_c": float(point.peak_c),
+        "p_tec_w": float(point.p_tec_w),
+        "budget_binding": bool(point.budget_binding),
+        "i_opt_a": float(optimum.current),
+        "min_peak_c": float(optimum.peak_c),
+        "p_tec_at_opt_w": float(p_at_opt),
+    }
+
+
+_TASK_IMPLS = {
+    "greedy": _task_greedy,
+    "table1": _task_table1,
+    "optimize": _task_optimize,
+    "solve": _task_solve,
+    "pareto": _task_pareto,
+}
+
+
+def run_scenario(index, scenario):
+    """Execute one scenario; raises on failure (see :func:`execute`)."""
+    impl = _TASK_IMPLS[scenario.task]
+    start = time.perf_counter()
+    problem = problem_for(scenario)
+    stats_before = problem.solver_stats.copy()
+    values = impl(scenario, problem)
+    return ScenarioResult(
+        index=int(index),
+        name=scenario.name,
+        task=scenario.task,
+        values=values,
+        elapsed_s=time.perf_counter() - start,
+        solver_stats=problem.solver_stats.diff(stats_before).as_dict(),
+    )
+
+
+def execute(index, scenario):
+    """Fault-tolerant entry point used by the runner backends.
+
+    Returns a :class:`ScenarioResult` on success or a
+    :class:`ScenarioError` capturing the exception — never raises.
+    """
+    try:
+        return run_scenario(index, scenario)
+    except Exception as error:  # noqa: BLE001 — captured by design
+        return ScenarioError(
+            index=int(index),
+            name=scenario.name,
+            task=scenario.task,
+            error_type=type(error).__name__,
+            message=str(error),
+            traceback=traceback.format_exc(),
+        )

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.current import minimize_peak_temperature
-from repro.core.pareto import pareto_front
+from repro.core.pareto import evaluate_budget, front_from_sweep, pareto_front
 
 
 class TestParetoFront:
@@ -62,6 +62,47 @@ class TestParetoFront:
         assert front.p_tec_at_opt_w > 0.0
         assert front.min_peak_c <= front.peaks()[0]
 
+    def test_zero_and_low_budget_regression(self, small_deployed):
+        """Bisection audit regression (the Seebeck-generation edge).
+
+        ``P_TEC(0) = 0`` keeps the lower bracket end feasible for every
+        budget >= 0, and the generation-mode dip keeps the feasible set
+        a prefix interval — so at zero and near-zero budgets the
+        bisection must land on a strictly positive, budget-respecting,
+        *binding* current rather than collapsing to i = 0.
+        """
+        optimum = minimize_peak_temperature(small_deployed)
+        p_at_opt = small_deployed.solve(optimum.current).tec_input_power_w()
+        passive_peak = small_deployed.solve(0.0).peak_silicon_c
+        previous_current = 0.0
+        for budget in (0.0, 1e-4, 1e-3, 1e-2):
+            point = evaluate_budget(
+                small_deployed, budget, optimum, p_at_opt
+            )
+            assert point.budget_binding is True
+            assert point.current_a > 0.0
+            # Energy-neutral (or budget-bounded) cooling: the chosen
+            # current respects the budget yet still cools the hot spot.
+            assert point.p_tec_w <= budget + 1e-3
+            assert point.peak_c < passive_peak
+            # Larger budgets admit larger currents (prefix intervals nest).
+            assert point.current_a >= previous_current - 1e-12
+            previous_current = point.current_a
+
+    def test_evaluate_budget_matches_front(self, front, small_deployed):
+        """The split-out per-budget unit reproduces the front's points."""
+        optimum = minimize_peak_temperature(small_deployed)
+        p_at_opt = small_deployed.solve(optimum.current).tec_input_power_w()
+        for expected in front.points:
+            point = evaluate_budget(
+                small_deployed, expected.budget_w, optimum, p_at_opt
+            )
+            assert point.budget_binding == expected.budget_binding
+            assert point.current_a == pytest.approx(
+                expected.current_a, abs=1e-3
+            )
+            assert point.peak_c == pytest.approx(expected.peak_c, abs=1e-6)
+
     def test_half_power_recovers_most_of_the_swing(self, small_deployed):
         """Diminishing returns: half the optimal P_TEC budget buys
         well over half of the achievable cooling swing."""
@@ -72,3 +113,81 @@ class TestParetoFront:
         swing_full = passive - optimum.peak_c
         swing_half = passive - front.points[0].peak_c
         assert swing_half > 0.6 * swing_full
+
+
+class TestFrontFromSweep:
+    """front_from_sweep vs the in-process pareto_front (differential)."""
+
+    _BUDGETS = (0.0, 0.05, 1.0)
+
+    @pytest.fixture(scope="class")
+    def sweep_report(self, request):
+        from repro.sweep import Scenario, SweepSpec, run_sweep
+
+        small_power = request.getfixturevalue("small_power")
+        scenarios = [
+            Scenario(
+                name="small@{}W".format(budget),
+                task="pareto",
+                rows=4,
+                cols=4,
+                power_map=tuple(small_power),
+                tec_tiles=(5, 6, 9, 10),
+                budget_w=budget,
+            )
+            for budget in self._BUDGETS
+        ]
+        return run_sweep(SweepSpec(scenarios=scenarios, name="small-budgets"))
+
+    def test_front_matches_direct_computation(self, sweep_report, small_deployed):
+        """Same budgets through the sweep engine and through
+        pareto_front: the two paths share evaluate_budget, so points
+        agree to the bisection tolerance."""
+        swept = front_from_sweep(sweep_report)
+        direct = pareto_front(small_deployed, list(self._BUDGETS))
+        assert len(swept.points) == len(direct.points)
+        for a, b in zip(swept.points, direct.points):
+            assert a.budget_w == pytest.approx(b.budget_w)
+            assert a.budget_binding == b.budget_binding
+            assert a.current_a == pytest.approx(b.current_a, abs=1e-3)
+            assert a.peak_c == pytest.approx(b.peak_c, abs=1e-4)
+        assert swept.i_opt_a == pytest.approx(direct.i_opt_a, abs=1e-3)
+        assert swept.min_peak_c == pytest.approx(direct.min_peak_c, abs=1e-4)
+
+    def test_zero_budget_point_survives_the_sweep_path(self, sweep_report):
+        """The energy-neutral claim holds through the engine too."""
+        swept = front_from_sweep(sweep_report)
+        zero = swept.points[0]
+        assert zero.budget_w == 0.0
+        assert zero.budget_binding is True
+        assert zero.current_a > 0.0
+        assert zero.p_tec_w <= 1e-3
+
+    def test_rejects_reports_with_failures(self):
+        from repro.sweep.report import ScenarioError, SweepReport
+
+        report = SweepReport(
+            spec_name="broken", backend="serial", workers=1,
+            errors=(
+                ScenarioError(index=0, name="x", task="pareto",
+                              error_type="ValueError", message="boom"),
+            ),
+        )
+        with pytest.raises(ValueError, match="failures"):
+            front_from_sweep(report)
+
+    def test_rejects_empty_and_wrong_task(self):
+        from repro.sweep.report import ScenarioResult, SweepReport
+
+        empty = SweepReport(spec_name="e", backend="serial", workers=1)
+        with pytest.raises(ValueError, match="no points"):
+            front_from_sweep(empty)
+        wrong = SweepReport(
+            spec_name="w", backend="serial", workers=1,
+            results=(
+                ScenarioResult(index=0, name="x", task="greedy",
+                               values={}, elapsed_s=0.0),
+            ),
+        )
+        with pytest.raises(ValueError, match="pareto"):
+            front_from_sweep(wrong)

@@ -13,6 +13,8 @@ from repro.core.current import minimize_peak_temperature
 from repro.tec.device import cold_side_flux, hot_side_flux
 from repro.thermal.transient import TransientSimulator
 
+pytestmark = pytest.mark.integration
+
 
 class TestSteadyVsTransient:
     def test_transient_settles_on_steady_state_everywhere(self, small_deployed):

@@ -14,6 +14,8 @@ from repro.core.baselines import full_cover
 from repro.core.deploy import greedy_deploy
 from repro.experiments.benchmarks import BENCHMARKS, load_benchmark
 
+pytestmark = pytest.mark.integration
+
 
 @pytest.fixture(scope="module")
 def all_rows():

@@ -8,6 +8,7 @@ the Theorem 1 dichotomy on real package matrices.
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -15,6 +16,8 @@ from repro.linalg.runaway import runaway_current_eigen
 from repro.linalg.spd import cholesky_is_spd
 from repro.thermal.geometry import TileGrid
 from repro.thermal.model import PackageThermalModel
+
+pytestmark = pytest.mark.integration
 
 _GRID = TileGrid(4, 4)
 

@@ -5,7 +5,14 @@ import json
 import pytest
 
 from repro.core.report import BenchmarkRow
-from repro.io.results import deployment_to_dict, rows_from_json, rows_to_json
+from repro.io.results import (
+    deployment_to_dict,
+    rows_from_json,
+    rows_to_json,
+    sweep_report_from_json,
+    sweep_report_to_json,
+)
+from repro.sweep.report import ScenarioError, ScenarioResult, SweepReport
 
 
 def _row(name="alpha"):
@@ -49,6 +56,78 @@ class TestRowsJson:
     def test_rejects_wrong_schema(self):
         with pytest.raises(ValueError, match="schema"):
             rows_from_json('{"kind": "table1-rows", "schema": 99, "rows": []}')
+
+
+def _sweep_report():
+    return SweepReport(
+        spec_name="demo",
+        backend="process",
+        workers=2,
+        results=(
+            ScenarioResult(
+                index=0, name="a", task="greedy",
+                values={"peak_c": 84.1, "tec_tiles": [3, 4]},
+                elapsed_s=0.25,
+                solver_stats={"solves": 7, "factorizations": 1},
+            ),
+        ),
+        errors=(
+            ScenarioError(
+                index=1, name="b", task="greedy",
+                error_type="IndexError", message="tile 99",
+                traceback="Traceback ...",
+            ),
+        ),
+        wall_time_s=0.5,
+        scenario_time_s=0.25,
+        metadata={"note": "unit"},
+    )
+
+
+class TestSweepReportJson:
+    def test_round_trip_string_is_lossless(self):
+        original = _sweep_report()
+        restored = sweep_report_from_json(sweep_report_to_json(original))
+        assert restored == original
+
+    def test_round_trip_file(self, tmp_path):
+        path = tmp_path / "report.json"
+        sweep_report_to_json(_sweep_report(), path)
+        restored = sweep_report_from_json(str(path))
+        assert restored.spec_name == "demo"
+        assert restored.errors[0].error_type == "IndexError"
+        assert restored.results[0].solver_stats["solves"] == 7
+
+    def test_metrics_survive_round_trip(self):
+        restored = sweep_report_from_json(sweep_report_to_json(_sweep_report()))
+        assert restored.num_scenarios == 2
+        assert not restored.ok
+        assert restored.aggregate_solver_stats().solves == 7
+
+    def test_metadata_embedded(self):
+        text = sweep_report_to_json(_sweep_report(), metadata={"rev": "abc"})
+        assert json.loads(text)["metadata"]["rev"] == "abc"
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            sweep_report_from_json(rows_to_json([_row()]))
+
+    def test_round_trip_of_real_sweep(self, tmp_path):
+        """A report produced by the engine itself survives the trip."""
+        from repro.sweep import Scenario, run_sweep
+
+        report = run_sweep(
+            [
+                Scenario(
+                    name="solve", task="solve", rows=2, cols=2,
+                    power_map=(0.3, 0.1, 0.1, 0.1),
+                    tec_tiles=(0,), current_a=0.2,
+                )
+            ]
+        )
+        restored = sweep_report_from_json(sweep_report_to_json(report))
+        assert restored.results[0].values == report.results[0].values
+        assert restored.wall_time_s == report.wall_time_s
 
 
 class TestDeploymentDict:

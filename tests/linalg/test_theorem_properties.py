@@ -1,0 +1,132 @@
+"""Property-based tests of the paper's matrix theorems (hypothesis).
+
+Randomized conductance networks from :func:`random_stieltjes` are the
+quantification domain of the paper's linear-algebra layer.  Three
+levels are pinned here:
+
+* **Lemma 1 class membership** — every generated ``G`` is an
+  irreducible positive definite Stieltjes matrix, for any density.
+* **Theorem 1, variational form** — ``lambda_m`` computed by
+  :func:`runaway_current_eigen` equals the generalized-eigenvalue
+  definition: the smallest positive ``lambda`` with
+  ``G x = lambda D x``, i.e. ``1 / mu_max`` for the pencil
+  ``D x = mu G x`` (symmetric-definite, solved with ``scipy.linalg.eigh``).
+* **Theorem 2, runaway blow-up** — entries of ``(G - i D)^{-1}`` grow
+  toward the runaway current.  For ``D >= 0`` the growth is provably
+  entrywise monotone over the whole range (``dH/di = H D H >= 0``
+  because ``G - i D`` stays Stieltjes, so ``H >= 0``); for the paper's
+  mixed-sign hot/cold ``D`` the divergent rank-one term
+  ``v v' / (lambda_m - i)`` dominates near the pole, so every entry
+  grows strictly on the approach and the peak entry scales like
+  ``1 / (lambda_m - i)``.
+"""
+
+import numpy as np
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.irreducible import is_irreducible
+from repro.linalg.runaway import runaway_current_eigen
+from repro.linalg.spd import cholesky_is_spd
+from repro.linalg.stieltjes import is_stieltjes, random_stieltjes
+
+_sizes = st.integers(min_value=3, max_value=10)
+_seeds = st.integers(min_value=0, max_value=2**31)
+_densities = st.floats(min_value=0.0, max_value=1.0)
+
+_settings = settings(max_examples=25, deadline=None)
+
+
+def _mixed_sign_d(n, seed, alpha):
+    """A paper-style Peltier diagonal: +alpha on hot nodes, -alpha on
+    the matching cold nodes (at least one pair)."""
+    rng = np.random.default_rng(seed)
+    pairs = max(1, n // 3)
+    nodes = rng.choice(n, size=2 * pairs, replace=False)
+    diag = np.zeros(n)
+    diag[nodes[:pairs]] = alpha
+    diag[nodes[pairs:]] = -alpha
+    return diag
+
+
+def _nonnegative_d(n, seed, alpha):
+    """A non-negative diagonal with at least one positive entry."""
+    rng = np.random.default_rng(seed)
+    count = int(rng.integers(1, n + 1))
+    diag = np.zeros(n)
+    diag[rng.choice(n, size=count, replace=False)] = rng.uniform(
+        0.2 * alpha, alpha, size=count
+    )
+    return diag
+
+
+class TestLemma1Class:
+    @given(_sizes, _seeds, _densities)
+    @_settings
+    def test_generator_stays_in_the_lemma1_class(self, n, seed, density):
+        """Irreducible + Stieltjes + SPD at every density (the spanning
+        tree guarantees connectivity even at density 0)."""
+        matrix = random_stieltjes(n, density=density, seed=seed)
+        assert is_stieltjes(matrix)
+        assert is_irreducible(matrix)
+        assert cholesky_is_spd(matrix)
+
+
+class TestTheorem1GeneralizedEigenvalue:
+    @given(_sizes, _seeds, st.floats(min_value=0.02, max_value=0.4))
+    @_settings
+    def test_lambda_m_matches_pencil_definition(self, n, seed, alpha):
+        """lambda_m = 1 / mu_max for the pencil D x = mu G x."""
+        g = random_stieltjes(n, seed=seed)
+        d = _mixed_sign_d(n, seed + 1, alpha)
+        lam = runaway_current_eigen(g, d).value
+        # G is SPD, so eigh solves the symmetric-definite pencil exactly.
+        mu = scipy.linalg.eigh(np.diag(d), g, eigvals_only=True)
+        mu_max = float(np.max(mu))
+        assert mu_max > 0.0
+        np.testing.assert_allclose(lam, 1.0 / mu_max, rtol=1e-9)
+
+    @given(_sizes, _seeds, st.floats(min_value=0.02, max_value=0.4))
+    @_settings
+    def test_dichotomy_at_lambda_m(self, n, seed, alpha):
+        """G - iD flips definiteness exactly at the computed value."""
+        g = random_stieltjes(n, seed=seed)
+        d = _mixed_sign_d(n, seed + 1, alpha)
+        lam = runaway_current_eigen(g, d).value
+        assert cholesky_is_spd(g - 0.99 * lam * np.diag(d))
+        assert not cholesky_is_spd(g - 1.01 * lam * np.diag(d))
+
+
+class TestTheorem2Growth:
+    @given(_sizes, _seeds, st.floats(min_value=0.05, max_value=0.5))
+    @_settings
+    def test_entrywise_monotone_for_nonnegative_d(self, n, seed, alpha):
+        """With D >= 0 the inverse grows entrywise over the whole
+        current range: H(i2) >= H(i1) for i1 <= i2 < lambda_m."""
+        g = random_stieltjes(n, seed=seed)
+        d = _nonnegative_d(n, seed + 1, alpha)
+        lam = runaway_current_eigen(g, d).value
+        previous = None
+        for fraction in (0.0, 0.25, 0.5, 0.8, 0.95):
+            h = np.linalg.inv(g - fraction * lam * np.diag(d))
+            if previous is not None:
+                assert np.all(h - previous >= -1e-9)
+            previous = h
+
+    @given(_sizes, _seeds, st.floats(min_value=0.02, max_value=0.4))
+    @_settings
+    def test_blow_up_toward_runaway_for_mixed_d(self, n, seed, alpha):
+        """Near lambda_m every entry grows strictly and the peak entry
+        scales like the pole 1/(lambda_m - i): a 10x shrink of the
+        distance grows it by far more than the bounded remainder."""
+        g = random_stieltjes(n, seed=seed)
+        d = _mixed_sign_d(n, seed + 1, alpha)
+        lam = runaway_current_eigen(g, d).value
+        h90 = np.linalg.inv(g - 0.90 * lam * np.diag(d))
+        h99 = np.linalg.inv(g - 0.99 * lam * np.diag(d))
+        h999 = np.linalg.inv(g - 0.999 * lam * np.diag(d))
+        assert np.all(h99 > h90)
+        assert np.all(h999 > h99)
+        assert np.all(h999 > 0.0)
+        assert np.max(h999) > 5.0 * np.max(h99)

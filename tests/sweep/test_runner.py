@@ -1,0 +1,218 @@
+"""SweepRunner backends: determinism, fault tolerance, bit-identity.
+
+The serial backend is the reference; the process backend must
+reproduce its ``values`` payloads bit-for-bit.  ``solver_stats`` and
+``elapsed_s`` are execution metadata — they legitimately differ with
+cache warmth and scheduling — so identity is asserted on
+``(index, name, task, values)``.
+"""
+
+import pytest
+
+from repro.sweep import (
+    BACKENDS,
+    Scenario,
+    ScenarioError,
+    ScenarioResult,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+)
+from repro.sweep import worker as sweep_worker
+
+_HOTSPOT = tuple(
+    0.55 if tile in (5, 6, 9, 10) else 0.08 for tile in range(16)
+)
+
+
+def _small_spec(include_failure=False):
+    """A 4x4-grid sweep touching every task type (one shared geometry)."""
+    scenarios = [
+        # Limit just below the ~65.8 C bare peak, so GreedyDeploy must
+        # cover the hot block to become feasible.
+        Scenario(name="greedy", task="greedy", rows=4, cols=4,
+                 power_map=_HOTSPOT, limit_c=65.25),
+        Scenario(name="optimize", task="optimize", rows=4, cols=4,
+                 power_map=_HOTSPOT, tec_tiles=(5, 6, 9, 10)),
+        Scenario(name="solve", task="solve", rows=4, cols=4,
+                 power_map=_HOTSPOT, tec_tiles=(5, 6, 9, 10), current_a=0.4),
+        Scenario(name="pareto", task="pareto", rows=4, cols=4,
+                 power_map=_HOTSPOT, tec_tiles=(5, 6, 9, 10), budget_w=0.05),
+    ]
+    if include_failure:
+        # Tile 99 is out of range on a 4x4 grid: the worker's model
+        # build raises IndexError, which the engine must capture.
+        scenarios.insert(
+            2,
+            Scenario(name="broken", task="optimize", rows=4, cols=4,
+                     power_map=_HOTSPOT, tec_tiles=(99,)),
+        )
+    return SweepSpec(scenarios=scenarios, name="small")
+
+
+def _identity_view(report):
+    return [(r.index, r.name, r.task, r.values) for r in report.results]
+
+
+class TestRunnerConfiguration:
+    def test_default_is_serial(self):
+        runner = SweepRunner()
+        assert runner.backend == "serial"
+        assert runner.workers == 1
+
+    @pytest.mark.parametrize("workers", [None, 0, 1])
+    def test_small_worker_counts_stay_serial(self, workers):
+        assert SweepRunner(workers).backend == "serial"
+
+    def test_multiple_workers_select_process(self):
+        runner = SweepRunner(4)
+        assert runner.backend == "process"
+        assert runner.workers == 4
+
+    def test_negative_workers_mean_all_cores(self):
+        import os
+
+        runner = SweepRunner(-1)
+        assert runner.workers == (os.cpu_count() or 1)
+
+    def test_backend_override(self):
+        assert SweepRunner(4, backend="serial").backend == "serial"
+        assert SweepRunner(backend="process").backend == "process"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            SweepRunner(backend="threads")
+
+    def test_backends_constant(self):
+        assert BACKENDS == ("serial", "process")
+
+
+class TestSerialBackend:
+    @pytest.fixture(scope="class")
+    def report(self):
+        sweep_worker.clear_caches()
+        return SweepRunner().run(_small_spec())
+
+    def test_all_scenarios_succeed(self, report):
+        assert report.ok
+        assert report.num_scenarios == 4
+        assert [r.name for r in report.results] == [
+            "greedy", "optimize", "solve", "pareto",
+        ]
+
+    def test_values_are_plain_data(self, report):
+        import json
+
+        json.dumps([r.values for r in report.results])
+
+    def test_solver_stats_recorded(self, report):
+        merged = report.aggregate_solver_stats()
+        assert merged.solves > 0
+        assert merged.factorizations > 0
+
+    def test_result_for(self, report):
+        assert report.result_for("solve").values["current_a"] == 0.4
+        with pytest.raises(KeyError):
+            report.result_for("missing")
+
+    def test_accepts_bare_scenario_iterable(self):
+        scenarios = list(_small_spec())[:1]
+        report = run_sweep(scenarios)
+        assert report.ok and report.num_scenarios == 1
+
+    def test_tasks_consistent_across_views(self, report):
+        greedy = report.result_for("greedy").values
+        optimize = report.result_for("optimize").values
+        # The greedy deployment on this instance is the hot block, so
+        # the optimize scenario re-derives the same optimum current.
+        assert greedy["tec_tiles"] == [5, 6, 9, 10]
+        assert greedy["current_a"] == pytest.approx(
+            optimize["i_opt_a"], abs=1e-3
+        )
+
+
+class TestFaultTolerance:
+    @pytest.fixture(scope="class", params=["serial", "process"])
+    def report(self, request):
+        sweep_worker.clear_caches()
+        workers = 2 if request.param == "process" else None
+        return SweepRunner(workers, backend=request.param).run(
+            _small_spec(include_failure=True)
+        )
+
+    def test_sweep_completes_around_the_failure(self, report):
+        assert not report.ok
+        assert report.num_scenarios == 5
+        assert len(report.results) == 4
+        assert len(report.errors) == 1
+
+    def test_error_is_structured(self, report):
+        error = report.errors[0]
+        assert isinstance(error, ScenarioError)
+        assert error.name == "broken"
+        assert error.index == 2
+        assert error.error_type == "IndexError"
+        assert "99" in error.message
+
+    def test_traceback_captured(self, report):
+        assert "IndexError" in report.errors[0].traceback
+
+    def test_summary_reports_failure(self, report):
+        summary = report.summary()
+        assert "FAILED" in summary
+        assert "broken" in summary
+
+    def test_successful_results_unaffected(self, report):
+        sweep_worker.clear_caches()
+        clean = SweepRunner().run(_small_spec())
+        by_name = {r.name: r for r in report.results}
+        for result in clean.results:
+            assert by_name[result.name].values == result.values
+
+
+class TestProcessBitIdentity:
+    def test_small_spec_bit_identical(self):
+        spec = _small_spec()
+        sweep_worker.clear_caches()
+        serial = SweepRunner().run(spec)
+        parallel = SweepRunner(2).run(spec)
+        assert parallel.backend == "process"
+        assert serial.ok and parallel.ok
+        assert _identity_view(serial) == _identity_view(parallel)
+
+    def test_table1_subset_bit_identical(self):
+        """Two real Table I rows, serial vs a 2-worker pool."""
+        spec = SweepSpec.table1(["hc02", "hc04"])
+        sweep_worker.clear_caches()
+        serial = SweepRunner().run(spec)
+        parallel = SweepRunner(2).run(spec)
+        assert serial.ok and parallel.ok
+        assert _identity_view(serial) == _identity_view(parallel)
+
+    @pytest.mark.slow
+    def test_full_table1_bit_identical_with_four_workers(self):
+        """Acceptance: workers=4 matches serial on every Table I row."""
+        spec = SweepSpec.table1()
+        sweep_worker.clear_caches()
+        serial = SweepRunner().run(spec)
+        parallel = SweepRunner(4).run(spec)
+        assert serial.ok and parallel.ok
+        assert parallel.workers == 4
+        assert _identity_view(serial) == _identity_view(parallel)
+
+
+class TestOrdering:
+    def test_results_keep_spec_order(self):
+        spec = _small_spec(include_failure=True)
+        report = SweepRunner(2).run(spec)
+        indices = [r.index for r in report.results]
+        assert indices == sorted(indices)
+        names = {s.name: i for i, s in enumerate(spec)}
+        for result in report.results:
+            assert result.index == names[result.name]
+
+    def test_report_records_backend_and_spec(self):
+        report = SweepRunner().run(_small_spec())
+        assert report.spec_name == "small"
+        assert report.backend == "serial"
+        assert isinstance(report.results[0], ScenarioResult)

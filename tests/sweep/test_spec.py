@@ -1,0 +1,183 @@
+"""Scenario and SweepSpec validation plus the standard builders."""
+
+import pytest
+
+from repro.experiments.benchmarks import benchmark_names
+from repro.sweep import TASKS, Scenario, SweepSpec
+
+
+def _explicit(name="s", task="greedy", **overrides):
+    kwargs = dict(
+        name=name,
+        task=task,
+        rows=2,
+        cols=2,
+        power_map=(0.1, 0.2, 0.3, 0.4),
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+class TestScenarioValidation:
+    def test_unknown_task(self):
+        with pytest.raises(ValueError, match="task"):
+            Scenario(name="s", task="frobnicate", benchmark="alpha")
+
+    def test_needs_exactly_one_geometry_missing(self):
+        with pytest.raises(ValueError, match="geometry"):
+            Scenario(name="s", task="greedy")
+
+    def test_needs_exactly_one_geometry_both(self):
+        with pytest.raises(ValueError, match="geometry"):
+            Scenario(
+                name="s", task="greedy", benchmark="alpha",
+                rows=2, cols=2, power_map=(0.0,) * 4,
+            )
+
+    def test_explicit_needs_rows_and_cols(self):
+        with pytest.raises(ValueError, match="rows"):
+            Scenario(name="s", task="greedy", power_map=(0.0,) * 4)
+
+    def test_power_map_length_checked(self):
+        with pytest.raises(ValueError, match="entries"):
+            _explicit(power_map=(0.1, 0.2, 0.3))
+
+    def test_power_map_coerced_to_float_tuple(self):
+        scenario = _explicit(power_map=[0, 1, 2, 3])
+        assert scenario.power_map == (0.0, 1.0, 2.0, 3.0)
+
+    def test_power_scale_positive(self):
+        with pytest.raises(ValueError, match="power_scale"):
+            _explicit(power_scale=0.0)
+
+    @pytest.mark.parametrize("task", ["optimize", "solve", "pareto"])
+    def test_deployed_tasks_need_tec_tiles(self, task):
+        with pytest.raises(ValueError, match="tec_tiles"):
+            _explicit(task=task, current_a=1.0, budget_w=1.0)
+
+    def test_tec_tiles_normalized(self):
+        scenario = _explicit(task="optimize", tec_tiles=[3, 1, 3, 0])
+        assert scenario.tec_tiles == (0, 1, 3)
+
+    def test_solve_needs_current(self):
+        with pytest.raises(ValueError, match="current_a"):
+            _explicit(task="solve", tec_tiles=(0,))
+
+    def test_pareto_needs_budget(self):
+        with pytest.raises(ValueError, match="budget_w"):
+            _explicit(task="pareto", tec_tiles=(0,))
+
+    def test_pareto_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="budget_w"):
+            _explicit(task="pareto", tec_tiles=(0,), budget_w=-1.0)
+
+    def test_all_tasks_constructible(self):
+        extras = {
+            "optimize": dict(tec_tiles=(0,)),
+            "solve": dict(tec_tiles=(0,), current_a=0.5),
+            "pareto": dict(tec_tiles=(0,), budget_w=0.0),
+        }
+        for task in TASKS:
+            scenario = _explicit(task=task, **extras.get(task, {}))
+            assert scenario.task == task
+
+
+class TestGeometryKey:
+    def test_limit_siblings_share_key(self):
+        a = _explicit(limit_c=80.0)
+        b = _explicit(limit_c=90.0)
+        assert a.geometry_key() == b.geometry_key()
+
+    def test_deployment_does_not_change_key(self):
+        a = _explicit(task="optimize", tec_tiles=(0,))
+        b = _explicit(task="optimize", tec_tiles=(1, 2))
+        assert a.geometry_key() == b.geometry_key()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            dict(power_scale=1.1),
+            dict(seebeck_factor=0.5),
+            dict(resistance_factor=2.0),
+            dict(power_map=(0.1, 0.2, 0.3, 0.5)),
+        ],
+    )
+    def test_package_changes_change_key(self, override):
+        assert _explicit().geometry_key() != _explicit(**override).geometry_key()
+
+
+class TestSweepSpec:
+    def test_rejects_non_scenarios(self):
+        with pytest.raises(TypeError, match="Scenario"):
+            SweepSpec(scenarios=["not a scenario"])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepSpec(scenarios=[_explicit("same"), _explicit("same")])
+
+    def test_len_and_iter(self):
+        spec = SweepSpec(scenarios=[_explicit("a"), _explicit("b")])
+        assert len(spec) == 2
+        assert [s.name for s in spec] == ["a", "b"]
+
+    def test_geometry_keys_deduplicated(self):
+        spec = SweepSpec(
+            scenarios=[
+                _explicit("a"),
+                _explicit("b"),
+                _explicit("c", power_scale=1.2),
+            ]
+        )
+        assert len(spec.geometry_keys()) == 2
+
+    def test_with_name(self):
+        spec = SweepSpec(scenarios=[_explicit()], name="original")
+        renamed = spec.with_name("renamed")
+        assert renamed.name == "renamed"
+        assert renamed.scenarios == spec.scenarios
+
+
+class TestBuilders:
+    def test_table1_defaults_to_all_benchmarks(self):
+        spec = SweepSpec.table1()
+        assert [s.name for s in spec] == benchmark_names()
+        assert all(s.task == "table1" for s in spec)
+        assert all(s.benchmark == s.name for s in spec)
+
+    def test_table1_subset_keeps_order(self):
+        spec = SweepSpec.table1(["hc02", "alpha"])
+        assert [s.name for s in spec] == ["hc02", "alpha"]
+
+    def test_power_scaling(self):
+        spec = SweepSpec.power_scaling("alpha", factors=(0.9, 1.1), limit_c=80.0)
+        assert [s.power_scale for s in spec] == [0.9, 1.1]
+        assert all(s.task == "greedy" and s.limit_c == 80.0 for s in spec)
+
+    def test_device_grid_is_full_product(self):
+        spec = SweepSpec.device_grid(
+            "alpha", (3, 4), seebeck_factors=(0.5, 1.0),
+            resistance_factors=(1.0, 2.0, 4.0),
+        )
+        assert len(spec) == 6
+        assert all(s.task == "optimize" and s.tec_tiles == (3, 4) for s in spec)
+        pairs = {(s.seebeck_factor, s.resistance_factor) for s in spec}
+        assert len(pairs) == 6
+
+    def test_budget_sweep_sorted_ascending(self):
+        spec = SweepSpec.budget_sweep("alpha", (3,), [1.0, 0.0, 0.5])
+        assert [s.budget_w for s in spec] == [0.0, 0.5, 1.0]
+        assert all(s.task == "pareto" for s in spec)
+
+    def test_budget_sweep_rejects_empty(self):
+        with pytest.raises(ValueError, match="budget"):
+            SweepSpec.budget_sweep("alpha", (3,), [])
+
+    def test_solve_grid_cross_product(self):
+        spec = SweepSpec.solve_grid(
+            ["alpha", "hc01"],
+            [("a", (0,)), ("b", (1, 2))],
+            [0.5, 1.0],
+            power_scales=(1.0, 1.1),
+        )
+        assert len(spec) == 2 * 2 * 2 * 2
+        assert all(s.task == "solve" for s in spec)
