@@ -1,0 +1,261 @@
+"""Grid-resolution scaling workload for the solver backends.
+
+Sweeps tile grids (8x8 up to 64x64 by default) with dense TEC
+deployments, times every applicable solver backend on the same
+assembled system and probe currents, and checks the acceptance
+criteria of the backend-layer PR:
+
+* every backend agrees with the ``direct`` reference on the peak
+  temperature of every probe current to 1e-6 K;
+* on a >= 48x48 grid with a dense deployment, the ``krylov`` backend
+  beats the blocked-Woodbury ``reuse`` mode wall-clock (the ratio is
+  reported in ``BENCH_backends.json``).
+
+The measurements are written to ``BENCH_backends.json`` at the repo
+root (schema: :func:`repro.io.results.bench_report_to_json`) so the
+perf trajectory is machine-readable across commits.
+
+The grid list honours the ``BENCH_BACKENDS_GRIDS`` environment
+variable (comma-separated side lengths, e.g. ``8,16``) so CI can run a
+fast subset; the >= 48x48 speedup assertion skips itself when no large
+grid is in the list.  The ``reuse`` backend is skipped (and the skip
+logged in the JSON) once the Peltier support exceeds
+``_REUSE_SUPPORT_LIMIT`` — its dense influence block would not fit a
+small machine, which is exactly the scaling wall this PR removes.
+
+Run:  pytest benchmarks/bench_backends.py -s
+      python benchmarks/bench_backends.py
+"""
+
+import dataclasses
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.problem import CoolingSystemProblem
+from repro.io.results import bench_report_to_json
+from repro.linalg.spd import cholesky_is_spd
+from repro.thermal.geometry import TileGrid
+from repro.thermal.solve import SteadyStateSolver
+from repro.thermal.stack import PackageStack
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_DEFAULT_GRIDS = "8,16,32,48,64"
+_BACKENDS = ("direct", "reuse", "krylov")
+
+#: Total die power (W), split uniformly over the tiles so refining the
+#: grid changes the resolution, not the thermal problem.
+_TOTAL_POWER_W = 60.0
+
+#: Probe currents (A).  Halved together until ``G - i D`` is positive
+#: definite at the largest probe, so every instance stays below its
+#: runaway current.
+_PROBE_CURRENTS = (0.25, 0.5, 1.0)
+
+#: Skip the ``reuse`` backend beyond this Peltier-support size: its
+#: dense ``n x support`` influence block and ``support^3`` capacitance
+#: factorization are the scaling wall under study.
+_REUSE_SUPPORT_LIMIT = 2500
+
+#: Grids up to this side get full TEC coverage; larger ones a
+#: checkerboard (still dense: 50% of the tiles).
+_FULL_COVER_SIDE = 16
+
+
+def _grid_sides():
+    text = os.environ.get("BENCH_BACKENDS_GRIDS", _DEFAULT_GRIDS)
+    sides = sorted({int(part) for part in text.split(",") if part.strip()})
+    if not sides:
+        raise ValueError("BENCH_BACKENDS_GRIDS selected no grids")
+    return sides
+
+
+def _scaled_stack(die_side):
+    """The calibrated stack with spreader/sink grown to fit large dies."""
+    stack = PackageStack()
+    spreader_side = max(stack.spreader.side, die_side * 1.5)
+    sink_side = max(stack.sink.side, spreader_side * 2.0)
+    return dataclasses.replace(
+        stack,
+        spreader=dataclasses.replace(stack.spreader, side=spreader_side),
+        sink=dataclasses.replace(stack.sink, side=sink_side),
+    )
+
+
+def _dense_deployment(side):
+    if side <= _FULL_COVER_SIDE:
+        return tuple(range(side * side))
+    return tuple(
+        idx for idx in range(side * side) if ((idx // side) + (idx % side)) % 2 == 0
+    )
+
+
+def _build_instance(side):
+    grid = TileGrid(side, side)
+    power = np.full(grid.num_tiles, _TOTAL_POWER_W / grid.num_tiles)
+    die_side = max(grid.width, grid.height)
+    problem = CoolingSystemProblem(
+        grid,
+        power,
+        max_temperature_c=1000.0,
+        stack=_scaled_stack(die_side),
+        name="bench-{0}x{0}".format(side),
+    )
+    model = problem.model(_dense_deployment(side))
+    return model.solver.system
+
+
+def _safe_currents(system):
+    """The probe currents, halved until the largest is below runaway."""
+    currents = list(_PROBE_CURRENTS)
+    for _ in range(8):
+        if cholesky_is_spd(system.system_matrix(max(currents))):
+            return tuple(currents)
+        currents = [0.5 * c for c in currents]
+    raise RuntimeError("could not find probe currents below runaway")
+
+
+def _time_backend(system, backend, currents):
+    solver = SteadyStateSolver(system, mode=backend)
+    start = time.perf_counter()
+    peaks = [float(solver.solve(current).max()) for current in currents]
+    wall = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "wall_s": wall,
+        "peak_k": peaks,
+        "stats": {
+            key: value
+            for key, value in solver.stats.as_dict().items()
+            if isinstance(value, int) and value
+        },
+    }
+
+
+def run_workload(sides=None):
+    """Measure every applicable backend on every grid.
+
+    Returns ``(entries, metadata)`` in the ``BENCH_backends.json``
+    shape: one entry per (grid, backend) plus per-grid skip records.
+    """
+    entries = []
+    for side in sides if sides is not None else _grid_sides():
+        build_start = time.perf_counter()
+        system = _build_instance(side)
+        build_s = time.perf_counter() - build_start
+        support = int(np.count_nonzero(system.d_diagonal))
+        currents = _safe_currents(system)
+        base = {
+            "grid": "{0}x{0}".format(side),
+            "side": side,
+            "num_nodes": int(system.num_nodes),
+            "support": support,
+            "tecs": support // 2,
+            "currents_a": list(currents),
+            "build_s": build_s,
+        }
+        timings = {}
+        for backend in _BACKENDS:
+            if backend == "reuse" and support > _REUSE_SUPPORT_LIMIT:
+                entries.append(dict(
+                    base,
+                    backend="reuse",
+                    skipped="support {} exceeds the reuse limit {}".format(
+                        support, _REUSE_SUPPORT_LIMIT
+                    ),
+                ))
+                continue
+            measured = _time_backend(system, backend, currents)
+            timings[backend] = measured
+            entries.append(dict(base, **measured))
+        if "reuse" in timings and "krylov" in timings:
+            # The acceptance ratio: how much faster the iterative
+            # backend answers the same probe currents than the dense
+            # Woodbury update.
+            entries[-1]["speedup_vs_reuse"] = (
+                timings["reuse"]["wall_s"] / timings["krylov"]["wall_s"]
+            )
+    metadata = {
+        "workload": "grid-resolution scaling, dense TEC deployments",
+        "total_power_w": _TOTAL_POWER_W,
+        "reuse_support_limit": _REUSE_SUPPORT_LIMIT,
+        "cpu_count": os.cpu_count(),
+    }
+    return entries, metadata
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def workload():
+    return run_workload()
+
+
+def test_backends_agree(workload):
+    entries, _ = workload
+    by_grid = {}
+    for entry in entries:
+        if "skipped" not in entry:
+            by_grid.setdefault(entry["grid"], []).append(entry)
+    assert by_grid
+    for grid, measured in by_grid.items():
+        reference = next(e for e in measured if e["backend"] == "direct")
+        for entry in measured:
+            for peak, ref_peak in zip(entry["peak_k"], reference["peak_k"]):
+                assert peak == pytest.approx(ref_peak, abs=1.0e-6), (
+                    grid, entry["backend"]
+                )
+
+
+def test_krylov_beats_reuse_on_large_grid(workload):
+    entries, _ = workload
+    ratios = {
+        entry["grid"]: entry["speedup_vs_reuse"]
+        for entry in entries
+        if entry.get("speedup_vs_reuse") is not None and entry["side"] >= 48
+    }
+    print()
+    for entry in entries:
+        if "skipped" in entry:
+            print("{:>7} {:<7} skipped: {}".format(
+                entry["grid"], entry["backend"], entry["skipped"]))
+        else:
+            print("{:>7} {:<7} {:8.3f} s  ({} nodes, support {})".format(
+                entry["grid"], entry["backend"], entry["wall_s"],
+                entry["num_nodes"], entry["support"]))
+    if not ratios:
+        pytest.skip(
+            "no >= 48x48 grid ran both reuse and krylov "
+            "(BENCH_BACKENDS_GRIDS subset)"
+        )
+    best = max(ratios.values())
+    print("krylov speedup vs reuse on large grids: " + ", ".join(
+        "{} {:.1f}x".format(grid, ratio) for grid, ratio in sorted(ratios.items())
+    ))
+    assert best > 1.0
+
+
+def test_writes_bench_json(workload):
+    entries, metadata = workload
+    path = _REPO_ROOT / "BENCH_backends.json"
+    bench_report_to_json("backends", entries, path, metadata=metadata)
+    assert path.exists()
+
+
+if __name__ == "__main__":
+    measured_entries, run_metadata = run_workload()
+    for item in measured_entries:
+        if "skipped" in item:
+            print("{:>7} {:<7} skipped: {}".format(
+                item["grid"], item["backend"], item["skipped"]))
+        else:
+            print("{:>7} {:<7} {:8.3f} s".format(
+                item["grid"], item["backend"], item["wall_s"]))
+    out = _REPO_ROOT / "BENCH_backends.json"
+    bench_report_to_json("backends", measured_entries, out, metadata=run_metadata)
+    print("written to {}".format(out))

@@ -12,17 +12,24 @@ acceptance criteria of the sweep-engine PR:
   skipped — but the timings still printed — on smaller machines,
   where a process pool cannot beat its own spawning overhead).
 
+The serial/parallel timings are written to ``BENCH_sweep.json`` at the
+repo root (schema: :func:`repro.io.results.bench_report_to_json`) so
+the perf trajectory is machine-readable across commits.
+
 Run:  pytest benchmarks/bench_sweep.py -s
 """
 
 import os
 import time
+from pathlib import Path
 
 import pytest
 
+from repro.io.results import bench_report_to_json
 from repro.sweep import SweepRunner, SweepSpec
 from repro.sweep import worker as sweep_worker
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 _FACTORS = (0.7, 0.9, 1.1, 1.3)
 _WORKERS = 4
 
@@ -61,6 +68,36 @@ def test_bit_identical_results(reports):
     assert [(r.index, r.name, r.values) for r in serial.results] == [
         (r.index, r.name, r.values) for r in parallel.results
     ]
+
+
+def test_writes_bench_json(reports):
+    serial, serial_wall, parallel, parallel_wall = reports
+    entries = [
+        {
+            "configuration": "serial",
+            "workers": 1,
+            "scenarios": len(serial.results) + len(serial.errors),
+            "wall_s": serial_wall,
+            "ok": bool(serial.ok),
+        },
+        {
+            "configuration": "process-pool",
+            "workers": _WORKERS,
+            "scenarios": len(parallel.results) + len(parallel.errors),
+            "wall_s": parallel_wall,
+            "ok": bool(parallel.ok),
+            "speedup_vs_serial": serial_wall / parallel_wall,
+        },
+    ]
+    path = _REPO_ROOT / "BENCH_sweep.json"
+    bench_report_to_json(
+        "sweep", entries, path,
+        metadata={
+            "workload": "16-scenario device grid on the alpha greedy deployment",
+            "cpu_count": os.cpu_count(),
+        },
+    )
+    assert path.exists()
 
 
 def test_parallel_speedup(reports):

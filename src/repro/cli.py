@@ -6,6 +6,7 @@ Usage (also installed as the ``repro`` console script)::
                                [--workers 4] [--sweep-report OUT]
     python -m repro.cli sweep [--benchmark alpha] [--power-scales 0.9 1.1]
                               [--budgets 0 0.5 1.0] [--workers 4]
+                              [--backend krylov]
     python -m repro.cli solve --benchmark alpha [--limit 85] [--json OUT]
     python -m repro.cli solve --flp chip.flp --powers powers.json --limit 85
     python -m repro.cli validate [--refine 2]
@@ -25,6 +26,30 @@ import sys
 
 from repro import __version__
 
+#: Solver backends exposed by ``--backend`` / ``--solver-mode``.
+#: Mirrors :data:`repro.thermal.solve.SOLVER_MODES` without importing
+#: the scientific stack at parser-build time.
+_BACKENDS = ("direct", "reuse", "krylov", "auto")
+
+
+def _workers_count(text):
+    """argparse type for ``--workers``: a positive integer.
+
+    Rejecting ``N < 1`` here gives a clear usage error instead of the
+    opaque ``ValueError`` ``ProcessPoolExecutor`` would raise later.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "invalid int value: {!r}".format(text)
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "--workers must be a positive integer, got {}".format(value)
+        )
+    return value
+
 
 def _add_table1(subparsers):
     parser = subparsers.add_parser(
@@ -37,8 +62,8 @@ def _add_table1(subparsers):
     parser.add_argument("--markdown", action="store_true", help="markdown output")
     parser.add_argument("--json", metavar="PATH", help="also write rows as JSON")
     parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="fan the rows out over a process pool of N workers "
+        "--workers", type=_workers_count, default=None, metavar="N",
+        help="fan the rows out over a process pool of N workers, N >= 1 "
              "(default: serial; results are bit-identical either way)",
     )
     parser.add_argument(
@@ -100,8 +125,13 @@ def _add_sweep(subparsers):
         help="temperature limit for power-scaling sweeps (default 85 C)",
     )
     parser.add_argument(
-        "--workers", type=int, default=None, metavar="N",
-        help="process-pool size (default: serial)",
+        "--workers", type=_workers_count, default=None, metavar="N",
+        help="process-pool size, N >= 1 (default: serial)",
+    )
+    parser.add_argument(
+        "--backend", choices=_BACKENDS, default=None,
+        help="pin every scenario to one solver backend "
+             "(default: the problem default, 'reuse')",
     )
     parser.add_argument(
         "--sweep-report", metavar="PATH", help="write the SweepReport as JSON"
@@ -127,6 +157,8 @@ def _cmd_sweep(args):
         spec = SweepSpec.power_scaling(
             args.benchmark, factors=factors, limit_c=args.limit
         )
+    if args.backend is not None:
+        spec = spec.with_backend(args.backend)
     report = SweepRunner(args.workers).run(spec)
     if args.budgets is not None and report.ok:
         front = front_from_sweep(report)
@@ -178,9 +210,12 @@ def _add_solve(subparsers):
         help="also run the Full-Cover baseline and report SwingLoss",
     )
     parser.add_argument(
-        "--solver-mode", choices=["reuse", "direct"], default=None,
-        help="steady-state solve engine: 'reuse' (factorization reuse, "
-             "default) or 'direct' (one LU per distinct current)",
+        "--backend", "--solver-mode", dest="solver_mode",
+        choices=list(_BACKENDS), default=None,
+        help="steady-state solver backend: 'reuse' (blocked Woodbury, "
+             "default), 'direct' (one LU per distinct current), 'krylov' "
+             "(G-preconditioned GMRES with direct fallback), or 'auto' "
+             "(reuse vs krylov by support size)",
     )
     parser.add_argument(
         "--solver-cache-size", type=int, default=None,

@@ -42,10 +42,13 @@ class CoolingSystemProblem:
     name:
         Label used in reports.
     solver_mode:
-        Steady-state solve engine mode for every model built by this
-        problem: ``"reuse"`` (default — one sparse LU per deployment,
-        Woodbury updates across currents) or ``"direct"`` (one sparse
-        LU per distinct current, the pre-engine behaviour).
+        Steady-state solver backend for every model built by this
+        problem — one of :data:`~repro.thermal.solve.SOLVER_MODES`:
+        ``"reuse"`` (default — one sparse LU per deployment, blocked
+        Woodbury updates across currents), ``"direct"`` (one sparse LU
+        per distinct current), ``"krylov"`` (G-preconditioned
+        GMRES/BiCGSTAB with direct fallback), or ``"auto"`` (pick
+        reuse vs krylov per deployment from the support size).
     solver_cache_size:
         Per-current cache size forwarded to the solver.
     incremental_assembly:
@@ -91,6 +94,12 @@ class CoolingSystemProblem:
                     self.max_temperature_c, self.stack.ambient_c
                 )
             )
+        if solver_mode not in SOLVER_MODES:
+            raise ValueError(
+                "solver_mode must be one of {}, got {!r}".format(
+                    SOLVER_MODES, solver_mode
+                )
+            )
         self.solver_mode = solver_mode
         self.solver_cache_size = solver_cache_size
         self.incremental_assembly = bool(incremental_assembly)
@@ -128,11 +137,13 @@ class CoolingSystemProblem:
 
     @classmethod
     def from_floorplan(cls, floorplan, *, max_temperature_c=85.0, stack=None,
-                       device=None, name=None):
+                       device=None, name=None, **solver_kwargs):
         """Build a problem from a :class:`~repro.power.floorplan.Floorplan`.
 
         The floorplan's rasterized worst-case power map becomes the
-        power profile.
+        power profile.  Extra keyword arguments (``solver_mode``,
+        ``solver_cache_size``, ``incremental_assembly``) are forwarded
+        to the constructor.
         """
         if not isinstance(floorplan, Floorplan):
             raise TypeError(
@@ -145,6 +156,7 @@ class CoolingSystemProblem:
             stack=stack,
             device=device,
             name=name if name is not None else "floorplan",
+            **solver_kwargs,
         )
 
     def model(self, tec_tiles=()):
@@ -198,6 +210,28 @@ class CoolingSystemProblem:
             device=self.device,
             name=self.name,
             solver_mode=self.solver_mode,
+            solver_cache_size=self.solver_cache_size,
+            incremental_assembly=self.incremental_assembly,
+        )
+        sibling._blueprint = self._blueprint
+        return sibling
+
+    def with_solver_mode(self, solver_mode):
+        """Copy of the problem running a different solver backend.
+
+        Shares the recorded network blueprint (the backend does not
+        enter the matrices) but gets fresh stats and model caches, so
+        backend comparisons on the same floorplan skip the layer
+        physics rebuild.
+        """
+        sibling = CoolingSystemProblem(
+            self.grid,
+            self.power_map,
+            max_temperature_c=self.max_temperature_c,
+            stack=self.stack,
+            device=self.device,
+            name=self.name,
+            solver_mode=solver_mode,
             solver_cache_size=self.solver_cache_size,
             incremental_assembly=self.incremental_assembly,
         )

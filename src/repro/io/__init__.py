@@ -26,6 +26,8 @@ from repro.io.flp import (
 )
 from repro.io.ptrace import read_ptrace, write_ptrace
 from repro.io.results import (
+    bench_report_from_json,
+    bench_report_to_json,
     deployment_to_dict,
     rows_from_json,
     rows_to_json,
@@ -33,6 +35,8 @@ from repro.io.results import (
 
 __all__ = [
     "FlpRect",
+    "bench_report_from_json",
+    "bench_report_to_json",
     "deployment_to_dict",
     "floorplan_from_flp",
     "read_flp",

@@ -114,6 +114,58 @@ def sweep_report_from_json(source):
     )
 
 
+def bench_report_to_json(name, entries, path=None, *, metadata=None):
+    """Serialize benchmark measurements to the shared ``BENCH_*.json`` schema.
+
+    Every benchmark in ``benchmarks/`` emits this document shape at the
+    repo root (``BENCH_backends.json``, ``BENCH_solver.json``,
+    ``BENCH_sweep.json``) so the perf trajectory can be tracked across
+    commits with one parser.
+
+    Parameters
+    ----------
+    name:
+        Benchmark identifier (e.g. ``"backends"``).
+    entries:
+        Iterable of plain dicts — one measurement each (workload
+        descriptor, wall-clock seconds, derived ratios ...).  Values
+        must be JSON-representable.
+    path:
+        When given, write the JSON there; the document string is
+        returned either way.
+    metadata:
+        Optional dict merged into the document header (machine info,
+        tool version ...).
+    """
+    document = {
+        "schema": _SCHEMA_VERSION,
+        "kind": "bench-report",
+        "name": str(name),
+        "entries": [dict(entry) for entry in entries],
+    }
+    if metadata:
+        document["metadata"] = dict(metadata)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+    return text
+
+
+def bench_report_from_json(source):
+    """Load a benchmark document written by :func:`bench_report_to_json`.
+
+    ``source`` is a path or a JSON string (detected by content).
+    Returns ``(name, entries, metadata)``.
+    """
+    document = _load_document(source, "bench-report")
+    return (
+        document["name"],
+        list(document["entries"]),
+        document.get("metadata", {}),
+    )
+
+
 def deployment_to_dict(result):
     """Flatten a :class:`~repro.core.deploy.DeploymentResult` to plain data.
 

@@ -34,6 +34,12 @@ from repro.linalg.inverse_positive import (
     inverse_nonnegative_matrix,
 )
 from repro.linalg.irreducible import adjacency_graph, is_irreducible
+from repro.linalg.krylov import (
+    DEFAULT_RTOL,
+    KRYLOV_METHODS,
+    KrylovReport,
+    krylov_solve,
+)
 from repro.linalg.runaway import (
     RunawayCurrent,
     runaway_current,
@@ -50,6 +56,9 @@ from repro.linalg.stieltjes import (
 
 __all__ = [
     "ConjectureCampaignResult",
+    "DEFAULT_RTOL",
+    "KRYLOV_METHODS",
+    "KrylovReport",
     "RunawayCurrent",
     "adjacency_graph",
     "cholesky_is_spd",
@@ -62,6 +71,7 @@ __all__ = [
     "is_positive_definite",
     "is_stieltjes",
     "is_symmetric",
+    "krylov_solve",
     "random_stieltjes",
     "run_conjecture_campaign",
     "runaway_current",

@@ -32,6 +32,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field, replace
 
+from repro.thermal.solve import SOLVER_MODES
+
 #: Task identifiers accepted by :class:`Scenario`.
 TASKS = ("greedy", "table1", "optimize", "solve", "pareto")
 
@@ -76,6 +78,12 @@ class Scenario:
     current_method / current_tolerance:
         Problem 2 solver knobs forwarded to
         :func:`~repro.core.current.minimize_peak_temperature`.
+    backend:
+        Solver backend for the instance — one of
+        :data:`~repro.thermal.solve.SOLVER_MODES` (``"direct"``,
+        ``"reuse"``, ``"krylov"``, ``"auto"``), or None for the
+        problem default (``"reuse"``).  Lets one sweep compare
+        backends per scenario.
     """
 
     name: str
@@ -93,8 +101,15 @@ class Scenario:
     budget_w: float = None
     current_method: str = "golden"
     current_tolerance: float = 1.0e-4
+    backend: str = None
 
     def __post_init__(self):
+        if self.backend is not None and self.backend not in SOLVER_MODES:
+            raise ValueError(
+                "backend must be one of {} (or None), got {!r}".format(
+                    SOLVER_MODES, self.backend
+                )
+            )
         if self.task not in TASKS:
             raise ValueError(
                 "task must be one of {}, got {!r}".format(TASKS, self.task)
@@ -280,26 +295,32 @@ class SweepSpec:
 
     @classmethod
     def solve_grid(cls, benchmarks, deployments, currents_a, *,
-                   power_scales=(1.0,)):
-        """Cross product: benchmarks x power scales x deployments x currents.
+                   power_scales=(1.0,), backends=(None,)):
+        """Cross product: benchmarks x scales x deployments x currents x backends.
 
         The general many-scenario workload of the ROADMAP: every
-        combination becomes one ``solve`` scenario.
+        combination becomes one ``solve`` scenario.  ``backends``
+        defaults to the single problem-default backend; pass e.g.
+        ``("reuse", "krylov")`` to compare solver backends scenario by
+        scenario in one sweep.
         """
+        backends = tuple(backends)
         scenarios = []
-        for bench, scale, (dep_label, tiles), current in itertools.product(
-            benchmarks, power_scales, list(deployments), currents_a
+        for bench, scale, (dep_label, tiles), current, backend in itertools.product(
+            benchmarks, power_scales, list(deployments), currents_a, backends
         ):
+            name = "{}x{:.2f}/{}/i={:.4g}".format(bench, scale, dep_label, current)
+            if len(backends) > 1 or backend is not None:
+                name += "/{}".format(backend if backend is not None else "default")
             scenarios.append(
                 Scenario(
-                    name="{}x{:.2f}/{}/i={:.4g}".format(
-                        bench, scale, dep_label, current
-                    ),
+                    name=name,
                     task="solve",
                     benchmark=bench,
                     power_scale=float(scale),
                     tec_tiles=tuple(tiles),
                     current_a=float(current),
+                    backend=backend,
                 )
             )
         return cls(scenarios=scenarios, name="solve-grid")
@@ -307,3 +328,15 @@ class SweepSpec:
     def with_name(self, name):
         """Copy of the spec under a different name."""
         return replace(self, name=str(name))
+
+    def with_backend(self, backend):
+        """Copy of the spec with every scenario pinned to ``backend``.
+
+        ``backend`` must be one of
+        :data:`~repro.thermal.solve.SOLVER_MODES` or None (problem
+        default); validation happens in the scenario constructor.
+        """
+        return replace(
+            self,
+            scenarios=tuple(replace(s, backend=backend) for s in self.scenarios),
+        )

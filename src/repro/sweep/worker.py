@@ -30,10 +30,14 @@ import numpy as np
 from repro.sweep.report import ScenarioError, ScenarioResult
 
 #: Per-process caches (worker lifetime).  Keyed so that results are
-#: independent of cache warmth — see the module docstring.
+#: independent of cache warmth — see the module docstring.  The solver
+#: backend is part of every problem/optimum key: two scenarios that
+#: differ only in ``backend`` must never share a problem, or a warm
+#: worker would answer one backend's scenario with the other's solver.
 _GEOMETRY = {}   # geometry_key -> first CoolingSystemProblem built for it
-_PROBLEMS = {}   # (geometry_key, limit_c) -> CoolingSystemProblem
-_OPTIMA = {}     # (geometry_key, limit_c, tiles, method, tol) -> (optimum, p_at_opt)
+_PROBLEMS = {}   # (geometry_key, limit_c, backend) -> CoolingSystemProblem
+_OPTIMA = {}     # (geometry_key, limit_c, backend, tiles, method, tol)
+                 #   -> (optimum, p_at_opt)
 
 
 def clear_caches():
@@ -51,6 +55,12 @@ def _limit_for(scenario):
 
         return float(BENCHMARKS[scenario.benchmark].limit_c)
     return 85.0
+
+
+def _backend_for(scenario):
+    """The solver backend a scenario runs under (problem default when
+    the scenario leaves ``backend`` unset)."""
+    return scenario.backend if scenario.backend is not None else "reuse"
 
 
 def _build_problem(scenario, limit_c):
@@ -84,18 +94,21 @@ def _build_problem(scenario, limit_c):
         max_temperature_c=limit_c,
         device=device,
         name=name,
+        solver_mode=_backend_for(scenario),
     )
 
 
 def problem_for(scenario):
     """The (cached) problem instance of a scenario.
 
-    Limit siblings of one geometry share the recorded network
-    blueprint via ``CoolingSystemProblem.with_limit``.
+    Limit and backend siblings of one geometry share the recorded
+    network blueprint via ``CoolingSystemProblem.with_limit`` /
+    ``with_solver_mode``.
     """
     key = scenario.geometry_key()
     limit = _limit_for(scenario)
-    problem = _PROBLEMS.get((key, limit))
+    backend = _backend_for(scenario)
+    problem = _PROBLEMS.get((key, limit, backend))
     if problem is None:
         base = _GEOMETRY.get(key)
         if base is None:
@@ -103,7 +116,9 @@ def problem_for(scenario):
             _GEOMETRY[key] = problem
         else:
             problem = base.with_limit(limit)
-        _PROBLEMS[(key, limit)] = problem
+            if problem.solver_mode != backend:
+                problem = problem.with_solver_mode(backend)
+        _PROBLEMS[(key, limit, backend)] = problem
     return problem
 
 
@@ -119,6 +134,7 @@ def _optimum_for(scenario, model):
     key = (
         scenario.geometry_key(),
         _limit_for(scenario),
+        _backend_for(scenario),
         scenario.tec_tiles,
         scenario.current_method,
         scenario.current_tolerance,

@@ -136,8 +136,9 @@ class PackageThermalModel:
         build cost.  Obtain one via :meth:`network_blueprint`.
     solver_mode / solver_cache_size:
         Engine knobs forwarded to
-        :class:`~repro.thermal.solve.SteadyStateSolver` (``"direct"``
-        or ``"reuse"``).
+        :class:`~repro.thermal.solve.SteadyStateSolver` — any of
+        :data:`~repro.thermal.solve.SOLVER_MODES` (``"direct"``,
+        ``"reuse"``, ``"krylov"``, ``"auto"``).
     solver_stats:
         Optional shared :class:`~repro.thermal.solve.SolverStats` that
         build and solve instrumentation is reported into.

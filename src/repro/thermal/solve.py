@@ -1,32 +1,66 @@
 """Steady-state nodal analysis (Section IV.C) and the solve engine.
 
-Solves ``(G - i D) theta = p(i)`` by sparse LU.  Two engine modes are
-provided, selected per :class:`SteadyStateSolver`:
+Solves ``(G - i D) theta = p(i)`` through a pluggable linear-solver
+backend layer.  Four modes are accepted by :class:`SteadyStateSolver`
+(and by everything that forwards to it — ``CoolingSystemProblem``,
+sweep scenarios, the CLI ``--backend`` flag):
 
 ``mode="direct"``
     One sparse LU per distinct current, kept in a true-LRU cache.  The
-    seed behaviour, now with recency-refreshing eviction so the
-    alternating-current access pattern of the golden-section search and
-    the Armijo backtracking line search actually hits.
+    seed behaviour; cost ``O(LU(n))`` per *distinct* current.
 
 ``mode="reuse"``
-    Factorization reuse across currents.  ``D`` is diagonal and only
+    Blocked Woodbury factorization reuse.  ``D`` is diagonal and only
     non-zero on the TEC hot/cold nodes, so ``G - i D`` is a low-rank
     diagonal perturbation of ``G``.  The engine factorizes ``G`` once
     per assembled system, batch-solves the ``2 m`` influence columns
-    ``W = G^{-1} I_S`` (``S`` = Peltier support), and answers every
-    current through the Woodbury identity
+    ``W = G^{-1} I_S`` (``S`` = Peltier support) in one BLAS-3 pass,
+    and answers every current through the Woodbury identity
 
         (G - i D)^{-1} b = x + W (I - i d Z)^{-1} (i d x_S)
 
     with ``x = G^{-1} b``, ``Z = I_S^T W`` and ``d`` the support
-    diagonal.  Per current this costs one triangular solve plus a dense
-    ``2m x 2m`` factorization — no new sparse LU — which is what makes
-    the repeated-solve pattern of GreedyDeploy cheap.
+    diagonal.  The power-vector solves are *blocked over currents*
+    too: ``p(i) = p_base + i^2 joule`` is linear in ``(1, i^2)``, so
+    one two-column triangular solve answers ``G^{-1} p(i)`` for every
+    current ever requested.  Per current this leaves one dense
+    ``2m x 2m`` capacitance factorization (cached per current, LRU)
+    and BLAS-3 back-substitutions — ``O((2m)^3)`` once per current,
+    ``O(n * 2m)`` per solve.  Ideal while the support is small; the
+    capacitance blows up quadratically-to-cubically as deployments
+    densify.
+
+``mode="krylov"``
+    G-preconditioned iterative solves
+    (:func:`repro.linalg.krylov.krylov_solve`).  The cached base-``G``
+    sparse LU preconditions GMRES (or BiCGSTAB) on ``G - i D``; the
+    preconditioned operator is ``I - i G^{-1} D``, whose spectrum
+    clusters at 1 with a spread shrinking in the runaway margin, so a
+    handful of iterations suffice per current *independent of the
+    deployment density*.  Per current: ``k`` triangular solves plus
+    ``k`` sparse mat-vecs (``k`` ~ 5-30), no dense capacitance at
+    all.  A residual above the target triggers an automatic fallback
+    to the direct per-current LU (counted in
+    ``SolverStats.krylov_fallbacks``), so krylov never silently
+    degrades accuracy.
+
+``mode="auto"``
+    Pick ``reuse`` or ``krylov`` per assembled system from the support
+    size vs node count (:func:`select_backend`): small supports keep
+    the dense Woodbury update, dense deployments on fine grids switch
+    to the iterative backend.
+
+Per-current caches key on the **exact float value** of the current
+(``float(i)`` equality — no quantization).  Golden-section probes at
+nearly identical currents (e.g. ``i`` and ``i * (1 + 1e-15)``) are
+*distinct* keys and always miss; this is deliberate, keeps replay
+bit-reproducible, and is pinned by
+``tests/thermal/test_solve.py::TestExactFloatCacheKey`` — introducing
+a quantized key must be an explicit behaviour change there.
 
 Every solver carries a :class:`SolverStats` instrumentation object
 (optionally shared across solvers) counting factorizations, cache
-traffic, solves and wall time per phase.
+traffic, Krylov iterations/fallbacks, solves and wall time per phase.
 
 Also provides the influence-row solves used by the convexity
 certificate: row ``k`` of ``H = (G - i D)^{-1}`` is the solution of
@@ -35,6 +69,7 @@ certificate: row ``k`` of ``H = (G - i D)^{-1}`` is the solution of
 
 from __future__ import annotations
 
+import math
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, fields
@@ -43,10 +78,39 @@ import numpy as np
 import scipy.linalg
 from scipy.sparse.linalg import splu
 
+from repro.linalg.krylov import KRYLOV_METHODS, krylov_solve
 from repro.linalg.spd import cholesky_is_spd
 
 #: Engine modes accepted by :class:`SteadyStateSolver`.
-SOLVER_MODES = ("direct", "reuse")
+SOLVER_MODES = ("direct", "reuse", "krylov", "auto")
+
+#: ``auto`` keeps the Woodbury ``reuse`` backend up to this support
+#: size regardless of the node count (the dense capacitance is trivial
+#: below it).
+AUTO_SUPPORT_FLOOR = 64
+
+#: ``auto`` switches to ``krylov`` once the Peltier support exceeds
+#: ``AUTO_SUPPORT_COEFF * sqrt(num_nodes)``: past that point the
+#: ``O((2m)^3)`` capacitance factorization outweighs the ~constant
+#: iteration count of the preconditioned Krylov solve.
+AUTO_SUPPORT_COEFF = 4.0
+
+#: Relative threshold below which the Woodbury capacitance is treated
+#: as singular (current at/beyond the runaway limit ``lambda_m``).
+_CAPACITANCE_RCOND = 1.0e-12
+
+
+def select_backend(num_nodes, support_size):
+    """The ``auto`` heuristic: ``"reuse"`` or ``"krylov"``.
+
+    Chooses the blocked-Woodbury ``reuse`` backend while the Peltier
+    support (``2 m`` for ``m`` deployed TECs) is small — at most
+    ``max(AUTO_SUPPORT_FLOOR, AUTO_SUPPORT_COEFF * sqrt(n))`` — and
+    the G-preconditioned ``krylov`` backend beyond, where the dense
+    ``support x support`` capacitance factorization would dominate.
+    """
+    limit = max(AUTO_SUPPORT_FLOOR, AUTO_SUPPORT_COEFF * math.sqrt(num_nodes))
+    return "reuse" if support_size <= limit else "krylov"
 
 
 class SingularSystemError(RuntimeError):
@@ -80,6 +144,12 @@ class SolverStats:
     solution_hits:
         ``solve`` calls answered from the per-current solution cache
         without any triangular solve.
+    krylov_solves / krylov_iterations:
+        Iterative (krylov-backend) solve calls and their total matrix
+        applications.
+    krylov_fallbacks:
+        Krylov solves whose residual missed the target and fell back
+        to a direct per-current LU.
     factor_time_s / solve_time_s:
         Cumulative wall time in factorization and in solves.
     full_builds / incremental_builds:
@@ -97,6 +167,9 @@ class SolverStats:
     solves: int = 0
     rhs_columns: int = 0
     solution_hits: int = 0
+    krylov_solves: int = 0
+    krylov_iterations: int = 0
+    krylov_fallbacks: int = 0
     factor_time_s: float = 0.0
     solve_time_s: float = 0.0
     full_builds: int = 0
@@ -132,7 +205,7 @@ class SolverStats:
 
     def summary(self):
         """Compact one-line report for CLIs and benchmarks."""
-        return (
+        line = (
             "{} LU + {} cap factorizations, {} solves ({} rhs cols), "
             "cache {}/{} hit ({:.0f}%), {} evictions, "
             "builds {} full + {} incremental".format(
@@ -148,6 +221,11 @@ class SolverStats:
                 self.incremental_builds,
             )
         )
+        if self.krylov_solves:
+            line += ", krylov {} solves / {} iters / {} fallbacks".format(
+                self.krylov_solves, self.krylov_iterations, self.krylov_fallbacks
+            )
+        return line
 
 
 class SteadyStateSolver:
@@ -161,21 +239,45 @@ class SteadyStateSolver:
         Number of per-current cache entries kept (true LRU): LU
         factorizations in ``direct`` mode, dense capacitance
         factorizations in ``reuse`` mode, and solved temperature
-        vectors in both.
+        vectors in both.  Keys are exact float currents — see the
+        module docstring.
     mode:
-        ``"direct"`` (one sparse LU per current) or ``"reuse"``
-        (one sparse LU per system + Woodbury per current).
+        One of :data:`SOLVER_MODES` — ``"direct"``, ``"reuse"``,
+        ``"krylov"``, or ``"auto"`` (resolved per system by
+        :func:`select_backend`; see :attr:`effective_mode`).
     stats:
         Optional shared :class:`SolverStats`; a private one is created
         when omitted.
+    krylov_method / krylov_rtol / krylov_maxiter / krylov_restart:
+        Knobs of the iterative backend (ignored by the other modes):
+        method (``"gmres"`` or ``"bicgstab"``), relative residual
+        target, outer-iteration budget per right-hand side, and GMRES
+        restart length.
     """
 
-    def __init__(self, system, cache_size=8, *, mode="direct", stats=None):
+    def __init__(
+        self,
+        system,
+        cache_size=8,
+        *,
+        mode="direct",
+        stats=None,
+        krylov_method="gmres",
+        krylov_rtol=1.0e-10,
+        krylov_maxiter=200,
+        krylov_restart=40,
+    ):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1, got {}".format(cache_size))
         if mode not in SOLVER_MODES:
             raise ValueError(
                 "mode must be one of {}, got {!r}".format(SOLVER_MODES, mode)
+            )
+        if krylov_method not in KRYLOV_METHODS:
+            raise ValueError(
+                "krylov_method must be one of {}, got {!r}".format(
+                    KRYLOV_METHODS, krylov_method
+                )
             )
         self.system = system
         self.mode = mode
@@ -183,13 +285,38 @@ class SteadyStateSolver:
         self._cache_size = cache_size
         self._lu_cache = OrderedDict()
         self._solution_cache = OrderedDict()
-        # Reuse-mode state, built lazily on first solve.
+        # Reuse/krylov shared state, built lazily on first solve.
         self._base_lu = None
         self._support = None
         self._d_support = None
         self._w = None
         self._z = None
+        self._x_pair = None
         self._cap_cache = OrderedDict()
+        self._resolved_mode = None
+        self._krylov_method = krylov_method
+        self._krylov_rtol = float(krylov_rtol)
+        self._krylov_maxiter = int(krylov_maxiter)
+        self._krylov_restart = int(krylov_restart)
+
+    @property
+    def effective_mode(self):
+        """The backend actually answering solves.
+
+        Equal to :attr:`mode` except under ``"auto"``, where the
+        choice between ``"reuse"`` and ``"krylov"`` is made once per
+        assembled system by :func:`select_backend` (support size vs
+        node count).
+        """
+        if self._resolved_mode is None:
+            if self.mode == "auto":
+                support = int(np.count_nonzero(self.system.d_diagonal))
+                self._resolved_mode = select_backend(
+                    self.system.num_nodes, support
+                )
+            else:
+                self._resolved_mode = self.mode
+        return self._resolved_mode
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -227,6 +354,8 @@ class SteadyStateSolver:
         return lu
 
     def _factorization(self, current):
+        """The per-current LU, LRU-cached on the exact float ``current``
+        (no quantization — see the module docstring)."""
         current = float(current)
         lu = self._cache_get(self._lu_cache, current)
         if lu is None:
@@ -237,28 +366,67 @@ class SteadyStateSolver:
             self.stats.cache_hits += 1
         return lu
 
+    def _apply_direct(self, current, rhs):
+        lu = self._factorization(current)
+        return self._timed_lu_solve(lu, rhs)
+
+    def _timed_lu_solve(self, lu, rhs):
+        start = time.perf_counter()
+        x = lu.solve(rhs)
+        self.stats.solve_time_s += time.perf_counter() - start
+        self.stats.rhs_columns += 1 if rhs.ndim == 1 else rhs.shape[1]
+        return x
+
     # ------------------------------------------------------------------
-    # Reuse mode: factorize G once, Woodbury per current
+    # Reuse mode: factorize G once, blocked Woodbury per current
     # ------------------------------------------------------------------
 
     def _base_factorization(self):
+        """The shared sparse LU of ``G`` (reuse preconditioner too)."""
         if self._base_lu is None:
             self._base_lu = self._splu(self.system.g_matrix, 0.0)
             support = np.flatnonzero(self.system.d_diagonal)
             self._support = support
             self._d_support = self.system.d_diagonal[support]
-            if support.size:
-                rhs = np.zeros((self.system.num_nodes, support.size))
-                rhs[support, np.arange(support.size)] = 1.0
-                start = time.perf_counter()
-                self._w = self._base_lu.solve(rhs)
-                self.stats.solve_time_s += time.perf_counter() - start
-                self.stats.rhs_columns += int(support.size)
-                self._z = self._w[support, :]
         return self._base_lu
 
+    def _ensure_influence(self):
+        """Batch-solve the Woodbury influence block ``W = G^{-1} I_S``.
+
+        Deferred past :meth:`_base_factorization` so the krylov
+        backend — which shares the base LU but never forms ``W`` —
+        does not pay the ``O(n * 2m)`` memory and solve cost of the
+        dense influence block on dense deployments.
+        """
+        lu = self._base_factorization()
+        if self._w is None and self._support.size:
+            rhs = np.zeros((self.system.num_nodes, self._support.size))
+            rhs[self._support, np.arange(self._support.size)] = 1.0
+            self._w = self._timed_lu_solve(lu, rhs)
+            self._z = self._w[self._support, :]
+
+    def _base_pair(self):
+        """``G^{-1} [p_base, joule]`` — the blocked power solves.
+
+        ``p(i) = p_base + i^2 joule`` is linear in ``(1, i^2)``, so
+        this single two-column solve answers the base part of *every*
+        per-current power solve; :meth:`solve` in reuse mode then pays
+        only the dense Woodbury correction per current.
+        """
+        lu = self._base_factorization()
+        if self._x_pair is None:
+            rhs = np.column_stack([self.system.p_base, self.system.joule])
+            self._x_pair = self._timed_lu_solve(lu, rhs)
+        return self._x_pair
+
     def _capacitance(self, current):
-        """LU factors of ``I - i d Z`` for the Woodbury correction."""
+        """LU factors of ``I - i d Z`` for the Woodbury correction.
+
+        Cached per exact float current (LRU).  Raises
+        :class:`SingularSystemError` when the capacitance is singular
+        to working precision — ``I - i d Z`` is singular exactly when
+        ``G - i D`` is, i.e. at the runaway current ``lambda_m``.
+        """
         factors = self._cache_get(self._cap_cache, current)
         if factors is None:
             self.stats.cache_misses += 1
@@ -266,32 +434,25 @@ class SteadyStateSolver:
             cap = np.eye(size) - current * (self._d_support[:, None] * self._z)
             factors = scipy.linalg.lu_factor(cap, check_finite=False)
             self.stats.cap_factorizations += 1
+            u_diag = np.abs(np.diag(factors[0]))
+            if not np.all(np.isfinite(u_diag)) or (
+                u_diag.min() <= _CAPACITANCE_RCOND * max(u_diag.max(), 1.0)
+            ):
+                raise SingularSystemError(
+                    "Woodbury capacitance singular at i = {} A "
+                    "(current at/beyond the runaway limit)".format(current)
+                )
             self._cache_put(self._cap_cache, current, factors)
         else:
             self.stats.cache_hits += 1
         return factors
 
-    def _apply_inverse(self, current, rhs):
-        """``(G - i D)^{-1} rhs`` in the active engine mode.
-
-        ``rhs`` may be 1-D or 2-D (columns are independent right-hand
-        sides sharing one factorization).
-        """
-        columns = 1 if rhs.ndim == 1 else rhs.shape[1]
-        if self.mode == "direct":
-            lu = self._factorization(current)
-            start = time.perf_counter()
-            x = lu.solve(rhs)
-            self.stats.solve_time_s += time.perf_counter() - start
-            self.stats.rhs_columns += columns
-            return x
-        lu = self._base_factorization()
-        start = time.perf_counter()
-        x = lu.solve(rhs)
-        self.stats.solve_time_s += time.perf_counter() - start
-        self.stats.rhs_columns += columns
+    def _woodbury_correct(self, current, x):
+        """Apply the low-rank correction turning ``G^{-1} b`` into
+        ``(G - i D)^{-1} b`` (``x`` may be 1-D or a column block)."""
         if current == 0.0 or self._support.size == 0:
             return x
+        self._ensure_influence()
         factors = self._capacitance(current)
         x_support = x[self._support]
         small = scipy.linalg.lu_solve(
@@ -300,6 +461,70 @@ class SteadyStateSolver:
             check_finite=False,
         )
         return x + self._w @ small
+
+    def _apply_reuse(self, current, rhs):
+        lu = self._base_factorization()
+        x = self._timed_lu_solve(lu, rhs)
+        return self._woodbury_correct(current, x)
+
+    def _reuse_solve_power(self, current):
+        """Reuse-mode fast path for the power vector: zero triangular
+        solves per current thanks to the blocked base pair."""
+        pair = self._base_pair()
+        if current == 0.0:
+            x = pair[:, 0].copy()
+        else:
+            x = pair[:, 0] + (current * current) * pair[:, 1]
+        return self._woodbury_correct(current, x)
+
+    # ------------------------------------------------------------------
+    # Krylov mode: G-preconditioned GMRES/BiCGSTAB per current
+    # ------------------------------------------------------------------
+
+    def _apply_krylov(self, current, rhs):
+        lu = self._base_factorization()
+        if current == 0.0 or self._support.size == 0:
+            return self._timed_lu_solve(lu, rhs)
+        matrix = self.system.system_matrix(current)
+        start = time.perf_counter()
+        x, report = krylov_solve(
+            matrix,
+            rhs,
+            preconditioner=lu,
+            method=self._krylov_method,
+            rtol=self._krylov_rtol,
+            maxiter=self._krylov_maxiter,
+            restart=self._krylov_restart,
+        )
+        self.stats.solve_time_s += time.perf_counter() - start
+        self.stats.krylov_solves += 1
+        self.stats.krylov_iterations += report.iterations
+        if not report.converged:
+            # Residual missed the target (stagnation, near-runaway
+            # ill-conditioning, or an exhausted iteration budget):
+            # fall back to an exact per-current factorization so the
+            # iterative backend never degrades accuracy.
+            self.stats.krylov_fallbacks += 1
+            return self._apply_direct(current, rhs)
+        self.stats.rhs_columns += 1 if rhs.ndim == 1 else rhs.shape[1]
+        return x
+
+    # ------------------------------------------------------------------
+    # Backend dispatch
+    # ------------------------------------------------------------------
+
+    def _apply_inverse(self, current, rhs):
+        """``(G - i D)^{-1} rhs`` through the effective backend.
+
+        ``rhs`` may be 1-D or 2-D (columns are independent right-hand
+        sides sharing one factorization / preconditioner).
+        """
+        mode = self.effective_mode
+        if mode == "direct":
+            return self._apply_direct(current, rhs)
+        if mode == "reuse":
+            return self._apply_reuse(current, rhs)
+        return self._apply_krylov(current, rhs)
 
     # ------------------------------------------------------------------
     # Public solves
@@ -330,7 +555,10 @@ class SteadyStateSolver:
         if cached is not None:
             self.stats.solution_hits += 1
             return cached.copy()
-        theta = self._apply_inverse(current, self.system.power_vector(current))
+        if self.effective_mode == "reuse":
+            theta = self._reuse_solve_power(current)
+        else:
+            theta = self._apply_inverse(current, self.system.power_vector(current))
         if not np.all(np.isfinite(theta)):
             raise SingularSystemError(
                 "solve produced non-finite temperatures at i = {} A".format(current)
@@ -343,7 +571,8 @@ class SteadyStateSolver:
 
         ``rhs`` may be a length-``n`` vector or an ``(n, k)`` matrix of
         ``k`` independent right-hand sides solved in one batched pass
-        against the shared factorization.
+        against the shared factorization (one BLAS-3 call in reuse
+        mode).
         """
         rhs = np.asarray(rhs, dtype=float)
         if rhs.shape[0] != self.system.num_nodes:

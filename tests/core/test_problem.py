@@ -72,3 +72,37 @@ class TestWithLimit:
         assert relaxed.grid is small_problem.grid
         assert relaxed.name == small_problem.name
         assert small_problem.max_temperature_c != 90.0
+
+
+class TestSolverBackendSelection:
+    def test_ctor_validates_solver_mode(self, small_grid, small_power):
+        with pytest.raises(ValueError, match="solver_mode"):
+            CoolingSystemProblem(small_grid, small_power, solver_mode="jacobi")
+
+    @pytest.mark.parametrize("mode", ["direct", "reuse", "krylov", "auto"])
+    def test_ctor_accepts_every_backend(self, small_grid, small_power, mode):
+        problem = CoolingSystemProblem(small_grid, small_power, solver_mode=mode)
+        assert problem.solver_mode == mode
+        assert problem.model(()).solver.mode == mode
+
+    def test_from_floorplan_forwards_solver_mode(self):
+        problem = CoolingSystemProblem.from_floorplan(
+            alpha_floorplan(), solver_mode="krylov"
+        )
+        assert problem.solver_mode == "krylov"
+
+    def test_with_solver_mode_copies_configuration(self, small_problem):
+        small_problem.model((1,))  # record the blueprint
+        sibling = small_problem.with_solver_mode("krylov")
+        assert sibling.solver_mode == "krylov"
+        assert sibling.max_temperature_c == small_problem.max_temperature_c
+        assert sibling.grid is small_problem.grid
+        assert sibling._blueprint is small_problem._blueprint
+        assert small_problem.solver_mode == "reuse"  # original untouched
+
+    def test_backends_solve_to_same_peak(self, small_problem):
+        reference = small_problem.model((1, 2)).solve(0.3).peak_silicon_c
+        for mode in ("direct", "krylov", "auto"):
+            sibling = small_problem.with_solver_mode(mode)
+            peak = sibling.model((1, 2)).solve(0.3).peak_silicon_c
+            assert peak == pytest.approx(reference, abs=1e-6)

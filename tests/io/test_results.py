@@ -6,6 +6,8 @@ import pytest
 
 from repro.core.report import BenchmarkRow
 from repro.io.results import (
+    bench_report_from_json,
+    bench_report_to_json,
     deployment_to_dict,
     rows_from_json,
     rows_to_json,
@@ -128,6 +130,40 @@ class TestSweepReportJson:
         restored = sweep_report_from_json(sweep_report_to_json(report))
         assert restored.results[0].values == report.results[0].values
         assert restored.wall_time_s == report.wall_time_s
+
+
+class TestBenchReport:
+    _ENTRIES = [
+        {"grid": "8x8", "backend": "krylov", "wall_s": 0.01},
+        {"grid": "8x8", "backend": "reuse", "wall_s": 0.02},
+    ]
+
+    def test_round_trip_via_string(self):
+        text = bench_report_to_json(
+            "backends", self._ENTRIES, metadata={"cpu_count": 1}
+        )
+        name, entries, metadata = bench_report_from_json(text)
+        assert name == "backends"
+        assert entries == self._ENTRIES
+        assert metadata == {"cpu_count": 1}
+
+    def test_round_trip_via_file(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        bench_report_to_json("x", self._ENTRIES, str(path))
+        name, entries, metadata = bench_report_from_json(str(path))
+        assert name == "x"
+        assert entries == self._ENTRIES
+        assert metadata == {}
+
+    def test_document_shape(self):
+        document = json.loads(bench_report_to_json("x", []))
+        assert document["kind"] == "bench-report"
+        assert document["schema"] == 1
+        assert document["entries"] == []
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            bench_report_from_json(rows_to_json([_row()]))
 
 
 class TestDeploymentDict:

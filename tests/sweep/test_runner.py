@@ -216,3 +216,47 @@ class TestOrdering:
         assert report.spec_name == "small"
         assert report.backend == "serial"
         assert isinstance(report.results[0], ScenarioResult)
+
+
+class TestScenarioSolverBackends:
+    def test_backend_reaches_the_problem(self):
+        sweep_worker.clear_caches()
+        scenario = Scenario(
+            name="k", task="solve", rows=4, cols=4, power_map=_HOTSPOT,
+            tec_tiles=(5, 6, 9, 10), current_a=0.4, backend="krylov",
+        )
+        problem = sweep_worker.problem_for(scenario)
+        assert problem.solver_mode == "krylov"
+
+    def test_backends_never_share_problems(self):
+        """Two scenarios differing only in backend must get distinct
+        problem instances — a warm cache must not answer a krylov
+        scenario with a reuse solver."""
+        sweep_worker.clear_caches()
+        base = dict(task="solve", rows=4, cols=4, power_map=_HOTSPOT,
+                    tec_tiles=(5, 6, 9, 10), current_a=0.4)
+        reuse = sweep_worker.problem_for(Scenario(name="r", backend="reuse", **base))
+        reuse.model((5, 6))  # record the geometry's network blueprint
+        krylov = sweep_worker.problem_for(Scenario(name="k", backend="krylov", **base))
+        assert reuse is not krylov
+        assert reuse.solver_mode == "reuse"
+        assert krylov.solver_mode == "krylov"
+        # ... while still sharing the recorded network blueprint
+        assert krylov._blueprint is not None
+        assert krylov._blueprint is reuse._blueprint
+
+    def test_backends_agree_in_a_sweep(self):
+        sweep_worker.clear_caches()
+        scenarios = [
+            Scenario(
+                name="solve/{}".format(backend or "default"),
+                task="solve", rows=4, cols=4, power_map=_HOTSPOT,
+                tec_tiles=(5, 6, 9, 10), current_a=0.4, backend=backend,
+            )
+            for backend in (None, "direct", "reuse", "krylov", "auto")
+        ]
+        report = run_sweep(SweepSpec(scenarios=scenarios, name="backends"))
+        assert report.ok
+        peaks = [r.values["peak_c"] for r in report.results]
+        for peak in peaks[1:]:
+            assert peak == pytest.approx(peaks[0], abs=1e-6)

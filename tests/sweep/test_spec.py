@@ -59,6 +59,17 @@ class TestScenarioValidation:
         scenario = _explicit(task="optimize", tec_tiles=[3, 1, 3, 0])
         assert scenario.tec_tiles == (0, 1, 3)
 
+    def test_backend_defaults_to_none(self):
+        assert _explicit().backend is None
+
+    @pytest.mark.parametrize("backend", ["direct", "reuse", "krylov", "auto"])
+    def test_valid_backends_accepted(self, backend):
+        assert _explicit(backend=backend).backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            _explicit(backend="jacobi")
+
     def test_solve_needs_current(self):
         with pytest.raises(ValueError, match="current_a"):
             _explicit(task="solve", tec_tiles=(0,))
@@ -181,3 +192,28 @@ class TestBuilders:
         )
         assert len(spec) == 2 * 2 * 2 * 2
         assert all(s.task == "solve" for s in spec)
+
+    def test_solve_grid_default_backend_unset(self):
+        spec = SweepSpec.solve_grid(["alpha"], [("a", (0,))], [0.5])
+        assert all(s.backend is None for s in spec)
+
+    def test_solve_grid_backends_axis(self):
+        spec = SweepSpec.solve_grid(
+            ["alpha"], [("a", (0,))], [0.5],
+            backends=("reuse", "krylov"),
+        )
+        assert len(spec) == 2
+        assert [s.backend for s in spec] == ["reuse", "krylov"]
+        # backend names must keep scenario names unique
+        assert len({s.name for s in spec}) == 2
+
+    def test_with_backend_pins_every_scenario(self):
+        spec = SweepSpec.power_scaling("alpha", factors=(0.9, 1.1))
+        pinned = spec.with_backend("krylov")
+        assert all(s.backend == "krylov" for s in pinned)
+        assert all(s.backend is None for s in spec)  # original untouched
+
+    def test_with_backend_validates(self):
+        spec = SweepSpec.power_scaling("alpha", factors=(1.0,))
+        with pytest.raises(ValueError, match="backend"):
+            spec.with_backend("jacobi")

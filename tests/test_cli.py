@@ -78,6 +78,76 @@ class TestSolve:
         assert "devices:" in capsys.readouterr().out
 
 
+class TestSolveBackend:
+    @pytest.mark.parametrize("flag", ["--backend", "--solver-mode"])
+    def test_krylov_backend_accepted(self, capsys, flag):
+        assert main(["solve", "--benchmark", "hc08", flag, "krylov",
+                     "--solver-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "feasible:     True" in out
+        assert "krylov engine" in out
+
+    def test_auto_backend_accepted(self, capsys):
+        assert main(["solve", "--benchmark", "hc08", "--backend", "auto"]) == 0
+        assert "feasible:     True" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--benchmark", "hc08", "--backend", "jacobi"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestWorkersValidation:
+    """``--workers N`` with N < 1 must die with a clear argparse error,
+    not a ProcessPoolExecutor traceback."""
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-4"])
+    def test_table1_rejects_nonpositive(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--benchmarks", "alpha", "--workers", value])
+        assert excinfo.value.code == 2
+        assert "--workers must be a positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-1", "-4"])
+    def test_sweep_rejects_nonpositive(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--benchmark", "alpha", "--workers", value])
+        assert excinfo.value.code == 2
+        assert "--workers must be a positive integer" in capsys.readouterr().err
+
+    def test_non_integer_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--benchmarks", "alpha", "--workers", "two"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_positive_value_parses(self):
+        args = build_parser().parse_args(
+            ["table1", "--benchmarks", "alpha", "--workers", "2"]
+        )
+        assert args.workers == 2
+
+
+class TestSweepBackend:
+    def test_backend_flag_pins_scenarios(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "sweep", "--benchmark", "hc08", "--power-scales", "1.0",
+            "--backend", "krylov", "--sweep-report", str(report_path),
+        ])
+        assert code == 0
+        from repro.io.results import sweep_report_from_json
+
+        report = sweep_report_from_json(str(report_path))
+        assert report.ok
+
+    def test_unknown_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--benchmark", "alpha", "--backend", "cg"])
+        assert excinfo.value.code == 2
+
+
 class TestTable1:
     def test_selected_rows(self, capsys, tmp_path):
         out_path = tmp_path / "rows.json"

@@ -1,11 +1,13 @@
 """Differential tests of the independent solve paths.
 
-Three implementations answer ``(G - i D) theta = p(i)`` for a package
+Four implementations answer ``(G - i D) theta = p(i)`` for a package
 model: the per-current sparse-LU engine (``mode="direct"``), the
-Woodbury factorization-reuse engine (``mode="reuse"``), and a dense
-``numpy.linalg.solve`` on the assembled matrices.  They share no code
-past assembly, so agreement on randomized floorplans and deployments
-is strong evidence against a defect in any one path.
+Woodbury factorization-reuse engine (``mode="reuse"``), the
+G-preconditioned iterative backend (``mode="krylov"``, with ``auto``
+dispatching between the last two), and a dense ``numpy.linalg.solve``
+on the assembled matrices.  They share no code past assembly, so
+agreement on randomized floorplans and deployments is strong evidence
+against a defect in any one path.
 
 Tolerance: temperatures are absolute Kelvin values of order 3e2 and
 the nodal systems are well conditioned (cond(G) ~ 1e4 for these
@@ -91,6 +93,50 @@ class TestSolverModesAgree:
             np.testing.assert_allclose(
                 theta_direct, theta_dense, atol=_ATOL_K, rtol=0.0
             )
+
+    @given(_instances())
+    @_settings
+    def test_krylov_and_auto_vs_dense(self, instance):
+        """The iterative backend (and ``auto`` dispatch) must agree
+        with the dense reference on random floorplans too."""
+        rows, cols, power, deployment = instance
+        grid = TileGrid(rows, cols)
+        krylov = PackageThermalModel(
+            grid, power, tec_tiles=deployment, solver_mode="krylov"
+        )
+        auto = PackageThermalModel(
+            grid, power, tec_tiles=deployment, solver_mode="auto"
+        )
+        for current in _currents(krylov):
+            system = krylov.system
+            theta_dense = np.linalg.solve(
+                system.system_matrix(current).toarray(),
+                system.power_vector(current),
+            )
+            np.testing.assert_allclose(
+                krylov.solve(current).theta_k, theta_dense,
+                atol=_ATOL_K, rtol=0.0,
+            )
+            np.testing.assert_allclose(
+                auto.solve(current).theta_k, theta_dense,
+                atol=_ATOL_K, rtol=0.0,
+            )
+
+    @given(_instances())
+    @_settings
+    def test_krylov_multi_rhs_matches_dense(self, instance):
+        rows, cols, power, deployment = instance
+        grid = TileGrid(rows, cols)
+        model = PackageThermalModel(
+            grid, power, tec_tiles=deployment, solver_mode="krylov"
+        )
+        current = 0.5 * model.runaway_current().value
+        rhs = np.eye(model.num_nodes)[:, :3]
+        batched = model.solver.solve_rhs(current, rhs)
+        dense = np.linalg.solve(
+            model.system.system_matrix(current).toarray(), rhs
+        )
+        np.testing.assert_allclose(batched, dense, atol=_ATOL_K, rtol=0.0)
 
     @given(_instances())
     @_settings

@@ -1,11 +1,16 @@
-"""Steady-state solver: correctness, caching, singular handling."""
+"""Steady-state solver: correctness, caching, backends, singular handling."""
 
 import numpy as np
 import pytest
 
 from repro.thermal.assembly import assemble
 from repro.thermal.network import NodeRole, ThermalNetwork
-from repro.thermal.solve import SingularSystemError, SteadyStateSolver
+from repro.thermal.solve import (
+    AUTO_SUPPORT_FLOOR,
+    SingularSystemError,
+    SteadyStateSolver,
+    select_backend,
+)
 from repro.utils import celsius_to_kelvin
 
 
@@ -181,6 +186,192 @@ class TestReuseMode:
             SteadyStateSolver(tec_system, mode="iterative")
 
 
+class TestKrylovMode:
+    def test_matches_direct_mode(self, tec_system):
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        krylov = SteadyStateSolver(tec_system, mode="krylov")
+        for current in (0.0, 0.5, 1.0, 2.0):
+            assert np.allclose(
+                krylov.solve(current), direct.solve(current),
+                rtol=1e-8, atol=1e-8,
+            )
+
+    def test_solve_rhs_matches_direct(self, tec_system):
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        krylov = SteadyStateSolver(tec_system, mode="krylov")
+        rhs = np.column_stack([
+            tec_system.p_base,
+            np.arange(1.0, tec_system.num_nodes + 1.0),
+        ])
+        assert np.allclose(
+            krylov.solve_rhs(1.5, rhs), direct.solve_rhs(1.5, rhs),
+            rtol=1e-8, atol=1e-8,
+        )
+
+    def test_influence_rows_match_direct(self, tec_system):
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        krylov = SteadyStateSolver(tec_system, mode="krylov")
+        nodes = range(tec_system.num_nodes)
+        assert np.allclose(
+            krylov.influence_rows(1.0, nodes),
+            direct.influence_rows(1.0, nodes),
+            rtol=1e-8, atol=1e-8,
+        )
+
+    def test_iteration_counters(self, tec_system):
+        solver = SteadyStateSolver(tec_system, mode="krylov")
+        solver.solve(0.7)
+        assert solver.stats.krylov_solves == 1
+        assert solver.stats.krylov_iterations >= 1
+        assert solver.stats.krylov_fallbacks == 0
+        # a single base-G factorization backs the preconditioner
+        assert solver.stats.factorizations == 1
+
+    def test_zero_current_skips_iteration(self, tec_system):
+        solver = SteadyStateSolver(tec_system, mode="krylov")
+        solver.solve(0.0)
+        assert solver.stats.krylov_solves == 0
+
+    def test_fallback_on_exhausted_budget(self, tec_system):
+        """An exhausted iteration budget falls back to the exact
+        per-current LU — same answer, fallback counted."""
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        starved = SteadyStateSolver(
+            tec_system, mode="krylov", krylov_maxiter=1, krylov_restart=1
+        )
+        theta = starved.solve(2.0)
+        assert starved.stats.krylov_fallbacks >= 1
+        assert np.allclose(theta, direct.solve(2.0), rtol=1e-10, atol=1e-10)
+
+    def test_bicgstab_matches_direct(self, tec_system):
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        solver = SteadyStateSolver(
+            tec_system, mode="krylov", krylov_method="bicgstab"
+        )
+        assert np.allclose(
+            solver.solve(1.0), direct.solve(1.0), rtol=1e-8, atol=1e-8
+        )
+
+    def test_krylov_method_validation(self, tec_system):
+        with pytest.raises(ValueError, match="krylov_method"):
+            SteadyStateSolver(tec_system, mode="krylov", krylov_method="jacobi")
+
+
+class TestAutoMode:
+    def test_select_backend_small_support(self):
+        assert select_backend(100, 10) == "reuse"
+
+    def test_select_backend_dense_support(self):
+        assert select_backend(10000, 2000) == "krylov"
+
+    def test_select_backend_floor_boundary(self):
+        # the floor dominates sqrt(n) on small systems
+        assert select_backend(16, AUTO_SUPPORT_FLOOR) == "reuse"
+        assert select_backend(16, AUTO_SUPPORT_FLOOR + 1) == "krylov"
+
+    def test_auto_resolves_per_system(self, tec_system):
+        solver = SteadyStateSolver(tec_system, mode="auto")
+        # 4 nodes, support 2: well below the floor -> Woodbury reuse
+        assert solver.effective_mode == "reuse"
+        assert solver.mode == "auto"  # the request is preserved
+
+    def test_auto_matches_direct(self, tec_system):
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        auto = SteadyStateSolver(tec_system, mode="auto")
+        for current in (0.0, 0.5, 1.0):
+            assert np.allclose(
+                auto.solve(current), direct.solve(current),
+                rtol=1e-8, atol=1e-8,
+            )
+
+    def test_non_auto_effective_mode_is_identity(self, tec_system):
+        for mode in ("direct", "reuse", "krylov"):
+            assert SteadyStateSolver(tec_system, mode=mode).effective_mode == mode
+
+
+class TestExactFloatCacheKey:
+    """Pin the exact-float per-current cache key (see the solve.py
+    module docstring): quantizing the key is a deliberate change."""
+
+    def test_nearly_identical_currents_always_miss(self, tec_system):
+        solver = SteadyStateSolver(tec_system, mode="direct")
+        rhs = tec_system.p_base
+        current = 1.0
+        solver.solve_rhs(current, rhs)
+        solver.solve_rhs(current * (1.0 + 1e-15), rhs)
+        assert solver.stats.cache_misses == 2
+        assert solver.stats.cache_hits == 0
+        assert solver.stats.cache_hit_rate == 0.0
+
+    def test_exact_current_hits(self, tec_system):
+        solver = SteadyStateSolver(tec_system, mode="direct")
+        rhs = tec_system.p_base
+        solver.solve_rhs(1.0, rhs)
+        solver.solve_rhs(1.0, rhs)
+        assert solver.stats.cache_hits == 1
+        assert solver.stats.cache_hit_rate == pytest.approx(0.5)
+
+    def test_reuse_capacitance_cache_keys_exact_floats(self, tec_system):
+        solver = SteadyStateSolver(tec_system, mode="reuse")
+        rhs = tec_system.p_base
+        solver.solve_rhs(1.0, rhs)
+        solver.solve_rhs(np.nextafter(1.0, 2.0), rhs)
+        assert solver.stats.cap_factorizations == 2
+        assert solver.stats.cache_hits == 0
+
+
+class TestSingularHandling:
+    """SingularSystemError at/beyond the runaway current ``lambda_m``
+    for the reuse and krylov backends (direct is covered above)."""
+
+    @staticmethod
+    def _runaway(tec_system):
+        from repro.linalg.runaway import runaway_current
+
+        return runaway_current(tec_system.g_matrix, tec_system.d_diagonal).value
+
+    def test_reuse_capacitance_guard_at_runaway(self, tec_system):
+        """The Woodbury capacitance ``I - i d Z`` is singular exactly at
+        ``lambda_m``; the rcond guard must catch it instead of returning
+        garbage temperatures."""
+        solver = SteadyStateSolver(tec_system, mode="reuse")
+        lam = self._runaway(tec_system)
+        with pytest.raises(SingularSystemError, match="capacitance"):
+            solver.solve(lam)
+
+    def test_runaway_equals_capacitance_singularity(self, tec_system):
+        """Cross-check: 1 / max eig of ``d Z`` is exactly ``lambda_m``,
+        so the guard and Theorem 1 agree on where runaway happens."""
+        solver = SteadyStateSolver(tec_system, mode="reuse")
+        solver._base_factorization()
+        solver._ensure_influence()
+        eigs = np.linalg.eigvals(solver._d_support[:, None] * solver._z)
+        real = eigs.real[np.abs(eigs.imag) < 1e-9 * np.abs(eigs).max()]
+        i_sing = 1.0 / real.max()
+        assert i_sing == pytest.approx(self._runaway(tec_system), rel=1e-9)
+
+    def test_reuse_check_definite_beyond_runaway(self, tec_system):
+        solver = SteadyStateSolver(tec_system, mode="reuse")
+        with pytest.raises(SingularSystemError):
+            solver.solve(1.5 * self._runaway(tec_system), check_definite=True)
+
+    def test_krylov_check_definite_beyond_runaway(self, tec_system):
+        solver = SteadyStateSolver(tec_system, mode="krylov")
+        with pytest.raises(SingularSystemError):
+            solver.solve(1.5 * self._runaway(tec_system), check_definite=True)
+
+    def test_krylov_near_runaway_stays_accurate(self, tec_system):
+        """Close to runaway the preconditioned spectrum degrades; the
+        residual check must either converge or fall back — never return
+        an inaccurate answer silently."""
+        direct = SteadyStateSolver(tec_system, mode="direct")
+        krylov = SteadyStateSolver(tec_system, mode="krylov")
+        current = 0.999 * self._runaway(tec_system)
+        assert np.allclose(
+            krylov.solve(current), direct.solve(current), rtol=1e-6
+        )
+
+
 class TestBatchedRhs:
     def test_matrix_rhs_matches_column_solves(self, tec_system):
         solver = SteadyStateSolver(tec_system)
@@ -217,7 +408,8 @@ class TestSolverStats:
         assert set(data) == {
             "factorizations", "cap_factorizations", "cache_hits",
             "cache_misses", "evictions", "solves", "rhs_columns",
-            "solution_hits", "factor_time_s", "solve_time_s",
+            "solution_hits", "krylov_solves", "krylov_iterations",
+            "krylov_fallbacks", "factor_time_s", "solve_time_s",
             "full_builds", "incremental_builds", "assembly_time_s",
         }
 
