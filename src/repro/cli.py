@@ -4,10 +4,14 @@ Usage (also installed as the ``repro`` console script)::
 
     python -m repro.cli table1 [--benchmarks alpha hc01 ...] [--json OUT]
                                [--workers 4] [--sweep-report OUT]
+                               [--engine incremental] [--max-rounds N]
+                               [--round-stats]
     python -m repro.cli sweep [--benchmark alpha] [--power-scales 0.9 1.1]
                               [--budgets 0 0.5 1.0] [--workers 4]
                               [--backend krylov]
     python -m repro.cli solve --benchmark alpha [--limit 85] [--json OUT]
+                              [--engine incremental] [--max-rounds N]
+                              [--round-stats]
     python -m repro.cli solve --flp chip.flp --powers powers.json --limit 85
     python -m repro.cli validate [--refine 2]
     python -m repro.cli runaway [--benchmark alpha]
@@ -31,6 +35,11 @@ from repro import __version__
 #: the scientific stack at parser-build time.
 _BACKENDS = ("direct", "reuse", "krylov", "auto")
 
+#: GreedyDeploy engines exposed by ``--engine``.  Mirrors
+#: :data:`repro.core.deploy.DEPLOY_ENGINES` (same deferred-import
+#: rationale as :data:`_BACKENDS`).
+_ENGINES = ("cold", "incremental")
+
 
 def _workers_count(text):
     """argparse type for ``--workers``: a positive integer.
@@ -49,6 +58,52 @@ def _workers_count(text):
             "--workers must be a positive integer, got {}".format(value)
         )
     return value
+
+
+def _rounds_count(text):
+    """argparse type for ``--max-rounds``: a positive integer.
+
+    Zero rounds would report the bare chip as infeasible without
+    deploying anything — surprising from a CLI, so it is rejected up
+    front (the library accepts 0 for programmatic use).
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "invalid int value: {!r}".format(text)
+        )
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            "--max-rounds must be a positive integer, got {}".format(value)
+        )
+    return value
+
+
+def _print_round_stats(rounds, indent="  "):
+    """Per-round engine instrumentation lines (``--round-stats``).
+
+    Sweep-borne payloads strip the wall-clock fields (they are
+    execution metadata, excluded from the bit-reproducible ``values``);
+    the timing segment is omitted rather than printed as zero.
+    """
+    for entry in rounds:
+        warm = "warm" if entry.get("current_warm") else "cold"
+        wall = entry.get("wall_s")
+        timing = "" if wall is None else "{:.3f} s, ".format(wall)
+        print(
+            "{}round {}: {}{} evals ({} bracket), runaway {} "
+            "(lambda_m {:.4g} A), border {}".format(
+                indent,
+                entry.get("index"),
+                timing,
+                entry.get("evaluations", 0),
+                warm,
+                entry.get("runaway_method", "?"),
+                entry.get("lambda_m", float("nan")),
+                entry.get("border_mode", "off"),
+            )
+        )
 
 
 def _add_table1(subparsers):
@@ -71,6 +126,21 @@ def _add_table1(subparsers):
         help="write the sweep engine's report (timings, solver stats, "
              "per-row payloads) as JSON",
     )
+    parser.add_argument(
+        "--engine", choices=_ENGINES, default=None,
+        help="GreedyDeploy engine: 'cold' (per-round recompute, default) "
+             "or 'incremental' (cross-round factorization/runaway/"
+             "bracket reuse)",
+    )
+    parser.add_argument(
+        "--max-rounds", type=_rounds_count, default=None, metavar="N",
+        help="greedy-round budget per row, N >= 1 (default: run to "
+             "natural termination; exhausted rows report infeasible)",
+    )
+    parser.add_argument(
+        "--round-stats", action="store_true",
+        help="print per-round engine instrumentation after the table",
+    )
     parser.set_defaults(func=_cmd_table1)
 
 
@@ -78,7 +148,10 @@ def _cmd_table1(args):
     from repro.experiments.table1 import run_table1
     from repro.io.results import rows_to_json, sweep_report_to_json
 
-    comparison = run_table1(args.benchmarks, workers=args.workers)
+    comparison = run_table1(
+        args.benchmarks, workers=args.workers,
+        max_rounds=args.max_rounds, engine=args.engine,
+    )
     print(comparison.render(markdown=args.markdown))
     print()
     print(
@@ -86,6 +159,20 @@ def _cmd_table1(args):
             comparison.avg_p_tec_w, comparison.avg_swing_loss_c
         )
     )
+    if args.round_stats:
+        if comparison.sweep_report is None:
+            raise SystemExit(
+                "repro table1: error: no per-round stats available for this run"
+            )
+        print()
+        for result in comparison.sweep_report.results:
+            rounds = result.values.get("round_stats", [])
+            print("{} ({} engine, {} rounds):".format(
+                result.name,
+                result.values.get("deploy_engine", "cold"),
+                len(rounds),
+            ))
+            _print_round_stats(rounds)
     if args.json:
         rows_to_json(comparison.rows, args.json, metadata={"tool": "repro " + __version__})
         print("rows written to {}".format(args.json))
@@ -225,6 +312,21 @@ def _add_solve(subparsers):
         "--solver-stats", action="store_true",
         help="print solve-engine instrumentation after the run",
     )
+    parser.add_argument(
+        "--engine", choices=_ENGINES, default=None,
+        help="GreedyDeploy engine: 'cold' (per-round recompute, default) "
+             "or 'incremental' (cross-round factorization/runaway/"
+             "bracket reuse)",
+    )
+    parser.add_argument(
+        "--max-rounds", type=_rounds_count, default=None, metavar="N",
+        help="greedy-round budget, N >= 1 (default: run to natural "
+             "termination; an exhausted budget reports infeasible)",
+    )
+    parser.add_argument(
+        "--round-stats", action="store_true",
+        help="print per-round engine instrumentation after the run",
+    )
     parser.set_defaults(func=_cmd_solve)
 
 
@@ -244,7 +346,11 @@ def _cmd_solve(args):
         except ValueError as error:
             raise SystemExit("repro solve: error: {}".format(error))
 
-    result = greedy_deploy(problem)
+    result = greedy_deploy(
+        problem,
+        max_rounds=args.max_rounds,
+        engine=args.engine if args.engine is not None else "cold",
+    )
     print("problem: {} (limit {:.1f} C)".format(problem.name, problem.max_temperature_c))
     print("feasible:     {}".format(result.feasible))
     print("no-TEC peak:  {:.2f} C".format(result.no_tec_peak_c))
@@ -257,8 +363,11 @@ def _cmd_solve(args):
         baseline = full_cover(problem)
         print("full-cover best peak: {:.2f} C (SwingLoss {:.2f} C)".format(
             baseline.min_peak_c, baseline.min_peak_c - result.peak_c))
+    if args.round_stats and result.deploy_stats is not None:
+        print("round stats ({}):".format(result.deploy_stats.summary()))
+        _print_round_stats([r.as_dict() for r in result.deploy_stats.rounds])
     if args.solver_stats and result.solver_stats is not None:
-        print("solver stats ({} engine):".format(problem.solver_mode))
+        print("solver stats ({} backend):".format(problem.solver_mode))
         for line in result.solver_stats.summary().splitlines():
             print("  " + line)
     if args.json:

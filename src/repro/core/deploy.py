@@ -27,6 +27,9 @@ from dataclasses import dataclass, field
 
 from repro.core.current import minimize_peak_temperature
 
+#: GreedyDeploy engine implementations accepted by :func:`greedy_deploy`.
+DEPLOY_ENGINES = ("cold", "incremental")
+
 
 @dataclass
 class GreedyIteration:
@@ -75,6 +78,9 @@ class DeploymentResult:
         :class:`~repro.thermal.solve.SolverStats` delta accumulated by
         the problem's solve engine over the whole run (None when the
         problem does not expose shared stats).
+    deploy_stats:
+        :class:`~repro.core.engine.DeployStats` with per-round timing
+        and reuse counters (populated by both engines).
     """
 
     feasible: bool
@@ -89,6 +95,7 @@ class DeploymentResult:
     model: object = None
     current_result: object = None
     solver_stats: object = None
+    deploy_stats: object = None
 
     @property
     def num_tecs(self):
@@ -101,8 +108,8 @@ class DeploymentResult:
         return self.no_tec_peak_c - self.peak_c
 
 
-def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
-                  max_rounds=None):
+def greedy_deploy(problem, *, current_method=None, current_tolerance=1.0e-4,
+                  max_rounds=None, engine="cold"):
     """Run GreedyDeploy (Figure 5) on a :class:`CoolingSystemProblem`.
 
     Parameters
@@ -111,16 +118,44 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
         The :class:`~repro.core.problem.CoolingSystemProblem`.
     current_method / current_tolerance:
         Passed to :func:`~repro.core.current.minimize_peak_temperature`
-        for the per-iteration Problem 2 solves.
+        for the per-iteration Problem 2 solves.  ``current_method=None``
+        selects the engine's default (``"golden"`` cold, ``"brent"``
+        incremental).
     max_rounds:
         Safety cap on iterations; defaults to the tile count (the loop
         provably terminates within that many rounds since the
         deployment grows each round).
+    engine:
+        ``"cold"`` runs every round from scratch; ``"incremental"``
+        dispatches to
+        :func:`~repro.core.engine.incremental_greedy_deploy`, which
+        reuses factorizations, runaway eigenvectors and Problem 2
+        brackets across rounds.
 
     Returns
     -------
     DeploymentResult
     """
+    if engine not in DEPLOY_ENGINES:
+        raise ValueError(
+            "unknown deploy engine {!r}; expected one of {}".format(
+                engine, ", ".join(DEPLOY_ENGINES)
+            )
+        )
+    if engine == "incremental":
+        from repro.core.engine import incremental_greedy_deploy
+
+        return incremental_greedy_deploy(
+            problem,
+            current_method=current_method or "brent",
+            current_tolerance=current_tolerance,
+            max_rounds=max_rounds,
+        )
+    if current_method is None:
+        current_method = "golden"
+
+    from repro.core.engine import DeployStats, RoundStats
+
     start = time.perf_counter()
     if max_rounds is None:
         max_rounds = problem.grid.num_tiles
@@ -135,6 +170,8 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
         if shared_stats is None:
             return None
         return shared_stats.diff(stats_before)
+
+    deploy_stats = DeployStats(engine="cold")
 
     bare_model = problem.model(())
     bare_state = bare_model.solve(0.0)
@@ -158,6 +195,7 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
             model=bare_model,
             current_result=None,
             solver_stats=_stats_delta(),
+            deploy_stats=deploy_stats,
         )
 
     if max_rounds == 0:
@@ -177,6 +215,7 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
             model=bare_model,
             current_result=None,
             solver_stats=_stats_delta(),
+            deploy_stats=deploy_stats,
         )
 
     model = bare_model
@@ -184,14 +223,25 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
     state = bare_state
     feasible = False
     for round_index in range(max_rounds):
+        round_stats = RoundStats(index=round_index, runaway_method="eigen")
+        round_start = time.perf_counter()
         added = tuple(sorted(offenders - deployment))
         deployment |= offenders
+        phase_start = time.perf_counter()
         model = problem.model(deployment)
+        round_stats.assembly_s = time.perf_counter() - phase_start
         optimum = minimize_peak_temperature(
             model, method=current_method, tolerance=current_tolerance
         )
+        phase_start = time.perf_counter()
         state = model.solve(optimum.current)
         offenders = problem.tiles_above_limit(state)
+        round_stats.steady_s = time.perf_counter() - phase_start
+        round_stats.runaway_s = optimum.runaway_s
+        round_stats.current_opt_s = optimum.search_s
+        round_stats.evaluations = optimum.evaluations
+        round_stats.lambda_m = optimum.lambda_m
+        deploy_stats.runaway_dense += 1
         iterations.append(
             GreedyIteration(
                 index=round_index,
@@ -202,6 +252,8 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
                 offending_tiles=tuple(sorted(offenders)),
             )
         )
+        round_stats.wall_s = time.perf_counter() - round_start
+        deploy_stats.rounds.append(round_stats)
         if not offenders:
             feasible = True
             break
@@ -221,4 +273,5 @@ def greedy_deploy(problem, *, current_method="golden", current_tolerance=1.0e-4,
         model=model,
         current_result=optimum,
         solver_stats=_stats_delta(),
+        deploy_stats=deploy_stats,
     )

@@ -193,6 +193,18 @@ class CoolingSystemProblem:
         """The paper's set ``T``: flat indices of tiles hotter than the limit."""
         return set(np.nonzero(state.silicon_c > self.max_temperature_c)[0].tolist())
 
+    def deploy(self, **kwargs):
+        """Run GreedyDeploy on this problem.
+
+        Convenience front-end for
+        :func:`~repro.core.deploy.greedy_deploy`; keyword arguments
+        (``engine``, ``current_method``, ``max_rounds``, ...) pass
+        through unchanged.
+        """
+        from repro.core.deploy import greedy_deploy
+
+        return greedy_deploy(self, **kwargs)
+
     def with_limit(self, max_temperature_c):
         """Copy of the problem with a different temperature limit.
 

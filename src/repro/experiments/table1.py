@@ -54,11 +54,13 @@ class Table1Comparison:
         return out
 
 
-def run_benchmark_row(name, *, stack=None, device=None, current_method="golden"):
+def run_benchmark_row(name, *, stack=None, device=None, current_method="golden",
+                      max_rounds=None, engine="cold"):
     """Run one Table I row; returns ``(BenchmarkRow, greedy, fullcover)``."""
     spec = BENCHMARKS[name]
     problem = spec.problem(stack=stack, device=device)
-    greedy = greedy_deploy(problem, current_method=current_method)
+    greedy = greedy_deploy(problem, current_method=current_method,
+                           max_rounds=max_rounds, engine=engine)
     baseline = full_cover(problem, current_method=current_method)
     row = BenchmarkRow.from_results(spec.name, spec.limit_c, greedy, baseline)
     return row, greedy, baseline
@@ -89,7 +91,7 @@ def row_from_scenario_result(result):
 
 
 def run_table1(names=None, *, stack=None, device=None, current_method="golden",
-               workers=None):
+               workers=None, max_rounds=None, engine=None):
     """Run all (or selected) Table I rows.
 
     Parameters
@@ -104,6 +106,13 @@ def run_table1(names=None, *, stack=None, device=None, current_method="golden",
     workers:
         Fan the rows out over a process pool of this size (requires
         default stack/device).  ``None`` runs the serial sweep backend.
+    max_rounds:
+        Greedy-round budget per row; None runs every row to natural
+        termination.  Rows that exhaust the budget report
+        ``feasible=False`` with the rounds taken so far.
+    engine:
+        GreedyDeploy engine (``"cold"`` / ``"incremental"``); None
+        uses the default (``"cold"``).
 
     Returns a :class:`Table1Comparison`; with the sweep path the
     underlying :class:`~repro.sweep.report.SweepReport` is attached as
@@ -114,7 +123,8 @@ def run_table1(names=None, *, stack=None, device=None, current_method="golden",
     if stack is None and device is None:
         from repro.sweep import SweepRunner, SweepSpec
 
-        spec = SweepSpec.table1(names, current_method=current_method)
+        spec = SweepSpec.table1(names, current_method=current_method,
+                                max_rounds=max_rounds, engine=engine)
         report = SweepRunner(workers).run(spec)
         if report.errors:
             first = report.errors[0]
@@ -134,7 +144,8 @@ def run_table1(names=None, *, stack=None, device=None, current_method="golden",
         rows = []
         for name in names:
             row, _, _ = run_benchmark_row(
-                name, stack=stack, device=device, current_method=current_method
+                name, stack=stack, device=device, current_method=current_method,
+                max_rounds=max_rounds, engine=engine or "cold",
             )
             rows.append(row)
     return Table1Comparison(

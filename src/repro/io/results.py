@@ -188,6 +188,11 @@ def deployment_to_dict(result):
             if getattr(result, "solver_stats", None) is not None
             else None
         ),
+        "deploy_stats": (
+            result.deploy_stats.as_dict()
+            if getattr(result, "deploy_stats", None) is not None
+            else None
+        ),
         "iterations": [
             {
                 "index": it.index,

@@ -18,7 +18,11 @@ Two computations are provided:
 
 ``runaway_current_binary_search``
     The paper's algorithm — binary search on ``i`` with a Cholesky
-    positive-definiteness oracle (Section V.C.1).
+    positive-definiteness oracle (Section V.C.1).  Accepts an
+    ``upper_hint`` (e.g. the previous greedy round's ``lambda_m``) to
+    seed the doubling phase: adding TECs can only extend the Peltier
+    support, so consecutive rounds' runaway currents are close and the
+    hinted bracket collapses in a handful of oracle calls.
 ``runaway_current_eigen``
     An exact cross-check.  Factor ``G = L L'``; then ``G - i D`` is
     singular iff ``1/i`` is an eigenvalue of the symmetric matrix
@@ -27,6 +31,16 @@ Two computations are provided:
     When ``D`` has few non-zero entries (one hot and one cold node per
     deployed TEC) the eigenproblem is reduced to that support, which
     keeps the computation cheap for package-scale networks.
+``runaway_current_shift_invert``
+    Warm-started inverse iteration on the pencil ``(G, D)`` for the
+    incremental deployment engine: given the previous round's runaway
+    eigenvector, a few shift-inverted solves ``(G - s D)^{-1} D v``
+    through the solve engine's cached factorizations converge to the
+    new ``lambda_m`` — no dense eigensolve, no extra sparse LU.  The
+    returned value is a Rayleigh quotient ``x' G x / x' D x`` with
+    ``x' D x > 0`` and therefore a certified *upper* bound on the true
+    ``lambda_m`` (Theorem 1's variational characterization), which is
+    exactly the safe side for the Problem 2 search cap.
 """
 
 from __future__ import annotations
@@ -98,47 +112,216 @@ def _combine(g_matrix, diag, current):
     return np.asarray(g_matrix, dtype=float) - current * np.diag(diag)
 
 
-def runaway_current_eigen(g_matrix, d_matrix):
+def reduced_eigen_value(small, basis=None, diag_support=None, *,
+                        return_vector=False):
+    """``lambda_m`` from the reduced support matrix ``K = Z diag(d_S)``.
+
+    ``small`` is the support-restricted matrix whose nonzero
+    eigenvalues equal those of ``G^{-1} D``.  With ``return_vector``,
+    the dominant eigenvector is lifted back to full node space through
+    ``basis`` (the influence columns ``G^{-1} I_S``) and
+    ``diag_support`` — the lift ``v = basis (d_S * u)`` satisfies
+    ``G v = lambda_m D v``.  Lets the solve engine's cached influence
+    block answer the eigenproblem without any extra factorization.
+    """
+    if return_vector:
+        eigenvalues, eigenvectors = np.linalg.eig(small)
+    else:
+        eigenvalues = np.linalg.eigvals(small)
+        eigenvectors = None
+    # The pencil (G, D) with G SPD has real spectrum; discard the
+    # imaginary round-off introduced by the unsymmetric reduction.
+    real_parts = np.real(eigenvalues)
+    positive_mask = real_parts > 0.0
+    if not np.any(positive_mask):
+        result = RunawayCurrent(math.inf, "eigen", 0, (math.inf, math.inf))
+        return (result, None) if return_vector else result
+    masked = np.where(positive_mask, real_parts, -math.inf)
+    index = int(np.argmax(masked))
+    mu_max = float(real_parts[index])
+    value = 1.0 / mu_max
+    result = RunawayCurrent(value, "eigen", 0, (value, value))
+    if not return_vector:
+        return result
+    vector = None
+    if basis is not None and diag_support is not None:
+        u = np.real(eigenvectors[:, index])
+        lifted = basis @ (np.asarray(diag_support, dtype=float) * u)
+        norm = float(np.linalg.norm(lifted))
+        if norm > 0.0 and np.all(np.isfinite(lifted)):
+            vector = lifted / norm
+    return result, vector
+
+
+def runaway_current_eigen(g_matrix, d_matrix, *, return_vector=False):
     """Exact ``lambda_m`` via the reduced symmetric eigenproblem.
 
     See the module docstring for the derivation.  Returns a
-    :class:`RunawayCurrent` with ``method="eigen"``.
+    :class:`RunawayCurrent` with ``method="eigen"``; with
+    ``return_vector`` a ``(result, vector)`` pair where ``vector`` is
+    the runaway eigenvector in full node space (unit 2-norm, None when
+    no runaway exists) — the warm-start seed for
+    :func:`runaway_current_shift_invert` on the next deployment.
     """
     diag = _diagonal_of(d_matrix)
     n = diag.shape[0]
     support = np.nonzero(diag)[0]
     if support.size == 0 or not np.any(diag > 0.0):
-        return RunawayCurrent(math.inf, "eigen", 0, (math.inf, math.inf))
+        result = RunawayCurrent(math.inf, "eigen", 0, (math.inf, math.inf))
+        return (result, None) if return_vector else result
     if sp.issparse(g_matrix):
         lu = splu(g_matrix.tocsc())
-        # Columns of G^{-1} restricted to the support of D.
-        basis = np.zeros((n, support.size))
-        for j, k in enumerate(support):
-            unit = np.zeros(n)
-            unit[k] = 1.0
-            basis[:, j] = lu.solve(unit)
-        # Nonzero eigenvalues of G^{-1} D equal those of
-        # D_sub^{} (G^{-1})_[support, support] restricted appropriately:
-        # mu solves det(I - mu^{-1} ... ) — work with the small matrix
-        # K = (G^{-1})[support][:, support] @ diag(d_sub); its
-        # eigenvalues are the nonzero eigenvalues of G^{-1} D.
-        small = basis[support, :] * diag[support][np.newaxis, :]
-        eigenvalues = np.linalg.eigvals(small)
+        # Columns of G^{-1} restricted to the support of D, solved as
+        # one batched multi-RHS pass through the factorization.
+        rhs = np.zeros((n, support.size))
+        rhs[support, np.arange(support.size)] = 1.0
+        basis = lu.solve(rhs)
     else:
         dense_g = np.asarray(g_matrix, dtype=float)
         cho = scipy.linalg.cho_factor(dense_g, lower=True)
-        inv_cols = scipy.linalg.cho_solve(cho, np.eye(n)[:, support])
-        small = inv_cols[support, :] * diag[support][np.newaxis, :]
-        eigenvalues = np.linalg.eigvals(small)
-    # The pencil (G, D) with G SPD has real spectrum; discard the
-    # imaginary round-off introduced by the unsymmetric reduction.
-    real_parts = np.real(eigenvalues)
-    positive = real_parts[real_parts > 0.0]
-    if positive.size == 0:
-        return RunawayCurrent(math.inf, "eigen", 0, (math.inf, math.inf))
-    mu_max = float(np.max(positive))
-    value = 1.0 / mu_max
-    return RunawayCurrent(value, "eigen", 0, (value, value))
+        basis = scipy.linalg.cho_solve(cho, np.eye(n)[:, support])
+    # Nonzero eigenvalues of G^{-1} D equal those of the small matrix
+    # K = (G^{-1})[support][:, support] @ diag(d_sub).
+    small = basis[support, :] * diag[support][np.newaxis, :]
+    return reduced_eigen_value(
+        small, basis, diag[support], return_vector=return_vector
+    )
+
+
+def runaway_current_shift_invert(
+    solve,
+    g_matrix,
+    d_matrix,
+    *,
+    guess,
+    shift=None,
+    shift_fraction=0.9,
+    tolerance=1.0e-9,
+    max_iterations=60,
+    max_shift_retries=6,
+    reshift_every=8,
+):
+    """Warm-started ``lambda_m`` via shift-inverted inverse iteration.
+
+    Parameters
+    ----------
+    solve:
+        Callable ``solve(current, rhs) -> (G - current D)^{-1} rhs`` —
+        typically ``SteadyStateSolver.solve_rhs``, so the iteration
+        rides the engine's cached base factorization and per-current
+        Woodbury/Krylov machinery instead of building its own.
+    g_matrix / d_matrix:
+        The pencil, used only for Rayleigh quotients (mat-vecs).
+    guess:
+        Seed vector — the previous deployment's runaway eigenvector
+        mapped onto the current node ordering.  Must have
+        ``x' D x > 0``.
+    shift:
+        Explicit initial shift (A).  Callers with a prior ``lambda_m``
+        estimate (the previous greedy round's value) should pass a
+        fraction of it: the seed's own Rayleigh quotient can
+        overestimate ``lambda_m`` by orders of magnitude when the
+        seed carries components outside the Peltier support, whose
+        ``G``-energy inflates the numerator.
+    shift_fraction:
+        Without an explicit ``shift``, the shift starts at this
+        fraction of the seed's Rayleigh quotient; it is also the
+        fraction of the running Rayleigh estimate targeted by the
+        periodic re-shifts.
+    tolerance:
+        Relative Rayleigh-quotient change required on two consecutive
+        iterations to declare convergence.
+    max_iterations:
+        Total solve budget across shift retries.
+    max_shift_retries:
+        A singular shifted system (the shift overshot ``lambda_m``)
+        shrinks the shift by 0.6 and retries, at most this many times
+        over the whole call.
+    reshift_every:
+        After this many iterations at one shift without convergence,
+        the shift moves to ``shift_fraction`` times the current
+        Rayleigh estimate — much closer to ``lambda_m`` than the
+        starting point, so the linear convergence rate improves
+        sharply.  Each move costs the solve engine one fresh
+        factorization at the new shift; an overshooting move is
+        caught by the singularity handler like any other.
+
+    Returns
+    -------
+    (RunawayCurrent, vector) or (None, None)
+        ``(None, None)`` signals no convergence within the budget —
+        callers fall back to the exact eigen path.  On success the
+        value is a Rayleigh quotient with ``x' D x > 0``, hence a
+        certified upper bound on the true ``lambda_m``.
+    """
+    diag = _diagonal_of(d_matrix)
+    if not np.any(diag > 0.0):
+        return (
+            RunawayCurrent(math.inf, "shift-invert", 0, (math.inf, math.inf)),
+            None,
+        )
+
+    def _rayleigh(x):
+        denom = float(np.dot(x * diag, x))
+        if denom <= 0.0 or not math.isfinite(denom):
+            return None
+        numer = float(x @ (g_matrix @ x))
+        return numer / denom
+
+    vector = np.asarray(guess, dtype=float).copy()
+    norm = float(np.linalg.norm(vector))
+    if norm <= 0.0 or not np.all(np.isfinite(vector)):
+        return None, None
+    vector /= norm
+    rho = _rayleigh(vector)
+    if rho is None or rho <= 0.0 or not math.isfinite(rho):
+        return None, None
+
+    shift = float(shift) if shift is not None else shift_fraction * rho
+    if shift <= 0.0 or not math.isfinite(shift):
+        return None, None
+    iterations = 0
+    stable = 0
+    shift_failures = 0
+    at_this_shift = 0
+    while iterations < max_iterations:
+        iterations += 1
+        at_this_shift += 1
+        try:
+            advanced = solve(shift, diag * vector)
+            norm = float(np.linalg.norm(advanced))
+            if norm <= 0.0 or not np.all(np.isfinite(advanced)):
+                raise RuntimeError("shifted solve produced a degenerate vector")
+        except (RuntimeError, np.linalg.LinAlgError):
+            # G - shift D singular/indefinite: the shift overshot
+            # lambda_m — back it off geometrically.
+            shift_failures += 1
+            if shift_failures > max_shift_retries:
+                return None, None
+            shift *= 0.6
+            stable = 0
+            at_this_shift = 0
+            continue
+        vector = advanced / norm
+        rho_next = _rayleigh(vector)
+        if rho_next is None or rho_next <= 0.0:
+            return None, None
+        if abs(rho_next - rho) <= tolerance * abs(rho_next):
+            stable += 1
+        else:
+            stable = 0
+        rho = rho_next
+        if stable >= 2:
+            return (
+                RunawayCurrent(rho, "shift-invert", iterations, (shift, rho)),
+                vector,
+            )
+        if at_this_shift >= reshift_every and shift_fraction * rho > shift:
+            # Converging slowly: the Rayleigh estimate is now a far
+            # tighter upper bound than the starting shift, so chase it.
+            shift = shift_fraction * rho
+            at_this_shift = 0
+    return None, None
 
 
 def runaway_current_binary_search(
@@ -149,6 +332,7 @@ def runaway_current_binary_search(
     initial_bracket=1.0,
     max_doublings=200,
     max_iterations=200,
+    upper_hint=None,
 ):
     """The paper's ``lambda_m`` algorithm: Cholesky-oracle binary search.
 
@@ -167,6 +351,13 @@ def runaway_current_binary_search(
         ``D`` has no positive entry, up to floating-point range).
     max_iterations:
         Safety cap on bisection steps.
+    upper_hint:
+        Prior estimate of ``lambda_m`` (e.g. the previous greedy
+        round's value).  One oracle call classifies it: indefinite
+        means ``[0, hint]`` already brackets and the doubling phase is
+        skipped entirely; positive definite means doubling starts from
+        the hint instead of ``initial_bracket``.  A wrong hint only
+        costs that one call — the result is hint-independent.
 
     Returns
     -------
@@ -183,14 +374,27 @@ def runaway_current_binary_search(
     oracle_calls = 0
     low = 0.0
     high = float(initial_bracket)
-    for _ in range(max_doublings):
+    bracketed = False
+    if upper_hint is not None and math.isfinite(upper_hint) and upper_hint > 0.0:
         oracle_calls += 1
-        if not cholesky_is_spd(_combine(g_matrix, diag, high)):
-            break
-        low = high
-        high *= 2.0
-    else:
-        return RunawayCurrent(math.inf, "binary-search", oracle_calls, (low, math.inf))
+        if cholesky_is_spd(_combine(g_matrix, diag, float(upper_hint))):
+            low = float(upper_hint)
+            high = 2.0 * low
+        else:
+            high = float(upper_hint)
+            bracketed = True
+    if not bracketed:
+        for _ in range(max_doublings):
+            oracle_calls += 1
+            if not cholesky_is_spd(_combine(g_matrix, diag, high)):
+                bracketed = True
+                break
+            low = high
+            high *= 2.0
+        if not bracketed:
+            return RunawayCurrent(
+                math.inf, "binary-search", oracle_calls, (low, math.inf)
+            )
 
     for _ in range(max_iterations):
         if high - low <= tolerance * max(1.0, high):

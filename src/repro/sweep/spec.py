@@ -78,6 +78,14 @@ class Scenario:
     current_method / current_tolerance:
         Problem 2 solver knobs forwarded to
         :func:`~repro.core.current.minimize_peak_temperature`.
+    max_rounds:
+        Greedy-round budget for ``greedy`` / ``table1`` tasks; None
+        runs to the natural termination (the
+        :func:`~repro.core.deploy.greedy_deploy` default).
+    engine:
+        GreedyDeploy engine for ``greedy`` / ``table1`` tasks — one of
+        :data:`~repro.core.deploy.DEPLOY_ENGINES` (``"cold"``,
+        ``"incremental"``) or None for the default (``"cold"``).
     backend:
         Solver backend for the instance — one of
         :data:`~repro.thermal.solve.SOLVER_MODES` (``"direct"``,
@@ -101,9 +109,28 @@ class Scenario:
     budget_w: float = None
     current_method: str = "golden"
     current_tolerance: float = 1.0e-4
+    max_rounds: int = None
+    engine: str = None
     backend: str = None
 
     def __post_init__(self):
+        if self.max_rounds is not None:
+            object.__setattr__(self, "max_rounds", int(self.max_rounds))
+            if self.max_rounds < 0:
+                raise ValueError(
+                    "max_rounds must be None or >= 0, got {}".format(
+                        self.max_rounds
+                    )
+                )
+        if self.engine is not None:
+            from repro.core.deploy import DEPLOY_ENGINES
+
+            if self.engine not in DEPLOY_ENGINES:
+                raise ValueError(
+                    "engine must be one of {} (or None), got {!r}".format(
+                        DEPLOY_ENGINES, self.engine
+                    )
+                )
         if self.backend is not None and self.backend not in SOLVER_MODES:
             raise ValueError(
                 "backend must be one of {} (or None), got {!r}".format(
@@ -215,7 +242,8 @@ class SweepSpec:
     # ------------------------------------------------------------------
 
     @classmethod
-    def table1(cls, names=None, *, current_method="golden"):
+    def table1(cls, names=None, *, current_method="golden", max_rounds=None,
+               engine=None):
         """One ``table1`` scenario per Table I benchmark row."""
         from repro.experiments.benchmarks import benchmark_names
 
@@ -223,7 +251,8 @@ class SweepSpec:
         return cls(
             scenarios=[
                 Scenario(name=name, task="table1", benchmark=name,
-                         current_method=current_method)
+                         current_method=current_method,
+                         max_rounds=max_rounds, engine=engine)
                 for name in names
             ],
             name="table1",

@@ -163,8 +163,10 @@ def _greedy_values(scenario, problem):
         problem,
         current_method=scenario.current_method,
         current_tolerance=scenario.current_tolerance,
+        max_rounds=scenario.max_rounds,
+        engine=scenario.engine if scenario.engine is not None else "cold",
     )
-    return result, {
+    values = {
         "feasible": bool(result.feasible),
         "tec_tiles": [int(t) for t in result.tec_tiles],
         "num_tecs": int(result.num_tecs),
@@ -177,6 +179,16 @@ def _greedy_values(scenario, problem):
         "limit_c": float(problem.max_temperature_c),
         "total_power_w": float(np.sum(problem.power_map)),
     }
+    if result.deploy_stats is not None:
+        values["deploy_engine"] = result.deploy_stats.engine
+        # ``values`` must be bit-reproducible across backends and cache
+        # warmth (see the module docstring); per-round wall-clock splits
+        # are execution metadata, so they stay out of the payload.
+        values["round_stats"] = [
+            {k: v for k, v in r.as_dict().items() if not k.endswith("_s")}
+            for r in result.deploy_stats.rounds
+        ]
+    return result, values
 
 
 def _task_greedy(scenario, problem):

@@ -1,0 +1,346 @@
+"""Cross-round bordered Woodbury solves for growing TEC deployments.
+
+GreedyDeploy's consecutive rounds assemble systems that differ by a
+handful of nodes: covering a tile removes its TIM node and adds two
+TEC nodes, and perturbs the conductance rows of the touched
+neighbours.  This module expresses round ``k+1``'s conductance matrix
+as a low-rank symmetric update of an *anchor* round's factorization,
+so a whole greedy run pays one sparse LU instead of one per round.
+
+Embed every round's ``G_k`` into a common augmented index space
+(anchor nodes first, nodes created since appended; node *names* are
+stable across rounds, indices are not).  With
+``A = blkdiag(G_anchor, gamma I_extra)`` and the correction
+``C = embed(G_k) + gamma I_dropped - A`` supported on a small index
+set ``P`` (dropped TIMs, touched neighbours, new TEC nodes), the
+bordered Woodbury identity
+
+    (A + I_P M I_P^T)^{-1}
+        = A^{-1} - A^{-1} I_P (I + M Z_P)^{-1} M I_P^T A^{-1}
+
+with ``M = C[P, P]`` and ``Z_P = I_P^T A^{-1} I_P`` answers
+``G_k^{-1}`` through the anchor factorization.  This form only needs
+``I + M Z_P`` invertible (true whenever ``G_k`` is nonsingular), not
+``M`` itself — the correction blocks are typically singular.
+
+Because the deployment grows monotonically, ``P`` grows too, and when
+a round's new correction entries are *disjoint* from the previous
+ones (the common case: newly covered tiles not adjacent to earlier
+coverage), the dense capacitance ``K = I + M Z_P`` changes only by a
+border block.  :class:`_BorderedDense` then *extends* the existing
+factorization via the block-Schur complement instead of refactorizing
+— and older rounds keep solving through their prefix of the border
+chain.  The bordering premise fails when a round touches nodes inside
+the previous correction block (covering a tile adjacent to an
+earlier-covered one changes old rows of ``M``) or when the new
+off-diagonal coupling is nonzero; those rounds refactorize the
+capacitance from scratch **against the same anchor** (still no sparse
+LU).  A fresh anchor (one new sparse LU) is taken only when the
+correction support outgrows ``max_correction_fraction`` of the anchor
+size, where the dense correction arithmetic would dominate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+import scipy.sparse as sp
+
+#: Relative pivot threshold below which a dense (Schur) factor is
+#: treated as singular and the bordering/refactorization attempt is
+#: abandoned for the next-cheaper fallback.
+_DENSE_RCOND = 1.0e-12
+
+
+class _BorderedDense:
+    """A dense LU grown by border blocks (block-LU / Schur bordering).
+
+    Level 0 factors the initial matrix; :meth:`extend` appends a
+    ``[[A, B], [C, D]]`` border whose Schur complement
+    ``S = D - C A^{-1} B`` is factored against the existing chain.
+    :meth:`solve` accepts a ``levels`` prefix so snapshots taken
+    before later extensions keep solving their own (smaller) matrix.
+    """
+
+    def __init__(self, matrix):
+        matrix = np.asarray(matrix, dtype=float)
+        self._base = scipy.linalg.lu_factor(matrix, check_finite=False)
+        _check_dense_factors(self._base)
+        self._borders = []  # (Y = A^{-1} B, C, Schur LU factors, k)
+        self.size = matrix.shape[0]
+
+    @property
+    def levels(self):
+        return len(self._borders)
+
+    def size_at(self, levels):
+        size = self._base[0].shape[0]
+        for y_block, _, _, k in self._borders[:levels]:
+            size += k
+        return size
+
+    def extend(self, b_block, c_block, d_block):
+        """Grow by one border block; False when the Schur complement is
+        singular to working precision (caller refactorizes)."""
+        b_block = np.asarray(b_block, dtype=float)
+        c_block = np.asarray(c_block, dtype=float)
+        d_block = np.asarray(d_block, dtype=float)
+        y_block = self.solve(b_block)
+        schur = d_block - c_block @ y_block
+        try:
+            factors = scipy.linalg.lu_factor(schur, check_finite=False)
+            _check_dense_factors(factors)
+        except np.linalg.LinAlgError:
+            return False
+        self._borders.append((y_block, c_block, factors, d_block.shape[0]))
+        self.size += d_block.shape[0]
+        return True
+
+    def solve(self, rhs, levels=None):
+        rhs = np.asarray(rhs, dtype=float)
+        one_dim = rhs.ndim == 1
+        if one_dim:
+            rhs = rhs[:, None]
+        if levels is None:
+            levels = len(self._borders)
+        x = self._solve_level(levels, rhs)
+        return x[:, 0] if one_dim else x
+
+    def _solve_level(self, level, rhs):
+        if level == 0:
+            return scipy.linalg.lu_solve(self._base, rhs, check_finite=False)
+        y_block, c_block, factors, k = self._borders[level - 1]
+        top = self._solve_level(level - 1, rhs[:-k])
+        y = scipy.linalg.lu_solve(
+            factors, rhs[-k:] - c_block @ top, check_finite=False
+        )
+        return np.concatenate([top - y_block @ y, y], axis=0)
+
+
+def _check_dense_factors(factors):
+    u_diag = np.abs(np.diag(factors[0]))
+    if not np.all(np.isfinite(u_diag)) or (
+        u_diag.size and u_diag.min() <= _DENSE_RCOND * max(u_diag.max(), 1.0)
+    ):
+        raise np.linalg.LinAlgError("dense factor singular to working precision")
+
+
+class _BorderedBaseSolve:
+    """Per-round ``G_k^{-1}`` view handed to ``SteadyStateSolver.adopt_base``.
+
+    Snapshots everything round-specific (index permutation, correction
+    block, capacitance prefix level) so later extensions of the shared
+    border chain do not invalidate it.
+    """
+
+    def __init__(self, context, perm, n_aug, p_indices, m_block, apinv, levels):
+        self._context = context
+        self._perm = perm
+        self._n_aug = n_aug
+        self._p = p_indices
+        self._m = m_block
+        self._apinv = apinv
+        self._levels = levels
+
+    def solve(self, rhs):
+        ctx = self._context
+        rhs = np.asarray(rhs, dtype=float)
+        one_dim = rhs.ndim == 1
+        block = rhs[:, None] if one_dim else rhs
+        rhs_aug = np.zeros((self._n_aug, block.shape[1]))
+        rhs_aug[self._perm] = block
+        x0 = ctx._apply_anchor_inverse(rhs_aug)
+        if self._p.size:
+            correction = ctx._k.solve(self._m @ x0[self._p], levels=self._levels)
+            x0 -= self._apinv @ correction
+        x = x0[self._perm]
+        return x[:, 0] if one_dim else x
+
+
+class BorderedDeployContext:
+    """Cross-round solve reuse for a monotonically growing deployment.
+
+    One context accompanies one GreedyDeploy run.  Call
+    :meth:`attach` with each round's freshly built model (before any
+    solve); it either captures the round as the anchor, or injects a
+    bordered/refactorized cross-round view into the round's solver via
+    :meth:`~repro.thermal.solve.SteadyStateSolver.adopt_base`.  The
+    returned mode string is one of ``"skipped"`` (non-reuse backend),
+    ``"anchor"``, ``"bordered"``, ``"refactorized"`` or
+    ``"reanchored"`` — see the module docstring for when each fires.
+    """
+
+    def __init__(self, *, max_correction_fraction=0.4, gamma=None):
+        self.max_correction_fraction = float(max_correction_fraction)
+        self._gamma_override = gamma
+        self._gamma = 1.0
+        self._anchor_lu = None
+        self._anchor_g = None
+        self._anchor_n = 0
+        self._aug_names = {}
+        self._extra_names = []
+        self._anchor_cols = {}   # aug index -> anchor part of A^{-1} e_p
+        self._p_list = []
+        self._m = None
+        self._k = None
+        self.anchor_rounds = 0
+        self.bordered_rounds = 0
+        self.refactorized_rounds = 0
+        self.anchor_columns = 0
+
+    # ------------------------------------------------------------------
+    # Anchor plumbing
+    # ------------------------------------------------------------------
+
+    def _set_anchor(self, model):
+        self._anchor_lu = model.solver.base_factorization()
+        self._anchor_g = model.system.g_matrix.tocsc()
+        self._anchor_n = model.system.num_nodes
+        self._aug_names = {
+            node.name: index for index, node in enumerate(model.network.nodes)
+        }
+        self._extra_names = []
+        self._anchor_cols = {}
+        self._p_list = []
+        self._m = None
+        self._k = None
+        diag = self._anchor_g.diagonal()
+        self._gamma = (
+            float(self._gamma_override)
+            if self._gamma_override is not None
+            else float(np.median(diag[diag > 0.0])) if np.any(diag > 0.0) else 1.0
+        )
+        self.anchor_rounds += 1
+
+    def _apply_anchor_inverse(self, rhs_aug):
+        """``A^{-1} rhs`` on the augmented space (block-diagonal)."""
+        x = np.empty_like(rhs_aug)
+        x[: self._anchor_n] = self._anchor_lu.solve(rhs_aug[: self._anchor_n])
+        x[self._anchor_n:] = rhs_aug[self._anchor_n:] / self._gamma
+        return x
+
+    def _apinv_columns(self, p_indices):
+        """The dense block ``A^{-1} I_P`` (new anchor columns batched)."""
+        n_aug = self._anchor_n + len(self._extra_names)
+        missing = [
+            p for p in p_indices if p < self._anchor_n and p not in self._anchor_cols
+        ]
+        if missing:
+            rhs = np.zeros((self._anchor_n, len(missing)))
+            rhs[missing, np.arange(len(missing))] = 1.0
+            solved = self._anchor_lu.solve(rhs)
+            for j, p in enumerate(missing):
+                self._anchor_cols[p] = solved[:, j].copy()
+            self.anchor_columns += len(missing)
+        apinv = np.zeros((n_aug, len(p_indices)))
+        for j, p in enumerate(p_indices):
+            if p < self._anchor_n:
+                apinv[: self._anchor_n, j] = self._anchor_cols[p]
+            else:
+                apinv[p, j] = 1.0 / self._gamma
+        return apinv
+
+    # ------------------------------------------------------------------
+    # Per-round attach
+    # ------------------------------------------------------------------
+
+    def attach(self, model):
+        """Seed ``model``'s solver from the accumulated cross-round state.
+
+        Returns the mode string (see the class docstring).  Must be
+        called before the model performs any solve.
+        """
+        solver = model.solver
+        if solver.effective_mode != "reuse":
+            return "skipped"
+        if self._anchor_lu is None:
+            self._set_anchor(model)
+            return "anchor"
+
+        names = [node.name for node in model.network.nodes]
+        perm = np.empty(len(names), dtype=np.intp)
+        for index, name in enumerate(names):
+            aug = self._aug_names.get(name)
+            if aug is None:
+                aug = self._anchor_n + len(self._extra_names)
+                self._aug_names[name] = aug
+                self._extra_names.append(name)
+            perm[index] = aug
+        n_aug = self._anchor_n + len(self._extra_names)
+
+        # Correction C = embed(G_k) + gamma I_dropped - A on the
+        # augmented space.  Untouched entries cancel bitwise (blueprint
+        # replay re-emits identical conductance streams), so the
+        # support of C is exactly the perturbed node set.
+        coo = model.system.g_matrix.tocoo()
+        embed = sp.coo_matrix(
+            (coo.data, (perm[coo.row], perm[coo.col])), shape=(n_aug, n_aug)
+        ).tocsr()
+        present = np.zeros(n_aug, dtype=bool)
+        present[perm] = True
+        gamma_fill = np.where(present, 0.0, self._gamma)
+        n_extra = n_aug - self._anchor_n
+        a_aug = sp.block_diag(
+            [self._anchor_g, sp.diags(np.full(n_extra, self._gamma))],
+            format="csr",
+        ) if n_extra else self._anchor_g.tocsr()
+        corr = (embed + sp.diags(gamma_fill) - a_aug).tocsr()
+        corr.eliminate_zeros()
+
+        touched = np.flatnonzero(np.diff(corr.indptr))
+        r_fraction = touched.size / max(self._anchor_n, 1)
+        if r_fraction > self.max_correction_fraction:
+            self._set_anchor(model)
+            return "reanchored"
+
+        old_p = self._p_list
+        new_p = sorted(set(touched.tolist()) - set(old_p))
+        p_total = list(old_p) + new_p
+        p_array = np.asarray(p_total, dtype=np.intp)
+        m_full = corr[p_array][:, p_array].toarray()
+
+        r_old = len(old_p)
+        can_border = (
+            self._k is not None
+            and self._m is not None
+            and np.array_equal(m_full[:r_old, :r_old], self._m)
+            and not np.any(m_full[:r_old, r_old:])
+        )
+
+        apinv = self._apinv_columns(p_total)
+        z_block = apinv[p_array, :]
+        k_full = np.eye(len(p_total)) + m_full @ z_block
+
+        mode = None
+        if can_border and len(new_p):
+            if self._k.extend(
+                k_full[:r_old, r_old:],
+                k_full[r_old:, :r_old],
+                k_full[r_old:, r_old:],
+            ):
+                mode = "bordered"
+        elif can_border:
+            # Nothing new in the correction (identical support and
+            # entries): the existing chain already factors K.
+            mode = "bordered"
+        if mode is None:
+            try:
+                self._k = _BorderedDense(k_full)
+            except np.linalg.LinAlgError:
+                # Capacitance singular against this anchor (numerically
+                # degenerate correction): fall back to a fresh anchor.
+                self._set_anchor(model)
+                return "reanchored"
+            mode = "refactorized"
+
+        self._p_list = p_total
+        self._m = m_full
+        view = _BorderedBaseSolve(
+            self, perm, n_aug, p_array, m_full, apinv, self._k.levels
+        )
+        solver.adopt_base(view)
+        if mode == "bordered":
+            self.bordered_rounds += 1
+        else:
+            self.refactorized_rounds += 1
+        return mode

@@ -99,6 +99,22 @@ AUTO_SUPPORT_COEFF = 4.0
 #: as singular (current at/beyond the runaway limit ``lambda_m``).
 _CAPACITANCE_RCOND = 1.0e-12
 
+#: Capacitance solves at an unfactorized current may be answered by
+#: iterative refinement against the nearest cached factorization —
+#: exact on convergence (machine-precision residual), falling back to
+#: a fresh factorization otherwise.  Only worthwhile once the support
+#: is large enough that a factorization (``m^3/3``) clearly dominates
+#: a handful of refinement sweeps (``~3 m^2`` each).
+_CAP_REFINE_MIN_SUPPORT = 64
+
+#: Relative residual demanded of a refined capacitance solve.
+_CAP_REFINE_RTOL = 1.0e-13
+
+#: Refinement sweep budget; the attempt also aborts as soon as one
+#: sweep fails to halve the residual, so a poorly matched anchor
+#: current costs only ~2 sweeps before the factorization fallback.
+_CAP_REFINE_MAX_ITERATIONS = 15
+
 
 def select_backend(num_nodes, support_size):
     """The ``auto`` heuristic: ``"reuse"`` or ``"krylov"``.
@@ -135,6 +151,10 @@ class SolverStats:
     cap_factorizations:
         Dense Woodbury capacitance-matrix factorizations (reuse mode;
         ``2m x 2m``, orders of magnitude cheaper than a sparse LU).
+    cap_refinements / cap_refine_failures:
+        Capacitance solves answered by iterative refinement against a
+        nearby cached factorization instead of a fresh one, and
+        attempts that aborted (slow convergence) and fell back.
     cache_hits / cache_misses / evictions:
         Per-current factorization-cache traffic.
     solves:
@@ -161,6 +181,8 @@ class SolverStats:
 
     factorizations: int = 0
     cap_factorizations: int = 0
+    cap_refinements: int = 0
+    cap_refine_failures: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     evictions: int = 0
@@ -224,6 +246,10 @@ class SolverStats:
         if self.krylov_solves:
             line += ", krylov {} solves / {} iters / {} fallbacks".format(
                 self.krylov_solves, self.krylov_iterations, self.krylov_fallbacks
+            )
+        if self.cap_refinements or self.cap_refine_failures:
+            line += ", cap refine {} ok / {} fallback".format(
+                self.cap_refinements, self.cap_refine_failures
             )
         return line
 
@@ -291,6 +317,7 @@ class SteadyStateSolver:
         self._d_support = None
         self._w = None
         self._z = None
+        self._zd_matrix = None
         self._x_pair = None
         self._cap_cache = OrderedDict()
         self._resolved_mode = None
@@ -390,6 +417,63 @@ class SteadyStateSolver:
             self._d_support = self.system.d_diagonal[support]
         return self._base_lu
 
+    def base_factorization(self):
+        """The base-``G`` factorization (public accessor).
+
+        Builds it on first call (reuse/krylov machinery).  The returned
+        object answers ``.solve(rhs)`` for 1-D or ``(n, k)`` right-hand
+        sides; the incremental deployment engine anchors its
+        cross-round bordered solves on it.
+        """
+        return self._base_factorization()
+
+    def adopt_base(self, base_solve):
+        """Inject an external base-``G`` solve (cross-round reuse).
+
+        ``base_solve`` must answer ``.solve(rhs)`` with ``G^{-1} rhs``
+        for this solver's assembled system — e.g. a
+        :class:`~repro.thermal.border.BorderedDeployContext` view that
+        expresses this round's ``G`` as a bordered low-rank update of
+        an earlier round's factorization.  A reuse-mode round seeded
+        this way performs **zero** new sparse LU factorizations: the
+        influence block ``W``, the base power pair and every Woodbury
+        correction ride the adopted solve.
+
+        Only meaningful in (effective) ``reuse`` mode and before the
+        solver has built its own base factorization.
+        """
+        if self.effective_mode != "reuse":
+            raise RuntimeError(
+                "adopt_base requires the 'reuse' backend, solver is {!r}".format(
+                    self.effective_mode
+                )
+            )
+        if self._base_lu is not None:
+            raise RuntimeError("base factorization already built; cannot adopt")
+        if not hasattr(base_solve, "solve"):
+            raise TypeError("base_solve must expose a .solve(rhs) method")
+        self._base_lu = base_solve
+        support = np.flatnonzero(self.system.d_diagonal)
+        self._support = support
+        self._d_support = self.system.d_diagonal[support]
+
+    def influence_block(self):
+        """``(support, d_support, w, z)`` of the Woodbury engine.
+
+        Forces the base factorization and the batched influence build
+        (reuse-mode machinery) and returns the Peltier support indices,
+        the support diagonal, the influence columns ``W = G^{-1} I_S``
+        and ``Z = W[support]``.  The reduced runaway eigenproblem is
+        ``eig(Z diag(d_S))`` — the incremental deployment engine uses
+        this to compute ``lambda_m`` (and its eigenvector) with zero
+        additional factorizations.
+        """
+        self._ensure_influence()
+        if self._support.size == 0:
+            empty = np.zeros((self.system.num_nodes, 0))
+            return self._support, self._d_support, empty, np.zeros((0, 0))
+        return self._support, self._d_support, self._w, self._z
+
     def _ensure_influence(self):
         """Batch-solve the Woodbury influence block ``W = G^{-1} I_S``.
 
@@ -431,7 +515,7 @@ class SteadyStateSolver:
         if factors is None:
             self.stats.cache_misses += 1
             size = self._support.size
-            cap = np.eye(size) - current * (self._d_support[:, None] * self._z)
+            cap = np.eye(size) - current * self._zd()
             factors = scipy.linalg.lu_factor(cap, check_finite=False)
             self.stats.cap_factorizations += 1
             u_diag = np.abs(np.diag(factors[0]))
@@ -447,18 +531,81 @@ class SteadyStateSolver:
             self.stats.cache_hits += 1
         return factors
 
+    def _zd(self):
+        """The dense ``diag(d_S) Z`` block (built once, reused by every
+        capacitance assembly and refinement residual)."""
+        if self._zd_matrix is None:
+            self._zd_matrix = self._d_support[:, None] * self._z
+        return self._zd_matrix
+
+    def _cap_solve(self, current, rhs):
+        """Solve ``(I - i d Z) y = rhs``, preferring cached work.
+
+        Order of preference: an exact cached factorization at this
+        current; iterative refinement against the *nearest* cached
+        factorization (exact to ``_CAP_REFINE_RTOL`` on success —
+        Problem 2 searches and shift-invert iterations evaluate
+        tightly clustered currents, where refinement converges in a
+        couple of ``m^2`` sweeps instead of a fresh ``m^3/3``
+        factorization); a fresh factorization otherwise.
+        """
+        factors = self._cache_get(self._cap_cache, current)
+        if factors is not None:
+            self.stats.cache_hits += 1
+            return scipy.linalg.lu_solve(factors, rhs, check_finite=False)
+        if self._cap_cache and self._support.size >= _CAP_REFINE_MIN_SUPPORT:
+            anchor = min(self._cap_cache, key=lambda cached: abs(cached - current))
+            refined = self._cap_refine(current, anchor, rhs)
+            if refined is not None:
+                self.stats.cap_refinements += 1
+                return refined
+            self.stats.cap_refine_failures += 1
+        factors = self._capacitance(current)
+        return scipy.linalg.lu_solve(factors, rhs, check_finite=False)
+
+    def _cap_refine(self, current, anchor, rhs):
+        """Iterative refinement of a capacitance solve at ``current``
+        against the cached factorization at ``anchor``.
+
+        Returns the solution once the relative residual reaches
+        ``_CAP_REFINE_RTOL``, or None when a sweep fails to halve the
+        residual (anchor too far, or current near runaway) — the
+        caller then pays a fresh factorization, so accuracy never
+        degrades.
+        """
+        factors = self._cap_cache[anchor]
+        zd = self._zd()
+        rhs_norm = float(np.linalg.norm(rhs))
+        if rhs_norm == 0.0:
+            return np.zeros_like(rhs)
+        start = time.perf_counter()
+        solution = scipy.linalg.lu_solve(factors, rhs, check_finite=False)
+        previous = math.inf
+        outcome = None
+        for _ in range(_CAP_REFINE_MAX_ITERATIONS):
+            residual = rhs - solution + current * (zd @ solution)
+            residual_norm = float(np.linalg.norm(residual))
+            if residual_norm <= _CAP_REFINE_RTOL * rhs_norm:
+                outcome = solution
+                break
+            if not math.isfinite(residual_norm) or residual_norm >= 0.5 * previous:
+                break
+            previous = residual_norm
+            solution = solution + scipy.linalg.lu_solve(
+                factors, residual, check_finite=False
+            )
+        self.stats.solve_time_s += time.perf_counter() - start
+        return outcome
+
     def _woodbury_correct(self, current, x):
         """Apply the low-rank correction turning ``G^{-1} b`` into
         ``(G - i D)^{-1} b`` (``x`` may be 1-D or a column block)."""
         if current == 0.0 or self._support.size == 0:
             return x
         self._ensure_influence()
-        factors = self._capacitance(current)
         x_support = x[self._support]
-        small = scipy.linalg.lu_solve(
-            factors,
-            current * (self._d_support * x_support.T).T,
-            check_finite=False,
+        small = self._cap_solve(
+            current, current * (self._d_support * x_support.T).T
         )
         return x + self._w @ small
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.current import minimize_peak_temperature
+from repro.core.current import minimize_peak_temperature, polish_current
 
 
 class TestGoldenSection:
@@ -161,3 +161,93 @@ class TestAttachedStats:
         result = minimize_peak_temperature(model)
         assert result.stats is not None
         assert result.stats.solves == 1
+
+
+class TestNewtonMethod:
+    """Safeguarded secant/bisection on the exact slope (warm rounds)."""
+
+    @pytest.fixture(scope="class")
+    def golden(self, small_deployed):
+        return minimize_peak_temperature(
+            small_deployed, method="golden", tolerance=1e-6)
+
+    def test_agrees_with_golden(self, small_deployed, golden):
+        newton = minimize_peak_temperature(
+            small_deployed, method="newton", tolerance=1e-6)
+        assert newton.method == "newton"
+        assert newton.converged
+        assert newton.current == pytest.approx(golden.current, abs=1e-5)
+        assert newton.peak_c == pytest.approx(golden.peak_c, abs=1e-9)
+
+    def test_warm_bounds_cut_evaluations(self, small_deployed, golden):
+        cold = minimize_peak_temperature(
+            small_deployed, method="newton", tolerance=1e-6)
+        half = 0.25 * golden.current
+        warm = minimize_peak_temperature(
+            small_deployed, method="newton", tolerance=1e-6,
+            lambda_m=golden.lambda_m,
+            bounds=(golden.current - half, golden.current + half))
+        assert warm.current == pytest.approx(golden.current, abs=1e-5)
+        assert warm.evaluations <= cold.evaluations
+
+    def test_drifted_bounds_still_converge(self, small_deployed, golden):
+        # The warm bracket no longer contains the minimizer: the
+        # slope-sign doubling must walk out and still find it.
+        off = minimize_peak_temperature(
+            small_deployed, method="newton", tolerance=1e-6,
+            bounds=(2.0 * golden.current, 2.5 * golden.current))
+        assert off.current == pytest.approx(golden.current, abs=1e-4)
+
+
+class TestPolishCurrent:
+    """The deterministic fixed-point refinement of a raw argmin."""
+
+    @pytest.fixture(scope="class")
+    def setting(self, small_deployed):
+        optimum = minimize_peak_temperature(
+            small_deployed, method="golden", tolerance=1e-4)
+        return small_deployed, optimum
+
+    def test_never_worse_than_input(self, setting):
+        model, optimum = setting
+        upper = 0.98 * optimum.lambda_m
+        polished, evaluations = polish_current(
+            model, optimum.current, upper=upper)
+        assert evaluations > 0
+        raw_peak = model.solve(optimum.current).peak_silicon_c
+        polished_peak = model.solve(polished).peak_silicon_c
+        assert polished_peak <= raw_peak + 1e-12
+
+    def test_fixed_point_is_start_independent(self, setting):
+        # Raw argmins scattered across the solver-noise plateau
+        # (~1e-5 wide here) must polish to one fixed point — this is
+        # what lets the two engines' optima be compared at 1e-6 A.
+        model, optimum = setting
+        upper = 0.98 * optimum.lambda_m
+        a, _ = polish_current(model, optimum.current + 1e-5, upper=upper)
+        b, _ = polish_current(model, optimum.current - 1e-5, upper=upper)
+        assert a == pytest.approx(b, abs=1e-7)
+
+    def test_idempotent(self, setting):
+        model, optimum = setting
+        upper = 0.98 * optimum.lambda_m
+        once, _ = polish_current(model, optimum.current, upper=upper)
+        twice, _ = polish_current(model, once, upper=upper)
+        assert twice == pytest.approx(once, abs=1e-6)
+
+    def test_far_start_returns_input_unchanged(self, setting):
+        # The 2h vertex guard: a start far outside the fit window is
+        # not dragged anywhere — the input comes back untouched (the
+        # caller's search result stands).
+        model, optimum = setting
+        upper = 0.98 * optimum.lambda_m
+        start = optimum.current * 1.2
+        polished, evaluations = polish_current(model, start, upper=upper)
+        assert polished == start
+        assert evaluations == 3
+
+    def test_upper_below_minimizer_returns_input(self, setting):
+        model, optimum = setting
+        polished, _ = polish_current(
+            model, optimum.current, upper=optimum.current * 0.5)
+        assert polished == optimum.current

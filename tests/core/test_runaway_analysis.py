@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.runaway import influence_sweep, runaway_curve
+from repro.core.runaway import RunawayCurve, influence_sweep, runaway_curve
 
 
 class TestRunawayCurve:
@@ -79,3 +79,73 @@ class TestInfluenceSweep:
         unit[node] = 1.0
         expected = small_deployed.solver.solve_rhs(0.0, unit)[node]
         assert value == pytest.approx(expected)
+
+
+class TestBlowUpRatioSemantics:
+    """Direct checks of the ratio on hand-built curves."""
+
+    @staticmethod
+    def _curve(peaks, h):
+        peaks = np.asarray(peaks, dtype=float)
+        h = np.asarray(h, dtype=float)
+        return RunawayCurve(
+            lambda_m=10.0,
+            currents=np.linspace(0.0, 9.0, peaks.size),
+            peak_c=peaks,
+            h_peak=h,
+            diverged=bool(peaks[-1] > peaks[0]),
+        )
+
+    def test_dipping_curve_measures_rise_from_minimum(self):
+        # Figure 6 shape: dip to the optimal-cooling minimum, then
+        # blow up.  Rise at the end (200 - 45) over rise at the start
+        # (50 - 45).
+        curve = self._curve([50.0, 45.0, 60.0, 200.0], [1.0, 1.0, 2.0, 10.0])
+        assert curve.blow_up_ratio() == pytest.approx(155.0 / 5.0)
+
+    def test_monotone_curve_falls_back_to_h_ratio(self):
+        # The first sample *is* the minimum, so the temperature-rise
+        # reference is exactly zero; the ratio must fall back to the
+        # h_kk divergence instead of dividing by a clamp.
+        curve = self._curve([50.0, 60.0, 200.0], [2.0, 3.0, 40.0])
+        assert curve.blow_up_ratio() == pytest.approx(20.0)
+
+    def test_flat_curve_is_one(self):
+        curve = self._curve([50.0, 50.0], [1.0, 1.0])
+        assert curve.blow_up_ratio() == 1.0
+
+    def test_real_monotone_slice_is_finite_and_sane(self, small_deployed):
+        # Fractions past the cooling dip give a monotone curve; the
+        # fallback must still report a large-but-meaningful divergence
+        # indicator, not a division by a clamp.
+        curve = runaway_curve(small_deployed, fractions=[0.5, 0.9, 0.999])
+        assert np.all(np.diff(curve.peak_c) > 0.0)
+        ratio = curve.blow_up_ratio()
+        assert 1.0 < ratio < 1e9
+        assert ratio == pytest.approx(curve.h_peak[-1] / curve.h_peak[0])
+
+
+class TestInfluenceSweepBatched:
+    def test_matches_single_vector_solves(self, small_deployed):
+        """The batched multi-RHS path returns exactly what one
+        unit-column solve per (pair, current) returns."""
+        nodes = small_deployed.silicon_nodes
+        pairs = [
+            (nodes[0], nodes[0]),
+            (nodes[3], nodes[0]),   # shares column l with the first
+            (nodes[1], nodes[7]),
+        ]
+        currents = [0.0, 1.5, 3.0]
+        batched = influence_sweep(small_deployed, pairs, currents)
+        for row, (k, l) in enumerate(pairs):
+            unit = np.zeros(small_deployed.num_nodes)
+            unit[l] = 1.0
+            for col, current in enumerate(currents):
+                h = small_deployed.solver.solve_rhs(float(current), unit)
+                assert batched[row, col] == pytest.approx(
+                    float(h[k]), rel=1e-12, abs=1e-15)
+
+    def test_empty_inputs(self, small_deployed):
+        assert influence_sweep(small_deployed, [], [1.0]).shape == (0, 1)
+        assert influence_sweep(
+            small_deployed, [(0, 0)], []).shape == (1, 0)

@@ -13,6 +13,7 @@ from repro.linalg.runaway import (
     runaway_current,
     runaway_current_binary_search,
     runaway_current_eigen,
+    runaway_current_shift_invert,
 )
 from repro.linalg.spd import cholesky_is_spd
 from repro.linalg.stieltjes import random_stieltjes
@@ -149,3 +150,102 @@ class TestRunawayProperties:
         assert not cholesky_is_spd(g - 1.01 * lam * np.diag(d))
         search = runaway_current_binary_search(g, d, tolerance=1e-9)
         assert search.value == pytest.approx(lam, rel=1e-5)
+
+
+class TestShiftInvert:
+    """Warm-started inverse iteration on the pencil (G, D)."""
+
+    @pytest.fixture(scope="class")
+    def pencil(self):
+        g, d = _instance(16, seed=11, hot=4, cold=9, alpha=0.2)
+        exact, vector = runaway_current_eigen(g, d, return_vector=True)
+        return g, d, exact.value, vector
+
+    @staticmethod
+    def _solve(g, d):
+        """The `solve(current, rhs)` oracle: a Cholesky solve that, like
+        the real solve engine, raises on an indefinite shifted system."""
+        import scipy.linalg
+
+        def solve(current, rhs):
+            return scipy.linalg.cho_solve(
+                scipy.linalg.cho_factor(g - current * np.diag(d)), rhs
+            )
+
+        return solve
+
+    def test_converges_from_perturbed_seed(self, pencil):
+        g, d, exact, vector = pencil
+        rng = np.random.default_rng(0)
+        guess = vector + 0.05 * rng.standard_normal(vector.shape)
+        result, out = runaway_current_shift_invert(
+            self._solve(g, d), g, d, guess=guess
+        )
+        assert result is not None
+        assert result.method == "shift-invert"
+        assert result.iterations > 0
+        assert result.value == pytest.approx(exact, rel=1e-6)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_value_is_certified_upper_bound(self, pencil):
+        """The returned Rayleigh quotient can never undershoot lambda_m
+        (Theorem 1's variational characterization)."""
+        g, d, exact, vector = pencil
+        rng = np.random.default_rng(1)
+        guess = vector + 0.1 * rng.standard_normal(vector.shape)
+        result, _ = runaway_current_shift_invert(
+            self._solve(g, d), g, d, guess=guess
+        )
+        assert result.value >= exact * (1.0 - 1e-9)
+
+    def test_explicit_shift_hint(self, pencil):
+        """The incremental engine passes 0.6x the previous round's
+        lambda_m as the starting shift."""
+        g, d, exact, vector = pencil
+        result, _ = runaway_current_shift_invert(
+            self._solve(g, d), g, d, guess=vector, shift=0.6 * exact
+        )
+        assert result is not None
+        assert result.value == pytest.approx(exact, rel=1e-6)
+
+    def test_overshooting_shift_recovers(self, pencil):
+        """A shift beyond lambda_m makes the shifted system indefinite;
+        the geometric backoff must recover and still converge."""
+        g, d, exact, vector = pencil
+        result, _ = runaway_current_shift_invert(
+            self._solve(g, d), g, d, guess=vector, shift=1.5 * exact
+        )
+        assert result is not None
+        assert result.value == pytest.approx(exact, rel=1e-6)
+
+    def test_budget_exhaustion_returns_none_pair(self, pencil):
+        g, d, exact, vector = pencil
+        rng = np.random.default_rng(2)
+        guess = vector + 0.05 * rng.standard_normal(vector.shape)
+        result, out = runaway_current_shift_invert(
+            self._solve(g, d), g, d, guess=guess, max_iterations=1
+        )
+        assert result is None and out is None
+
+    def test_degenerate_seed_rejected(self, pencil):
+        g, d, _, _ = pencil
+        result, out = runaway_current_shift_invert(
+            self._solve(g, d), g, d, guess=np.zeros(16)
+        )
+        assert result is None and out is None
+        # x' D x <= 0: the hot entry is zeroed, only the cold one acts.
+        bad = np.zeros(16)
+        bad[9] = 1.0
+        result, out = runaway_current_shift_invert(
+            self._solve(g, d), g, d, guess=bad
+        )
+        assert result is None and out is None
+
+    def test_no_positive_d_is_infinite(self, pencil):
+        g, _, _, _ = pencil
+        result, out = runaway_current_shift_invert(
+            self._solve(g, np.zeros(16)), g, np.zeros(16),
+            guess=np.ones(16),
+        )
+        assert math.isinf(result.value)
+        assert out is None

@@ -70,6 +70,24 @@ class TestScenarioValidation:
         with pytest.raises(ValueError, match="backend"):
             _explicit(backend="jacobi")
 
+    def test_engine_defaults_to_none(self):
+        assert _explicit().engine is None
+        assert _explicit().max_rounds is None
+
+    @pytest.mark.parametrize("engine", ["cold", "incremental"])
+    def test_valid_engines_accepted(self, engine):
+        assert _explicit(engine=engine).engine == engine
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            _explicit(engine="warp")
+
+    def test_max_rounds_coerced_and_validated(self):
+        assert _explicit(max_rounds="3").max_rounds == 3
+        assert _explicit(max_rounds=0).max_rounds == 0
+        with pytest.raises(ValueError, match="max_rounds"):
+            _explicit(max_rounds=-1)
+
     def test_solve_needs_current(self):
         with pytest.raises(ValueError, match="current_a"):
             _explicit(task="solve", tec_tiles=(0,))

@@ -85,7 +85,7 @@ class TestSolveBackend:
                      "--solver-stats"]) == 0
         out = capsys.readouterr().out
         assert "feasible:     True" in out
-        assert "krylov engine" in out
+        assert "krylov backend" in out
 
     def test_auto_backend_accepted(self, capsys):
         assert main(["solve", "--benchmark", "hc08", "--backend", "auto"]) == 0
@@ -127,6 +127,68 @@ class TestWorkersValidation:
             ["table1", "--benchmarks", "alpha", "--workers", "2"]
         )
         assert args.workers == 2
+
+
+class TestRoundsAndEngine:
+    """``--max-rounds`` validation mirrors ``--workers``; the engine
+    and round-stats flags ride the solve/table1 paths end to end."""
+
+    @pytest.mark.parametrize("value", ["0", "-1"])
+    def test_solve_rejects_nonpositive_rounds(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--benchmark", "hc08", "--max-rounds", value])
+        assert excinfo.value.code == 2
+        assert "--max-rounds must be a positive integer" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("value", ["0", "-2"])
+    def test_table1_rejects_nonpositive_rounds(self, capsys, value):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--benchmarks", "alpha", "--max-rounds", value])
+        assert excinfo.value.code == 2
+        assert "--max-rounds must be a positive integer" in capsys.readouterr().err
+
+    def test_non_integer_rounds_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--benchmark", "hc08", "--max-rounds", "two"])
+        assert excinfo.value.code == 2
+        assert "invalid int value" in capsys.readouterr().err
+
+    def test_unknown_engine_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--benchmark", "hc08", "--engine", "warp"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_solve_incremental_with_round_stats(self, capsys):
+        code = main([
+            "solve", "--benchmark", "hc08",
+            "--engine", "incremental", "--round-stats",
+        ])
+        out = capsys.readouterr().out
+        assert code in (0, 1)
+        assert "round stats (incremental engine:" in out
+        assert "round 0:" in out
+
+    def test_solve_max_rounds_caps_loop(self, capsys):
+        # hc06 at 85 C is infeasible, so the greedy loop runs multiple
+        # rounds; capping at 1 must still exit cleanly (infeasible).
+        code = main([
+            "solve", "--benchmark", "hc06", "--limit", "85",
+            "--max-rounds", "1", "--round-stats",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "round 0:" in out
+        assert "round 1:" not in out
+
+    def test_table1_round_stats(self, capsys):
+        code = main([
+            "table1", "--benchmarks", "alpha",
+            "--engine", "incremental", "--round-stats",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round 0:" in out
 
 
 class TestSweepBackend:

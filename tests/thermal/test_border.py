@@ -1,0 +1,126 @@
+"""Cross-round bordered Woodbury reuse (``repro.thermal.border``)."""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import CoolingSystemProblem
+from repro.thermal.border import BorderedDeployContext, _BorderedDense
+from repro.thermal.geometry import TileGrid
+
+
+def _spd(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestBorderedDense:
+    def test_extend_matches_full_solve(self):
+        full = _spd(9, seed=0)
+        chain = _BorderedDense(full[:5, :5])
+        assert chain.extend(full[:5, 5:7], full[5:7, :5], full[5:7, 5:7])
+        assert chain.extend(full[:7, 7:], full[7:, :7], full[7:, 7:])
+        rhs = np.arange(9, dtype=float)
+        np.testing.assert_allclose(
+            chain.solve(rhs), np.linalg.solve(full, rhs), rtol=1e-10
+        )
+
+    def test_prefix_levels_solve_smaller_matrix(self):
+        full = _spd(8, seed=1)
+        chain = _BorderedDense(full[:5, :5])
+        chain.extend(full[:5, 5:], full[5:, :5], full[5:, 5:])
+        rhs = np.ones(5)
+        np.testing.assert_allclose(
+            chain.solve(rhs, levels=0),
+            np.linalg.solve(full[:5, :5], rhs),
+            rtol=1e-10,
+        )
+        assert chain.size_at(0) == 5
+        assert chain.size_at(1) == 8
+
+    def test_matrix_rhs(self):
+        full = _spd(6, seed=2)
+        chain = _BorderedDense(full[:4, :4])
+        chain.extend(full[:4, 4:], full[4:, :4], full[4:, 4:])
+        rhs = np.eye(6)[:, :3]
+        np.testing.assert_allclose(
+            chain.solve(rhs), np.linalg.solve(full, rhs), rtol=1e-10
+        )
+
+    @pytest.mark.filterwarnings("ignore::scipy.linalg.LinAlgWarning")
+    def test_singular_schur_rejected(self):
+        base = np.eye(3)
+        chain = _BorderedDense(base)
+        # D - C A^{-1} B = 1 - 1 = 0: singular Schur complement.
+        assert not chain.extend(
+            np.array([[1.0], [0.0], [0.0]]),
+            np.array([[1.0, 0.0, 0.0]]),
+            np.array([[1.0]]),
+        )
+        assert chain.levels == 0
+
+    @pytest.mark.filterwarnings("ignore::scipy.linalg.LinAlgWarning")
+    def test_singular_base_raises(self):
+        with pytest.raises(np.linalg.LinAlgError):
+            _BorderedDense(np.zeros((3, 3)))
+
+
+@pytest.fixture()
+def reuse_problem():
+    grid = TileGrid(5, 5)
+    power = np.full(grid.num_tiles, 0.1)
+    power[12] = 0.6
+    return CoolingSystemProblem(
+        grid, power, max_temperature_c=90.0, name="border-test",
+    ).configure_solver(mode="reuse")
+
+
+class TestBorderedDeployContext:
+    def test_first_round_is_anchor(self, reuse_problem):
+        context = BorderedDeployContext()
+        assert context.attach(reuse_problem.model((12,))) == "anchor"
+        assert context.anchor_rounds == 1
+
+    def test_grown_round_reuses_anchor_and_stays_exact(self, reuse_problem):
+        context = BorderedDeployContext()
+        context.attach(reuse_problem.model((12,)))
+        grown = reuse_problem.model((12, 7, 17))
+        mode = context.attach(grown)
+        # No new sparse LU either way; bordering needs the new
+        # correction block to be disjoint from the old one.
+        assert mode in ("bordered", "refactorized")
+        reference = CoolingSystemProblem(
+            reuse_problem.grid,
+            reuse_problem.power_map,
+            max_temperature_c=90.0,
+            name="border-ref",
+        ).configure_solver(mode="direct").model((12, 7, 17))
+        for current in (0.0, 1.0, 3.0):
+            np.testing.assert_allclose(
+                grown.solve(current).theta_k,
+                reference.solve(current).theta_k,
+                rtol=1e-9,
+                atol=1e-9,
+            )
+
+    def test_third_round_extends_the_same_chain(self, reuse_problem):
+        context = BorderedDeployContext()
+        context.attach(reuse_problem.model((12,)))
+        context.attach(reuse_problem.model((12, 7)))
+        model = reuse_problem.model((12, 7, 2, 22))
+        mode = context.attach(model)
+        assert mode in ("bordered", "refactorized")
+        assert context.anchor_rounds == 1
+        assert context.bordered_rounds + context.refactorized_rounds == 2
+
+    def test_non_reuse_backend_is_skipped(self, reuse_problem):
+        direct = reuse_problem.with_solver_mode("direct")
+        context = BorderedDeployContext()
+        assert context.attach(direct.model((12,))) == "skipped"
+
+    def test_oversized_correction_reanchors(self, reuse_problem):
+        context = BorderedDeployContext(max_correction_fraction=0.0)
+        context.attach(reuse_problem.model((12,)))
+        mode = context.attach(reuse_problem.model((12, 7)))
+        assert mode == "reanchored"
+        assert context.anchor_rounds == 2

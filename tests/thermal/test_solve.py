@@ -406,7 +406,8 @@ class TestSolverStats:
         data = solver.stats.as_dict()
         assert data["solves"] == 1
         assert set(data) == {
-            "factorizations", "cap_factorizations", "cache_hits",
+            "factorizations", "cap_factorizations", "cap_refinements",
+            "cap_refine_failures", "cache_hits",
             "cache_misses", "evictions", "solves", "rhs_columns",
             "solution_hits", "krylov_solves", "krylov_iterations",
             "krylov_fallbacks", "factor_time_s", "solve_time_s",
@@ -419,3 +420,60 @@ class TestSolverStats:
         summary = solver.stats.summary()
         assert "\n" not in summary
         assert "1 LU" in summary
+
+
+class TestCapRefinement:
+    """Iterative refinement of Woodbury capacitance solves against the
+    nearest cached factorization (clustered-current fast path)."""
+
+    @staticmethod
+    def _big_model():
+        from repro.thermal.geometry import TileGrid
+        from repro.thermal.model import PackageThermalModel
+
+        grid = TileGrid(6, 6)
+        power = np.full(grid.num_tiles, 0.12)
+        # Full coverage: support ~2 nodes/TEC clears the
+        # _CAP_REFINE_MIN_SUPPORT=64 gate on a 36-tile grid.
+        return PackageThermalModel(
+            grid, power, tec_tiles=tuple(range(grid.num_tiles)),
+            solver_mode="reuse",
+        )
+
+    def test_refined_solve_matches_fresh_factorization(self):
+        refined_model = self._big_model()
+        fresh_model = self._big_model()
+        anchor, probe = 1.0, 1.05
+        refined_model.solve(anchor)          # caches the anchor factors
+        before = refined_model.solver.stats.copy()
+        got = refined_model.solve(probe).theta_k
+        delta = refined_model.solver.stats.diff(before)
+        assert delta.cap_refinements > 0
+        assert delta.cap_factorizations == 0
+        want = fresh_model.solve(probe).theta_k
+        np.testing.assert_allclose(got, want, rtol=1e-10, atol=1e-10)
+
+    def test_small_support_never_refines(self, tec_system):
+        solver = SteadyStateSolver(tec_system)
+        solver.solve(1.0)
+        solver.solve(1.05)
+        assert solver.stats.cap_refinements == 0
+
+    def test_failed_refinement_falls_back_to_fresh_factors(self, monkeypatch):
+        import repro.thermal.solve as solve_module
+
+        # Zero sweeps: every refinement attempt gives up immediately,
+        # so the solver must fall back to a fresh factorization and
+        # stay exact.
+        monkeypatch.setattr(solve_module, "_CAP_REFINE_MAX_ITERATIONS", 0)
+        model = self._big_model()
+        reference = self._big_model()
+        model.solve(1.0)
+        before = model.solver.stats.copy()
+        got = model.solve(1.05).theta_k
+        delta = model.solver.stats.diff(before)
+        assert delta.cap_refine_failures > 0
+        assert delta.cap_refinements == 0
+        assert delta.cap_factorizations > 0
+        want = reference.solve(1.05).theta_k
+        np.testing.assert_allclose(got, want, rtol=1e-12, atol=1e-12)
