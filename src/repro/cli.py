@@ -13,6 +13,12 @@ Usage (also installed as the ``repro`` console script)::
                               [--engine incremental] [--max-rounds N]
                               [--round-stats]
     python -m repro.cli solve --flp chip.flp --powers powers.json --limit 85
+    python -m repro.cli transient --benchmark alpha [--tiles 27 28 ...]
+                                  [--current 3.2] [--dt 1e-3] [--steps 200]
+                                  [--backend reuse] [--solver-stats]
+    python -m repro.cli control --benchmark alpha [--controller bangbang]
+                                [--steps 400] [--dt 0.01]
+                                [--control-period 0.05] [--solver-stats]
     python -m repro.cli validate [--refine 2]
     python -m repro.cli runaway [--benchmark alpha]
     python -m repro.cli conjecture [--matrices 500]
@@ -296,22 +302,7 @@ def _add_solve(subparsers):
         "--full-cover", action="store_true",
         help="also run the Full-Cover baseline and report SwingLoss",
     )
-    parser.add_argument(
-        "--backend", "--solver-mode", dest="solver_mode",
-        choices=list(_BACKENDS), default=None,
-        help="steady-state solver backend: 'reuse' (blocked Woodbury, "
-             "default), 'direct' (one LU per distinct current), 'krylov' "
-             "(G-preconditioned GMRES with direct fallback), or 'auto' "
-             "(reuse vs krylov by support size)",
-    )
-    parser.add_argument(
-        "--solver-cache-size", type=int, default=None,
-        help="per-current factorization/solution cache size (default 8)",
-    )
-    parser.add_argument(
-        "--solver-stats", action="store_true",
-        help="print solve-engine instrumentation after the run",
-    )
+    _add_solver_options(parser, "solve")
     parser.add_argument(
         "--engine", choices=_ENGINES, default=None,
         help="GreedyDeploy engine: 'cold' (per-round recompute, default) "
@@ -393,6 +384,279 @@ def _load_problem(args):
     grid = TileGrid(args.rows, args.cols)
     floorplan = floorplan_from_flp(args.flp, grid, unit_powers)
     return CoolingSystemProblem.from_floorplan(floorplan, name=args.flp)
+
+
+def _add_solver_options(parser, command):
+    """The shared solver-backend flags (``solve``/``transient``/``control``)."""
+    parser.add_argument(
+        "--backend", "--solver-mode", dest="solver_mode",
+        choices=list(_BACKENDS), default=None,
+        help="steady-state solver backend: 'reuse' (blocked Woodbury, "
+             "default), 'direct' (one LU per distinct current), 'krylov' "
+             "(G-preconditioned GMRES with direct fallback), or 'auto' "
+             "(reuse vs krylov by support size)",
+    )
+    parser.add_argument(
+        "--solver-cache-size", type=int, default=None,
+        help="per-current factorization/solution cache size (default 8)",
+    )
+    parser.add_argument(
+        "--solver-stats", action="store_true",
+        help="print solve-engine instrumentation after the run",
+    )
+    parser.set_defaults(_solver_command=command)
+
+
+def _deployed_model(args):
+    """Problem + deployed model for ``transient`` / ``control``.
+
+    ``--tiles`` fixes the deployment explicitly; without it the
+    benchmark's GreedyDeploy solution is used (and its optimum current
+    becomes the default current where one is needed).
+    """
+    from repro.experiments.benchmarks import load_benchmark
+
+    problem = load_benchmark(args.benchmark)
+    if args.solver_mode is not None or args.solver_cache_size is not None:
+        try:
+            problem.configure_solver(
+                mode=args.solver_mode, cache_size=args.solver_cache_size
+            )
+        except ValueError as error:
+            raise SystemExit(
+                "repro {}: error: {}".format(args._solver_command, error)
+            )
+    greedy = None
+    if args.tiles:
+        tiles = tuple(sorted({int(t) for t in args.tiles}))
+    else:
+        from repro.core.deploy import greedy_deploy
+
+        greedy = greedy_deploy(problem)
+        tiles = tuple(greedy.tec_tiles)
+    return problem, problem.model(tiles), greedy
+
+
+def _default_current(model, greedy):
+    """Fall back to the deployment's Problem 2 optimum current."""
+    if greedy is not None:
+        return float(greedy.current)
+    from repro.core.current import minimize_peak_temperature
+
+    return float(minimize_peak_temperature(model).current)
+
+
+def _print_solver_stats(problem, delta):
+    print("solver stats ({} backend):".format(problem.solver_mode))
+    for line in delta.summary().splitlines():
+        print("  " + line)
+
+
+def _add_transient(subparsers):
+    parser = subparsers.add_parser(
+        "transient",
+        help="backward-Euler warm-up trajectory of a deployment "
+             "(shared solve-session with the steady solver)",
+    )
+    parser.add_argument("--benchmark", default="alpha", help="registered benchmark")
+    parser.add_argument(
+        "--tiles", nargs="+", type=int, default=None, metavar="TILE",
+        help="deployed TEC tiles (default: the benchmark's greedy solution)",
+    )
+    parser.add_argument(
+        "--current", type=float, default=None, metavar="A",
+        help="fixed supply current (default: the deployment's I_opt)",
+    )
+    parser.add_argument(
+        "--dt", type=float, default=1.0e-3, metavar="S",
+        help="backward-Euler step in seconds (default 1 ms)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=200, metavar="N",
+        help="integration steps (default 200)",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the result as JSON")
+    _add_solver_options(parser, "transient")
+    parser.set_defaults(func=_cmd_transient)
+
+
+def _cmd_transient(args):
+    from repro.thermal.transient import TransientSimulator
+
+    if args.dt <= 0.0:
+        raise SystemExit("repro transient: error: --dt must be positive")
+    if args.steps < 1:
+        raise SystemExit("repro transient: error: --steps must be >= 1")
+    problem, model, greedy = _deployed_model(args)
+    current = (
+        float(args.current) if args.current is not None
+        else _default_current(model, greedy)
+    )
+    stats_before = problem.solver_stats.copy()
+    simulator = TransientSimulator(
+        model, current=current, dt=args.dt, initial_state="ambient"
+    )
+    trace = simulator.run(args.steps)
+    steady_peak = float(model.solve(current).peak_silicon_c)
+    delta = problem.solver_stats.diff(stats_before)
+    final_peak = float(trace[-1])
+    max_peak = float(trace.max())
+    print("problem: {} (limit {:.1f} C)".format(problem.name, problem.max_temperature_c))
+    print("deployment:  {} TECs at i = {:.3f} A".format(len(model.stamps), current))
+    print("integrated:  {} steps of {:.4g} s ({:.4g} s total)".format(
+        args.steps, args.dt, args.steps * args.dt))
+    print("final peak:  {:.2f} C".format(final_peak))
+    print("max peak:    {:.2f} C".format(max_peak))
+    print("steady peak: {:.2f} C (gap {:.3f} C)".format(
+        steady_peak, steady_peak - final_peak))
+    if args.solver_stats:
+        _print_solver_stats(problem, delta)
+    if args.json:
+        payload = {
+            "benchmark": args.benchmark,
+            "tec_tiles": [int(stamp.tile) for stamp in model.stamps],
+            "current_a": current,
+            "dt_s": float(args.dt),
+            "steps": int(args.steps),
+            "peak_trace_c": [float(v) for v in trace],
+            "final_peak_c": final_peak,
+            "max_peak_c": max_peak,
+            "steady_peak_c": steady_peak,
+            "steady_gap_c": steady_peak - final_peak,
+            "solver_stats": delta.as_dict(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print("result written to {}".format(args.json))
+    return 0 if max_peak <= problem.max_temperature_c else 1
+
+
+def _add_control(subparsers):
+    parser = subparsers.add_parser(
+        "control",
+        help="closed-loop DTM simulation (controller + sensors over the "
+             "shared solve-session)",
+    )
+    parser.add_argument("--benchmark", default="alpha", help="registered benchmark")
+    parser.add_argument(
+        "--tiles", nargs="+", type=int, default=None, metavar="TILE",
+        help="deployed TEC tiles (default: the benchmark's greedy solution)",
+    )
+    parser.add_argument(
+        "--controller", choices=("bangbang", "pi", "constant"),
+        default="bangbang", help="DTM policy (default bangbang)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=None, metavar="C",
+        help="controller threshold/setpoint in C (default: the "
+             "benchmark's temperature limit)",
+    )
+    parser.add_argument(
+        "--current", type=float, default=None, metavar="A",
+        help="constant-controller command (default: the deployment's I_opt)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=400, metavar="N",
+        help="integration steps (default 400)",
+    )
+    parser.add_argument(
+        "--dt", type=float, default=0.01, metavar="S",
+        help="integration step in seconds (default 10 ms)",
+    )
+    parser.add_argument(
+        "--control-period", type=float, default=0.05, metavar="S",
+        help="seconds between controller updates (default 50 ms)",
+    )
+    parser.add_argument(
+        "--quantum", type=float, default=0.05, metavar="A",
+        help="current quantization step for factorization caching "
+             "(default 0.05 A)",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the result as JSON")
+    _add_solver_options(parser, "control")
+    parser.set_defaults(func=_cmd_control)
+
+
+def _cmd_control(args):
+    from repro.control.controllers import (
+        BangBangController,
+        ConstantCurrentController,
+        PiController,
+    )
+    from repro.control.loop import ClosedLoopSimulator
+    from repro.control.sensors import SensorArray
+
+    if args.steps < 1:
+        raise SystemExit("repro control: error: --steps must be >= 1")
+    problem, model, greedy = _deployed_model(args)
+    threshold = (
+        float(args.threshold) if args.threshold is not None
+        else float(problem.max_temperature_c)
+    )
+    if args.controller == "bangbang":
+        controller = BangBangController(threshold)
+    elif args.controller == "pi":
+        controller = PiController(threshold)
+    else:
+        current = (
+            float(args.current) if args.current is not None
+            else _default_current(model, greedy)
+        )
+        controller = ConstantCurrentController(current)
+    # Deterministic sensors: noise-free, unquantized, fixed stream —
+    # the CLI's runs must be reproducible for scripting.
+    sensor_tiles = {int(stamp.tile) for stamp in model.stamps}
+    sensor_tiles.add(int(model.solve(0.0).peak_tile))
+    sensors = SensorArray(sensor_tiles, noise_std_c=0.0, quantization_c=0.0, seed=0)
+    try:
+        simulator = ClosedLoopSimulator(
+            model, controller, sensors,
+            dt=args.dt, control_period=args.control_period,
+            current_quantum=args.quantum,
+        )
+    except ValueError as error:
+        raise SystemExit("repro control: error: {}".format(error))
+    result = simulator.run(args.steps)
+    final_peak = float(result.true_peak_c[-1])
+    print("problem: {} (limit {:.1f} C)".format(problem.name, problem.max_temperature_c))
+    print("loop:        {} controller, threshold {:.1f} C, {} TECs".format(
+        args.controller, threshold, len(model.stamps)))
+    print("integrated:  {} steps of {:.4g} s ({:.4g} s total)".format(
+        args.steps, args.dt, args.steps * args.dt))
+    print("max peak:    {:.2f} C (true)".format(result.max_true_peak_c))
+    print("final peak:  {:.2f} C at i = {:.2f} A".format(
+        final_peak, float(result.current_a[-1])))
+    print("time above limit: {:.1%}".format(result.time_above(problem.max_temperature_c)))
+    print("TEC energy:  {:.3f} J".format(result.tec_energy_j))
+    print("factorizations: {} current levels ({} evicted)".format(
+        result.factorizations, result.evictions))
+    if args.solver_stats:
+        from repro.thermal.session import SolverStats
+
+        _print_solver_stats(problem, SolverStats(**result.solver_stats))
+    if args.json:
+        payload = {
+            "benchmark": args.benchmark,
+            "tec_tiles": [int(stamp.tile) for stamp in model.stamps],
+            "controller": args.controller,
+            "threshold_c": threshold,
+            "dt_s": float(args.dt),
+            "control_period_s": float(args.control_period),
+            "current_quantum_a": float(args.quantum),
+            "steps": int(args.steps),
+            "max_true_peak_c": result.max_true_peak_c,
+            "final_peak_c": final_peak,
+            "final_current_a": float(result.current_a[-1]),
+            "time_above_limit": result.time_above(problem.max_temperature_c),
+            "tec_energy_j": float(result.tec_energy_j),
+            "factorizations": int(result.factorizations),
+            "evictions": int(result.evictions),
+            "solver_stats": result.solver_stats,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print("result written to {}".format(args.json))
+    return 0 if final_peak <= problem.max_temperature_c else 1
 
 
 def _add_validate(subparsers):
@@ -541,6 +805,8 @@ def build_parser():
     _add_table1(subparsers)
     _add_sweep(subparsers)
     _add_solve(subparsers)
+    _add_transient(subparsers)
+    _add_control(subparsers)
     _add_validate(subparsers)
     _add_runaway(subparsers)
     _add_conjecture(subparsers)

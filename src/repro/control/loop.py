@@ -6,10 +6,20 @@ TEC supply current once per control period from the sensor readings.
 
 Because each distinct current changes the system matrix ``G - iD``
 (and hence the factorization), commanded currents are quantized to a
-grid and the LU factorizations are cached per level — a bang-bang
+grid and the factorizations are cached per level — a bang-bang
 controller costs two factorizations total, a PI controller a few tens.
 The quantization step (default 0.05 A) is far below any thermal effect
 of interest.
+
+The per-level factorizations live in the model's
+:class:`~repro.thermal.session.SolveSession`: the loop solves through
+the session's ``C / dt`` view, whose per-current cache is a **bounded
+true LRU** (``lu_cache_size`` levels, least-recently-commanded level
+evicted first, evictions counted in ``SolverStats``) — a long trace
+with many distinct quantized levels no longer grows an unbounded
+private dict.  A :class:`~repro.thermal.transient.TransientSimulator`
+over the same model at the same ``dt`` shares the same view, and hence
+the very same factorizations.
 
 The commanded current is always clamped to ``safety_fraction`` of the
 deployment's runaway current ``lambda_m``, so no controller (or sensor
@@ -21,8 +31,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
-import scipy.sparse as sp
-from scipy.sparse.linalg import splu
 
 from repro.thermal.transient import node_capacitances
 from repro.utils import celsius_to_kelvin, check_positive, kelvin_to_celsius
@@ -47,7 +55,14 @@ class ClosedLoopResult:
     tec_energy_j:
         Cumulative electrical energy spent by the TECs.
     factorizations:
-        Distinct current levels factorized (the LU-cache size).
+        Distinct current levels solved at over the simulator's
+        lifetime (cache-bound independent — an evicted and
+        re-factorized level still counts once).
+    evictions:
+        Factorizations dropped from the bounded LRU during the run.
+    solver_stats:
+        Plain-data :class:`~repro.thermal.session.SolverStats` delta
+        of the run (session-wide, so shared-session work shows here).
     """
 
     times_s: np.ndarray
@@ -56,6 +71,8 @@ class ClosedLoopResult:
     current_a: np.ndarray
     tec_energy_j: float
     factorizations: int
+    evictions: int = 0
+    solver_stats: dict = None
 
     @property
     def max_true_peak_c(self):
@@ -89,6 +106,14 @@ class ClosedLoopSimulator:
     safety_fraction:
         Hard ceiling on the commanded current as a fraction of the
         runaway current ``lambda_m``.
+    lu_cache_size:
+        LRU bound on cached per-level factorizations (see the module
+        docstring).  Quantization keeps the distinct-level count small,
+        so the default comfortably covers PI traces; pathological
+        controllers now recompute instead of accumulating.
+    session:
+        Optional :class:`~repro.thermal.session.SolveSession`;
+        defaults to the model's own session.
     """
 
     def __init__(
@@ -101,6 +126,8 @@ class ClosedLoopSimulator:
         control_period=0.05,
         current_quantum=0.05,
         safety_fraction=0.5,
+        lu_cache_size=16,
+        session=None,
     ):
         if not model.stamps:
             raise ValueError("closed-loop control needs a deployed model")
@@ -117,8 +144,11 @@ class ClosedLoopSimulator:
         self.i_ceiling = safety_fraction * model.runaway_current().value
 
         self._capacitance = node_capacitances(model)
-        self._c_over_dt = sp.diags(self._capacitance / self.dt)
-        self._lu_cache = {}
+        self.session = session if session is not None else model.session
+        self._view = self.session.view(
+            self._capacitance / self.dt, cache_size=int(lu_cache_size)
+        )
+        self._levels = set()
         self._silicon = np.asarray(model.silicon_nodes)
         self._device = model.device
         self._n_dev = len(model.stamps)
@@ -129,16 +159,6 @@ class ClosedLoopSimulator:
         if quantized > self.i_ceiling:
             quantized -= self.current_quantum
         return max(quantized, 0.0)
-
-    def _factorization(self, current):
-        lu = self._lu_cache.get(current)
-        if lu is None:
-            matrix = (
-                self._c_over_dt + self.model.system.system_matrix(current)
-            ).tocsc()
-            lu = splu(matrix)
-            self._lu_cache[current] = lu
-        return lu
 
     def run(
         self,
@@ -182,6 +202,7 @@ class ClosedLoopSimulator:
                 raise ValueError("initial_state has the wrong length")
 
         self.controller.reset()
+        stats_before = self._view.stats.copy()
         current = self._quantize(0.0)
         sensed = self.sensors.read_max(
             kelvin_to_celsius(theta[self._silicon])
@@ -204,7 +225,7 @@ class ClosedLoopSimulator:
                 )
                 current = self._quantize(command)
 
-            lu = self._factorization(current)
+            self._levels.add(current)
             rhs = (self._capacitance / self.dt) * theta + (
                 self.model.system.power_vector(current)
             )
@@ -213,7 +234,7 @@ class ClosedLoopSimulator:
                 if override is not None:
                     override = np.asarray(override, dtype=float)
                     rhs[self._silicon] += override - reference_power
-            theta = lu.solve(rhs)
+            theta = self._view.solve_rhs(current, rhs)
             time_s += self.dt
 
             silicon_k = theta[self._silicon]
@@ -230,11 +251,14 @@ class ClosedLoopSimulator:
                 )
                 energy += power * self.dt
 
+        delta = self._view.stats.diff(stats_before)
         return ClosedLoopResult(
             times_s=times,
             true_peak_c=true_peak,
             sensed_peak_c=sensed_trace,
             current_a=current_trace,
             tec_energy_j=energy,
-            factorizations=len(self._lu_cache),
+            factorizations=len(self._levels),
+            evictions=delta.evictions,
+            solver_stats=delta.as_dict(),
         )

@@ -19,15 +19,19 @@ under a degree — see ``benchmarks/bench_ablation_pins.py``).
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
-import scipy.sparse as sp
-from scipy.sparse.linalg import splu
 
 from repro.utils import kelvin_to_celsius
 
 _INV_PHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+#: Solved temperature fields kept per MultiPinModel (keyed on the
+#: exact bytes of the current vector) — the coordinate-descent loop
+#: evaluates each candidate's peak and often re-asks for its power.
+_SOLUTION_CACHE_SIZE = 8
 
 
 class MultiPinModel:
@@ -36,6 +40,14 @@ class MultiPinModel:
     Generalizes ``(G - i D) theta = p(i)`` to a per-device current
     vector ``i``: the Peltier diagonal becomes ``alpha_j i_j`` on each
     device's node pair and the Joule sources ``r i_j^2 / 2``.
+
+    Solves go through the model's
+    :class:`~repro.thermal.session.SolveSession` (the arbitrary-
+    diagonal path, ``SessionView.solve_diagonal``) instead of a private
+    ``splu`` per probe: factorizations are LRU-cached on the diagonal,
+    the reuse backend answers supported diagonals with a dense Woodbury
+    update of the shared base factorization, and the work lands in the
+    model's ``SolverStats``.
     """
 
     def __init__(self, model):
@@ -43,6 +55,8 @@ class MultiPinModel:
             raise ValueError("multi-pin optimization needs a deployed model")
         self.model = model
         self._system = model.system
+        self._view = model.session.base_view()
+        self._solutions = OrderedDict()
         self._silicon = np.asarray(model.silicon_nodes)
         self._alpha = model.device.seebeck
         self._half_r = 0.5 * model.device.electrical_resistance
@@ -63,6 +77,11 @@ class MultiPinModel:
             )
         if np.any(currents < 0.0):
             raise ValueError("currents must be non-negative")
+        key = currents.tobytes()
+        cached = self._solutions.get(key)
+        if cached is not None:
+            self._solutions.move_to_end(key)
+            return cached.copy()
         d_diag = np.zeros(self._system.num_nodes)
         p = self._system.p_base.copy()
         for stamp, current in zip(self.model.stamps, currents):
@@ -71,8 +90,11 @@ class MultiPinModel:
             joule = self._half_r * current * current
             p[stamp.hot_node] += joule
             p[stamp.cold_node] += joule
-        matrix = (self._system.g_matrix - sp.diags(d_diag)).tocsc()
-        return splu(matrix).solve(p)
+        theta = self._view.solve_diagonal(d_diag, p)
+        if len(self._solutions) >= _SOLUTION_CACHE_SIZE:
+            self._solutions.popitem(last=False)
+        self._solutions[key] = theta.copy()
+        return theta
 
     def peak_silicon_c(self, currents):
         """Hottest silicon tile (Celsius) at a per-device current vector."""

@@ -16,6 +16,17 @@ that matters:
     *nominal deployment* (tiles are lithographically fixed), re-run
     only the current optimization per sample, and report how often the
     design still meets its temperature limit.
+
+Both studies warm-start each perturbed model's current search from the
+nominal optimum (``warm_start=True``): perturbations are small, so the
+optimum moves little, and the iterated parabolic refinement of
+:func:`~repro.core.current.polish_current` lands on it in a handful of
+solves instead of a cold bracket-and-golden-section search per sample.
+A local-optimality probe guards the shortcut — whenever the polished
+point is not a local minimum (the perturbed optimum escaped the polish
+window) or the window hits the runaway limit, the sample silently
+falls back to the cold search, so warm-starting never changes which
+samples are feasible beyond solver tolerance.
 """
 
 from __future__ import annotations
@@ -24,9 +35,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.current import minimize_peak_temperature
+from repro.core.current import minimize_peak_temperature, polish_current
+from repro.thermal.session import SingularSystemError
 from repro.utils import check_positive, ensure_rng
 from repro.utils.validate import check_in_range
+
+#: Warm-start polish window half-width (A) and refinement budget; each
+#: refinement may recenter by up to twice the spacing, so the default
+#: reach is ~0.5 A around the nominal optimum — far beyond any
+#: perturbation a truncated +-3 sigma multiplier produces.
+_WARM_SPACING_A = 0.02
+_WARM_MAX_REFINEMENTS = 12
 
 #: Device parameters subject to perturbation/variation.
 DEVICE_PARAMETERS = (
@@ -48,12 +67,54 @@ class ParameterSensitivity:
     i_opt_shift_a: float
 
 
+def _warm_optimum(model, seed_current):
+    """``(i_opt, peak_c)`` via polish from ``seed_current``, or None.
+
+    Polishes the seed with the iterated parabolic fit, then probes one
+    spacing to either side of the result: if either edge is lower the
+    polish stalled short of the perturbed optimum (or the objective is
+    not locally convex there) and the caller must run the cold search.
+    A window or probe at/beyond the runaway limit also disqualifies
+    the warm path.
+    """
+    try:
+        polished, _ = polish_current(
+            model,
+            seed_current,
+            spacing=_WARM_SPACING_A,
+            max_refinements=_WARM_MAX_REFINEMENTS,
+        )
+        peak = float(model.solve(polished).peak_silicon_c)
+        for probe in (max(polished - _WARM_SPACING_A, 0.0), polished + _WARM_SPACING_A):
+            if float(model.solve(probe).peak_silicon_c) < peak - 1.0e-9:
+                return None
+    except SingularSystemError:
+        return None
+    return polished, peak
+
+
+def _reoptimized(model, seed_current, warm_start):
+    """``(i_opt, peak_c)`` of a perturbed model.
+
+    Warm-starts from the nominal optimum when allowed, falling back to
+    the cold :func:`minimize_peak_temperature` search whenever the warm
+    result fails its local-optimality guard.
+    """
+    if warm_start:
+        outcome = _warm_optimum(model, seed_current)
+        if outcome is not None:
+            return outcome
+    optimum = minimize_peak_temperature(model)
+    return float(optimum.current), float(optimum.peak_c)
+
+
 def parameter_sensitivities(
     problem,
     tec_tiles,
     *,
     relative_step=0.10,
     include_convection=True,
+    warm_start=True,
 ):
     """Peak/I_opt sensitivity to each parameter at a fixed deployment.
 
@@ -67,6 +128,10 @@ def parameter_sensitivities(
         Relative perturbation applied to each parameter in turn.
     include_convection:
         Also perturb the package convection resistance.
+    warm_start:
+        Seed each perturbed model's current search from the nominal
+        optimum (see the module docstring); ``False`` forces the cold
+        search per perturbation.
 
     Returns
     -------
@@ -88,13 +153,13 @@ def parameter_sensitivities(
             tec_tiles=tec_tiles,
             device=device,
         )
-        perturbed = minimize_peak_temperature(model)
+        current, peak_c = _reoptimized(model, base.current, warm_start)
         results.append(
             ParameterSensitivity(
                 parameter=name,
                 relative_step=relative_step,
-                peak_shift_c=perturbed.peak_c - base.peak_c,
-                i_opt_shift_a=perturbed.current - base.current,
+                peak_shift_c=peak_c - base.peak_c,
+                i_opt_shift_a=current - base.current,
             )
         )
     if include_convection:
@@ -108,13 +173,13 @@ def parameter_sensitivities(
             tec_tiles=tec_tiles,
             device=problem.device,
         )
-        perturbed = minimize_peak_temperature(model)
+        current, peak_c = _reoptimized(model, base.current, warm_start)
         results.append(
             ParameterSensitivity(
                 parameter="convection_resistance",
                 relative_step=relative_step,
-                peak_shift_c=perturbed.peak_c - base.peak_c,
-                i_opt_shift_a=perturbed.current - base.current,
+                peak_shift_c=peak_c - base.peak_c,
+                i_opt_shift_a=current - base.current,
             )
         )
     results.sort(key=lambda s: abs(s.peak_shift_c), reverse=True)
@@ -159,6 +224,7 @@ def monte_carlo_feasibility(
     coefficient_of_variation=0.10,
     truncation_sigmas=3.0,
     seed=None,
+    warm_start=True,
 ):
     """Yield of the nominal deployment under device-parameter variation.
 
@@ -166,8 +232,9 @@ def monte_carlo_feasibility(
     from a Gaussian ``N(1, cv)`` truncated to
     ``[1 - t*cv, 1 + t*cv]`` (and floored at 5%), applies it to the
     whole array (wafer-level correlated variation, the dominant mode
-    for thin-film processes), re-optimizes the shared current, and
-    tests the limit.
+    for thin-film processes), re-optimizes the shared current
+    (warm-started from the nominal optimum unless ``warm_start`` is
+    False — see the module docstring), and tests the limit.
     """
     if samples < 1:
         raise ValueError("samples must be >= 1")
@@ -200,10 +267,10 @@ def monte_carlo_feasibility(
             tec_tiles=tec_tiles,
             device=device,
         )
-        optimum = minimize_peak_temperature(model)
-        peaks[index] = optimum.peak_c
-        currents[index] = optimum.current
-        if optimum.peak_c <= problem.max_temperature_c:
+        current, peak_c = _reoptimized(model, nominal.current, warm_start)
+        peaks[index] = peak_c
+        currents[index] = current
+        if peak_c <= problem.max_temperature_c:
             feasible += 1
     return MonteCarloResult(
         samples=samples,

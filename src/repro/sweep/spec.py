@@ -25,6 +25,17 @@ Scenario tasks
 ``pareto``
     Fix the deployment; find the best current under one TEC power
     budget (``budget_w``) — one point of the Pareto front.
+``transient``
+    Fix deployment and current; integrate the RC network for
+    ``steps`` backward-Euler steps of ``dt`` seconds from ambient and
+    report the trajectory's peak against the steady state (warm-up
+    envelopes, settling checks).  Runs through the same
+    :class:`~repro.thermal.session.SolveSession` as the steady solves,
+    so its shifted factorizations land in the scenario's solver stats.
+``multipin``
+    Fix the deployment; optimize ``num_groups`` independent pin
+    currents by coordinate descent and report the improvement over the
+    paper's single shared pin.
 """
 
 from __future__ import annotations
@@ -35,10 +46,11 @@ from dataclasses import dataclass, field, replace
 from repro.thermal.solve import SOLVER_MODES
 
 #: Task identifiers accepted by :class:`Scenario`.
-TASKS = ("greedy", "table1", "optimize", "solve", "pareto")
+TASKS = ("greedy", "table1", "optimize", "solve", "pareto", "transient",
+         "multipin")
 
 #: Tasks that require a fixed deployment (``tec_tiles``).
-_DEPLOYED_TASKS = ("optimize", "solve", "pareto")
+_DEPLOYED_TASKS = ("optimize", "solve", "pareto", "transient", "multipin")
 
 
 @dataclass(frozen=True)
@@ -75,6 +87,12 @@ class Scenario:
         Supply current for ``solve`` tasks.
     budget_w:
         TEC power budget for ``pareto`` tasks (>= 0).
+    dt / steps:
+        Backward-Euler step (s) and step count for ``transient`` tasks;
+        None takes the worker defaults (1 ms, 200 steps).
+    num_groups:
+        Pin-group count for ``multipin`` tasks; None gives every
+        deployed device its own pin.
     current_method / current_tolerance:
         Problem 2 solver knobs forwarded to
         :func:`~repro.core.current.minimize_peak_temperature`.
@@ -107,6 +125,9 @@ class Scenario:
     tec_tiles: tuple = None
     current_a: float = None
     budget_w: float = None
+    dt: float = None
+    steps: int = None
+    num_groups: int = None
     current_method: str = "golden"
     current_tolerance: float = 1.0e-4
     max_rounds: int = None
@@ -172,12 +193,33 @@ class Scenario:
             object.__setattr__(
                 self, "tec_tiles", tuple(sorted({int(t) for t in self.tec_tiles}))
             )
-        if self.task == "solve" and self.current_a is None:
-            raise ValueError("solve scenario {!r} needs current_a".format(self.name))
+        if self.task in ("solve", "transient") and self.current_a is None:
+            raise ValueError(
+                "{} scenario {!r} needs current_a".format(self.task, self.name)
+            )
         if self.task == "pareto":
             if self.budget_w is None or self.budget_w < 0.0:
                 raise ValueError(
                     "pareto scenario {!r} needs budget_w >= 0".format(self.name)
+                )
+        if self.dt is not None:
+            object.__setattr__(self, "dt", float(self.dt))
+            if self.dt <= 0.0:
+                raise ValueError(
+                    "dt must be None or > 0, got {}".format(self.dt)
+                )
+        if self.steps is not None:
+            object.__setattr__(self, "steps", int(self.steps))
+            if self.steps < 1:
+                raise ValueError(
+                    "steps must be None or >= 1, got {}".format(self.steps)
+                )
+        if self.num_groups is not None:
+            object.__setattr__(self, "num_groups", int(self.num_groups))
+            if not 1 <= self.num_groups <= len(self.tec_tiles or ()):
+                raise ValueError(
+                    "num_groups of {!r} must be in [1, num tec_tiles], "
+                    "got {}".format(self.name, self.num_groups)
                 )
 
     def geometry_key(self):

@@ -269,12 +269,57 @@ def _task_pareto(scenario, problem):
     }
 
 
+#: Transient-task defaults when the scenario leaves them unset.
+_TRANSIENT_DT_S = 1.0e-3
+_TRANSIENT_STEPS = 200
+
+
+def _task_transient(scenario, problem):
+    from repro.thermal.transient import TransientSimulator
+
+    model = problem.model(scenario.tec_tiles)
+    dt = scenario.dt if scenario.dt is not None else _TRANSIENT_DT_S
+    steps = scenario.steps if scenario.steps is not None else _TRANSIENT_STEPS
+    simulator = TransientSimulator(
+        model, current=scenario.current_a, dt=dt, initial_state="ambient"
+    )
+    trace = simulator.run(steps)
+    steady_peak = float(model.solve(scenario.current_a).peak_silicon_c)
+    return {
+        "current_a": float(scenario.current_a),
+        "dt_s": float(dt),
+        "steps": int(steps),
+        "final_peak_c": float(trace[-1]),
+        "max_peak_c": float(np.max(trace)),
+        "steady_peak_c": steady_peak,
+        "steady_gap_c": float(steady_peak - trace[-1]),
+    }
+
+
+def _task_multipin(scenario, problem):
+    from repro.core.multipin import optimize_pin_groups
+
+    model = problem.model(scenario.tec_tiles)
+    result = optimize_pin_groups(model, num_groups=scenario.num_groups)
+    return {
+        "num_groups": len(result.groups),
+        "group_currents_a": [float(c) for c in result.group_currents],
+        "peak_c": float(result.peak_c),
+        "shared_peak_c": float(result.shared_peak_c),
+        "improvement_c": float(result.improvement_c),
+        "sweeps": int(result.sweeps),
+        "evaluations": int(result.evaluations),
+    }
+
+
 _TASK_IMPLS = {
     "greedy": _task_greedy,
     "table1": _task_table1,
     "optimize": _task_optimize,
     "solve": _task_solve,
     "pareto": _task_pareto,
+    "transient": _task_transient,
+    "multipin": _task_multipin,
 }
 
 

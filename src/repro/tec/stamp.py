@@ -55,6 +55,7 @@ def stamp_tec(
     label=None,
     cold_series_resistance=0.0,
     hot_series_resistance=0.0,
+    cold_series_base=None,
 ):
     """Write one TEC device into ``network``.
 
@@ -79,6 +80,13 @@ def stamp_tec(
         resistances the TIM path the device replaces would also have
         carried.  The package model supplies these so that covered and
         uncovered tiles see consistent layer lumping.
+    cold_series_base:
+        The *unscaled* cold series resistance (K/W) — the die-exit
+        resistance before any per-tile die conductivity scale is
+        applied.  When the network records die-scale tags (see
+        :meth:`~repro.thermal.assembly.NetworkBlueprint.tag_die_scale`),
+        this lets blueprint replay recompute ``g_c`` under a different
+        scale field.
 
     Returns
     -------
@@ -100,6 +108,13 @@ def stamp_tec(
         1.0 / device.hot_contact_conductance + hot_series_resistance
     )
     network.add_conductance(silicon_node, cold, g_cold)
+    tag = getattr(network, "tag_die_scale", None)
+    if tag is not None and cold_series_base is not None:
+        tag(
+            "stamp_cold",
+            (int(tile),),
+            (device.cold_contact_conductance, cold_series_base),
+        )
     network.add_conductance(hot, spreader_node, g_hot)
     network.add_conductance(cold, hot, device.thermal_conductance)
     half_r = 0.5 * device.electrical_resistance

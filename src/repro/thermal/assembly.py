@@ -140,12 +140,24 @@ class NetworkBlueprint:
     what a from-scratch build of the same deployment produces, the
     assembled system is bitwise identical — only the repeated layer
     physics and node bookkeeping are skipped.
+
+    Conductances that depend on the per-tile die conductivity scale
+    (die lateral edges, die-to-TIM verticals, TEC cold contacts) are
+    *tagged* during recording via :meth:`tag_die_scale` with their
+    unscaled ingredients; :meth:`instantiate` can then replay the same
+    blueprint under a **different** ``die_conductivity_scale``,
+    recomputing exactly those values with the builder's own formulas —
+    still bitwise identical to a from-scratch build with that scale.
+    This is what lets the nonlinear fixed-point iteration update the
+    scale field without reconstructing the model each pass.
     """
 
     def __init__(self):
         self._events = []
+        self._event_tags = {}
         self._templates = {}
         self._template = None
+        self._template_tags = None
         self._template_tile = None
         self._num_nodes = 0
         self._tim_node_tile = {}
@@ -185,6 +197,25 @@ class NetworkBlueprint:
     def set_peltier(self, node, alpha_signed):
         self._sink().append((_PELTIER, node, float(alpha_signed)))
 
+    def tag_die_scale(self, kind, tiles, payload):
+        """Tag the last recorded event as die-conductivity-scale bound.
+
+        ``kind`` names the builder formula (``"die_lateral"``,
+        ``"die_tim"`` or ``"stamp_cold"``), ``tiles`` the flat tile
+        indices whose scale entries feed it, and ``payload`` the
+        *unscaled* ingredients; :meth:`instantiate` recomputes the
+        tagged value from these when replaying under a different
+        ``die_conductivity_scale``.  Builders call this through
+        ``getattr(net, "tag_die_scale", None)``, so a plain
+        :class:`~repro.thermal.network.ThermalNetwork` (which has no
+        tagging) records nothing.
+        """
+        sink = self._events if self._template is None else self._template
+        if not sink:
+            raise RuntimeError("no event recorded yet to tag")
+        tags = self._event_tags if self._template is None else self._template_tags
+        tags[len(sink) - 1] = (str(kind), tuple(int(t) for t in tiles), payload)
+
     # ------------------------------------------------------------------
     # Recording structure
     # ------------------------------------------------------------------
@@ -203,6 +234,7 @@ class NetworkBlueprint:
         if tile in self._templates:
             raise ValueError("tile {} already has a stamp template".format(tile))
         self._template = []
+        self._template_tags = {}
         self._template_tile = int(tile)
 
     def end_stamp_template(self, stamp):
@@ -210,8 +242,11 @@ class NetworkBlueprint:
         :class:`~repro.tec.stamp.TecStamp` returned by ``stamp_tec``."""
         if self._template is None:
             raise RuntimeError("no stamp template is being recorded")
-        self._templates[self._template_tile] = (self._template, stamp)
+        self._templates[self._template_tile] = (
+            self._template, stamp, self._template_tags
+        )
         self._template = None
+        self._template_tags = None
 
     @property
     def num_tiles_templated(self):
@@ -221,13 +256,20 @@ class NetworkBlueprint:
     # Replay
     # ------------------------------------------------------------------
 
-    def instantiate(self, tec_tiles):
+    def instantiate(self, tec_tiles, die_conductivity_scale=None):
         """Replay the recorded build for a concrete deployment.
 
         Returns ``(network, stamps)`` — a populated
         :class:`~repro.thermal.network.ThermalNetwork` and the list of
         :class:`~repro.tec.stamp.TecStamp` records with real node
         indices, ordered by tile.
+
+        When ``die_conductivity_scale`` is given (per-tile positive
+        factors, flat row-major), every conductance tagged via
+        :meth:`tag_die_scale` is recomputed from its unscaled payload
+        under that scale field instead of replaying the recorded value
+        — bitwise identical to building the same deployment from
+        scratch with the same scale.
         """
         if self._template is not None:
             raise RuntimeError("cannot instantiate while recording a template")
@@ -239,10 +281,13 @@ class NetworkBlueprint:
             raise ValueError(
                 "no stamp template for tiles {}".format(sorted(missing))
             )
+        scale = None
+        if die_conductivity_scale is not None:
+            scale = np.asarray(die_conductivity_scale, dtype=float)
         net = ThermalNetwork()
         index = {}
         stamps = []
-        for event in self._events:
+        for position, event in enumerate(self._events):
             kind = event[0]
             if kind == _NODE:
                 _, bare, name, role, meta = event
@@ -253,18 +298,47 @@ class NetworkBlueprint:
                     index[bare] = net.add_node(name, role, **meta)
             elif kind == _STAMPS:
                 for tile in sorted(covered):
-                    stamps.append(self._replay_template(net, tile, index))
+                    stamps.append(
+                        self._replay_template(net, tile, index, scale)
+                    )
             else:
-                self._apply(net, event, index)
+                value = None
+                if scale is not None:
+                    tag = self._event_tags.get(position)
+                    if tag is not None:
+                        value = self._scaled_value(tag, scale)
+                self._apply(net, event, index, value)
         return net, stamps
 
-    def _apply(self, net, event, index):
+    @staticmethod
+    def _scaled_value(tag, scale):
+        """Recompute a tagged conductance under a scale field.
+
+        Each branch repeats the exact float expression of the builder
+        that recorded the tag (``PackageThermalModel._build_core`` /
+        ``stamp_tec``), so replay stays bitwise identical to a direct
+        build — including for an all-ones scale, since ``x * 1.0 == x``
+        and ``r / 1.0 == r`` exactly.
+        """
+        kind, tiles, payload = tag
+        if kind == "die_lateral":
+            sa, sb = scale[tiles[0]], scale[tiles[1]]
+            return payload * (2.0 * sa * sb / (sa + sb))
+        if kind == "die_tim":
+            r_die_exit, tim_half = payload
+            return 1.0 / (r_die_exit / scale[tiles[0]] + tim_half)
+        if kind == "stamp_cold":
+            g_contact, r_die_exit = payload
+            return 1.0 / (1.0 / g_contact + r_die_exit / scale[tiles[0]])
+        raise ValueError("unknown die-scale tag kind {!r}".format(kind))
+
+    def _apply(self, net, event, index, value=None):
         kind = event[0]
         if kind == _COND:
             a, b = index[event[1]], index[event[2]]
             if a is None or b is None:
                 return
-            net.add_conductance(a, b, event[3])
+            net.add_conductance(a, b, event[3] if value is None else value)
             return
         node = index[event[1]]
         if node is None:
@@ -278,20 +352,25 @@ class NetworkBlueprint:
         elif kind == _PELTIER:
             net.set_peltier(node, event[2])
 
-    def _replay_template(self, net, tile, index):
-        events, stamp = self._templates[tile]
+    def _replay_template(self, net, tile, index, scale=None):
+        events, stamp, tags = self._templates[tile]
         local = {}
 
         def resolve(token):
             return local[token] if token < 0 else index[token]
 
-        for event in events:
+        for position, event in enumerate(events):
             kind = event[0]
             if kind == _NODE:
                 _, token, name, role, meta = event
                 local[token] = net.add_node(name, role, **meta)
             elif kind == _COND:
-                net.add_conductance(resolve(event[1]), resolve(event[2]), event[3])
+                value = event[3]
+                if scale is not None:
+                    tag = tags.get(position)
+                    if tag is not None:
+                        value = self._scaled_value(tag, scale)
+                net.add_conductance(resolve(event[1]), resolve(event[2]), value)
             elif kind == _GROUND:
                 net.add_ground_conductance(resolve(event[1]), event[2])
             elif kind == _SOURCE:

@@ -216,7 +216,9 @@ class PackageThermalModel:
             self._build_network()
             stats.full_builds += 1
         else:
-            self.network, self.stamps = blueprint.instantiate(self.tec_tiles)
+            self.network, self.stamps = blueprint.instantiate(
+                self.tec_tiles, die_conductivity_scale=self._die_k_scale
+            )
             stats.incremental_builds += 1
         self.system = assemble(self.network, self.stack.ambient_c)
         stats.assembly_time_s += time.perf_counter() - build_start
@@ -250,7 +252,7 @@ class PackageThermalModel:
         in series with the contacts so covered and uncovered tiles see
         the same layer conventions.
         """
-        _, _, spreader, _ = self.stack.conduction_layers()
+        die, _, spreader, _ = self.stack.conduction_layers()
         return stamp_tec(
             net,
             self.device,
@@ -259,6 +261,9 @@ class PackageThermalModel:
             tile=flat,
             cold_series_resistance=self._die_exit_resistance(flat),
             hot_series_resistance=spreader.vertical_half_resistance(
+                self.grid.tile_area
+            ),
+            cold_series_base=die.vertical_generation_resistance(
                 self.grid.tile_area
             ),
         )
@@ -330,13 +335,19 @@ class PackageThermalModel:
 
         # Lateral conduction inside each gridded layer.  Die edges
         # honour the optional per-tile conductivity scaling (two
-        # half-tiles in series -> harmonic mean of the scales).
+        # half-tiles in series -> harmonic mean of the scales) and are
+        # tagged with their unscaled value when ``net`` records die-
+        # scale tags (blueprints replayable under any scale field).
+        tag = getattr(net, "tag_die_scale", None)
         for a, b, pitch, face in grid.iter_lateral_pairs():
             base = die.lateral_conductance(face, pitch)
+            value = base
             if self._die_k_scale is not None:
                 sa, sb = self._die_k_scale[a], self._die_k_scale[b]
-                base *= 2.0 * sa * sb / (sa + sb)
-            net.add_conductance(silicon[a], silicon[b], base)
+                value = base * (2.0 * sa * sb / (sa + sb))
+            net.add_conductance(silicon[a], silicon[b], value)
+            if tag is not None:
+                tag("die_lateral", (a, b), base)
         for layer, nodes in (
             (spreader, spreader_nodes),
             (sink, sink_nodes),
@@ -357,9 +368,10 @@ class PackageThermalModel:
         # The die generates its heat internally, so its node-to-face
         # resistance uses the volume-average (t/3k) convention; the
         # passive layers use the usual mid-plane (t/2k) convention.
+        tim_half = tim.vertical_half_resistance(tile_area)
+        r_die_exit = die.vertical_generation_resistance(tile_area)
         g_tim_spr = 1.0 / (
-            tim.vertical_half_resistance(tile_area)
-            + spreader.vertical_half_resistance(tile_area)
+            tim_half + spreader.vertical_half_resistance(tile_area)
         )
         g_spr_snk = 1.0 / (
             spreader.vertical_half_resistance(tile_area)
@@ -368,11 +380,10 @@ class PackageThermalModel:
 
         for flat, _, _ in grid.iter_tiles():
             if flat in tim_nodes:
-                g_die_tim = 1.0 / (
-                    self._die_exit_resistance(flat)
-                    + tim.vertical_half_resistance(tile_area)
-                )
+                g_die_tim = 1.0 / (self._die_exit_resistance(flat) + tim_half)
                 net.add_conductance(silicon[flat], tim_nodes[flat], g_die_tim)
+                if tag is not None:
+                    tag("die_tim", (flat,), (r_die_exit, tim_half))
                 net.add_conductance(tim_nodes[flat], spreader_nodes[flat], g_tim_spr)
             net.add_conductance(spreader_nodes[flat], sink_nodes[flat], g_spr_snk)
 
@@ -523,6 +534,18 @@ class PackageThermalModel:
         return self.network.num_nodes
 
     @property
+    def session(self):
+        """The model's :class:`~repro.thermal.session.SolveSession`.
+
+        The shared factorization engine behind :attr:`solver` — the
+        transient integrator, the closed control loop and the multi-pin
+        engine obtain their shifted / arbitrary-diagonal views from it,
+        so every consumer of this model shares one set of
+        factorizations and one stats object.
+        """
+        return self.solver.session
+
+    @property
     def total_chip_power_w(self):
         """Sum of the worst-case tile powers (W)."""
         return float(np.sum(self.power_map))
@@ -542,6 +565,40 @@ class PackageThermalModel:
             device=self.device,
             die_conductivity_scale=self._die_k_scale,
             blueprint=self._blueprint,
+            solver_mode=self._solver_mode,
+            solver_cache_size=self._solver_cache_size,
+            solver_stats=self.solver.stats,
+        )
+
+    def ensure_blueprint(self):
+        """This model's blueprint, recording (and caching) it on demand.
+
+        Returns the blueprint the model was built from, or records one
+        via :meth:`network_blueprint` on first call and reuses it for
+        every later sibling build.
+        """
+        if self._blueprint is None:
+            self._blueprint = self.network_blueprint()
+        return self._blueprint
+
+    def with_die_conductivity_scale(self, die_conductivity_scale):
+        """Sibling with a different per-tile die conductivity scale.
+
+        Replays this model's (recorded-on-demand) blueprint under the
+        new scale field — no from-scratch network construction, bitwise
+        identical matrices (see
+        :meth:`~repro.thermal.assembly.NetworkBlueprint.tag_die_scale`).
+        The sibling shares this model's solver configuration and stats;
+        the nonlinear fixed-point iteration rebuilds through this.
+        """
+        return PackageThermalModel(
+            self.grid,
+            self.power_map,
+            stack=self.stack,
+            tec_tiles=self.tec_tiles,
+            device=self.device,
+            die_conductivity_scale=die_conductivity_scale,
+            blueprint=self.ensure_blueprint(),
             solver_mode=self._solver_mode,
             solver_cache_size=self._solver_cache_size,
             solver_stats=self.solver.stats,

@@ -12,10 +12,11 @@ linear model predicts (the hotter the tile, the worse it conducts).
 :class:`NonlinearSteadyState` resolves this with damped fixed-point
 iteration: solve the linear model, evaluate each tile's conductivity
 scale at its own temperature, rebuild the die conductances
-(``PackageThermalModel(..., die_conductivity_scale=...)``), repeat
-until the temperature field stops moving.  Convergence is fast (the
-coupling is mild); five iterations typically reach micro-kelvin
-changes.
+(``model.with_die_conductivity_scale(...)`` — a blueprint replay that
+recomputes only the scale-tagged conductances, not a from-scratch
+model construction), repeat until the temperature field stops moving.
+Convergence is fast (the coupling is mild); five iterations typically
+reach micro-kelvin changes.
 
 The effect on the Alpha benchmark is one to two degrees at the peak
 (the die runs ~60 K above the 300 K reference, costing ~20% of its
@@ -30,7 +31,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.thermal.model import PackageThermalModel
 from repro.utils import check_positive
 from repro.utils.validate import check_in_range
 
@@ -128,14 +128,7 @@ class NonlinearSteadyState:
                 silicon_k, reference_k=self.reference_k, exponent=self.exponent
             )
             scale = (1.0 - self.damping) * scale + self.damping * target
-            model = PackageThermalModel(
-                self.base_model.grid,
-                self.base_model.power_map,
-                stack=self.base_model.stack,
-                tec_tiles=self.base_model.tec_tiles,
-                device=self.base_model.device,
-                die_conductivity_scale=scale,
-            )
+            model = self.base_model.with_die_conductivity_scale(scale)
             state = model.solve(current)
             change = float(np.max(np.abs(state.silicon_k - silicon_k)))
             silicon_k = state.silicon_k

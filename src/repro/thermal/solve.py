@@ -1,9 +1,9 @@
-"""Steady-state nodal analysis (Section IV.C) and the solve engine.
+"""Steady-state nodal analysis (Section IV.C) on the solve-session core.
 
-Solves ``(G - i D) theta = p(i)`` through a pluggable linear-solver
-backend layer.  Four modes are accepted by :class:`SteadyStateSolver`
-(and by everything that forwards to it — ``CoolingSystemProblem``,
-sweep scenarios, the CLI ``--backend`` flag):
+Solves ``(G - i D) theta = p(i)`` through the pluggable backend layer
+of :mod:`repro.thermal.session`.  Four modes are accepted by
+:class:`SteadyStateSolver` (and by everything that forwards to it —
+``CoolingSystemProblem``, sweep scenarios, the CLI ``--backend`` flag):
 
 ``mode="direct"``
     One sparse LU per distinct current, kept in a true-LRU cache.  The
@@ -58,204 +58,54 @@ bit-reproducible, and is pinned by
 ``tests/thermal/test_solve.py::TestExactFloatCacheKey`` — introducing
 a quantized key must be an explicit behaviour change there.
 
-Every solver carries a :class:`SolverStats` instrumentation object
-(optionally shared across solvers) counting factorizations, cache
-traffic, Krylov iterations/fallbacks, solves and wall time per phase.
-
-Also provides the influence-row solves used by the convexity
-certificate: row ``k`` of ``H = (G - i D)^{-1}`` is the solution of
-``(G - i D) h = e_k`` because the system matrix is symmetric.
+The full factorization/caching/backend machinery lives in
+:mod:`repro.thermal.session`: a :class:`SolveSession` per assembled
+system hands out :class:`SessionView` objects per diagonal shift, and
+:class:`SteadyStateSolver` *is* the session's unshifted view (it
+subclasses :class:`SessionView` and registers itself as the session's
+zero-shift entry), so the transient integrator, the control loop and
+the multi-pin engine obtained from ``solver.session`` share its stats,
+its base factorization policy and its backend selection.  Historical
+imports — :class:`SolverStats`, :class:`SingularSystemError`,
+:data:`SOLVER_MODES`, :func:`select_backend` and the ``auto``
+threshold constants — are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import math
-import time
-from collections import OrderedDict
-from dataclasses import dataclass, fields
+from repro.thermal.session import (
+    AUTO_SUPPORT_COEFF,
+    AUTO_SUPPORT_FLOOR,
+    SOLVER_MODES,
+    SessionView,
+    SingularSystemError,
+    SolveSession,
+    SolverStats,
+    select_backend,
+)
 
-import numpy as np
-import scipy.linalg
-from scipy.sparse.linalg import splu
-
-from repro.linalg.krylov import KRYLOV_METHODS, krylov_solve
-from repro.linalg.spd import cholesky_is_spd
-
-#: Engine modes accepted by :class:`SteadyStateSolver`.
-SOLVER_MODES = ("direct", "reuse", "krylov", "auto")
-
-#: ``auto`` keeps the Woodbury ``reuse`` backend up to this support
-#: size regardless of the node count (the dense capacitance is trivial
-#: below it).
-AUTO_SUPPORT_FLOOR = 64
-
-#: ``auto`` switches to ``krylov`` once the Peltier support exceeds
-#: ``AUTO_SUPPORT_COEFF * sqrt(num_nodes)``: past that point the
-#: ``O((2m)^3)`` capacitance factorization outweighs the ~constant
-#: iteration count of the preconditioned Krylov solve.
-AUTO_SUPPORT_COEFF = 4.0
-
-#: Relative threshold below which the Woodbury capacitance is treated
-#: as singular (current at/beyond the runaway limit ``lambda_m``).
-_CAPACITANCE_RCOND = 1.0e-12
-
-#: Capacitance solves at an unfactorized current may be answered by
-#: iterative refinement against the nearest cached factorization —
-#: exact on convergence (machine-precision residual), falling back to
-#: a fresh factorization otherwise.  Only worthwhile once the support
-#: is large enough that a factorization (``m^3/3``) clearly dominates
-#: a handful of refinement sweeps (``~3 m^2`` each).
-_CAP_REFINE_MIN_SUPPORT = 64
-
-#: Relative residual demanded of a refined capacitance solve.
-_CAP_REFINE_RTOL = 1.0e-13
-
-#: Refinement sweep budget; the attempt also aborts as soon as one
-#: sweep fails to halve the residual, so a poorly matched anchor
-#: current costs only ~2 sweeps before the factorization fallback.
-_CAP_REFINE_MAX_ITERATIONS = 15
+__all__ = [
+    "AUTO_SUPPORT_COEFF",
+    "AUTO_SUPPORT_FLOOR",
+    "SOLVER_MODES",
+    "SessionView",
+    "SingularSystemError",
+    "SolveSession",
+    "SolverStats",
+    "SteadyStateSolver",
+    "select_backend",
+]
 
 
-def select_backend(num_nodes, support_size):
-    """The ``auto`` heuristic: ``"reuse"`` or ``"krylov"``.
-
-    Chooses the blocked-Woodbury ``reuse`` backend while the Peltier
-    support (``2 m`` for ``m`` deployed TECs) is small — at most
-    ``max(AUTO_SUPPORT_FLOOR, AUTO_SUPPORT_COEFF * sqrt(n))`` — and
-    the G-preconditioned ``krylov`` backend beyond, where the dense
-    ``support x support`` capacitance factorization would dominate.
-    """
-    limit = max(AUTO_SUPPORT_FLOOR, AUTO_SUPPORT_COEFF * math.sqrt(num_nodes))
-    return "reuse" if support_size <= limit else "krylov"
-
-
-class SingularSystemError(RuntimeError):
-    """Raised when ``G - i D`` is singular or indefinite at the requested
-    current — i.e. the current is at or beyond the runaway limit
-    ``lambda_m`` (Theorem 1)."""
-
-
-@dataclass
-class SolverStats:
-    """Instrumentation counters for the steady-state solve engine.
-
-    One instance can be shared by many solvers (every model built by a
-    :class:`~repro.core.problem.CoolingSystemProblem` reports into the
-    problem's stats object), so the counters aggregate over a whole
-    GreedyDeploy run.
-
-    Attributes
-    ----------
-    factorizations:
-        Sparse LU factorizations performed (``splu`` calls).
-    cap_factorizations:
-        Dense Woodbury capacitance-matrix factorizations (reuse mode;
-        ``2m x 2m``, orders of magnitude cheaper than a sparse LU).
-    cap_refinements / cap_refine_failures:
-        Capacitance solves answered by iterative refinement against a
-        nearby cached factorization instead of a fresh one, and
-        attempts that aborted (slow convergence) and fell back.
-    cache_hits / cache_misses / evictions:
-        Per-current factorization-cache traffic.
-    solves:
-        ``solve`` / ``solve_rhs`` / ``influence_rows`` calls.
-    rhs_columns:
-        Total right-hand-side columns pushed through a factorization.
-    solution_hits:
-        ``solve`` calls answered from the per-current solution cache
-        without any triangular solve.
-    krylov_solves / krylov_iterations:
-        Iterative (krylov-backend) solve calls and their total matrix
-        applications.
-    krylov_fallbacks:
-        Krylov solves whose residual missed the target and fell back
-        to a direct per-current LU.
-    factor_time_s / solve_time_s:
-        Cumulative wall time in factorization and in solves.
-    full_builds / incremental_builds:
-        Package networks built from scratch vs replayed from a cached
-        :class:`~repro.thermal.assembly.NetworkBlueprint`.
-    assembly_time_s:
-        Cumulative wall time building networks and assembling matrices.
-    """
-
-    factorizations: int = 0
-    cap_factorizations: int = 0
-    cap_refinements: int = 0
-    cap_refine_failures: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    evictions: int = 0
-    solves: int = 0
-    rhs_columns: int = 0
-    solution_hits: int = 0
-    krylov_solves: int = 0
-    krylov_iterations: int = 0
-    krylov_fallbacks: int = 0
-    factor_time_s: float = 0.0
-    solve_time_s: float = 0.0
-    full_builds: int = 0
-    incremental_builds: int = 0
-    assembly_time_s: float = 0.0
-
-    def copy(self):
-        """An independent snapshot of the current counters."""
-        return SolverStats(**self.as_dict())
-
-    def diff(self, baseline):
-        """Counters accumulated since ``baseline`` (an earlier copy)."""
-        return SolverStats(**{
-            f.name: getattr(self, f.name) - getattr(baseline, f.name)
-            for f in fields(self)
-        })
-
-    def merge(self, other):
-        """Fold another stats object into this one (in place)."""
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
-        return self
-
-    @property
-    def cache_hit_rate(self):
-        """Hit fraction of the per-current cache (0 when untouched)."""
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
-
-    def as_dict(self):
-        """Plain-data view (JSON-representable)."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
-
-    def summary(self):
-        """Compact one-line report for CLIs and benchmarks."""
-        line = (
-            "{} LU + {} cap factorizations, {} solves ({} rhs cols), "
-            "cache {}/{} hit ({:.0f}%), {} evictions, "
-            "builds {} full + {} incremental".format(
-                self.factorizations,
-                self.cap_factorizations,
-                self.solves,
-                self.rhs_columns,
-                self.cache_hits,
-                self.cache_hits + self.cache_misses,
-                100.0 * self.cache_hit_rate,
-                self.evictions,
-                self.full_builds,
-                self.incremental_builds,
-            )
-        )
-        if self.krylov_solves:
-            line += ", krylov {} solves / {} iters / {} fallbacks".format(
-                self.krylov_solves, self.krylov_iterations, self.krylov_fallbacks
-            )
-        if self.cap_refinements or self.cap_refine_failures:
-            line += ", cap refine {} ok / {} fallback".format(
-                self.cap_refinements, self.cap_refine_failures
-            )
-        return line
-
-
-class SteadyStateSolver:
+class SteadyStateSolver(SessionView):
     """Factorization-caching solver for one assembled system.
+
+    The unshifted :class:`~repro.thermal.session.SessionView` of a
+    freshly created :class:`~repro.thermal.session.SolveSession` —
+    constructing a solver constructs its session, reachable as
+    :attr:`session` for consumers that need shifted or
+    arbitrary-diagonal views of the same system (transient, control
+    loop, multi-pin).
 
     Parameters
     ----------
@@ -270,7 +120,8 @@ class SteadyStateSolver:
     mode:
         One of :data:`SOLVER_MODES` — ``"direct"``, ``"reuse"``,
         ``"krylov"``, or ``"auto"`` (resolved per system by
-        :func:`select_backend`; see :attr:`effective_mode`).
+        :func:`select_backend`; see
+        :attr:`~repro.thermal.session.SessionView.effective_mode`).
     stats:
         Optional shared :class:`SolverStats`; a private one is created
         when omitted.
@@ -293,455 +144,15 @@ class SteadyStateSolver:
         krylov_maxiter=200,
         krylov_restart=40,
     ):
-        if cache_size < 1:
-            raise ValueError("cache_size must be >= 1, got {}".format(cache_size))
-        if mode not in SOLVER_MODES:
-            raise ValueError(
-                "mode must be one of {}, got {!r}".format(SOLVER_MODES, mode)
-            )
-        if krylov_method not in KRYLOV_METHODS:
-            raise ValueError(
-                "krylov_method must be one of {}, got {!r}".format(
-                    KRYLOV_METHODS, krylov_method
-                )
-            )
-        self.system = system
-        self.mode = mode
-        self.stats = stats if stats is not None else SolverStats()
-        self._cache_size = cache_size
-        self._lu_cache = OrderedDict()
-        self._solution_cache = OrderedDict()
-        # Reuse/krylov shared state, built lazily on first solve.
-        self._base_lu = None
-        self._support = None
-        self._d_support = None
-        self._w = None
-        self._z = None
-        self._zd_matrix = None
-        self._x_pair = None
-        self._cap_cache = OrderedDict()
-        self._resolved_mode = None
-        self._krylov_method = krylov_method
-        self._krylov_rtol = float(krylov_rtol)
-        self._krylov_maxiter = int(krylov_maxiter)
-        self._krylov_restart = int(krylov_restart)
-
-    @property
-    def effective_mode(self):
-        """The backend actually answering solves.
-
-        Equal to :attr:`mode` except under ``"auto"``, where the
-        choice between ``"reuse"`` and ``"krylov"`` is made once per
-        assembled system by :func:`select_backend` (support size vs
-        node count).
-        """
-        if self._resolved_mode is None:
-            if self.mode == "auto":
-                support = int(np.count_nonzero(self.system.d_diagonal))
-                self._resolved_mode = select_backend(
-                    self.system.num_nodes, support
-                )
-            else:
-                self._resolved_mode = self.mode
-        return self._resolved_mode
-
-    # ------------------------------------------------------------------
-    # Cache plumbing
-    # ------------------------------------------------------------------
-
-    def _cache_get(self, cache, key):
-        entry = cache.get(key)
-        if entry is not None:
-            cache.move_to_end(key)
-        return entry
-
-    def _cache_put(self, cache, key, entry):
-        if len(cache) >= self._cache_size:
-            cache.popitem(last=False)
-            self.stats.evictions += 1
-        cache[key] = entry
-
-    # ------------------------------------------------------------------
-    # Direct mode: one sparse LU per current
-    # ------------------------------------------------------------------
-
-    def _splu(self, matrix, current):
-        start = time.perf_counter()
-        try:
-            lu = splu(matrix.tocsc())
-        except RuntimeError as error:
-            raise SingularSystemError(
-                "system matrix singular at i = {} A (at/beyond runaway)".format(
-                    current
-                )
-            ) from error
-        finally:
-            self.stats.factor_time_s += time.perf_counter() - start
-        self.stats.factorizations += 1
-        return lu
-
-    def _factorization(self, current):
-        """The per-current LU, LRU-cached on the exact float ``current``
-        (no quantization — see the module docstring)."""
-        current = float(current)
-        lu = self._cache_get(self._lu_cache, current)
-        if lu is None:
-            self.stats.cache_misses += 1
-            lu = self._splu(self.system.system_matrix(current), current)
-            self._cache_put(self._lu_cache, current, lu)
-        else:
-            self.stats.cache_hits += 1
-        return lu
-
-    def _apply_direct(self, current, rhs):
-        lu = self._factorization(current)
-        return self._timed_lu_solve(lu, rhs)
-
-    def _timed_lu_solve(self, lu, rhs):
-        start = time.perf_counter()
-        x = lu.solve(rhs)
-        self.stats.solve_time_s += time.perf_counter() - start
-        self.stats.rhs_columns += 1 if rhs.ndim == 1 else rhs.shape[1]
-        return x
-
-    # ------------------------------------------------------------------
-    # Reuse mode: factorize G once, blocked Woodbury per current
-    # ------------------------------------------------------------------
-
-    def _base_factorization(self):
-        """The shared sparse LU of ``G`` (reuse preconditioner too)."""
-        if self._base_lu is None:
-            self._base_lu = self._splu(self.system.g_matrix, 0.0)
-            support = np.flatnonzero(self.system.d_diagonal)
-            self._support = support
-            self._d_support = self.system.d_diagonal[support]
-        return self._base_lu
-
-    def base_factorization(self):
-        """The base-``G`` factorization (public accessor).
-
-        Builds it on first call (reuse/krylov machinery).  The returned
-        object answers ``.solve(rhs)`` for 1-D or ``(n, k)`` right-hand
-        sides; the incremental deployment engine anchors its
-        cross-round bordered solves on it.
-        """
-        return self._base_factorization()
-
-    def adopt_base(self, base_solve):
-        """Inject an external base-``G`` solve (cross-round reuse).
-
-        ``base_solve`` must answer ``.solve(rhs)`` with ``G^{-1} rhs``
-        for this solver's assembled system — e.g. a
-        :class:`~repro.thermal.border.BorderedDeployContext` view that
-        expresses this round's ``G`` as a bordered low-rank update of
-        an earlier round's factorization.  A reuse-mode round seeded
-        this way performs **zero** new sparse LU factorizations: the
-        influence block ``W``, the base power pair and every Woodbury
-        correction ride the adopted solve.
-
-        Only meaningful in (effective) ``reuse`` mode and before the
-        solver has built its own base factorization.
-        """
-        if self.effective_mode != "reuse":
-            raise RuntimeError(
-                "adopt_base requires the 'reuse' backend, solver is {!r}".format(
-                    self.effective_mode
-                )
-            )
-        if self._base_lu is not None:
-            raise RuntimeError("base factorization already built; cannot adopt")
-        if not hasattr(base_solve, "solve"):
-            raise TypeError("base_solve must expose a .solve(rhs) method")
-        self._base_lu = base_solve
-        support = np.flatnonzero(self.system.d_diagonal)
-        self._support = support
-        self._d_support = self.system.d_diagonal[support]
-
-    def influence_block(self):
-        """``(support, d_support, w, z)`` of the Woodbury engine.
-
-        Forces the base factorization and the batched influence build
-        (reuse-mode machinery) and returns the Peltier support indices,
-        the support diagonal, the influence columns ``W = G^{-1} I_S``
-        and ``Z = W[support]``.  The reduced runaway eigenproblem is
-        ``eig(Z diag(d_S))`` — the incremental deployment engine uses
-        this to compute ``lambda_m`` (and its eigenvector) with zero
-        additional factorizations.
-        """
-        self._ensure_influence()
-        if self._support.size == 0:
-            empty = np.zeros((self.system.num_nodes, 0))
-            return self._support, self._d_support, empty, np.zeros((0, 0))
-        return self._support, self._d_support, self._w, self._z
-
-    def _ensure_influence(self):
-        """Batch-solve the Woodbury influence block ``W = G^{-1} I_S``.
-
-        Deferred past :meth:`_base_factorization` so the krylov
-        backend — which shares the base LU but never forms ``W`` —
-        does not pay the ``O(n * 2m)`` memory and solve cost of the
-        dense influence block on dense deployments.
-        """
-        lu = self._base_factorization()
-        if self._w is None and self._support.size:
-            rhs = np.zeros((self.system.num_nodes, self._support.size))
-            rhs[self._support, np.arange(self._support.size)] = 1.0
-            self._w = self._timed_lu_solve(lu, rhs)
-            self._z = self._w[self._support, :]
-
-    def _base_pair(self):
-        """``G^{-1} [p_base, joule]`` — the blocked power solves.
-
-        ``p(i) = p_base + i^2 joule`` is linear in ``(1, i^2)``, so
-        this single two-column solve answers the base part of *every*
-        per-current power solve; :meth:`solve` in reuse mode then pays
-        only the dense Woodbury correction per current.
-        """
-        lu = self._base_factorization()
-        if self._x_pair is None:
-            rhs = np.column_stack([self.system.p_base, self.system.joule])
-            self._x_pair = self._timed_lu_solve(lu, rhs)
-        return self._x_pair
-
-    def _capacitance(self, current):
-        """LU factors of ``I - i d Z`` for the Woodbury correction.
-
-        Cached per exact float current (LRU).  Raises
-        :class:`SingularSystemError` when the capacitance is singular
-        to working precision — ``I - i d Z`` is singular exactly when
-        ``G - i D`` is, i.e. at the runaway current ``lambda_m``.
-        """
-        factors = self._cache_get(self._cap_cache, current)
-        if factors is None:
-            self.stats.cache_misses += 1
-            size = self._support.size
-            cap = np.eye(size) - current * self._zd()
-            factors = scipy.linalg.lu_factor(cap, check_finite=False)
-            self.stats.cap_factorizations += 1
-            u_diag = np.abs(np.diag(factors[0]))
-            if not np.all(np.isfinite(u_diag)) or (
-                u_diag.min() <= _CAPACITANCE_RCOND * max(u_diag.max(), 1.0)
-            ):
-                raise SingularSystemError(
-                    "Woodbury capacitance singular at i = {} A "
-                    "(current at/beyond the runaway limit)".format(current)
-                )
-            self._cache_put(self._cap_cache, current, factors)
-        else:
-            self.stats.cache_hits += 1
-        return factors
-
-    def _zd(self):
-        """The dense ``diag(d_S) Z`` block (built once, reused by every
-        capacitance assembly and refinement residual)."""
-        if self._zd_matrix is None:
-            self._zd_matrix = self._d_support[:, None] * self._z
-        return self._zd_matrix
-
-    def _cap_solve(self, current, rhs):
-        """Solve ``(I - i d Z) y = rhs``, preferring cached work.
-
-        Order of preference: an exact cached factorization at this
-        current; iterative refinement against the *nearest* cached
-        factorization (exact to ``_CAP_REFINE_RTOL`` on success —
-        Problem 2 searches and shift-invert iterations evaluate
-        tightly clustered currents, where refinement converges in a
-        couple of ``m^2`` sweeps instead of a fresh ``m^3/3``
-        factorization); a fresh factorization otherwise.
-        """
-        factors = self._cache_get(self._cap_cache, current)
-        if factors is not None:
-            self.stats.cache_hits += 1
-            return scipy.linalg.lu_solve(factors, rhs, check_finite=False)
-        if self._cap_cache and self._support.size >= _CAP_REFINE_MIN_SUPPORT:
-            anchor = min(self._cap_cache, key=lambda cached: abs(cached - current))
-            refined = self._cap_refine(current, anchor, rhs)
-            if refined is not None:
-                self.stats.cap_refinements += 1
-                return refined
-            self.stats.cap_refine_failures += 1
-        factors = self._capacitance(current)
-        return scipy.linalg.lu_solve(factors, rhs, check_finite=False)
-
-    def _cap_refine(self, current, anchor, rhs):
-        """Iterative refinement of a capacitance solve at ``current``
-        against the cached factorization at ``anchor``.
-
-        Returns the solution once the relative residual reaches
-        ``_CAP_REFINE_RTOL``, or None when a sweep fails to halve the
-        residual (anchor too far, or current near runaway) — the
-        caller then pays a fresh factorization, so accuracy never
-        degrades.
-        """
-        factors = self._cap_cache[anchor]
-        zd = self._zd()
-        rhs_norm = float(np.linalg.norm(rhs))
-        if rhs_norm == 0.0:
-            return np.zeros_like(rhs)
-        start = time.perf_counter()
-        solution = scipy.linalg.lu_solve(factors, rhs, check_finite=False)
-        previous = math.inf
-        outcome = None
-        for _ in range(_CAP_REFINE_MAX_ITERATIONS):
-            residual = rhs - solution + current * (zd @ solution)
-            residual_norm = float(np.linalg.norm(residual))
-            if residual_norm <= _CAP_REFINE_RTOL * rhs_norm:
-                outcome = solution
-                break
-            if not math.isfinite(residual_norm) or residual_norm >= 0.5 * previous:
-                break
-            previous = residual_norm
-            solution = solution + scipy.linalg.lu_solve(
-                factors, residual, check_finite=False
-            )
-        self.stats.solve_time_s += time.perf_counter() - start
-        return outcome
-
-    def _woodbury_correct(self, current, x):
-        """Apply the low-rank correction turning ``G^{-1} b`` into
-        ``(G - i D)^{-1} b`` (``x`` may be 1-D or a column block)."""
-        if current == 0.0 or self._support.size == 0:
-            return x
-        self._ensure_influence()
-        x_support = x[self._support]
-        small = self._cap_solve(
-            current, current * (self._d_support * x_support.T).T
+        session = SolveSession(
+            system,
+            mode=mode,
+            cache_size=cache_size,
+            stats=stats,
+            krylov_method=krylov_method,
+            krylov_rtol=krylov_rtol,
+            krylov_maxiter=krylov_maxiter,
+            krylov_restart=krylov_restart,
         )
-        return x + self._w @ small
-
-    def _apply_reuse(self, current, rhs):
-        lu = self._base_factorization()
-        x = self._timed_lu_solve(lu, rhs)
-        return self._woodbury_correct(current, x)
-
-    def _reuse_solve_power(self, current):
-        """Reuse-mode fast path for the power vector: zero triangular
-        solves per current thanks to the blocked base pair."""
-        pair = self._base_pair()
-        if current == 0.0:
-            x = pair[:, 0].copy()
-        else:
-            x = pair[:, 0] + (current * current) * pair[:, 1]
-        return self._woodbury_correct(current, x)
-
-    # ------------------------------------------------------------------
-    # Krylov mode: G-preconditioned GMRES/BiCGSTAB per current
-    # ------------------------------------------------------------------
-
-    def _apply_krylov(self, current, rhs):
-        lu = self._base_factorization()
-        if current == 0.0 or self._support.size == 0:
-            return self._timed_lu_solve(lu, rhs)
-        matrix = self.system.system_matrix(current)
-        start = time.perf_counter()
-        x, report = krylov_solve(
-            matrix,
-            rhs,
-            preconditioner=lu,
-            method=self._krylov_method,
-            rtol=self._krylov_rtol,
-            maxiter=self._krylov_maxiter,
-            restart=self._krylov_restart,
-        )
-        self.stats.solve_time_s += time.perf_counter() - start
-        self.stats.krylov_solves += 1
-        self.stats.krylov_iterations += report.iterations
-        if not report.converged:
-            # Residual missed the target (stagnation, near-runaway
-            # ill-conditioning, or an exhausted iteration budget):
-            # fall back to an exact per-current factorization so the
-            # iterative backend never degrades accuracy.
-            self.stats.krylov_fallbacks += 1
-            return self._apply_direct(current, rhs)
-        self.stats.rhs_columns += 1 if rhs.ndim == 1 else rhs.shape[1]
-        return x
-
-    # ------------------------------------------------------------------
-    # Backend dispatch
-    # ------------------------------------------------------------------
-
-    def _apply_inverse(self, current, rhs):
-        """``(G - i D)^{-1} rhs`` through the effective backend.
-
-        ``rhs`` may be 1-D or 2-D (columns are independent right-hand
-        sides sharing one factorization / preconditioner).
-        """
-        mode = self.effective_mode
-        if mode == "direct":
-            return self._apply_direct(current, rhs)
-        if mode == "reuse":
-            return self._apply_reuse(current, rhs)
-        return self._apply_krylov(current, rhs)
-
-    # ------------------------------------------------------------------
-    # Public solves
-    # ------------------------------------------------------------------
-
-    def solve(self, current=0.0, *, check_definite=False):
-        """Temperatures (Kelvin) at supply current ``current``.
-
-        Parameters
-        ----------
-        current:
-            TEC supply current in amperes.
-        check_definite:
-            When True, verify that ``G - i D`` is positive definite
-            before solving and raise :class:`SingularSystemError` if it
-            is not (i.e. the current exceeds ``lambda_m``).  The
-            optimizer keeps currents inside ``[0, lambda_m)`` itself, so
-            the check is off by default.
-        """
-        current = float(current)
-        if check_definite and not cholesky_is_spd(self.system.system_matrix(current)):
-            raise SingularSystemError(
-                "G - i D is not positive definite at i = {} A "
-                "(current at/beyond the runaway limit)".format(current)
-            )
-        self.stats.solves += 1
-        cached = self._cache_get(self._solution_cache, current)
-        if cached is not None:
-            self.stats.solution_hits += 1
-            return cached.copy()
-        if self.effective_mode == "reuse":
-            theta = self._reuse_solve_power(current)
-        else:
-            theta = self._apply_inverse(current, self.system.power_vector(current))
-        if not np.all(np.isfinite(theta)):
-            raise SingularSystemError(
-                "solve produced non-finite temperatures at i = {} A".format(current)
-            )
-        self._cache_put(self._solution_cache, current, theta.copy())
-        return theta
-
-    def solve_rhs(self, current, rhs):
-        """Solve ``(G - i D) x = rhs`` for arbitrary right-hand sides.
-
-        ``rhs`` may be a length-``n`` vector or an ``(n, k)`` matrix of
-        ``k`` independent right-hand sides solved in one batched pass
-        against the shared factorization (one BLAS-3 call in reuse
-        mode).
-        """
-        rhs = np.asarray(rhs, dtype=float)
-        if rhs.shape[0] != self.system.num_nodes:
-            raise ValueError(
-                "rhs has length {}, system has {} nodes".format(
-                    rhs.shape[0], self.system.num_nodes
-                )
-            )
-        self.stats.solves += 1
-        return self._apply_inverse(float(current), rhs)
-
-    def influence_rows(self, current, node_indices):
-        """Rows of ``H = (G - i D)^{-1}`` for the given nodes.
-
-        Because the system matrix is symmetric, row ``k`` equals the
-        solution of ``(G - i D) h = e_k``.  Returns an array of shape
-        ``(len(node_indices), n)``; all columns share one factorization
-        (batched multi-RHS solve).
-        """
-        n = self.system.num_nodes
-        node_indices = list(node_indices)
-        rhs = np.zeros((n, len(node_indices)))
-        for j, k in enumerate(node_indices):
-            rhs[int(k), j] = 1.0
-        return self.solve_rhs(current, rhs).T
+        super().__init__(session, None, cache_size)
+        session._views[None] = self

@@ -12,13 +12,18 @@ Per-node capacitances come from the layer volumes
 capacitance split in half.  The simulator supports time-varying power
 maps, which lets the examples play workload traces through the
 cooling system and watch the hotspot respond.
+
+The shifted systems are solved through the model's
+:class:`~repro.thermal.session.SolveSession`: the simulator requests
+the session's ``C / dt`` view, so its factorizations live in the
+shared per-(shift, current) LRU cache — a closed control loop running
+the same model at the same ``dt`` hits the very same entries, and
+``SolverStats`` aggregates transient work alongside the steady solves.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
-from scipy.sparse.linalg import splu
 
 from repro.thermal.network import NodeRole
 from repro.utils import celsius_to_kelvin, check_positive, kelvin_to_celsius
@@ -89,19 +94,29 @@ class TransientSimulator:
         Starting temperatures: ``"ambient"`` (uniform ambient),
         ``"steady"`` (the steady state at ``current``), or an explicit
         Kelvin vector.
+    session:
+        Optional :class:`~repro.thermal.session.SolveSession` to solve
+        through; defaults to the model's own session.  Passing a shared
+        session lets several integrators (or a control loop) over the
+        same model share one ``C / dt`` factorization cache.
     """
 
-    def __init__(self, model, *, current=0.0, dt=1.0e-3, initial_state="ambient"):
+    def __init__(
+        self,
+        model,
+        *,
+        current=0.0,
+        dt=1.0e-3,
+        initial_state="ambient",
+        session=None,
+    ):
         self.model = model
         self.current = float(current)
         self.dt = check_positive(dt, "dt")
         self.capacitance = node_capacitances(model)
         system = model.system
-        matrix = (
-            sp.diags(self.capacitance / self.dt)
-            + system.system_matrix(self.current)
-        ).tocsc()
-        self._lu = splu(matrix)
+        self.session = session if session is not None else model.session
+        self._view = self.session.view(self.capacitance / self.dt)
         self._base_power = system.power_vector(self.current)
         self._tile_power_reference = model.power_map.copy()
         self._silicon = np.asarray(model.silicon_nodes)
@@ -145,7 +160,7 @@ class TransientSimulator:
                     )
                 )
             rhs[self._silicon] += power_map - self._tile_power_reference
-        self.theta_k = self._lu.solve(rhs)
+        self.theta_k = self._view.solve_rhs(self.current, rhs)
         self.time_s += self.dt
         return self.theta_k
 

@@ -149,6 +149,59 @@ class TestPiLoop:
         assert result.factorizations == len(levels)
 
 
+class TestLruBound:
+    def _fresh(self, small_grid, small_power):
+        """Private model + sensors so cache counters start from zero."""
+        from repro.thermal.model import PackageThermalModel
+
+        model = PackageThermalModel(
+            small_grid, small_power, tec_tiles=(5, 6, 9, 10)
+        )
+        tiles = set(model.tec_tiles) | {model.solve(0.0).peak_tile}
+        sensors = SensorArray(
+            tiles, noise_std_c=0.0, quantization_c=0.0, seed=0
+        )
+        return model, sensors
+
+    def _run(self, small_grid, small_power, lu_cache_size):
+        model, sensors = self._fresh(small_grid, small_power)
+        setpoint = model.solve(0.0).peak_silicon_c - 0.4
+        controller = PiController(setpoint, kp=1.0, ki=0.5, i_max=8.0)
+        loop = ClosedLoopSimulator(
+            model, controller, sensors,
+            dt=0.05, control_period=0.05, current_quantum=0.01,
+            lu_cache_size=lu_cache_size,
+        )
+        return loop.run(60, initial_state="steady")
+
+    def test_bounded_cache_matches_uncapped(self, small_grid, small_power):
+        """A tiny LRU evicts (and refactorizes) but never changes the
+        trajectory: splu of the same matrix is deterministic, so the
+        bounded run is bit-identical to the uncapped one."""
+        uncapped = self._run(small_grid, small_power, lu_cache_size=64)
+        bounded = self._run(small_grid, small_power, lu_cache_size=2)
+        # The ramping PI sweep visits far more levels than two slots.
+        assert bounded.factorizations >= 3
+        assert bounded.evictions > 0
+        assert uncapped.evictions == 0
+        # factorizations counts distinct quantized levels, so the cache
+        # bound must not change it.
+        assert bounded.factorizations == uncapped.factorizations
+        assert np.array_equal(bounded.current_a, uncapped.current_a)
+        assert np.allclose(
+            bounded.true_peak_c, uncapped.true_peak_c, atol=1e-9
+        )
+
+    def test_eviction_traffic_lands_in_solver_stats(
+        self, small_grid, small_power
+    ):
+        bounded = self._run(small_grid, small_power, lu_cache_size=2)
+        assert bounded.solver_stats["evictions"] == bounded.evictions
+        assert (
+            bounded.solver_stats["factorizations"] >= bounded.factorizations
+        )
+
+
 class TestPowerSchedule:
     def test_burst_engages_controller(self, small_deployed, sensors):
         bare_peak = small_deployed.solve(0.0).peak_silicon_c

@@ -68,6 +68,46 @@ class TestSensitivities:
             parameter_sensitivities(problem, design.tec_tiles, relative_step=0.0)
 
 
+class TestWarmStartAgreement:
+    """The sensitivity warm start (polish around the nominal optimum)
+    is an accelerator, not an approximation: warm and cold runs must
+    agree on every shift.  Peaks match to solver precision; currents
+    only to the optimizers' bracket tolerances (~1e-4 A), since the
+    peak is flat at the optimum."""
+
+    def test_parameter_sensitivities_warm_matches_cold(self, small_design):
+        problem, design = small_design
+        warm = parameter_sensitivities(
+            problem, design.tec_tiles, warm_start=True
+        )
+        cold = parameter_sensitivities(
+            problem, design.tec_tiles, warm_start=False
+        )
+        by_name = {s.parameter: s for s in cold}
+        assert {s.parameter for s in warm} == set(by_name)
+        for sensitivity in warm:
+            reference = by_name[sensitivity.parameter]
+            assert sensitivity.peak_shift_c == pytest.approx(
+                reference.peak_shift_c, abs=1e-5
+            )
+            assert sensitivity.i_opt_shift_a == pytest.approx(
+                reference.i_opt_shift_a, abs=1e-3
+            )
+
+    def test_monte_carlo_warm_matches_cold(self, small_design):
+        problem, design = small_design
+        kwargs = dict(samples=8, coefficient_of_variation=0.05, seed=7)
+        warm = monte_carlo_feasibility(
+            problem, design.tec_tiles, warm_start=True, **kwargs
+        )
+        cold = monte_carlo_feasibility(
+            problem, design.tec_tiles, warm_start=False, **kwargs
+        )
+        assert warm.yield_fraction == cold.yield_fraction
+        np.testing.assert_allclose(warm.peak_c, cold.peak_c, atol=1e-5)
+        np.testing.assert_allclose(warm.i_opt_a, cold.i_opt_a, atol=1e-3)
+
+
 class TestMonteCarlo:
     @pytest.fixture(scope="class")
     def outcome(self, request):

@@ -170,6 +170,68 @@ class TestFaultTolerance:
             assert by_name[result.name].values == result.values
 
 
+def _session_task_spec():
+    """The two solve-session task kinds on the shared 4x4 geometry."""
+    scenarios = [
+        Scenario(name="transient", task="transient", rows=4, cols=4,
+                 power_map=_HOTSPOT, tec_tiles=(5, 6, 9, 10),
+                 current_a=0.4, dt=0.01, steps=30),
+        Scenario(name="multipin", task="multipin", rows=4, cols=4,
+                 power_map=_HOTSPOT, tec_tiles=(5, 6, 9, 10),
+                 num_groups=2),
+    ]
+    return SweepSpec(scenarios=scenarios, name="session-tasks")
+
+
+class TestSessionTaskKinds:
+    @pytest.fixture(scope="class")
+    def report(self):
+        sweep_worker.clear_caches()
+        return SweepRunner().run(_session_task_spec())
+
+    def test_all_succeed(self, report):
+        assert report.ok
+
+    def test_transient_values(self, report):
+        values = report.result_for("transient").values
+        assert values["dt_s"] == 0.01
+        assert values["steps"] == 30
+        # Heating from ambient never overshoots the steady state.
+        assert values["final_peak_c"] <= values["steady_peak_c"] + 1e-9
+        assert values["max_peak_c"] <= values["steady_peak_c"] + 1e-9
+        assert values["steady_gap_c"] == pytest.approx(
+            values["steady_peak_c"] - values["final_peak_c"]
+        )
+
+    def test_transient_defaults_applied(self):
+        scenario = Scenario(
+            name="defaults", task="transient", rows=4, cols=4,
+            power_map=_HOTSPOT, tec_tiles=(5, 6), current_a=0.2,
+        )
+        sweep_worker.clear_caches()
+        report = SweepRunner().run([scenario])
+        values = report.result_for("defaults").values
+        assert values["dt_s"] == pytest.approx(1.0e-3)
+        assert values["steps"] == 200
+
+    def test_multipin_values(self, report):
+        values = report.result_for("multipin").values
+        assert values["num_groups"] == 2
+        assert len(values["group_currents_a"]) == 2
+        # Splitting the pins can only help relative to one shared pin.
+        assert values["peak_c"] <= values["shared_peak_c"] + 1e-6
+        assert values["improvement_c"] >= -1e-6
+        assert values["evaluations"] > 0
+
+    def test_process_backend_bit_identical(self):
+        spec = _session_task_spec()
+        sweep_worker.clear_caches()
+        serial = SweepRunner().run(spec)
+        parallel = SweepRunner(2).run(spec)
+        assert serial.ok and parallel.ok
+        assert _identity_view(serial) == _identity_view(parallel)
+
+
 class TestProcessBitIdentity:
     def test_small_spec_bit_identical(self):
         spec = _small_spec()

@@ -50,7 +50,9 @@ class TestScenarioValidation:
         with pytest.raises(ValueError, match="power_scale"):
             _explicit(power_scale=0.0)
 
-    @pytest.mark.parametrize("task", ["optimize", "solve", "pareto"])
+    @pytest.mark.parametrize(
+        "task", ["optimize", "solve", "pareto", "transient", "multipin"]
+    )
     def test_deployed_tasks_need_tec_tiles(self, task):
         with pytest.raises(ValueError, match="tec_tiles"):
             _explicit(task=task, current_a=1.0, budget_w=1.0)
@@ -100,11 +102,45 @@ class TestScenarioValidation:
         with pytest.raises(ValueError, match="budget_w"):
             _explicit(task="pareto", tec_tiles=(0,), budget_w=-1.0)
 
+    def test_transient_needs_current(self):
+        with pytest.raises(ValueError, match="current_a"):
+            _explicit(task="transient", tec_tiles=(0,))
+
+    def test_dt_coerced_and_validated(self):
+        scenario = _explicit(
+            task="transient", tec_tiles=(0,), current_a=0.5, dt="0.01"
+        )
+        assert scenario.dt == 0.01
+        with pytest.raises(ValueError, match="dt"):
+            _explicit(task="transient", tec_tiles=(0,), current_a=0.5, dt=0.0)
+
+    def test_steps_coerced_and_validated(self):
+        scenario = _explicit(
+            task="transient", tec_tiles=(0,), current_a=0.5, steps="50"
+        )
+        assert scenario.steps == 50
+        with pytest.raises(ValueError, match="steps"):
+            _explicit(
+                task="transient", tec_tiles=(0,), current_a=0.5, steps=0
+            )
+
+    def test_num_groups_bounded_by_deployment(self):
+        scenario = _explicit(
+            task="multipin", tec_tiles=(0, 1), num_groups="2"
+        )
+        assert scenario.num_groups == 2
+        with pytest.raises(ValueError, match="num_groups"):
+            _explicit(task="multipin", tec_tiles=(0, 1), num_groups=3)
+        with pytest.raises(ValueError, match="num_groups"):
+            _explicit(task="multipin", tec_tiles=(0, 1), num_groups=0)
+
     def test_all_tasks_constructible(self):
         extras = {
             "optimize": dict(tec_tiles=(0,)),
             "solve": dict(tec_tiles=(0,), current_a=0.5),
             "pareto": dict(tec_tiles=(0,), budget_w=0.0),
+            "transient": dict(tec_tiles=(0,), current_a=0.5),
+            "multipin": dict(tec_tiles=(0,), num_groups=1),
         }
         for task in TASKS:
             scenario = _explicit(task=task, **extras.get(task, {}))

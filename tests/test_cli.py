@@ -98,6 +98,84 @@ class TestSolveBackend:
         assert "invalid choice" in capsys.readouterr().err
 
 
+class TestTransient:
+    _BASE = ["transient", "--benchmark", "hc08", "--tiles", "5", "6",
+             "--current", "0.5", "--dt", "0.01", "--steps", "5"]
+
+    def test_explicit_deployment_runs(self, capsys):
+        assert main(self._BASE) == 0
+        out = capsys.readouterr().out
+        assert "final peak:" in out
+        assert "steady peak:" in out
+        assert "2 TECs at i = 0.500 A" in out
+
+    def test_solver_stats_printed(self, capsys):
+        assert main(self._BASE + ["--solver-stats", "--backend", "direct"]) == 0
+        out = capsys.readouterr().out
+        assert "solver stats (direct backend):" in out
+        assert "LU + " in out
+
+    def test_json_written(self, capsys, tmp_path):
+        path = tmp_path / "transient.json"
+        assert main(self._BASE + ["--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["tec_tiles"] == [5, 6]
+        assert payload["steps"] == 5
+        assert len(payload["peak_trace_c"]) == 5
+        assert payload["max_peak_c"] >= payload["peak_trace_c"][0]
+
+    def test_dt_validated(self, capsys):
+        with pytest.raises(SystemExit, match="--dt"):
+            main(["transient", "--benchmark", "hc08", "--tiles", "5",
+                  "--current", "0.5", "--dt", "0"])
+
+    def test_steps_validated(self, capsys):
+        with pytest.raises(SystemExit, match="--steps"):
+            main(["transient", "--benchmark", "hc08", "--tiles", "5",
+                  "--current", "0.5", "--steps", "0"])
+
+
+class TestControl:
+    _BASE = ["control", "--benchmark", "hc08", "--tiles", "5", "6",
+             "--controller", "constant", "--current", "0.5",
+             "--dt", "0.01", "--steps", "5"]
+
+    def test_constant_controller_runs(self, capsys):
+        assert main(self._BASE) == 0
+        out = capsys.readouterr().out
+        assert "constant controller" in out
+        assert "factorizations:" in out
+
+    def test_bangbang_controller_runs(self, capsys):
+        assert main(["control", "--benchmark", "hc08", "--tiles", "5", "6",
+                     "--steps", "5", "--dt", "0.01"]) == 0
+        assert "bangbang controller" in capsys.readouterr().out
+
+    def test_solver_stats_printed(self, capsys):
+        assert main(self._BASE + ["--solver-stats"]) == 0
+        assert "solver stats (" in capsys.readouterr().out
+
+    def test_json_written(self, capsys, tmp_path):
+        path = tmp_path / "control.json"
+        assert main(self._BASE + ["--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["controller"] == "constant"
+        assert payload["tec_tiles"] == [5, 6]
+        assert payload["factorizations"] >= 1
+        assert "solver_stats" in payload
+
+    def test_steps_validated(self, capsys):
+        with pytest.raises(SystemExit, match="--steps"):
+            main(["control", "--benchmark", "hc08", "--tiles", "5",
+                  "--steps", "0"])
+
+    def test_loop_parameters_validated(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["control", "--benchmark", "hc08", "--tiles", "5",
+                  "--steps", "5", "--dt", "0"])
+        assert "repro control: error" in str(excinfo.value)
+
+
 class TestWorkersValidation:
     """``--workers N`` with N < 1 must die with a clear argparse error,
     not a ProcessPoolExecutor traceback."""

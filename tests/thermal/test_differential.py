@@ -189,3 +189,49 @@ class TestBlueprintReplayBitEquality:
         assert replayed.hot_nodes == fresh.hot_nodes
         assert replayed.cold_nodes == fresh.cold_nodes
         assert replayed.silicon_nodes == fresh.silicon_nodes
+
+
+class TestScaleReplayBitEquality:
+    """Die-conductivity scale replay — the nonlinear k(T) iteration's
+    fast path — must be bitwise identical to a from-scratch build at
+    the same scale, on any grid and deployment."""
+
+    @given(_instances(), st.floats(min_value=0.5, max_value=1.5))
+    @_settings
+    def test_with_scale_matches_fresh_build_bitwise(self, instance, scale):
+        rows, cols, power, deployment = instance
+        grid = TileGrid(rows, cols)
+        # A non-uniform per-tile scale field around the drawn level.
+        scale_map = scale * np.linspace(0.9, 1.1, grid.num_tiles)
+        base = PackageThermalModel(grid, power, tec_tiles=deployment)
+        replayed = base.with_die_conductivity_scale(scale_map)
+        fresh = PackageThermalModel(
+            grid, power, tec_tiles=deployment, die_conductivity_scale=scale_map
+        )
+
+        a, b = replayed.system, fresh.system
+        assert np.array_equal(a.g_matrix.indptr, b.g_matrix.indptr)
+        assert np.array_equal(a.g_matrix.indices, b.g_matrix.indices)
+        assert np.array_equal(a.g_matrix.data, b.g_matrix.data)
+        assert np.array_equal(a.d_diagonal, b.d_diagonal)
+        assert np.array_equal(a.p_base, b.p_base)
+        assert np.array_equal(a.joule, b.joule)
+
+    @given(_instances(), st.floats(min_value=0.5, max_value=1.5))
+    @_settings
+    def test_scaled_solve_matches_dense(self, instance, scale):
+        rows, cols, power, deployment = instance
+        grid = TileGrid(rows, cols)
+        scale_map = scale * np.linspace(0.9, 1.1, grid.num_tiles)
+        model = PackageThermalModel(
+            grid, power, tec_tiles=deployment
+        ).with_die_conductivity_scale(scale_map)
+        current = _currents(model)[1]
+        system = model.system
+        theta_dense = np.linalg.solve(
+            system.system_matrix(current).toarray(),
+            system.power_vector(current),
+        )
+        np.testing.assert_allclose(
+            model.solve(current).theta_k, theta_dense, atol=_ATOL_K, rtol=0.0
+        )

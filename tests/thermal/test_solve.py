@@ -460,12 +460,12 @@ class TestCapRefinement:
         assert solver.stats.cap_refinements == 0
 
     def test_failed_refinement_falls_back_to_fresh_factors(self, monkeypatch):
-        import repro.thermal.solve as solve_module
+        import repro.thermal.session as session_module
 
         # Zero sweeps: every refinement attempt gives up immediately,
         # so the solver must fall back to a fresh factorization and
         # stay exact.
-        monkeypatch.setattr(solve_module, "_CAP_REFINE_MAX_ITERATIONS", 0)
+        monkeypatch.setattr(session_module, "_CAP_REFINE_MAX_ITERATIONS", 0)
         model = self._big_model()
         reference = self._big_model()
         model.solve(1.0)

@@ -92,6 +92,30 @@ class TestSimulator:
         steady = small_model.solve(0.0).peak_silicon_c
         assert sim.peak_silicon_c() == pytest.approx(steady, abs=0.5)
 
+    def test_long_horizon_matches_steady_solver(self, small_deployed):
+        """The backward-Euler fixed point *is* the steady solution:
+        integrated far past every time constant, the full state must
+        match the steady solver to solver precision, not just the
+        loose settling tolerance."""
+        current = 3.0
+        sim = TransientSimulator(small_deployed, current=current, dt=50.0)
+        sim.run(200)
+        steady = small_deployed.solve(current).theta_k
+        np.testing.assert_allclose(sim.theta_k, steady, atol=1e-6, rtol=0.0)
+
+    def test_simulators_share_the_session_view(self, small_deployed):
+        """Two simulators at the same dt share one C / dt view of the
+        model's solve session: the second pays zero factorizations."""
+        first = TransientSimulator(small_deployed, current=2.0, dt=0.05)
+        first.run(5)
+        stats = small_deployed.solver.stats
+        factorizations = stats.factorizations
+        second = TransientSimulator(small_deployed, current=2.0, dt=0.05)
+        trace = second.run(5)
+        assert stats.factorizations == factorizations
+        reference = TransientSimulator(small_deployed, current=2.0, dt=0.05)
+        assert np.allclose(trace, reference.run(5), atol=1e-12)
+
     def test_run_rejects_zero_steps(self, small_model):
         with pytest.raises(ValueError):
             TransientSimulator(small_model).run(0)
