@@ -22,6 +22,9 @@ Usage (also installed as the ``repro`` console script)::
     python -m repro.cli validate [--refine 2]
     python -m repro.cli runaway [--benchmark alpha]
     python -m repro.cli conjecture [--matrices 500]
+    python -m repro.cli serve [--host 127.0.0.1] [--port 8080]
+                              [--pool-size 8] [--batch-window 0.005]
+                              [--threads 4] [--workers 4]
     python -m repro.cli info
 
 Every subcommand returns a process exit code of 0 on success and 1 on
@@ -50,8 +53,9 @@ _ENGINES = ("cold", "incremental")
 def _workers_count(text):
     """argparse type for ``--workers``: a positive integer.
 
-    Rejecting ``N < 1`` here gives a clear usage error instead of the
-    opaque ``ValueError`` ``ProcessPoolExecutor`` would raise later.
+    Shares :func:`repro.sweep.runner.validate_workers` with the
+    library (imported lazily — argparse types only run at parse time),
+    so the CLI and ``SweepRunner`` enforce the identical contract.
     """
     try:
         value = int(text)
@@ -59,11 +63,14 @@ def _workers_count(text):
         raise argparse.ArgumentTypeError(
             "invalid int value: {!r}".format(text)
         )
-    if value < 1:
+    from repro.sweep.runner import validate_workers
+
+    try:
+        return validate_workers(value)
+    except ValueError:
         raise argparse.ArgumentTypeError(
             "--workers must be a positive integer, got {}".format(value)
         )
-    return value
 
 
 def _rounds_count(text):
@@ -794,6 +801,71 @@ def _cmd_info(_args):
     return 0
 
 
+def _add_serve(subparsers):
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the thermal-as-a-service HTTP API "
+             "(/solve /sweep /deploy /transient)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080, help="TCP port (default 8080; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--pool-size", type=int, default=None, metavar="N",
+        help="warm-session LRU capacity, distinct chips kept hot "
+             "(default 8; 0 disables the warm pool)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=None, metavar="SECONDS",
+        help="same-chip request coalescing window (default 0.005; "
+             "0 coalesces only within one event-loop tick)",
+    )
+    parser.add_argument(
+        "--batch-max", type=int, default=None, metavar="N",
+        help="max solve scenarios per coalesced batch (default 64)",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=None, metavar="N",
+        help="solve-thread tier size for /solve and /transient (default 4)",
+    )
+    parser.add_argument(
+        "--workers", type=_workers_count, default=None, metavar="N",
+        help="process-pool tier size for /deploy and /sweep "
+             "(default: machine cores)",
+    )
+    parser.set_defaults(func=_cmd_serve)
+
+
+def _cmd_serve(args):
+    from repro.serve import ServeConfig, create_app
+    from repro.serve.server import run
+
+    overrides = {
+        "pool_size": args.pool_size,
+        "batch_window_s": args.batch_window,
+        "batch_max": args.batch_max,
+        "threads": args.threads,
+        "workers": args.workers,
+    }
+    try:
+        config = ServeConfig(**{
+            key: value for key, value in overrides.items() if value is not None
+        })
+        app = create_app(config)
+    except ValueError as error:
+        raise SystemExit("repro serve: error: {}".format(error))
+    print("repro serve: listening on http://{}:{} "
+          "(pool {}, batch window {} s)".format(
+              args.host, args.port, config.pool_size, config.batch_window_s))
+    print("endpoints: POST /solve /sweep /deploy /transient; "
+          "GET /healthz /stats — Ctrl-C to stop")
+    run(app, host=args.host, port=args.port)
+    return 0
+
+
 def build_parser():
     """Construct the argparse tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -811,6 +883,7 @@ def build_parser():
     _add_runaway(subparsers)
     _add_conjecture(subparsers)
     _add_report(subparsers)
+    _add_serve(subparsers)
     _add_info(subparsers)
     return parser
 

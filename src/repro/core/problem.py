@@ -189,6 +189,16 @@ class CoolingSystemProblem:
             self._model_cache[key] = model
         return model
 
+    def cached_models(self):
+        """Snapshot list of the cached per-deployment models.
+
+        Read-only accessor for observers (the serve layer's pool stats,
+        diagnostics) that need to walk the warm models — e.g. to
+        aggregate :meth:`~repro.thermal.session.SolveSession.cache_info`
+        across deployments — without reaching into the cache dict.
+        """
+        return list(self._model_cache.values())
+
     def tiles_above_limit(self, state):
         """The paper's set ``T``: flat indices of tiles hotter than the limit."""
         return set(np.nonzero(state.silicon_c > self.max_temperature_c)[0].tolist())

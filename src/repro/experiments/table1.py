@@ -136,7 +136,7 @@ def run_table1(names=None, *, stack=None, device=None, current_method="golden",
         by_name = {result.name: result for result in report.results}
         rows = [row_from_scenario_result(by_name[name]) for name in names]
     else:
-        if workers is not None and workers not in (0, 1):
+        if workers is not None and workers != 1:
             raise ValueError(
                 "workers requires the default stack/device (scenarios are "
                 "plain data); run serially or drop the overrides"

@@ -1,0 +1,161 @@
+"""Closed-loop HTTP load generator for the serving tier.
+
+A :class:`RequestPool` drives N client threads against a running
+server, each holding one keep-alive ``http.client`` connection and
+pulling requests from a shared queue — a closed-loop generator, so
+offered load adapts to service rate instead of overrunning it.  Every
+request records its wall-clock latency; the resulting
+:class:`LoadReport` summarizes throughput and the p50/p95/p99 tail,
+and keeps the parsed response bodies (indexed by request position) so
+callers can assert correctness of what was measured — the serve
+benchmark compares served temperatures against the CLI path from the
+same report it takes its latency numbers from.
+
+Stdlib only (threads + ``http.client``): the load generator must run
+in the same dependency-free environment as the server it measures.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import math
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LoadReport:
+    """Latency/throughput summary of one load run."""
+
+    requests: int
+    errors: int
+    wall_s: float
+    latencies_ms: list = field(repr=False)
+    responses: list = field(repr=False)   # (status, parsed body) per request
+    clients: int = 1
+
+    @property
+    def throughput_rps(self):
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.requests / self.wall_s
+
+    def percentile(self, q):
+        """Latency percentile in ms (nearest-rank on the sorted sample)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def as_dict(self):
+        """Plain-data summary for ``BENCH_serve.json`` entries."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "clients": self.clients,
+            "wall_s": self.wall_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": {
+                "mean": (
+                    sum(self.latencies_ms) / len(self.latencies_ms)
+                    if self.latencies_ms else 0.0
+                ),
+                "p50": self.percentile(50),
+                "p95": self.percentile(95),
+                "p99": self.percentile(99),
+                "max": max(self.latencies_ms) if self.latencies_ms else 0.0,
+            },
+        }
+
+
+class RequestPool:
+    """N keep-alive client threads replaying a request list.
+
+    ``run(requests)`` takes ``(method, path, payload)`` tuples, fans
+    them out over the clients and blocks until every request is
+    answered.  Failures (connection errors, non-JSON bodies) count as
+    errors with a ``(None, None)`` response slot; latency is recorded
+    for successful requests only, so tail percentiles measure service
+    time rather than error handling.
+    """
+
+    def __init__(self, host, port, *, clients=4, timeout_s=60.0):
+        clients = int(clients)
+        if clients < 1:
+            raise ValueError("clients must be >= 1, got {}".format(clients))
+        self.host = host
+        self.port = int(port)
+        self.clients = clients
+        self.timeout_s = float(timeout_s)
+
+    def run(self, requests):
+        """Replay ``requests``; returns a :class:`LoadReport`."""
+        jobs = queue.Queue()
+        for position, request in enumerate(requests):
+            jobs.put((position, request))
+        total = jobs.qsize()
+        responses = [None] * total
+        latencies = []
+        errors = [0]
+        guard = threading.Lock()
+
+        def client_loop():
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+            try:
+                while True:
+                    try:
+                        position, (method, path, payload) = jobs.get_nowait()
+                    except queue.Empty:
+                        return
+                    try:
+                        body = (
+                            json.dumps(payload).encode("utf-8")
+                            if payload is not None else None
+                        )
+                        headers = {"Content-Type": "application/json"} if body else {}
+                        began = time.perf_counter()
+                        connection.request(method, path, body=body,
+                                           headers=headers)
+                        response = connection.getresponse()
+                        raw = response.read()
+                        elapsed_ms = (time.perf_counter() - began) * 1000.0
+                        parsed = json.loads(raw)
+                        with guard:
+                            responses[position] = (response.status, parsed)
+                            latencies.append(elapsed_ms)
+                    except Exception:  # noqa: BLE001 — counted, not raised
+                        with guard:
+                            errors[0] += 1
+                            responses[position] = (None, None)
+                        connection.close()
+                        connection = http.client.HTTPConnection(
+                            self.host, self.port, timeout=self.timeout_s
+                        )
+            finally:
+                connection.close()
+
+        threads = [
+            threading.Thread(target=client_loop, daemon=True,
+                             name="repro-loadgen-{}".format(i))
+            for i in range(min(self.clients, max(total, 1)))
+        ]
+        began = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - began
+        return LoadReport(
+            requests=total,
+            errors=errors[0],
+            wall_s=wall,
+            latencies_ms=latencies,
+            responses=responses,
+            clients=len(threads),
+        )

@@ -1,0 +1,175 @@
+"""Warm session pool: blueprint-keyed LRU of live problems.
+
+The expensive part of answering a thermal request is not the solve —
+it is building the problem, assembling the nodal system and
+factorizing it.  On the Table I benchmarks a cold build-plus-solve
+costs tens of milliseconds while a warm repeat costs microseconds, so
+the serving tier keeps an LRU of :class:`PoolEntry` objects keyed by
+:func:`~repro.serve.schemas.blueprint_key`: each entry owns one live
+:class:`~repro.core.problem.CoolingSystemProblem` whose models (and
+:class:`~repro.thermal.session.SolveSession` factorization caches)
+stay warm across requests.
+
+Concurrency contract: the pool itself is mutated only from the event
+loop (single-threaded), so its bookkeeping needs no locking; the
+*solves* run on worker threads, and sessions are not thread-safe, so
+every entry carries an :class:`asyncio.Lock` — concurrent requests
+for the same chip queue on it and share one warm session instead of
+racing on its caches.  Requests for different chips hold different
+locks and solve in parallel.
+
+Eviction closes stats cleanly: an evicted entry's solver counters are
+merged into the pool's ``retired`` aggregate before the entry is
+dropped, so ``/stats`` totals are monotone across evictions — work is
+never silently forgotten with the session that did it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+
+from repro.thermal.session import SolverStats
+
+#: Default LRU capacity (distinct chips kept warm).
+DEFAULT_MAX_ENTRIES = 8
+
+
+class PoolEntry:
+    """One warm chip: a live problem plus its serialization lock."""
+
+    def __init__(self, key, problem):
+        self.key = key
+        self.problem = problem
+        self.lock = asyncio.Lock()
+        self.hits = 0
+        self.created_s = time.monotonic()
+        self.last_used_s = self.created_s
+
+    def touch(self):
+        self.hits += 1
+        self.last_used_s = time.monotonic()
+
+    def cache_info(self):
+        """Aggregated session cache occupancy across warm models."""
+        total = {}
+        for model in self.problem.cached_models():
+            for field, value in model.session.cache_info().items():
+                total[field] = total.get(field, 0) + value
+        total["models"] = len(self.problem.cached_models())
+        return total
+
+    def snapshot(self):
+        """Plain-data view of the entry for ``/stats``."""
+        return {
+            "key": self.key,
+            "name": self.problem.name,
+            "hits": self.hits,
+            "age_s": time.monotonic() - self.created_s,
+            "idle_s": time.monotonic() - self.last_used_s,
+            "solver_stats": self.problem.solver_stats.as_dict(),
+            "cache_info": self.cache_info(),
+            "locked": self.lock.locked(),
+        }
+
+
+class SessionPool:
+    """Blueprint-keyed LRU of warm :class:`PoolEntry` objects.
+
+    ``max_entries=0`` disables caching entirely — every acquire builds
+    a throwaway entry (the cold baseline the serve benchmark measures
+    against).  Entries whose lock is held are skipped by eviction (a
+    request is solving on them), so the pool may transiently exceed
+    ``max_entries`` under pathological churn; the overflow drains as
+    locks release.
+    """
+
+    def __init__(self, max_entries=DEFAULT_MAX_ENTRIES):
+        max_entries = int(max_entries)
+        if max_entries < 0:
+            raise ValueError(
+                "max_entries must be >= 0, got {}".format(max_entries)
+            )
+        self.max_entries = max_entries
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._retired_stats = SolverStats()
+        self._retired_entries = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    def acquire(self, key, factory):
+        """The warm entry for ``key``, building it via ``factory()`` on miss.
+
+        Must be called from the event loop thread.  ``factory`` builds
+        the problem synchronously — problem construction is cheap (the
+        nodal assembly is deferred to the first model), so running it
+        inline also guarantees two concurrent misses for one key cannot
+        both build.  Returns ``(entry, hit)``.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            entry.touch()
+            self.hits += 1
+            return entry, True
+        self.misses += 1
+        entry = PoolEntry(key, factory())
+        if self.max_entries == 0:
+            return entry, False  # caching disabled: never stored
+        self._entries[key] = entry
+        self._evict_over_capacity(newest=key)
+        return entry, False
+
+    def _evict_over_capacity(self, newest):
+        for key in list(self._entries):
+            if len(self._entries) <= self.max_entries:
+                break
+            if key == newest:
+                continue  # never retire the entry being handed out
+            entry = self._entries[key]
+            if entry.lock.locked():
+                continue  # in use; retry on a later acquire
+            self._retire(key)
+
+    def _retire(self, key):
+        entry = self._entries.pop(key)
+        self._retired_stats.merge(entry.problem.solver_stats)
+        self._retired_entries += 1
+        self.evictions += 1
+
+    def evict(self, key):
+        """Drop one entry (tests, admin); returns True if it existed."""
+        if key in self._entries:
+            self._retire(key)
+            return True
+        return False
+
+    def clear(self):
+        """Retire every entry (shutdown); stats stay accounted."""
+        for key in list(self._entries):
+            self._retire(key)
+
+    def stats(self):
+        """Plain-data pool snapshot for ``/stats``.
+
+        ``lifetime_solver_stats`` folds retired sessions into the live
+        ones, so totals are monotone across evictions.
+        """
+        lifetime = self._retired_stats.copy()
+        for entry in self._entries.values():
+            lifetime.merge(entry.problem.solver_stats)
+        return {
+            "max_entries": self.max_entries,
+            "entries": [entry.snapshot() for entry in self._entries.values()],
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "retired_entries": self._retired_entries,
+            "retired_solver_stats": self._retired_stats.as_dict(),
+            "lifetime_solver_stats": lifetime.as_dict(),
+        }

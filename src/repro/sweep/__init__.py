@@ -19,7 +19,7 @@ Serial and process backends are bit-identical by construction; see
 """
 
 from repro.sweep.report import ScenarioError, ScenarioResult, SweepReport
-from repro.sweep.runner import BACKENDS, SweepRunner, run_sweep
+from repro.sweep.runner import BACKENDS, SweepRunner, run_sweep, validate_workers
 from repro.sweep.spec import TASKS, Scenario, SweepSpec
 
 __all__ = [
@@ -32,4 +32,5 @@ __all__ = [
     "SweepRunner",
     "SweepSpec",
     "run_sweep",
+    "validate_workers",
 ]

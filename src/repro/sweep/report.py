@@ -59,6 +59,18 @@ class ScenarioError:
     The original exception never crosses the process boundary (it may
     not be picklable); its type name, message and formatted traceback
     do.
+
+    ``kind`` distinguishes the two failure classes:
+
+    ``"scenario"``
+        The scenario's own code raised — captured worker-side by
+        :func:`~repro.sweep.worker.execute`, traceback included.
+    ``"pool"``
+        The scenario never returned because the execution machinery
+        failed (a crashed worker process / ``BrokenProcessPool``, a
+        poisoned pipe, an unpicklable result) — captured runner-side,
+        so there is no worker traceback.  Scenarios that completed
+        before the crash keep their results.
     """
 
     index: int
@@ -67,6 +79,7 @@ class ScenarioError:
     error_type: str
     message: str
     traceback: str = ""
+    kind: str = "scenario"
 
 
 @dataclass(frozen=True)
@@ -102,6 +115,35 @@ class SweepReport:
     scenario_time_s: float = 0.0
     metadata: dict = field(default_factory=dict)
 
+    @classmethod
+    def from_outcomes(cls, *, spec_name, backend, workers, outcomes,
+                      wall_time_s, metadata=None):
+        """Assemble a report from a mixed outcome list.
+
+        ``outcomes`` holds :class:`ScenarioResult` and
+        :class:`ScenarioError` records in any order; they are
+        partitioned and re-sorted by scenario index so reports are
+        reproducible regardless of completion order.  Shared by the
+        sweep runner backends and the serve layer's ``/sweep``
+        endpoint.
+        """
+        results = []
+        errors = []
+        for outcome in outcomes:
+            (errors if isinstance(outcome, ScenarioError) else results).append(
+                outcome
+            )
+        return cls(
+            spec_name=spec_name,
+            backend=backend,
+            workers=workers,
+            results=tuple(sorted(results, key=lambda r: r.index)),
+            errors=tuple(sorted(errors, key=lambda e: e.index)),
+            wall_time_s=wall_time_s,
+            scenario_time_s=sum(r.elapsed_s for r in results),
+            metadata=dict(metadata) if metadata else {},
+        )
+
     @property
     def num_scenarios(self):
         """Total scenarios attempted (successes plus failures)."""
@@ -129,6 +171,17 @@ class SweepReport:
         if self.wall_time_s <= 0.0:
             return 1.0
         return self.scenario_time_s / self.wall_time_s
+
+    @property
+    def pool_faults(self):
+        """Errors caused by the execution machinery (``kind="pool"``),
+        not by scenario code — e.g. a mid-sweep ``BrokenProcessPool``."""
+        return tuple(e for e in self.errors if e.kind == "pool")
+
+    @property
+    def scenario_faults(self):
+        """Errors raised by scenario code itself (``kind="scenario"``)."""
+        return tuple(e for e in self.errors if e.kind != "pool")
 
     def result_for(self, name):
         """The :class:`ScenarioResult` of the named scenario.
@@ -172,8 +225,12 @@ class SweepReport:
             lines.append("solver: " + self.aggregate_solver_stats().summary())
         for error in self.errors:
             lines.append(
-                "FAILED [{}] {}: {}: {}".format(
-                    error.index, error.name, error.error_type, error.message
+                "FAILED [{}] {}: {}: {}{}".format(
+                    error.index,
+                    error.name,
+                    error.error_type,
+                    error.message,
+                    " (pool fault)" if error.kind == "pool" else "",
                 )
             )
         return "\n".join(lines)

@@ -14,18 +14,25 @@ Two backends:
     construction through the per-process blueprint cache in
     :mod:`repro.sweep.worker`.
 
-Failures never abort the sweep: a scenario that raises is captured as
-a :class:`~repro.sweep.report.ScenarioError` (with the formatted
-traceback) and every other scenario still completes.  A broken worker
-process (hard crash) is also contained — the affected scenarios are
-reported as errors.
+Failures never abort the sweep, and the two failure classes stay
+distinguishable in the report:
+
+* an exception *inside* a scenario is captured worker-side as a
+  :class:`~repro.sweep.report.ScenarioError` with
+  ``kind="scenario"`` (formatted traceback included) — every other
+  scenario still completes;
+* a worker-process crash (``BrokenProcessPool``) or any other
+  transport failure is captured runner-side as a ``kind="pool"``
+  fault on exactly the scenarios that did not finish.  Results that
+  already completed before the crash are preserved in the returned
+  :class:`~repro.sweep.report.SweepReport`.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
 from repro.sweep.report import ScenarioError, SweepReport
 from repro.sweep.spec import SweepSpec
@@ -35,31 +42,73 @@ from repro.sweep.worker import execute
 BACKENDS = ("serial", "process")
 
 
+def validate_workers(workers):
+    """Normalize and validate a worker count; shared with the CLI.
+
+    ``None`` means "serial" and passes through; any other value must
+    be an integer >= 1.  Non-positive counts raise ``ValueError`` —
+    the library and the CLI ``--workers`` flag enforce the identical
+    contract, so ``SweepRunner(0)`` can no longer silently run serial
+    while ``repro sweep --workers 0`` errors out.
+    """
+    if workers is None:
+        return None
+    try:
+        value = int(workers)
+    except (TypeError, ValueError):
+        raise ValueError(
+            "workers must be None or an integer >= 1, got {!r}".format(workers)
+        )
+    if value < 1:
+        raise ValueError(
+            "workers must be a positive integer, got {}".format(value)
+        )
+    return value
+
+
+def pool_fault(index, scenario, error):
+    """A runner-side fault record for a scenario the pool lost.
+
+    Worker-side exceptions never surface as raises (``execute``
+    captures them and *returns* the error record), so anything raised
+    while collecting a future is a pool-level failure: a crashed
+    worker (``BrokenProcessPool``), a poisoned pipe, or a result that
+    could not cross the process boundary.  Shared with the serve
+    layer's process tier, which mirrors the same crash semantics.
+    """
+    return ScenarioError(
+        index=int(index),
+        name=scenario.name,
+        task=scenario.task,
+        error_type=type(error).__name__,
+        message=str(error) or type(error).__name__,
+        kind="pool",
+    )
+
+
 class SweepRunner:
     """Execute sweeps over a chosen backend.
 
     Parameters
     ----------
     workers:
-        Worker-process count.  ``None``, 0 or 1 select the serial
+        Worker-process count, ``None`` or an integer >= 1
+        (:func:`validate_workers`).  ``None`` and 1 select the serial
         backend; larger values the process backend (unless ``backend``
-        overrides the choice).  Negative values mean "all cores".
+        overrides the choice).
     backend:
         Force ``"serial"`` or ``"process"`` regardless of ``workers``.
     """
 
     def __init__(self, workers=None, *, backend=None):
-        if workers is not None:
-            workers = int(workers)
-            if workers < 0:
-                workers = os.cpu_count() or 1
+        workers = validate_workers(workers)
         if backend is None:
             backend = "process" if workers is not None and workers > 1 else "serial"
         if backend not in BACKENDS:
             raise ValueError(
                 "backend must be one of {}, got {!r}".format(BACKENDS, backend)
             )
-        if backend == "process" and (workers is None or workers < 1):
+        if backend == "process" and workers is None:
             workers = os.cpu_count() or 1
         self.backend = backend
         self.workers = workers if backend == "process" else 1
@@ -80,46 +129,45 @@ class SweepRunner:
             ]
         else:
             outcomes = self._run_process_pool(spec)
-        wall = time.perf_counter() - start
-
-        results = []
-        errors = []
-        for outcome in outcomes:
-            (errors if isinstance(outcome, ScenarioError) else results).append(
-                outcome
-            )
-        return SweepReport(
+        return SweepReport.from_outcomes(
             spec_name=spec.name,
             backend=self.backend,
             workers=self.workers,
-            results=tuple(sorted(results, key=lambda r: r.index)),
-            errors=tuple(sorted(errors, key=lambda e: e.index)),
-            wall_time_s=wall,
-            scenario_time_s=sum(r.elapsed_s for r in results),
-            metadata=dict(spec.metadata),
+            outcomes=outcomes,
+            wall_time_s=time.perf_counter() - start,
+            metadata=spec.metadata,
         )
 
     def _run_process_pool(self, spec):
-        outcomes = []
+        scenarios = list(enumerate(spec))
+        outcomes = {}
+        submit_error = None
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {
-                pool.submit(execute, index, scenario): (index, scenario)
-                for index, scenario in enumerate(spec)
-            }
-            for future, (index, scenario) in futures.items():
+            futures = {}
+            for index, scenario in scenarios:
                 try:
-                    outcomes.append(future.result())
-                except Exception as error:  # pool/pickling/crash failures
-                    outcomes.append(
-                        ScenarioError(
-                            index=index,
-                            name=scenario.name,
-                            task=scenario.task,
-                            error_type=type(error).__name__,
-                            message=str(error),
-                        )
-                    )
-        return outcomes
+                    futures[index] = pool.submit(execute, index, scenario)
+                except BrokenExecutor as error:
+                    # The pool broke mid-submission; stop submitting but
+                    # keep draining what is already in flight below.
+                    submit_error = error
+                    break
+            for index, future in futures.items():
+                scenario = scenarios[index][1]
+                try:
+                    outcomes[index] = future.result()
+                except Exception as error:  # pool crash / transport failure
+                    outcomes[index] = pool_fault(index, scenario, error)
+                    if isinstance(error, BrokenExecutor):
+                        submit_error = error
+        if len(outcomes) < len(scenarios):
+            # Scenarios that were never submitted because the pool broke:
+            # fault them explicitly so the report stays complete.
+            reason = submit_error or RuntimeError("process pool shut down early")
+            for index, scenario in scenarios:
+                if index not in outcomes:
+                    outcomes[index] = pool_fault(index, scenario, reason)
+        return [outcomes[index] for index in sorted(outcomes)]
 
 
 def run_sweep(spec, *, workers=None, backend=None):

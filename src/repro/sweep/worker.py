@@ -323,6 +323,21 @@ _TASK_IMPLS = {
 }
 
 
+def run_task(scenario, problem):
+    """Run a scenario's task against an explicit problem instance.
+
+    The serve layer's thread tier uses this to execute scenarios
+    against *pooled* problems (warm sessions shared across requests)
+    instead of the per-process caches above; the task implementations
+    — and therefore the result payloads — are exactly the ones the
+    sweep backends run, which is what makes served responses
+    bit-identical to CLI/sweep results.  Raises on failure; callers
+    that need the fault-tolerant contract wrap it like
+    :func:`execute` does.
+    """
+    return _TASK_IMPLS[scenario.task](scenario, problem)
+
+
 def run_scenario(index, scenario):
     """Execute one scenario; raises on failure (see :func:`execute`)."""
     impl = _TASK_IMPLS[scenario.task]

@@ -299,6 +299,38 @@ class SessionView:
         self._krylov_maxiter = session.krylov_maxiter
         self._krylov_restart = session.krylov_restart
 
+    def __getstate__(self):
+        """Pickle support: drop live factorization handles.
+
+        ``splu`` factors wrap SuperLU objects that cannot be pickled
+        and must not be shared across a ``fork``/spawn boundary (the
+        serve layer's process-pool tier and any sweep worker that
+        receives a warmed problem would otherwise crash).  Everything
+        derived from a factorization — LU caches, the Woodbury
+        influence block, solution caches, shifted-matrix scratch — is
+        dropped here and rebuilt lazily on first solve in the new
+        process.  Plain state (shift vector, cache capacity, Krylov
+        knobs, the shared stats object) survives the round trip, so an
+        unpickled view answers bit-identical solves; pinned by
+        ``tests/thermal/test_session.py::TestForkSafety``.
+        """
+        state = self.__dict__.copy()
+        state["_shift_diag_matrix"] = None
+        state["_shifted_base"] = None
+        state["_lu_cache"] = OrderedDict()
+        state["_solution_cache"] = OrderedDict()
+        state["_base_lu"] = None
+        state["_support"] = None
+        state["_d_support"] = None
+        state["_w"] = None
+        state["_z"] = None
+        state["_zd_matrix"] = None
+        state["_x_pair"] = None
+        state["_cap_cache"] = OrderedDict()
+        state["_diag_lu_cache"] = OrderedDict()
+        state["_diag_cap_cache"] = OrderedDict()
+        return state
+
     @property
     def mode(self):
         """The session's requested solver mode (see :data:`SOLVER_MODES`)."""
@@ -983,3 +1015,39 @@ class SolveSession:
     def num_views(self):
         """Distinct shifts this session has handed out views for."""
         return len(self._views)
+
+    def stats_snapshot(self):
+        """Plain-dict copy of the session's counters.
+
+        Safe to hand across threads and serialize as-is — the serve
+        layer's ``/stats`` endpoint and the session pool report these
+        without touching the live (mutable) :class:`SolverStats`.
+        """
+        return self.stats.as_dict()
+
+    def cache_info(self):
+        """Aggregate cache occupancy across every view (plain data).
+
+        Counts live entries, not capacity: sparse LU factors
+        (``direct`` mode and the per-view base factorization), dense
+        Woodbury capacitance factors, cached solution vectors, and
+        arbitrary-diagonal entries.  Serve-pool eviction decisions and
+        the ``/stats`` endpoint read this snapshot.
+        """
+        info = {
+            "views": len(self._views),
+            "lu_entries": 0,
+            "base_factorizations": 0,
+            "cap_entries": 0,
+            "solution_entries": 0,
+            "diagonal_entries": 0,
+        }
+        for view in self._views.values():
+            info["lu_entries"] += len(view._lu_cache)
+            info["base_factorizations"] += 1 if view._base_lu is not None else 0
+            info["cap_entries"] += len(view._cap_cache)
+            info["solution_entries"] += len(view._solution_cache)
+            info["diagonal_entries"] += (
+                len(view._diag_lu_cache) + len(view._diag_cap_cache)
+            )
+        return info

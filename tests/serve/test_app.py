@@ -1,0 +1,279 @@
+"""The ASGI app: routing, warm-pool sharing, batching bit-identity,
+eviction accounting, and the process tier."""
+
+import asyncio
+
+from repro.sweep import worker
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import Scenario, SweepSpec
+
+from tests.serve.helpers import SMALL_CHIP, asgi_request, small_solve_body, with_app
+
+
+def _small_scenario(**overrides):
+    fields = dict(
+        name="ref", task="solve",
+        rows=SMALL_CHIP["rows"], cols=SMALL_CHIP["cols"],
+        power_map=tuple(SMALL_CHIP["power_map"]),
+        tec_tiles=tuple(SMALL_CHIP["tec_tiles"]),
+        current_a=0.8,
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+def _bare_peak_c():
+    scenario = _small_scenario(name="bare", tec_tiles=(), current_a=0.0)
+    return worker.execute(0, scenario).values["peak_c"]
+
+
+class TestRouting:
+    def test_healthz(self):
+        async def scenario(app):
+            return await asgi_request(app, "GET", "/healthz")
+
+        status, body = with_app(scenario)
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_unknown_endpoint_404(self):
+        async def scenario(app):
+            return await asgi_request(app, "POST", "/nope", {})
+
+        status, body = with_app(scenario)
+        assert status == 404
+        assert "no such endpoint" in body["error"]
+
+    def test_wrong_method_405(self):
+        async def scenario(app):
+            return await asgi_request(app, "GET", "/solve")
+
+        status, body = with_app(scenario)
+        assert status == 405
+
+    def test_schema_error_400(self):
+        async def scenario(app):
+            return await asgi_request(app, "POST", "/solve", {"rows": 4})
+
+        status, body = with_app(scenario)
+        assert status == 400
+        assert "geometry" in body["error"] or "tec_tiles" in body["error"]
+
+    def test_trailing_slash_is_tolerated(self):
+        async def scenario(app):
+            return await asgi_request(app, "GET", "/healthz/")
+
+        status, _ = with_app(scenario)
+        assert status == 200
+
+
+class TestWarmPoolSharing:
+    def test_concurrent_same_chip_requests_share_one_session(self):
+        """Two concurrent same-blueprint requests land on one warm
+        session: the pool holds a single entry and the repeated
+        request is answered from cache (``cache_hits > 0``)."""
+
+        async def scenario(app):
+            body = small_solve_body()
+            warmup = await asgi_request(app, "POST", "/solve", body)
+            concurrent = await asyncio.gather(
+                asgi_request(app, "POST", "/solve", body),
+                asgi_request(app, "POST", "/solve", body),
+            )
+            stats = await asgi_request(app, "GET", "/stats")
+            return warmup, concurrent, stats
+
+        warmup, concurrent, stats = with_app(scenario, batch_window_s=0.02)
+        status, first = warmup
+        assert status == 200
+        assert first["results"][0]["pool"]["hit"] is False
+        for status, body in concurrent:
+            assert status == 200
+            result = body["results"][0]
+            assert result["pool"]["hit"] is True
+            assert result["cache_hits"] > 0
+        # One chip, one warm session, no rebuilds.
+        pool_stats = stats[1]["pool"]
+        assert len(pool_stats["entries"]) == 1
+        assert pool_stats["misses"] == 1
+        assert pool_stats["hits"] >= 1
+        # All three requests returned the same temperatures.
+        peaks = {
+            body["results"][0]["values"]["peak_c"]
+            for _, body in [warmup] + concurrent
+        }
+        assert len(peaks) == 1
+
+    def test_disabled_pool_always_builds_cold(self):
+        async def scenario(app):
+            body = small_solve_body()
+            first = await asgi_request(app, "POST", "/solve", body)
+            second = await asgi_request(app, "POST", "/solve", body)
+            stats = await asgi_request(app, "GET", "/stats")
+            return first, second, stats
+
+        first, second, stats = with_app(scenario, pool_size=0)
+        for status, body in (first, second):
+            assert status == 200
+            assert body["results"][0]["pool"]["hit"] is False
+        pool_stats = stats[1]["pool"]
+        assert pool_stats["entries"] == []
+        assert pool_stats["misses"] == 2
+        # Cold and warm paths must agree bitwise.
+        assert (
+            first[1]["results"][0]["values"]
+            == second[1]["results"][0]["values"]
+        )
+
+
+class TestBatchingBitIdentity:
+    def test_batched_multi_current_matches_serial_worker(self):
+        currents = [0.2, 0.5, 0.8, 1.1]
+
+        async def scenario(app):
+            body = small_solve_body()
+            del body["current_a"]
+            body["currents_a"] = currents
+            return await asgi_request(app, "POST", "/solve", body)
+
+        status, body = with_app(scenario, batch_window_s=0.02)
+        assert status == 200
+        assert body["count"] == len(currents)
+        for current, result in zip(currents, body["results"]):
+            reference = worker.execute(
+                0, _small_scenario(current_a=current)
+            ).values
+            assert result["values"] == reference
+
+    def test_duplicate_points_coalesce_to_one_solve(self):
+        async def scenario(app):
+            body = small_solve_body()
+            del body["current_a"]
+            body["currents_a"] = [0.7, 0.7, 0.7]
+            response = await asgi_request(app, "POST", "/solve", body)
+            stats = await asgi_request(app, "GET", "/stats")
+            return response, stats
+
+        (status, body), (_, stats) = with_app(scenario, batch_window_s=0.02)
+        assert status == 200
+        results = body["results"]
+        assert [r["coalesced"] for r in results] == [False, True, True]
+        assert len({r["values"]["peak_c"] for r in results}) == 1
+        # One batch, one underlying solve for three requested points.
+        assert stats["batcher"]["batches"] == 1
+
+
+class TestEvictionAccounting:
+    def test_eviction_closes_stats_cleanly(self):
+        async def scenario(app):
+            chip_a = small_solve_body()
+            chip_b = small_solve_body(power_scale=1.2)
+            await asgi_request(app, "POST", "/solve", chip_a)
+            _, before = await asgi_request(app, "GET", "/stats")
+            await asgi_request(app, "POST", "/solve", chip_b)  # evicts chip A
+            _, after = await asgi_request(app, "GET", "/stats")
+            return before, after
+
+        before, after = with_app(scenario, pool_size=1)
+        assert len(before["pool"]["entries"]) == 1
+        assert len(after["pool"]["entries"]) == 1
+        assert after["pool"]["evictions"] == 1
+        assert after["pool"]["retired_entries"] == 1
+        # The evicted session's counters moved into the retired
+        # aggregate: lifetime totals never shrink.
+        solves_before = before["pool"]["lifetime_solver_stats"]["solves"]
+        solves_after = after["pool"]["lifetime_solver_stats"]["solves"]
+        assert after["pool"]["retired_solver_stats"]["solves"] > 0
+        assert solves_after >= solves_before
+
+
+class TestTransient:
+    def test_matches_serial_worker(self):
+        scenario_ref = _small_scenario(
+            name="transient", task="transient", dt=1e-3, steps=8
+        )
+
+        async def scenario(app):
+            body = small_solve_body(dt=1e-3, steps=8)
+            return await asgi_request(app, "POST", "/transient", body)
+
+        status, body = with_app(scenario)
+        assert status == 200
+        assert body["values"] == worker.execute(0, scenario_ref).values
+
+
+class TestProcessTier:
+    def test_deploy_matches_serial_worker(self):
+        limit_c = _bare_peak_c() - 0.5
+        chip = {
+            "rows": SMALL_CHIP["rows"],
+            "cols": SMALL_CHIP["cols"],
+            "power_map": list(SMALL_CHIP["power_map"]),
+            "limit_c": limit_c,
+        }
+
+        async def scenario(app):
+            return await asgi_request(app, "POST", "/deploy", chip)
+
+        status, body = with_app(scenario, workers=1)
+        assert status == 200
+        reference = worker.execute(
+            0,
+            Scenario(
+                name="deploy", task="greedy",
+                rows=chip["rows"], cols=chip["cols"],
+                power_map=tuple(chip["power_map"]), limit_c=limit_c,
+            ),
+        ).values
+        assert body["values"] == reference
+        assert body["values"]["feasible"] is True
+
+    def test_in_scenario_failure_is_a_422(self):
+        chip = {
+            "rows": SMALL_CHIP["rows"],
+            "cols": SMALL_CHIP["cols"],
+            "power_map": list(SMALL_CHIP["power_map"]),
+            "limit_c": 10.0,  # below ambient: problem construction raises
+        }
+
+        async def scenario(app):
+            return await asgi_request(app, "POST", "/deploy", chip)
+
+        status, body = with_app(scenario, workers=1)
+        assert status == 422
+        assert body["kind"] == "scenario"
+        assert body["error_type"] == "ValueError"
+        assert body["traceback"]
+
+    def test_sweep_matches_serial_runner(self):
+        spec = SweepSpec(
+            scenarios=(
+                _small_scenario(name="i-low", current_a=0.3),
+                _small_scenario(name="i-high", current_a=0.9),
+            ),
+            name="served",
+        )
+        wire = {
+            "name": spec.name,
+            "scenarios": [
+                {
+                    "name": s.name, "task": s.task, "rows": s.rows,
+                    "cols": s.cols, "power_map": list(s.power_map),
+                    "tec_tiles": list(s.tec_tiles), "current_a": s.current_a,
+                }
+                for s in spec
+            ],
+        }
+
+        async def scenario(app):
+            return await asgi_request(app, "POST", "/sweep", wire)
+
+        status, body = with_app(scenario, workers=1)
+        assert status == 200
+        reference = SweepRunner(None).run(spec)
+        assert body["spec_name"] == "served"
+        assert body["errors"] == []
+        served = {r["name"]: r["values"] for r in body["results"]}
+        expected = {r.name: r.values for r in reference.results}
+        assert served == expected
+        assert "summary" in body

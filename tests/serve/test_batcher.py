@@ -1,0 +1,140 @@
+"""Request batcher: coalescing, flush triggers, failure fan-out."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import RequestBatcher
+
+
+class _RecordingExecutor:
+    """Echo executor that records every batch it receives."""
+
+    def __init__(self, delay_s=0.0, fail=False):
+        self.calls = []
+        self.delay_s = delay_s
+        self.fail = fail
+
+    async def __call__(self, key, scenarios):
+        self.calls.append((key, list(scenarios)))
+        if self.delay_s:
+            await asyncio.sleep(self.delay_s)
+        if self.fail:
+            raise RuntimeError("executor blew up")
+        return ["{}:{}".format(key, scenario) for scenario in scenarios]
+
+
+class TestCoalescing:
+    def test_same_key_submissions_share_one_batch(self):
+        async def scenario():
+            executor = _RecordingExecutor()
+            batcher = RequestBatcher(executor, window_s=0.01)
+            results = await asyncio.gather(
+                batcher.submit("k", "a"), batcher.submit("k", "b")
+            )
+            return executor, batcher, results
+
+        executor, batcher, results = asyncio.run(scenario())
+        assert len(executor.calls) == 1
+        assert executor.calls[0] == ("k", ["a", "b"])
+        assert results == ["k:a", "k:b"]
+        assert batcher.stats()["coalesced_requests"] == 1
+
+    def test_different_keys_do_not_share(self):
+        async def scenario():
+            executor = _RecordingExecutor()
+            batcher = RequestBatcher(executor, window_s=0.01)
+            await asyncio.gather(
+                batcher.submit("k1", "a"), batcher.submit("k2", "b")
+            )
+            return executor
+
+        executor = asyncio.run(scenario())
+        assert sorted(key for key, _ in executor.calls) == ["k1", "k2"]
+
+    def test_zero_window_coalesces_within_one_tick(self):
+        async def scenario():
+            executor = _RecordingExecutor()
+            batcher = RequestBatcher(executor, window_s=0.0)
+            await asyncio.gather(*(batcher.submit("k", i) for i in range(3)))
+            return executor
+
+        executor = asyncio.run(scenario())
+        assert len(executor.calls) == 1
+        assert executor.calls[0][1] == [0, 1, 2]
+
+    def test_sequential_submissions_run_separately(self):
+        async def scenario():
+            executor = _RecordingExecutor()
+            batcher = RequestBatcher(executor, window_s=0.0)
+            await batcher.submit("k", "first")
+            await batcher.submit("k", "second")
+            return executor
+
+        executor = asyncio.run(scenario())
+        assert len(executor.calls) == 2
+
+
+class TestFlushTriggers:
+    def test_max_batch_flushes_immediately(self):
+        async def scenario():
+            executor = _RecordingExecutor()
+            # A window long enough that only the size cap can flush.
+            batcher = RequestBatcher(executor, window_s=30.0, max_batch=2)
+            results = await asyncio.wait_for(
+                asyncio.gather(
+                    batcher.submit("k", "a"), batcher.submit("k", "b")
+                ),
+                timeout=5.0,
+            )
+            return executor, results
+
+        executor, results = asyncio.run(scenario())
+        assert len(executor.calls) == 1
+        assert results == ["k:a", "k:b"]
+
+    def test_drain_flushes_pending_batches(self):
+        async def scenario():
+            executor = _RecordingExecutor()
+            batcher = RequestBatcher(executor, window_s=30.0)
+            pending = asyncio.ensure_future(batcher.submit("k", "a"))
+            await asyncio.sleep(0)  # let submit() register the batch
+            await batcher.drain()
+            return executor, await asyncio.wait_for(pending, timeout=5.0)
+
+        executor, result = asyncio.run(scenario())
+        assert executor.calls == [("k", ["a"])]
+        assert result == "k:a"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_s"):
+            RequestBatcher(_RecordingExecutor(), window_s=-1.0)
+        with pytest.raises(ValueError, match="max_batch"):
+            RequestBatcher(_RecordingExecutor(), max_batch=0)
+
+
+class TestFailureFanOut:
+    def test_executor_error_rejects_every_waiter(self):
+        async def scenario():
+            executor = _RecordingExecutor(fail=True)
+            batcher = RequestBatcher(executor, window_s=0.0)
+            results = await asyncio.gather(
+                batcher.submit("k", "a"), batcher.submit("k", "b"),
+                return_exceptions=True,
+            )
+            return executor, results
+
+        executor, results = asyncio.run(scenario())
+        assert len(executor.calls) == 1
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_failure_does_not_poison_later_batches(self):
+        async def scenario():
+            executor = _RecordingExecutor(fail=True)
+            batcher = RequestBatcher(executor, window_s=0.0)
+            with pytest.raises(RuntimeError):
+                await batcher.submit("k", "a")
+            executor.fail = False
+            return await batcher.submit("k", "b")
+
+        assert asyncio.run(scenario()) == "k:b"

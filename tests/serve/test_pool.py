@@ -1,0 +1,111 @@
+"""Warm-session pool: LRU behaviour and eviction-safe stats."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.pool import SessionPool
+from repro.thermal.session import SolverStats
+
+
+class _FakeProblem:
+    """Just enough problem surface for the pool: stats + model walk."""
+
+    def __init__(self, name, solves=0):
+        self.name = name
+        self.solver_stats = SolverStats(solves=solves)
+
+    def cached_models(self):
+        return []
+
+
+def _fill(pool, names):
+    entries = {}
+    for name in names:
+        entry, hit = pool.acquire(name, lambda name=name: _FakeProblem(name))
+        assert not hit
+        entries[name] = entry
+    return entries
+
+
+class TestLru:
+    def test_hit_returns_same_entry_and_counts(self):
+        pool = SessionPool(max_entries=4)
+        first, hit = pool.acquire("k", lambda: _FakeProblem("k"))
+        assert not hit
+        second, hit = pool.acquire("k", lambda: _FakeProblem("other"))
+        assert hit
+        assert second is first
+        assert second.hits == 1
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_capacity_evicts_least_recently_used(self):
+        pool = SessionPool(max_entries=2)
+        _fill(pool, ["a", "b"])
+        pool.acquire("a", lambda: _FakeProblem("!"))      # refresh a
+        pool.acquire("c", lambda: _FakeProblem("c"))      # evicts b
+        assert pool.evictions == 1
+        keys = [entry["key"] for entry in pool.stats()["entries"]]
+        assert keys == ["a", "c"]
+
+    def test_zero_capacity_disables_caching(self):
+        pool = SessionPool(max_entries=0)
+        first, hit_a = pool.acquire("k", lambda: _FakeProblem("k"))
+        second, hit_b = pool.acquire("k", lambda: _FakeProblem("k"))
+        assert not hit_a and not hit_b
+        assert first is not second
+        assert len(pool) == 0
+        assert pool.misses == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            SessionPool(max_entries=-1)
+
+    def test_locked_entries_survive_eviction(self):
+        async def scenario():
+            pool = SessionPool(max_entries=1)
+            busy, _ = pool.acquire("busy", lambda: _FakeProblem("busy"))
+            async with busy.lock:
+                pool.acquire("other", lambda: _FakeProblem("other"))
+                # "busy" is LRU but in use, and "other" was just handed
+                # out: the pool overflows instead of retiring a session
+                # mid-solve.
+                assert len(pool) == 2
+                assert pool.evictions == 0
+            # Lock released: the next acquire drains the overflow.
+            pool.acquire("third", lambda: _FakeProblem("third"))
+            return pool
+
+        pool = asyncio.run(scenario())
+        assert pool.evictions >= 1
+        assert len(pool) <= 2
+
+
+class TestEvictionStats:
+    def test_eviction_merges_retired_counters(self):
+        pool = SessionPool(max_entries=1)
+        entry, _ = pool.acquire("a", lambda: _FakeProblem("a", solves=7))
+        pool.acquire("b", lambda: _FakeProblem("b", solves=5))
+        stats = pool.stats()
+        assert stats["evictions"] == 1
+        assert stats["retired_entries"] == 1
+        assert stats["retired_solver_stats"]["solves"] == 7
+        # Lifetime totals fold live + retired: nothing is forgotten.
+        assert stats["lifetime_solver_stats"]["solves"] == 12
+
+    def test_lifetime_totals_are_monotone_across_churn(self):
+        pool = SessionPool(max_entries=2)
+        totals = []
+        for round_index in range(6):
+            key = "chip-{}".format(round_index % 3)
+            pool.acquire(key, lambda: _FakeProblem(key, solves=3))
+            totals.append(pool.stats()["lifetime_solver_stats"]["solves"])
+        assert totals == sorted(totals)
+
+    def test_clear_retires_everything(self):
+        pool = SessionPool(max_entries=4)
+        _fill(pool, ["a", "b", "c"])
+        pool.clear()
+        stats = pool.stats()
+        assert len(pool) == 0
+        assert stats["retired_entries"] == 3

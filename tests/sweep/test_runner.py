@@ -17,6 +17,7 @@ from repro.sweep import (
     SweepRunner,
     SweepSpec,
     run_sweep,
+    validate_workers,
 )
 from repro.sweep import worker as sweep_worker
 
@@ -60,7 +61,7 @@ class TestRunnerConfiguration:
         assert runner.backend == "serial"
         assert runner.workers == 1
 
-    @pytest.mark.parametrize("workers", [None, 0, 1])
+    @pytest.mark.parametrize("workers", [None, 1])
     def test_small_worker_counts_stay_serial(self, workers):
         assert SweepRunner(workers).backend == "serial"
 
@@ -69,11 +70,25 @@ class TestRunnerConfiguration:
         assert runner.backend == "process"
         assert runner.workers == 4
 
-    def test_negative_workers_mean_all_cores(self):
-        import os
+    @pytest.mark.parametrize("workers", [0, -1, -3])
+    def test_nonpositive_workers_rejected(self, workers):
+        """The library matches the CLI: workers <= 0 is an error, not a
+        silent serial run (regression — SweepRunner(0) used to run
+        serial while ``repro sweep --workers 0`` errored out)."""
+        with pytest.raises(ValueError, match="positive"):
+            SweepRunner(workers)
+        with pytest.raises(ValueError, match="positive"):
+            validate_workers(workers)
 
-        runner = SweepRunner(-1)
-        assert runner.workers == (os.cpu_count() or 1)
+    @pytest.mark.parametrize("workers", ["two", object()])
+    def test_non_integer_workers_rejected(self, workers):
+        with pytest.raises(ValueError):
+            validate_workers(workers)
+
+    def test_validator_normalizes(self):
+        assert validate_workers(None) is None
+        assert validate_workers(3) == 3
+        assert validate_workers("4") == 4
 
     def test_backend_override(self):
         assert SweepRunner(4, backend="serial").backend == "serial"
@@ -278,6 +293,84 @@ class TestOrdering:
         assert report.spec_name == "small"
         assert report.backend == "serial"
         assert isinstance(report.results[0], ScenarioResult)
+
+
+def _crashing_execute(index, scenario):
+    """Pool-crash stand-in for ``worker.execute``: hard-kills the worker
+    process on the marked scenario (bypassing the worker's exception
+    capture) and delegates everything else."""
+    if scenario.name == "crash":
+        import os as worker_os
+
+        worker_os._exit(17)
+    return sweep_worker.execute(index, scenario)
+
+
+class TestPoolCrashPreservesResults:
+    """A BrokenProcessPool mid-sweep must not discard completed results.
+
+    Regression: the old runner's broad ``except Exception`` turned the
+    crash into indistinguishable per-scenario errors, and a break
+    during submission aborted the whole sweep, discarding scenarios
+    that had already completed successfully.
+    """
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("crash injection requires the fork start method")
+        scenarios = list(_small_spec())
+        scenarios.insert(
+            2,
+            Scenario(name="crash", task="solve", rows=4, cols=4,
+                     power_map=_HOTSPOT, tec_tiles=(5, 6), current_a=0.1),
+        )
+        spec = SweepSpec(scenarios=scenarios, name="crashy")
+        sweep_worker.clear_caches()
+        runner = SweepRunner(1, backend="process")
+        import unittest.mock
+
+        with unittest.mock.patch(
+            "repro.sweep.runner.execute", _crashing_execute
+        ):
+            return runner.run(spec)
+
+    def test_completed_results_preserved(self, report):
+        # One worker executes in submission order: the two scenarios
+        # before the crash completed and must keep their results.
+        names = [r.name for r in report.results]
+        assert "greedy" in names and "optimize" in names
+
+    def test_unfinished_scenarios_marked_as_pool_faults(self, report):
+        assert not report.ok
+        faults = report.pool_faults
+        assert faults, "expected pool-fault errors after the crash"
+        assert {e.name for e in faults} >= {"crash"}
+        for fault in faults:
+            assert fault.kind == "pool"
+            assert fault.traceback == ""  # no worker-side traceback exists
+
+    def test_every_scenario_accounted_for(self, report):
+        assert report.num_scenarios == 5
+        indices = sorted(
+            [r.index for r in report.results] + [e.index for e in report.errors]
+        )
+        assert indices == [0, 1, 2, 3, 4]
+
+    def test_pool_faults_distinguished_from_scenario_faults(self):
+        """In-scenario exceptions keep kind='scenario' with a traceback."""
+        sweep_worker.clear_caches()
+        report = SweepRunner(2).run(_small_spec(include_failure=True))
+        assert report.pool_faults == ()
+        (error,) = report.scenario_faults
+        assert error.kind == "scenario"
+        assert "IndexError" in error.traceback
+
+    def test_summary_labels_pool_faults(self, report):
+        summary = report.summary()
+        assert "(pool fault)" in summary
 
 
 class TestScenarioSolverBackends:
