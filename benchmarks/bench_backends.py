@@ -1,15 +1,18 @@
 """Grid-resolution scaling workload for the solver backends.
 
-Sweeps tile grids (8x8 up to 64x64 by default) with dense TEC
+Sweeps tile grids (8x8 up to 128x128 by default) with dense TEC
 deployments, times every applicable solver backend on the same
-assembled system and probe currents, and checks the acceptance
-criteria of the backend-layer PR:
+assembled system and probe currents through the batched
+:meth:`~repro.thermal.session.SessionView.solve_batch` kernel, and
+checks the acceptance criteria of the backend-layer PRs:
 
 * every backend agrees with the ``direct`` reference on the peak
   temperature of every probe current to 1e-6 K;
 * on a >= 48x48 grid with a dense deployment, the ``krylov`` backend
-  beats the blocked-Woodbury ``reuse`` mode wall-clock (the ratio is
-  reported in ``BENCH_backends.json``).
+  beats the blocked-Woodbury ``reuse`` mode wall-clock;
+* on the 128x128 grid (stride-lattice deployment), the batched
+  ``cholesky`` backend beats ``reuse`` wall-clock.  Both ratios are
+  reported in ``BENCH_backends.json``.
 
 The measurements are written to ``BENCH_backends.json`` at the repo
 root (schema: :func:`repro.io.results.bench_report_to_json`) so the
@@ -28,6 +31,7 @@ Run:  pytest benchmarks/bench_backends.py -s
 """
 
 import dataclasses
+import gc
 import os
 import time
 from pathlib import Path
@@ -43,8 +47,8 @@ from repro.thermal.solve import SteadyStateSolver
 from repro.thermal.stack import PackageStack
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
-_DEFAULT_GRIDS = "8,16,32,48,64"
-_BACKENDS = ("direct", "reuse", "krylov")
+_DEFAULT_GRIDS = "8,16,32,48,64,128"
+_BACKENDS = ("direct", "reuse", "krylov", "cholesky")
 
 #: Total die power (W), split uniformly over the tiles so refining the
 #: grid changes the resolution, not the thermal problem.
@@ -63,6 +67,11 @@ _REUSE_SUPPORT_LIMIT = 2500
 #: Grids up to this side get full TEC coverage; larger ones a
 #: checkerboard (still dense: 50% of the tiles).
 _FULL_COVER_SIDE = 16
+
+#: From this side on, a checkerboard's support would dwarf the reuse
+#: limit, so the deployment thins to a stride lattice — enough TECs to
+#: exercise every backend on the same >= 128x128 system.
+_LATTICE_SIDE = 96
 
 
 def _grid_sides():
@@ -88,6 +97,12 @@ def _scaled_stack(die_side):
 def _dense_deployment(side):
     if side <= _FULL_COVER_SIDE:
         return tuple(range(side * side))
+    if side >= _LATTICE_SIDE:
+        stride = max(2, side // 16)
+        return tuple(
+            idx for idx in range(side * side)
+            if (idx // side) % stride == 0 and (idx % side) % stride == 0
+        )
     return tuple(
         idx for idx in range(side * side) if ((idx // side) + (idx % side)) % 2 == 0
     )
@@ -120,9 +135,14 @@ def _safe_currents(system):
 
 def _time_backend(system, backend, currents):
     solver = SteadyStateSolver(system, mode=backend)
+    # The previous backend's session (large LU factors, the dense reuse
+    # influence block) dies through cycle collection; sweep it now so
+    # the decay doesn't land inside this backend's measurement.
+    gc.collect()
     start = time.perf_counter()
-    peaks = [float(solver.solve(current).max()) for current in currents]
+    batch = solver.solve_batch(currents)
     wall = time.perf_counter() - start
+    peaks = [float(column.peak_k) for column in batch.columns]
     return {
         "backend": backend,
         "wall_s": wall,
@@ -158,6 +178,7 @@ def run_workload(sides=None):
             "build_s": build_s,
         }
         timings = {}
+        measured_entries = {}
         for backend in _BACKENDS:
             if backend == "reuse" and support > _REUSE_SUPPORT_LIMIT:
                 entries.append(dict(
@@ -170,14 +191,18 @@ def run_workload(sides=None):
                 continue
             measured = _time_backend(system, backend, currents)
             timings[backend] = measured
-            entries.append(dict(base, **measured))
-        if "reuse" in timings and "krylov" in timings:
-            # The acceptance ratio: how much faster the iterative
+            entry = dict(base, **measured)
+            measured_entries[backend] = entry
+            entries.append(entry)
+        if "reuse" in timings:
+            # The acceptance ratios: how much faster each challenger
             # backend answers the same probe currents than the dense
             # Woodbury update.
-            entries[-1]["speedup_vs_reuse"] = (
-                timings["reuse"]["wall_s"] / timings["krylov"]["wall_s"]
-            )
+            for backend in ("krylov", "cholesky"):
+                if backend in timings:
+                    measured_entries[backend]["speedup_vs_reuse"] = (
+                        timings["reuse"]["wall_s"] / timings[backend]["wall_s"]
+                    )
     metadata = {
         "workload": "grid-resolution scaling, dense TEC deployments",
         "total_power_w": _TOTAL_POWER_W,
@@ -217,7 +242,8 @@ def test_krylov_beats_reuse_on_large_grid(workload):
     ratios = {
         entry["grid"]: entry["speedup_vs_reuse"]
         for entry in entries
-        if entry.get("speedup_vs_reuse") is not None and entry["side"] >= 48
+        if entry.get("backend") == "krylov"
+        and entry.get("speedup_vs_reuse") is not None and entry["side"] >= 48
     }
     print()
     for entry in entries:
@@ -238,6 +264,27 @@ def test_krylov_beats_reuse_on_large_grid(workload):
         "{} {:.1f}x".format(grid, ratio) for grid, ratio in sorted(ratios.items())
     ))
     assert best > 1.0
+
+
+@pytest.mark.slow
+def test_cholesky_beats_reuse_on_128(workload):
+    """The batched sparse-SPD backend wins the 128x128 column."""
+    entries, _ = workload
+    ratios = {
+        entry["grid"]: entry["speedup_vs_reuse"]
+        for entry in entries
+        if entry.get("backend") == "cholesky"
+        and entry.get("speedup_vs_reuse") is not None and entry["side"] >= 128
+    }
+    if not ratios:
+        pytest.skip(
+            "no >= 128x128 grid ran both reuse and cholesky "
+            "(BENCH_BACKENDS_GRIDS subset)"
+        )
+    print("cholesky speedup vs reuse: " + ", ".join(
+        "{} {:.1f}x".format(grid, ratio) for grid, ratio in sorted(ratios.items())
+    ))
+    assert max(ratios.values()) > 1.0
 
 
 def test_writes_bench_json(workload):

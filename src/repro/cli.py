@@ -41,8 +41,10 @@ from repro import __version__
 
 #: Solver backends exposed by ``--backend`` / ``--solver-mode``.
 #: Mirrors :data:`repro.thermal.solve.SOLVER_MODES` without importing
-#: the scientific stack at parser-build time.
-_BACKENDS = ("direct", "reuse", "krylov", "auto")
+#: the scientific stack at parser-build time; unknown backends fail at
+#: parse time with this list, uniformly across every subcommand
+#: (``tests/test_cli.py::TestBackendValidation``).
+_BACKENDS = ("direct", "reuse", "krylov", "cholesky", "auto")
 
 #: GreedyDeploy engines exposed by ``--engine``.  Mirrors
 #: :data:`repro.core.deploy.DEPLOY_ENGINES` (same deferred-import
@@ -400,8 +402,9 @@ def _add_solver_options(parser, command):
         choices=list(_BACKENDS), default=None,
         help="steady-state solver backend: 'reuse' (blocked Woodbury, "
              "default), 'direct' (one LU per distinct current), 'krylov' "
-             "(G-preconditioned GMRES with direct fallback), or 'auto' "
-             "(reuse vs krylov by support size)",
+             "(G-preconditioned GMRES with direct fallback), 'cholesky' "
+             "(sparse SPD factorization; CHOLMOD when installed), or "
+             "'auto' (reuse vs krylov by support size)",
     )
     parser.add_argument(
         "--solver-cache-size", type=int, default=None,
@@ -836,6 +839,11 @@ def _add_serve(subparsers):
         help="process-pool tier size for /deploy and /sweep "
              "(default: machine cores)",
     )
+    parser.add_argument(
+        "--backend", choices=_BACKENDS, default=None,
+        help="default solver backend applied to requests that leave "
+             "'backend' unset (default: the problem default, 'reuse')",
+    )
     parser.set_defaults(func=_cmd_serve)
 
 
@@ -849,6 +857,7 @@ def _cmd_serve(args):
         "batch_max": args.batch_max,
         "threads": args.threads,
         "workers": args.workers,
+        "default_backend": args.backend,
     }
     try:
         config = ServeConfig(**{

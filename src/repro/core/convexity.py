@@ -183,12 +183,19 @@ def certify_convexity(
         worst_tile = -1
         worst_current = lo
         indicator = _tec_indicator(model)
-        for current in np.linspace(lo, hi, samples_per_interval):
-            eta_values = model.solver.solve_rhs(float(current), indicator)[
-                model.silicon_nodes
+        # All sample currents of the interval share one batched kernel
+        # call (the indicator load repeated per sample).
+        sample_currents = [
+            float(current) for current in np.linspace(lo, hi, samples_per_interval)
+        ]
+        loads = np.tile(indicator[:, None], (1, len(sample_currents)))
+        sample_batch = model.solver.solve_batch(sample_currents, loads=loads)
+        for sample, current in enumerate(sample_currents):
+            eta_values = sample_batch.temperatures[
+                model.silicon_nodes, sample
             ]
             solves += 1
-            certificate = eta_values + DERIVATIVE_FACTOR * float(current) * eta_slope
+            certificate = eta_values + DERIVATIVE_FACTOR * current * eta_slope
             k = int(np.argmin(certificate))
             if certificate[k] < margin:
                 margin = float(certificate[k])
@@ -220,7 +227,9 @@ def numerical_convexity_check(model, i_max, *, samples=33, tolerance=1.0e-6):
     if samples < 3:
         raise ValueError("samples must be >= 3")
     currents = np.linspace(0.0, i_max, samples)
-    temperatures = np.stack([model.solve(i).silicon_c for i in currents])
+    temperatures = np.stack([
+        state.silicon_c for state in model.solve_batch(currents)
+    ])
     second = temperatures[:-2] - 2.0 * temperatures[1:-1] + temperatures[2:]
     scale = max(1.0, float(np.max(np.abs(temperatures))))
     worst = float(np.min(second)) / scale

@@ -104,14 +104,18 @@ def runaway_curve(model, *, fractions=None, max_fraction=0.999):
     unit = np.zeros(model.num_nodes)
     unit[peak_node] = 1.0
 
-    currents, peaks, h_values = [], [], []
-    for fraction in fractions:
-        current = fraction * lambda_m
-        state = model.solve(current)
-        h_row = model.solver.solve_rhs(current, unit)
-        currents.append(current)
-        peaks.append(state.peak_silicon_c)
-        h_values.append(float(h_row[peak_node]))
+    # One batched kernel call answers every operating point, and a
+    # second one answers the influence rows (the unit load repeated
+    # per current) — stacked BLAS-3 instead of a per-fraction loop.
+    currents = [float(fraction * lambda_m) for fraction in fractions]
+    states = model.solve_batch(currents)
+    loads = np.tile(unit[:, None], (1, len(currents)))
+    h_batch = model.solver.solve_batch(currents, loads=loads)
+    peaks = [state.peak_silicon_c for state in states]
+    h_values = [
+        float(h_batch.temperatures[peak_node, j])
+        for j in range(len(currents))
+    ]
     return RunawayCurve(
         lambda_m=lambda_m,
         currents=np.asarray(currents),
@@ -140,10 +144,16 @@ def influence_sweep(model, node_pairs, currents):
         return result
     column_nodes = sorted({l for _, l in node_pairs})
     column_of = {l: j for j, l in enumerate(column_nodes)}
-    rhs = np.zeros((model.num_nodes, len(column_nodes)))
-    rhs[column_nodes, np.arange(len(column_nodes))] = 1.0
-    for j, current in enumerate(currents):
-        block = model.solver.solve_rhs(float(current), rhs)
+    num_cols = len(column_nodes)
+    rhs = np.zeros((model.num_nodes, num_cols))
+    rhs[column_nodes, np.arange(num_cols)] = 1.0
+    # Stack (current, unit-column) pairs into one batched solve: the
+    # kernel groups equal currents into shared factorizations, and in
+    # reuse mode the whole block rides a single stacked base solve.
+    expanded = [float(current) for current in currents for _ in range(num_cols)]
+    batch = model.solver.solve_batch(expanded, loads=np.tile(rhs, (1, currents.shape[0])))
+    for j in range(currents.shape[0]):
+        block = batch.temperatures[:, j * num_cols:(j + 1) * num_cols]
         for row_index, (k, l) in enumerate(node_pairs):
             result[row_index, j] = block[k, column_of[l]]
     return result

@@ -23,6 +23,12 @@ thermal substrate produces (sparse) ``G``/``D`` pairs and hands them to
 these routines.
 """
 
+from repro.linalg.cholesky import (
+    HAVE_CHOLMOD,
+    CholeskyFactor,
+    NotPositiveDefiniteError,
+    spd_factorize,
+)
 from repro.linalg.conjecture import (
     ConjectureCampaignResult,
     conjecture1_holds,
@@ -55,10 +61,13 @@ from repro.linalg.stieltjes import (
 )
 
 __all__ = [
+    "CholeskyFactor",
     "ConjectureCampaignResult",
     "DEFAULT_RTOL",
+    "HAVE_CHOLMOD",
     "KRYLOV_METHODS",
     "KrylovReport",
+    "NotPositiveDefiniteError",
     "RunawayCurrent",
     "adjacency_graph",
     "cholesky_is_spd",
@@ -77,4 +86,5 @@ __all__ = [
     "runaway_current",
     "runaway_current_binary_search",
     "runaway_current_eigen",
+    "spd_factorize",
 ]

@@ -1,0 +1,127 @@
+"""Sparse Cholesky factorization backend for SPD systems.
+
+The session core factors ``G - iD`` (and the shifted/capacitance
+variants) thousands of times per sweep; for the SPD matrices the paper
+guarantees below the runaway current, a sparse Cholesky factorization
+is the natural kernel — roughly half the flops and memory of an LU,
+and the standard backend of large-grid thermal simulators such as
+3D-ICE.
+
+:func:`spd_factorize` is the single seam.  When scikit-sparse is
+importable it wraps CHOLMOD (supernodal Cholesky, the fast path on
+big grids).  Otherwise it falls back to SciPy's SuperLU restricted to
+symmetric mode with diagonal pivoting suppressed: with no off-diagonal
+pivoting the factorization of an SPD matrix is exactly the ``LDL'``
+Cholesky up to scaling, every pivot is positive, and a non-positive
+pivot certifies the matrix was not positive definite — the same oracle
+:mod:`repro.linalg.spd` uses.  Both paths expose one ``solve`` method
+accepting a vector or an ``(n, k)`` right-hand-side block, so the
+factor object is a drop-in for a ``splu`` handle in the session layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+try:  # pragma: no cover - exercised only where CHOLMOD is installed
+    from sksparse.cholmod import CholmodNotPositiveDefiniteError
+    from sksparse.cholmod import cholesky as _cholmod_cholesky
+
+    HAVE_CHOLMOD = True
+except ImportError:  # pragma: no cover - the container has no sksparse
+    _cholmod_cholesky = None
+    CholmodNotPositiveDefiniteError = None
+    HAVE_CHOLMOD = False
+
+
+class NotPositiveDefiniteError(ValueError):
+    """The matrix handed to :func:`spd_factorize` is not SPD.
+
+    For ``G - iD`` this means the current is at or beyond the runaway
+    current ``lambda_m`` (Theorem 1), exactly the condition the other
+    backends report as a singular system.
+    """
+
+
+class CholeskyFactor:
+    """A factored SPD matrix with a ``splu``-compatible ``solve``."""
+
+    __slots__ = ("_solve", "shape")
+
+    def __init__(self, solve, shape):
+        self._solve = solve
+        self.shape = shape
+
+    def solve(self, rhs):
+        rhs = np.asarray(rhs, dtype=float)
+        return self._solve(rhs)
+
+
+def _factorize_cholmod(matrix):  # pragma: no cover - needs sksparse
+    try:
+        factor = _cholmod_cholesky(matrix)
+    except CholmodNotPositiveDefiniteError as error:
+        raise NotPositiveDefiniteError(
+            "matrix is not positive definite (CHOLMOD)"
+        ) from error
+    return CholeskyFactor(factor, matrix.shape)
+
+
+def _factorize_splu(matrix):
+    try:
+        # MMD on A + A' is the ordering SuperLU documents for symmetric
+        # mode — on the layered package meshes it roughly halves the
+        # fill (and factor time) versus the default COLAMD.
+        lu = splu(
+            matrix,
+            diag_pivot_thresh=0.0,
+            permc_spec="MMD_AT_PLUS_A",
+            options={"SymmetricMode": True},
+        )
+    except RuntimeError as error:
+        # SuperLU only raises when a pivot is exactly zero; treat it as
+        # the boundary case of a non-positive pivot.
+        raise NotPositiveDefiniteError(
+            "matrix is singular (zero pivot in symmetric factorization)"
+        ) from error
+    if not np.all(lu.U.diagonal() > 0.0):
+        raise NotPositiveDefiniteError(
+            "matrix is not positive definite (non-positive pivot)"
+        )
+    return CholeskyFactor(lu.solve, matrix.shape)
+
+
+def spd_factorize(matrix):
+    """Factor a sparse SPD matrix, returning an object with ``solve``.
+
+    Parameters
+    ----------
+    matrix:
+        Sparse symmetric positive definite matrix (any SciPy sparse
+        format; converted to CSC).
+
+    Returns
+    -------
+    CholeskyFactor
+        ``factor.solve(rhs)`` accepts a vector or an ``(n, k)`` block.
+
+    Raises
+    ------
+    NotPositiveDefiniteError
+        If the matrix is singular or indefinite.  Callers solving
+        ``G - iD`` translate this into their at-runaway error.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError(
+            "spd_factorize needs a sparse matrix, got {}".format(
+                type(matrix).__name__
+            )
+        )
+    csc = matrix.tocsc()
+    if csc.shape[0] != csc.shape[1]:
+        raise ValueError("matrix must be square, got {}".format(csc.shape))
+    if HAVE_CHOLMOD:  # pragma: no cover - needs sksparse
+        return _factorize_cholmod(csc)
+    return _factorize_splu(csc)

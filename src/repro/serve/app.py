@@ -49,7 +49,8 @@ from repro.serve.batcher import (
 from repro.serve.pool import DEFAULT_MAX_ENTRIES, SessionPool
 from repro.sweep.report import ScenarioError, SweepReport
 from repro.sweep.runner import pool_fault
-from repro.sweep.worker import execute, run_task
+from repro.sweep.worker import execute, run_task, solve_batch_rows
+from repro.thermal.session import SOLVER_MODES
 
 
 def _ignore_sigint():
@@ -69,7 +70,11 @@ class ServeConfig:
     ``pool_size=0`` disables the warm pool (every request builds cold —
     the benchmark baseline); ``batch_window_s=0`` coalesces only
     within one event-loop tick.  ``workers=None`` sizes the process
-    pool to the machine.
+    pool to the machine.  ``default_backend`` is applied to every
+    request scenario that leaves ``backend`` unset (one of
+    :data:`~repro.thermal.session.SOLVER_MODES`; None keeps the
+    problem default, ``"reuse"``) — it participates in the warm-pool
+    blueprint key, so two backends never share a session.
     """
 
     pool_size: int = DEFAULT_MAX_ENTRIES
@@ -78,6 +83,18 @@ class ServeConfig:
     threads: int = 4
     workers: int = None
     request_max_bytes: int = 8 * 1024 * 1024
+    default_backend: str = None
+
+    def __post_init__(self):
+        if (
+            self.default_backend is not None
+            and self.default_backend not in SOLVER_MODES
+        ):
+            raise ValueError(
+                "default_backend must be one of {} (or None), got {!r}".format(
+                    SOLVER_MODES, self.default_backend
+                )
+            )
 
     @classmethod
     def from_dict(cls, payload):
@@ -280,6 +297,19 @@ class ReproServeApp:
     # Warm-tier execution
     # ------------------------------------------------------------------
 
+    def _apply_backend(self, scenario):
+        """Fill an unset scenario backend from the server default.
+
+        Runs *before* :func:`~repro.serve.schemas.blueprint_key` /
+        :meth:`_acquire` in every handler, so warm-pool keys and
+        process-tier payloads always carry the effective backend.
+        """
+        if self.config.default_backend is None or scenario.backend is not None:
+            return scenario
+        return dataclasses.replace(
+            scenario, backend=self.config.default_backend
+        )
+
     def _acquire(self, scenario):
         """Warm pool entry for a scenario's chip: ``(key, entry, hit)``.
 
@@ -339,7 +369,10 @@ class ReproServeApp:
         }
 
     async def _handle_solve(self, payload):
-        scenarios = self._parse(schemas.parse_solve, payload)
+        scenarios = [
+            self._apply_backend(scenario)
+            for scenario in self._parse(schemas.parse_solve, payload)
+        ]
         key = schemas.blueprint_key(scenarios[0])
         rows = await asyncio.gather(
             *(self.batcher.submit(key, scenario) for scenario in scenarios)
@@ -360,7 +393,9 @@ class ReproServeApp:
                      "pool_key": key}
 
     async def _handle_transient(self, payload):
-        scenario = self._parse(schemas.parse_transient, payload)
+        scenario = self._apply_backend(
+            self._parse(schemas.parse_transient, payload)
+        )
         loop = asyncio.get_running_loop()
         key, entry, hit = self._acquire(scenario)
         async with entry.lock:
@@ -374,7 +409,9 @@ class ReproServeApp:
         }
 
     async def _handle_deploy(self, payload):
-        scenario = self._parse(schemas.parse_deploy, payload)
+        scenario = self._apply_backend(
+            self._parse(schemas.parse_deploy, payload)
+        )
         outcome = await self._run_in_process(0, scenario)
         if isinstance(outcome, ScenarioError):
             status = 503 if outcome.kind == "pool" else 422
@@ -390,7 +427,7 @@ class ReproServeApp:
         spec = self._parse(schemas.parse_sweep, payload)
         start = time.perf_counter()
         outcomes = await asyncio.gather(
-            *(self._run_in_process(index, scenario)
+            *(self._run_in_process(index, self._apply_backend(scenario))
               for index, scenario in enumerate(spec))
         )
         report = SweepReport.from_outcomes(
@@ -450,30 +487,17 @@ def _run_task_with_stats(problem, scenario):
 def _solve_batch_sync(problem, scenarios):
     """Run one coalesced batch on a warm problem (worker thread).
 
-    Identical ``(tiles, current)`` points solve once and fan out to
-    every duplicate; each row records the stats delta of the solve
-    that produced its values.  Uses the same ``run_task`` path as the
-    serial/CLI solves, so batching cannot change any numbers.
+    Delegates to the sweep worker's batched kernel
+    (:func:`repro.sweep.worker.solve_batch_rows`): distinct operating
+    points are stacked into one
+    :meth:`~repro.thermal.session.SessionView.solve_batch` call per
+    deployment, identical ``(tiles, current)`` points solve once and
+    fan out to every duplicate, and each row records the stats delta
+    of the column that produced its values.  Row values are
+    bit-identical to the serial/CLI solves, so batching cannot change
+    any numbers.
     """
-    answered = {}
-    rows = []
-    for scenario in scenarios:
-        point = (scenario.tec_tiles, scenario.current_a)
-        cached = answered.get(point)
-        coalesced = cached is not None
-        if cached is None:
-            before = problem.solver_stats.copy()
-            values = run_task(scenario, problem)
-            delta = problem.solver_stats.diff(before).as_dict()
-            cached = (values, delta)
-            answered[point] = cached
-        values, delta = cached
-        rows.append({
-            "values": values,
-            "solver_stats": delta,
-            "coalesced": coalesced,
-        })
-    return rows
+    return solve_batch_rows(problem, scenarios)
 
 
 def _error_body(fault):

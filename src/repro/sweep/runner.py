@@ -98,9 +98,16 @@ class SweepRunner:
         overrides the choice).
     backend:
         Force ``"serial"`` or ``"process"`` regardless of ``workers``.
+    share_blueprints:
+        Process backend only: broadcast each multi-scenario geometry's
+        assembled problem to the workers through one
+        ``multiprocessing.shared_memory`` segment
+        (:mod:`repro.sweep.shm`) instead of letting every worker pay
+        the full first build.  Results are bit-identical either way;
+        set False to force per-worker builds.
     """
 
-    def __init__(self, workers=None, *, backend=None):
+    def __init__(self, workers=None, *, backend=None, share_blueprints=True):
         workers = validate_workers(workers)
         if backend is None:
             backend = "process" if workers is not None and workers > 1 else "serial"
@@ -112,6 +119,7 @@ class SweepRunner:
             workers = os.cpu_count() or 1
         self.backend = backend
         self.workers = workers if backend == "process" else 1
+        self.share_blueprints = bool(share_blueprints)
 
     def run(self, spec):
         """Run every scenario of ``spec``; returns a :class:`SweepReport`.
@@ -138,28 +146,72 @@ class SweepRunner:
             metadata=spec.metadata,
         )
 
+    def _publish_blueprints(self, scenarios):
+        """Broadcast multi-scenario geometries over shared memory.
+
+        Builds (or reuses) the parent-side problem of every geometry
+        that at least two scenarios share, forces its blueprint
+        recording, and publishes it into one segment.  Publishing is
+        strictly an optimization: any failure simply leaves the
+        geometry out of the handle map and the workers rebuild from
+        the scenario payload as before.
+        """
+        from repro.sweep import shm, worker
+
+        counts = {}
+        first = {}
+        for _, scenario in scenarios:
+            key = scenario.geometry_key()
+            counts[key] = counts.get(key, 0) + 1
+            first.setdefault(key, scenario)
+        handles = {}
+        for key, count in counts.items():
+            if count < 2:
+                continue
+            try:
+                problem = worker.problem_for(first[key])
+                problem.model(())  # records the blueprint if not yet done
+                handles[key] = shm.publish(problem)
+            except Exception:  # noqa: BLE001 — sharing must never fail a sweep
+                continue
+        return handles
+
     def _run_process_pool(self, spec):
+        from repro.sweep import shm
+
         scenarios = list(enumerate(spec))
         outcomes = {}
         submit_error = None
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = {}
-            for index, scenario in scenarios:
-                try:
-                    futures[index] = pool.submit(execute, index, scenario)
-                except BrokenExecutor as error:
-                    # The pool broke mid-submission; stop submitting but
-                    # keep draining what is already in flight below.
-                    submit_error = error
-                    break
-            for index, future in futures.items():
-                scenario = scenarios[index][1]
-                try:
-                    outcomes[index] = future.result()
-                except Exception as error:  # pool crash / transport failure
-                    outcomes[index] = pool_fault(index, scenario, error)
-                    if isinstance(error, BrokenExecutor):
+        handles = (
+            self._publish_blueprints(scenarios) if self.share_blueprints else {}
+        )
+        try:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = {}
+                for index, scenario in scenarios:
+                    try:
+                        futures[index] = pool.submit(
+                            execute, index, scenario, handles or None
+                        )
+                    except BrokenExecutor as error:
+                        # The pool broke mid-submission; stop submitting but
+                        # keep draining what is already in flight below.
                         submit_error = error
+                        break
+                for index, future in futures.items():
+                    scenario = scenarios[index][1]
+                    try:
+                        outcomes[index] = future.result()
+                    except Exception as error:  # pool crash / transport failure
+                        outcomes[index] = pool_fault(index, scenario, error)
+                        if isinstance(error, BrokenExecutor):
+                            submit_error = error
+        finally:
+            # Covers every exit — clean completion, BrokenExecutor,
+            # KeyboardInterrupt — so no /dev/shm segment outlives the
+            # sweep even when workers crashed mid-flight.
+            for handle in handles.values():
+                shm.release(handle)
         if len(outcomes) < len(scenarios):
             # Scenarios that were never submitted because the pool broke:
             # fault them explicitly so the report stays complete.

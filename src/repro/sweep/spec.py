@@ -107,9 +107,9 @@ class Scenario:
     backend:
         Solver backend for the instance — one of
         :data:`~repro.thermal.solve.SOLVER_MODES` (``"direct"``,
-        ``"reuse"``, ``"krylov"``, ``"auto"``), or None for the
-        problem default (``"reuse"``).  Lets one sweep compare
-        backends per scenario.
+        ``"reuse"``, ``"krylov"``, ``"cholesky"``, ``"auto"``), or
+        None for the problem default (``"reuse"``).  Lets one sweep
+        compare backends per scenario.
     """
 
     name: str

@@ -22,11 +22,14 @@ backends produce bit-identical reports.
 
 from __future__ import annotations
 
+import pickle
 import time
 import traceback
+from collections import OrderedDict
 
 import numpy as np
 
+from repro.sweep import shm
 from repro.sweep.report import ScenarioError, ScenarioResult
 
 #: Per-process caches (worker lifetime).  Keyed so that results are
@@ -39,12 +42,32 @@ _PROBLEMS = {}   # (geometry_key, limit_c, backend) -> CoolingSystemProblem
 _OPTIMA = {}     # (geometry_key, limit_c, backend, tiles, method, tol)
                  #   -> (optimum, p_at_opt)
 
+#: Shared-memory problem broadcast (zero-copy dispatch): geometry_key
+#: -> :class:`~repro.sweep.shm.SharedProblemHandle` published by the
+#: runner.  Consulted on a ``_GEOMETRY`` miss before building from the
+#: scenario payload; results are bit-identical either way (blueprint
+#: replay), the broadcast only removes the per-worker full build.
+_SHARED_HANDLES = {}
+
 
 def clear_caches():
     """Drop the per-process caches (tests and memory-sensitive callers)."""
     _GEOMETRY.clear()
     _PROBLEMS.clear()
     _OPTIMA.clear()
+    _SHARED_HANDLES.clear()
+    shm.clear_worker_cache()
+
+
+def install_shared_handles(handles):
+    """Adopt the runner's published segment handles (worker side).
+
+    ``handles`` maps geometry keys to
+    :class:`~repro.sweep.shm.SharedProblemHandle` records; later
+    installs overwrite earlier ones key-by-key.
+    """
+    if handles:
+        _SHARED_HANDLES.update(handles)
 
 
 def _limit_for(scenario):
@@ -112,6 +135,10 @@ def problem_for(scenario):
     if problem is None:
         base = _GEOMETRY.get(key)
         if base is None:
+            base = _shared_problem(key)
+            if base is not None:
+                _GEOMETRY[key] = base
+        if base is None:
             problem = _build_problem(scenario, limit)
             _GEOMETRY[key] = problem
         else:
@@ -120,6 +147,22 @@ def problem_for(scenario):
                 problem = problem.with_solver_mode(backend)
         _PROBLEMS[(key, limit, backend)] = problem
     return problem
+
+
+def _shared_problem(key):
+    """The broadcast problem for a geometry key, or None.
+
+    A missing/vanished segment (the runner released it, or publishing
+    failed) is treated as a plain cache miss: the worker rebuilds from
+    the scenario payload, so sharing is strictly an optimization.
+    """
+    handle = _SHARED_HANDLES.get(key)
+    if handle is None:
+        return None
+    try:
+        return shm.load(handle)
+    except (FileNotFoundError, pickle.UnpicklingError, OSError):
+        return None
 
 
 def _optimum_for(scenario, model):
@@ -234,15 +277,101 @@ def _task_optimize(scenario, problem):
     }
 
 
-def _task_solve(scenario, problem):
-    model = problem.model(scenario.tec_tiles)
-    state = model.solve(scenario.current_a)
+def _solve_values(state):
+    """The ``solve`` task's wire payload for one operating point."""
     return {
-        "current_a": float(scenario.current_a),
+        "current_a": float(state.current),
         "peak_c": float(state.peak_silicon_c),
         "peak_tile": int(state.peak_tile),
         "p_tec_w": float(state.tec_input_power_w()),
     }
+
+
+def _task_solve(scenario, problem):
+    model = problem.model(scenario.tec_tiles)
+    # The single-point task is the one-column case of the batched
+    # kernel, so serial solves and batched rows share one code path.
+    state = model.solve_batch([scenario.current_a])[0]
+    return _solve_values(state)
+
+
+def solve_batch_rows(problem, scenarios):
+    """Batched ``solve``-task rows over one warm problem.
+
+    The kernel behind the serve tier's :class:`RequestBatcher`:
+    scenarios are grouped by deployment, each group's distinct
+    currents are stacked into one
+    :meth:`~repro.thermal.model.PackageThermalModel.solve_batch` call
+    (BLAS-3 multi-RHS instead of per-request solves), and duplicate
+    ``(tec_tiles, current_a)`` points fan out to every requester with
+    ``coalesced: true``.  Row values are bit-identical to the serial
+    :func:`execute` path; each row's ``solver_stats`` is the delta of
+    the column that produced its values.  Non-``solve`` tasks fall
+    back to :func:`run_task` per scenario, so mixed batches stay
+    correct.
+    """
+    rows = [None] * len(scenarios)
+    answered = {}
+    groups = OrderedDict()
+    for position, scenario in enumerate(scenarios):
+        if scenario.task != "solve":
+            before = problem.solver_stats.copy()
+            values = run_task(scenario, problem)
+            rows[position] = {
+                "values": values,
+                "solver_stats": problem.solver_stats.diff(before).as_dict(),
+                "coalesced": False,
+            }
+            continue
+        point = (scenario.tec_tiles, scenario.current_a)
+        if point in answered:
+            rows[position] = {"point": point, "coalesced": True}
+            continue
+        answered[point] = None
+        groups.setdefault(scenario.tec_tiles, []).append((position, scenario))
+    for tiles, members in groups.items():
+        build_before = problem.solver_stats.copy()
+        model = problem.model(tiles)
+        build_delta = problem.solver_stats.diff(build_before)
+        currents = [float(scenario.current_a) for _, scenario in members]
+        for current in currents:
+            if current < 0.0:
+                raise ValueError("current must be >= 0, got {}".format(current))
+        batch = model.solver.solve_batch(currents)
+        for j, (position, scenario) in enumerate(members):
+            column = batch.columns[j]
+            state = _batch_state(model, column.current, batch, j)
+            delta = dict(column.stats)
+            if j == 0:
+                # Attribute the (shared) model build to the group's
+                # first column, mirroring the serial path where the
+                # first solve of a deployment pays the build.
+                for field, extra in build_delta.as_dict().items():
+                    delta[field] += extra
+            row = {
+                "values": _solve_values(state),
+                "solver_stats": delta,
+                "coalesced": False,
+            }
+            rows[position] = row
+            answered[(scenario.tec_tiles, scenario.current_a)] = row
+    for position, row in enumerate(rows):
+        if row is not None and row.get("point") is not None:
+            primary = answered[row["point"]]
+            rows[position] = {
+                "values": primary["values"],
+                "solver_stats": primary["solver_stats"],
+                "coalesced": True,
+            }
+    return rows
+
+
+def _batch_state(model, current, batch, column):
+    from repro.thermal.model import ThermalState
+
+    return ThermalState(
+        model, current, batch.temperatures[:, column].copy()
+    )
 
 
 def _task_pareto(scenario, problem):
@@ -355,13 +484,18 @@ def run_scenario(index, scenario):
     )
 
 
-def execute(index, scenario):
+def execute(index, scenario, shared=None):
     """Fault-tolerant entry point used by the runner backends.
 
     Returns a :class:`ScenarioResult` on success or a
     :class:`ScenarioError` capturing the exception — never raises.
+    ``shared`` optionally carries the runner's published
+    shared-memory handles (geometry key ->
+    :class:`~repro.sweep.shm.SharedProblemHandle`); they are installed
+    into the per-process registry before the scenario runs.
     """
     try:
+        install_shared_handles(shared)
         return run_scenario(index, scenario)
     except Exception as error:  # noqa: BLE001 — captured by design
         return ScenarioError(

@@ -54,12 +54,17 @@ import scipy.linalg
 import scipy.sparse as sp
 from scipy.sparse.linalg import splu
 
+from repro.linalg.cholesky import NotPositiveDefiniteError, spd_factorize
 from repro.linalg.krylov import KRYLOV_METHODS, krylov_solve
 from repro.linalg.spd import cholesky_is_spd
 
 #: Engine modes accepted by :class:`SolveSession` (and by
-#: :class:`~repro.thermal.solve.SteadyStateSolver`).
-SOLVER_MODES = ("direct", "reuse", "krylov", "auto")
+#: :class:`~repro.thermal.solve.SteadyStateSolver`).  ``cholesky``
+#: behaves exactly like ``direct`` (one factorization per current,
+#: LRU-cached) but factors the SPD matrix with
+#: :func:`repro.linalg.cholesky.spd_factorize` — CHOLMOD when
+#: scikit-sparse is installed, a symmetric-mode SuperLU otherwise.
+SOLVER_MODES = ("direct", "reuse", "krylov", "cholesky", "auto")
 
 #: ``auto`` keeps the Woodbury ``reuse`` backend up to this support
 #: size regardless of the node count (the dense capacitance is trivial
@@ -231,6 +236,64 @@ class SolverStats:
                 self.cap_refinements, self.cap_refine_failures
             )
         return line
+
+
+@dataclass(frozen=True)
+class BatchColumn:
+    """Per-column record of a :meth:`SessionView.solve_batch` result.
+
+    Attributes
+    ----------
+    index:
+        Position of the column in the request.
+    current:
+        Exact float supply current of the column.
+    peak_k:
+        Maximum entry of the column's solution (Kelvin rise for the
+        steady system).
+    solution_hit:
+        True when the column was answered straight from the per-current
+        solution cache (power-vector batches only).
+    grouped:
+        Number of request columns that shared this column's
+        factorization group — columns at the same exact float current
+        are stacked into one multi-RHS solve, so ``grouped > 1`` marks
+        a genuinely batched BLAS-3 column.
+    stats:
+        Plain-dict :class:`SolverStats` delta attributed to the
+        column's group (columns of one group share the delta).
+    """
+
+    index: int
+    current: float
+    peak_k: float
+    solution_hit: bool
+    grouped: int
+    stats: dict
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Stacked result of :meth:`SessionView.solve_batch`.
+
+    ``temperatures`` is the ``(n, k)`` column-stacked solution block —
+    column ``j`` answers request column ``j`` in order.  ``columns``
+    carries one :class:`BatchColumn` per request column and ``stats``
+    the overall :class:`SolverStats` delta of the whole batch.
+    """
+
+    temperatures: np.ndarray
+    columns: tuple
+    currents: tuple
+    stats: dict
+
+    def __len__(self):
+        return len(self.columns)
+
+    @property
+    def peaks_k(self):
+        """Per-column solution maxima as a length-``k`` array."""
+        return np.array([column.peak_k for column in self.columns])
 
 
 class SessionView:
@@ -406,10 +469,23 @@ class SessionView:
     # ------------------------------------------------------------------
 
     def _splu(self, matrix, label):
+        """Factor a sparse system matrix through the mode's kernel.
+
+        The single factorization seam of the engine: per-current
+        matrices, the shared base matrix and arbitrary-diagonal
+        matrices all pass through here.  ``cholesky`` mode swaps the
+        general sparse LU for the SPD factorization of
+        :func:`repro.linalg.cholesky.spd_factorize`; an indefinite
+        matrix (current at/beyond ``lambda_m``) surfaces as the same
+        :class:`SingularSystemError` the other backends raise.
+        """
         start = time.perf_counter()
         try:
-            lu = splu(matrix.tocsc())
-        except RuntimeError as error:
+            if self.effective_mode == "cholesky":
+                lu = spd_factorize(matrix.tocsc())
+            else:
+                lu = splu(matrix.tocsc())
+        except (RuntimeError, NotPositiveDefiniteError) as error:
             raise SingularSystemError(
                 "system matrix singular at {} (at/beyond runaway)".format(label)
             ) from error
@@ -718,7 +794,7 @@ class SessionView:
         sides sharing one factorization / preconditioner).
         """
         mode = self.effective_mode
-        if mode == "direct":
+        if mode in ("direct", "cholesky"):
             return self._apply_direct(current, rhs)
         if mode == "reuse":
             return self._apply_reuse(current, rhs)
@@ -786,6 +862,107 @@ class SessionView:
             )
         self.stats.solves += 1
         return self._apply_inverse(float(current), rhs)
+
+    def solve_batch(self, currents, loads=None):
+        """Batched solves across currents (and scenarios) in one call.
+
+        The BLAS-3 kernel of the engine: ``k`` solve requests —
+        column ``j`` asking for ``(S + G - i_j D)^{-1} b_j`` — are
+        answered as stacked multi-RHS triangular solves instead of
+        ``k`` independent vector solves.
+
+        Parameters
+        ----------
+        currents:
+            Sequence of ``k`` supply currents, one per column.
+        loads:
+            Optional ``(n, k)`` right-hand-side block, column ``j``
+            paired with ``currents[j]``.  When omitted, every column
+            solves against the steady power vector ``p(i_j)`` — the
+            classic multi-current operating-point batch — and each
+            column is answered through (and feeds) the per-current
+            solution cache, so a batched solve is bit-identical to the
+            serial :meth:`solve` loop.
+
+        With explicit ``loads``, columns sharing an exact float
+        current are grouped into one multi-RHS solve against that
+        current's factorization; in ``reuse`` mode the *entire* block
+        additionally rides a single stacked base solve
+        ``(S + G)^{-1} loads`` before the per-group dense Woodbury
+        corrections, so the sparse triangular work is one BLAS-3 call
+        for the whole batch regardless of how many currents appear.
+
+        Returns
+        -------
+        BatchResult
+            ``(n, k)`` stacked solutions plus per-column records; the
+            empty batch returns an ``(n, 0)`` block and no columns.
+        """
+        currents = [float(current) for current in currents]
+        k = len(currents)
+        n = self.system.num_nodes
+        batch_before = self.stats.copy()
+        temperatures = np.empty((n, k), dtype=float)
+        columns = []
+        if loads is None:
+            for j, current in enumerate(currents):
+                before = self.stats.copy()
+                theta = self.solve(current)
+                temperatures[:, j] = theta
+                delta = self.stats.diff(before)
+                columns.append(BatchColumn(
+                    index=j,
+                    current=current,
+                    peak_k=float(theta.max()) if n else 0.0,
+                    solution_hit=delta.solution_hits > 0,
+                    grouped=1,
+                    stats=delta.as_dict(),
+                ))
+        else:
+            loads = np.asarray(loads, dtype=float)
+            if loads.ndim != 2 or loads.shape != (n, k):
+                raise ValueError(
+                    "loads must have shape ({}, {}), got {}".format(
+                        n, k, loads.shape
+                    )
+                )
+            groups = OrderedDict()
+            for j, current in enumerate(currents):
+                groups.setdefault(current, []).append(j)
+            base_block = None
+            if self.effective_mode == "reuse" and k:
+                # One stacked triangular solve answers the base part of
+                # every column; the per-current work left is the dense
+                # Woodbury correction of each group.
+                lu = self._base_factorization()
+                base_block = self._timed_lu_solve(lu, loads)
+            for current, members in groups.items():
+                before = self.stats.copy()
+                if base_block is not None:
+                    self.stats.solves += 1
+                    block = self._woodbury_correct(
+                        current, base_block[:, members]
+                    )
+                else:
+                    block = self.solve_rhs(current, loads[:, members])
+                delta = self.stats.diff(before).as_dict()
+                for position, j in enumerate(members):
+                    temperatures[:, j] = block[:, position]
+                    columns.append(BatchColumn(
+                        index=j,
+                        current=current,
+                        peak_k=float(block[:, position].max()) if n else 0.0,
+                        solution_hit=False,
+                        grouped=len(members),
+                        stats=delta,
+                    ))
+            columns.sort(key=lambda column: column.index)
+        return BatchResult(
+            temperatures=temperatures,
+            columns=tuple(columns),
+            currents=tuple(currents),
+            stats=self.stats.diff(batch_before).as_dict(),
+        )
 
     def solve_diagonal(self, diagonal, rhs):
         """Solve ``(S + G - diag(d)) x = rhs`` for a per-node diagonal.
@@ -1010,6 +1187,15 @@ class SolveSession:
     def base_view(self):
         """The unshifted (steady-state) view."""
         return self.view(None)
+
+    def solve_batch(self, currents, loads=None):
+        """Batched steady-state solves — see :meth:`SessionView.solve_batch`.
+
+        Convenience delegate to the unshifted view, so session holders
+        (the serve tier's warm pools, the sweep worker) can stack
+        requests without first asking for a view.
+        """
+        return self.base_view().solve_batch(currents, loads)
 
     @property
     def num_views(self):

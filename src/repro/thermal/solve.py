@@ -1,7 +1,7 @@
 """Steady-state nodal analysis (Section IV.C) on the solve-session core.
 
 Solves ``(G - i D) theta = p(i)`` through the pluggable backend layer
-of :mod:`repro.thermal.session`.  Four modes are accepted by
+of :mod:`repro.thermal.session`.  Five modes are accepted by
 :class:`SteadyStateSolver` (and by everything that forwards to it —
 ``CoolingSystemProblem``, sweep scenarios, the CLI ``--backend`` flag):
 
@@ -44,6 +44,16 @@ of :mod:`repro.thermal.session`.  Four modes are accepted by
     ``SolverStats.krylov_fallbacks``), so krylov never silently
     degrades accuracy.
 
+``mode="cholesky"``
+    Like ``direct`` — one factorization per distinct current, kept in
+    the same LRU cache — but the SPD matrix ``G - i D`` is factored
+    through :func:`repro.linalg.cholesky.spd_factorize`: CHOLMOD's
+    supernodal sparse Cholesky when scikit-sparse is importable, a
+    symmetric-mode pivot-free SuperLU with a positive-pivot check
+    otherwise.  Half the flops/fill of a general LU on large grids;
+    an indefinite matrix (current at/beyond ``lambda_m``) raises the
+    same :class:`SingularSystemError`.
+
 ``mode="auto"``
     Pick ``reuse`` or ``krylov`` per assembled system from the support
     size vs node count (:func:`select_backend`): small supports keep
@@ -77,6 +87,8 @@ from repro.thermal.session import (
     AUTO_SUPPORT_COEFF,
     AUTO_SUPPORT_FLOOR,
     SOLVER_MODES,
+    BatchColumn,
+    BatchResult,
     SessionView,
     SingularSystemError,
     SolveSession,
@@ -88,6 +100,8 @@ __all__ = [
     "AUTO_SUPPORT_COEFF",
     "AUTO_SUPPORT_FLOOR",
     "SOLVER_MODES",
+    "BatchColumn",
+    "BatchResult",
     "SessionView",
     "SingularSystemError",
     "SolveSession",

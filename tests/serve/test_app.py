@@ -277,3 +277,76 @@ class TestProcessTier:
         expected = {r.name: r.values for r in reference.results}
         assert served == expected
         assert "summary" in body
+
+
+class TestDefaultBackend:
+    """``ServeConfig.default_backend`` fills unset request backends.
+
+    The default participates in the warm-pool blueprint key (a request
+    answered by a krylov session must never share a pool entry with a
+    reuse one), and an explicit per-request ``backend`` always wins
+    over the server default.
+    """
+
+    def test_invalid_default_backend_rejected(self):
+        import pytest
+
+        from repro.serve import ServeConfig
+
+        with pytest.raises(ValueError, match="default_backend"):
+            ServeConfig(default_backend="jacobi")
+
+    def test_stats_expose_the_default(self):
+        async def scenario(app):
+            return await asgi_request(app, "GET", "/stats")
+
+        _, stats = with_app(scenario, default_backend="cholesky")
+        assert stats["config"]["default_backend"] == "cholesky"
+
+    def test_default_backend_enters_the_pool_key(self):
+        body = small_solve_body()
+
+        async def scenario(app):
+            return await asgi_request(app, "POST", "/solve", body)
+
+        _, defaulted = with_app(scenario, default_backend="krylov")
+        _, explicit = with_app(
+            scenario_with(body, backend="krylov"), default_backend=None
+        )
+        _, plain = with_app(scenario, default_backend=None)
+        assert defaulted["pool_key"] == explicit["pool_key"]
+        assert defaulted["pool_key"] != plain["pool_key"]
+
+    def test_explicit_backend_wins_over_default(self):
+        async def scenario(app):
+            return await asgi_request(
+                app, "POST", "/solve", small_solve_body(backend="reuse")
+            )
+
+        _, explicit = with_app(scenario, default_backend="krylov")
+        _, plain_reuse = with_app(scenario, default_backend=None)
+        assert explicit["pool_key"] == plain_reuse["pool_key"]
+
+    def test_defaulted_solve_matches_explicit_values(self):
+        async def defaulted(app):
+            return await asgi_request(
+                app, "POST", "/solve", small_solve_body()
+            )
+
+        async def explicit(app):
+            return await asgi_request(
+                app, "POST", "/solve", small_solve_body(backend="cholesky")
+            )
+
+        _, a = with_app(defaulted, default_backend="cholesky")
+        _, b = with_app(explicit)
+        assert a["results"][0]["values"] == b["results"][0]["values"]
+
+
+def scenario_with(body, **overrides):
+    request = dict(body, **overrides)
+
+    async def scenario(app):
+        return await asgi_request(app, "POST", "/solve", request)
+
+    return scenario

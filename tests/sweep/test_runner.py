@@ -295,7 +295,7 @@ class TestOrdering:
         assert isinstance(report.results[0], ScenarioResult)
 
 
-def _crashing_execute(index, scenario):
+def _crashing_execute(index, scenario, shared=None):
     """Pool-crash stand-in for ``worker.execute``: hard-kills the worker
     process on the marked scenario (bypassing the worker's exception
     capture) and delegates everything else."""
@@ -303,7 +303,7 @@ def _crashing_execute(index, scenario):
         import os as worker_os
 
         worker_os._exit(17)
-    return sweep_worker.execute(index, scenario)
+    return sweep_worker.execute(index, scenario, shared)
 
 
 class TestPoolCrashPreservesResults:

@@ -1,0 +1,239 @@
+"""Shared-memory blueprint broadcast: lifecycle, identity, zero-copy.
+
+Three promises of the :mod:`repro.sweep.shm` layer are pinned here:
+
+* **lifecycle** — every published segment is unlinked when the sweep
+  finishes, even when a worker hard-crashes mid-sweep; no ``/dev/shm``
+  entry (or resource-tracker registration) outlives the run;
+* **bit-identity** — a worker seeded from a shared segment returns
+  byte-for-byte the ``values`` it would produce rebuilding the problem
+  from its scenario payload (blueprint replay is bitwise);
+* **zero-copy dispatch** — task submissions carry only tiny
+  :class:`~repro.sweep.shm.SharedProblemHandle` records; the pickled
+  problem (with its recorded blueprint) crosses the process boundary
+  once per geometry, through the segment, not per task.
+"""
+
+import pickle
+
+import pytest
+
+from repro.sweep import Scenario, SweepRunner, SweepSpec
+from repro.sweep import shm
+from repro.sweep import worker as sweep_worker
+
+_HOTSPOT = tuple(
+    0.55 if tile in (5, 6, 9, 10) else 0.08 for tile in range(16)
+)
+
+
+def _solve_scenario(name, current_a):
+    return Scenario(
+        name=name, task="solve", rows=4, cols=4, power_map=_HOTSPOT,
+        tec_tiles=(5, 6, 9, 10), current_a=current_a,
+    )
+
+
+def _shared_spec():
+    """Four solve scenarios on one geometry — eligible for broadcast."""
+    scenarios = [
+        _solve_scenario("i{}".format(j), 0.1 * (j + 1)) for j in range(4)
+    ]
+    return SweepSpec(scenarios=scenarios, name="shared")
+
+
+def _shm_names():
+    import os
+
+    try:
+        return {
+            name for name in os.listdir("/dev/shm") if name.startswith("psm_")
+        }
+    except FileNotFoundError:  # non-Linux: fall back to the registry
+        return set(shm.published_segments())
+
+
+@pytest.fixture(autouse=True)
+def _clean_caches():
+    sweep_worker.clear_caches()
+    yield
+    sweep_worker.clear_caches()
+
+
+class TestHandleLifecycle:
+    def test_publish_retain_release_refcounting(self):
+        problem = sweep_worker.problem_for(_solve_scenario("a", 0.1))
+        handle = shm.publish(problem)
+        assert handle.name in shm.published_segments()
+        shm.retain(handle)
+        shm.release(handle)  # drops the retain; publish ref remains
+        assert handle.name in shm.published_segments()
+        shm.release(handle)
+        assert handle.name not in shm.published_segments()
+        assert handle.name not in _shm_names()
+
+    def test_release_is_idempotent(self):
+        problem = sweep_worker.problem_for(_solve_scenario("a", 0.1))
+        handle = shm.publish(problem)
+        shm.release(handle)
+        shm.release(handle)  # no-op, not an error
+        assert handle.name not in shm.published_segments()
+
+    def test_retain_requires_local_publication(self):
+        with pytest.raises(KeyError):
+            shm.retain(shm.SharedProblemHandle(name="psm_nope", size=8))
+
+    def test_load_of_released_segment_is_file_not_found(self):
+        problem = sweep_worker.problem_for(_solve_scenario("a", 0.1))
+        handle = shm.publish(problem)
+        shm.release(handle)
+        with pytest.raises(FileNotFoundError):
+            shm.load(handle)
+
+    def test_atexit_sweep_unlinks_stragglers(self):
+        problem = sweep_worker.problem_for(_solve_scenario("a", 0.1))
+        handle = shm.publish(problem)
+        shm._unlink_all()
+        assert shm.published_segments() == []
+        assert handle.name not in _shm_names()
+
+
+class TestRunnerBroadcast:
+    def test_sweep_leaves_no_segments_behind(self):
+        before = _shm_names()
+        report = SweepRunner(2, backend="process").run(_shared_spec())
+        assert report.ok
+        assert shm.published_segments() == []
+        assert _shm_names() == before
+
+    def test_worker_crash_leaves_no_segments_behind(self, monkeypatch):
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("crash injection requires the fork start method")
+        from tests.sweep.test_runner import _crashing_execute
+
+        scenarios = list(_shared_spec())
+        scenarios.insert(2, _solve_scenario("crash", 0.05))
+        spec = SweepSpec(scenarios=scenarios, name="crashy-shared")
+        before = _shm_names()
+        monkeypatch.setattr("repro.sweep.runner.execute", _crashing_execute)
+        report = SweepRunner(1, backend="process").run(spec)
+        assert not report.ok  # the crash was recorded as a pool fault
+        assert shm.published_segments() == []
+        assert _shm_names() == before
+
+    def test_single_scenario_geometries_are_not_published(self):
+        """Broadcast only pays off past one scenario per geometry."""
+        runner = SweepRunner(2, backend="process")
+        handles = runner._publish_blueprints(
+            list(enumerate([_solve_scenario("solo", 0.1)]))
+        )
+        assert handles == {}
+
+    def test_publish_covers_multi_scenario_geometries(self):
+        runner = SweepRunner(2, backend="process")
+        scenarios = list(_shared_spec())
+        handles = runner._publish_blueprints(list(enumerate(scenarios)))
+        try:
+            assert set(handles) == {scenarios[0].geometry_key()}
+        finally:
+            for handle in handles.values():
+                shm.release(handle)
+
+    def test_share_blueprints_false_disables_publication(self):
+        runner = SweepRunner(2, backend="process", share_blueprints=False)
+        before = _shm_names()
+        report = runner.run(_shared_spec())
+        assert report.ok
+        assert _shm_names() == before
+
+
+class TestBroadcastBitIdentity:
+    def test_shared_replay_matches_pickled_path(self):
+        """A worker seeded over shm answers bit-identically to one that
+        rebuilt the problem from the scenario payload."""
+        from tests.sweep.test_runner import _identity_view
+
+        spec = _shared_spec()
+        sweep_worker.clear_caches()
+        pickled = SweepRunner(
+            2, backend="process", share_blueprints=False
+        ).run(spec)
+        sweep_worker.clear_caches()
+        shared = SweepRunner(2, backend="process").run(spec)
+        assert pickled.ok and shared.ok
+        assert _identity_view(pickled) == _identity_view(shared)
+
+    def test_loaded_problem_carries_breadcrumb_and_blueprint(self):
+        scenario = _solve_scenario("a", 0.1)
+        problem = sweep_worker.problem_for(scenario)
+        problem.model(())  # record the geometry's network blueprint
+        handle = shm.publish(problem)
+        try:
+            loaded = shm.load(handle)
+            assert loaded._from_shared_memory is True
+            assert loaded._blueprint is not None
+            assert shm.load(handle) is loaded  # cached per process
+        finally:
+            shm.release(handle)
+            shm.clear_worker_cache()
+
+    def test_worker_seeds_geometry_cache_from_handles(self):
+        scenario = _solve_scenario("a", 0.1)
+        problem = sweep_worker.problem_for(scenario)
+        problem.model(())
+        handle = shm.publish(problem)
+        key = scenario.geometry_key()
+        try:
+            sweep_worker.clear_caches()
+            sweep_worker.install_shared_handles({key: handle})
+            seeded = sweep_worker.problem_for(scenario)
+            # The geometry cache holds the broadcast problem; the
+            # returned limit/backend sibling shares its blueprint.
+            base = sweep_worker._GEOMETRY[key]
+            assert base._from_shared_memory is True
+            assert seeded._blueprint is base._blueprint
+            assert seeded._blueprint is not None
+        finally:
+            shm.release(handle)
+            sweep_worker.clear_caches()
+
+    def test_missing_segment_falls_back_to_rebuild(self):
+        scenario = _solve_scenario("a", 0.1)
+        key = scenario.geometry_key()
+        sweep_worker.install_shared_handles(
+            {key: shm.SharedProblemHandle(name="psm_gone", size=64)}
+        )
+        problem = sweep_worker.problem_for(scenario)  # no exception
+        assert not getattr(problem, "_from_shared_memory", False)
+
+
+class TestZeroCopyDispatch:
+    def test_handles_are_tiny_compared_to_problems(self):
+        """Task payloads ship a name+size record, not the blueprint."""
+        problem = sweep_worker.problem_for(_solve_scenario("a", 0.1))
+        problem.model(())
+        handle = shm.publish(problem)
+        try:
+            handle_bytes = len(pickle.dumps(handle))
+            problem_bytes = len(pickle.dumps(problem))
+            assert handle_bytes < 256
+            assert problem_bytes > 50 * handle_bytes
+        finally:
+            shm.release(handle)
+
+    def test_execute_accepts_and_installs_handles(self):
+        scenario = _solve_scenario("a", 0.1)
+        problem = sweep_worker.problem_for(scenario)
+        problem.model(())
+        handle = shm.publish(problem)
+        key = scenario.geometry_key()
+        try:
+            sweep_worker.clear_caches()
+            result = sweep_worker.execute(0, scenario, {key: handle})
+            assert result.values["peak_c"] > 0.0
+            assert sweep_worker._GEOMETRY[key]._from_shared_memory is True
+        finally:
+            shm.release(handle)
+            sweep_worker.clear_caches()

@@ -288,6 +288,47 @@ class TestSweepBackend:
         assert excinfo.value.code == 2
 
 
+class TestBackendValidation:
+    """Every backend-taking subcommand validates ``--backend`` at parse
+    time against one shared list that tracks ``SOLVER_MODES`` — an
+    unknown backend dies with argparse's usage error (exit code 2)
+    before any model is built."""
+
+    #: command -> extra argv needed to satisfy parse-time requirements.
+    _COMMANDS = {
+        "solve": ["--benchmark", "alpha"],
+        "sweep": [],
+        "transient": [],
+        "control": [],
+        "serve": [],
+    }
+
+    def test_backends_track_solver_modes(self):
+        from repro import cli
+        from repro.thermal.session import SOLVER_MODES
+
+        assert cli._BACKENDS == SOLVER_MODES
+
+    @pytest.mark.parametrize("command", sorted(_COMMANDS))
+    def test_unknown_backend_rejected_at_parse_time(self, capsys, command):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--backend", "jacobi"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", sorted(_COMMANDS))
+    @pytest.mark.parametrize(
+        "backend", ["direct", "reuse", "krylov", "cholesky", "auto"]
+    )
+    def test_every_solver_mode_parses(self, command, backend):
+        argv = [command, "--backend", backend] + self._COMMANDS[command]
+        args = build_parser().parse_args(argv)
+        stored = getattr(args, "solver_mode", None) or getattr(
+            args, "backend", None
+        )
+        assert stored == backend
+
+
 class TestTable1:
     def test_selected_rows(self, capsys, tmp_path):
         out_path = tmp_path / "rows.json"

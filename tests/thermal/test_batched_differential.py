@@ -1,0 +1,212 @@
+"""Differential tests of the batched solve kernel.
+
+:meth:`~repro.thermal.session.SessionView.solve_batch` answers ``k``
+solve requests as stacked multi-RHS blocks; every backend must agree
+with its own serial path on randomized package networks.  Two
+guarantees are pinned here:
+
+* **cross-path agreement** — for every backend in ``SOLVER_MODES``,
+  ``solve_batch(currents)`` matches column-by-column serial
+  ``solve(current)`` calls to 1e-9 K (the batched default-loads path
+  actually *is* the serial path, so it agrees bitwise; the explicit
+  ``loads`` path regroups the algebra and is held to the tolerance);
+* **edge cases** — an empty batch returns a well-formed ``(n, 0)``
+  result, and a single-column batch matches a plain solve exactly.
+
+The random instances mirror ``tests/thermal/test_differential.py``:
+grids 2x2 through 4x4 with random power maps and TEC deployments, and
+probe currents spanning passive through near-runaway.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.geometry import TileGrid
+from repro.thermal.model import PackageThermalModel
+from repro.thermal.session import SOLVER_MODES, BatchResult
+
+_ATOL_K = 1e-9
+
+_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def _instances(draw):
+    """A random (grid, power map, deployment) triple."""
+    rows = draw(st.integers(min_value=2, max_value=4))
+    cols = draw(st.integers(min_value=2, max_value=4))
+    tiles = rows * cols
+    power = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.8),
+            min_size=tiles,
+            max_size=tiles,
+        )
+    )
+    deployment = draw(
+        st.sets(
+            st.integers(min_value=0, max_value=tiles - 1),
+            min_size=1,
+            max_size=min(6, tiles),
+        )
+    )
+    return rows, cols, np.array(power), tuple(sorted(deployment))
+
+
+def _model(instance, mode):
+    rows, cols, power, deployment = instance
+    return PackageThermalModel(
+        TileGrid(rows, cols), power, tec_tiles=deployment, solver_mode=mode
+    )
+
+
+def _currents(model):
+    """Probe currents with a deliberate duplicate to exercise grouping."""
+    lam = model.runaway_current().value
+    return [0.0, 0.3 * lam, 0.8 * lam, 0.3 * lam]
+
+
+class TestBatchMatchesSerial:
+    """solve_batch vs one-at-a-time solves, for every backend."""
+
+    @pytest.mark.parametrize("mode", SOLVER_MODES)
+    @given(instance=_instances())
+    @_settings
+    def test_default_loads_batch_is_bitwise_serial(self, mode, instance):
+        batched_model = _model(instance, mode)
+        serial_model = _model(instance, mode)
+        currents = _currents(batched_model)
+        batch = batched_model.solver.solve_batch(currents)
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == len(currents)
+        assert batch.temperatures.shape == (batched_model.num_nodes,
+                                            len(currents))
+        for j, current in enumerate(currents):
+            serial = serial_model.solver.solve(current)
+            assert np.array_equal(batch.temperatures[:, j], serial)
+            assert batch.columns[j].index == j
+            assert batch.columns[j].current == float(current)
+            assert batch.columns[j].peak_k == float(serial.max())
+
+    @pytest.mark.parametrize("mode", SOLVER_MODES)
+    @given(instance=_instances())
+    @_settings
+    def test_explicit_loads_batch_matches_serial_rhs(self, mode, instance):
+        model = _model(instance, mode)
+        currents = _currents(model)
+        rng = np.random.default_rng(1234)
+        loads = rng.uniform(0.0, 1.0, size=(model.num_nodes, len(currents)))
+        batch = model.solver.solve_batch(currents, loads=loads)
+        for j, current in enumerate(currents):
+            serial = model.solver.solve_rhs(current, loads[:, j])
+            np.testing.assert_allclose(
+                batch.temperatures[:, j], serial, atol=_ATOL_K, rtol=0.0
+            )
+
+    @given(instance=_instances())
+    @_settings
+    def test_backends_agree_on_the_same_batch(self, instance):
+        reference = None
+        currents = _currents(_model(instance, "direct"))
+        for mode in SOLVER_MODES:
+            batch = _model(instance, mode).solver.solve_batch(currents)
+            if reference is None:
+                reference = batch.temperatures
+            else:
+                np.testing.assert_allclose(
+                    batch.temperatures, reference, atol=1e-6, rtol=0.0
+                )
+
+    @given(instance=_instances())
+    @_settings
+    def test_duplicate_currents_share_one_group(self, instance):
+        """Explicit-loads batches group equal currents into one block."""
+        model = _model(instance, "reuse")
+        currents = _currents(model)  # contains 0.3*lam twice
+        loads = np.tile(
+            np.ones(model.num_nodes)[:, None], (1, len(currents))
+        )
+        batch = model.solver.solve_batch(currents, loads=loads)
+        assert [column.grouped for column in batch.columns] == [1, 2, 1, 2]
+        assert np.array_equal(
+            batch.temperatures[:, 1], batch.temperatures[:, 3]
+        )
+
+    @given(instance=_instances())
+    @_settings
+    def test_duplicate_currents_hit_the_solution_cache(self, instance):
+        """Default-loads batches reuse the solution of a repeated current."""
+        model = _model(instance, "reuse")
+        currents = _currents(model)  # contains 0.3*lam twice
+        batch = model.solver.solve_batch(currents)
+        assert not batch.columns[1].solution_hit
+        assert batch.columns[3].solution_hit
+
+
+class TestBatchEdgeCases:
+    @pytest.mark.parametrize("mode", SOLVER_MODES)
+    def test_empty_batch(self, small_grid, small_power, mode):
+        model = PackageThermalModel(
+            small_grid, small_power, tec_tiles=(5, 6), solver_mode=mode
+        )
+        batch = model.solver.solve_batch([])
+        assert len(batch) == 0
+        assert batch.temperatures.shape == (model.num_nodes, 0)
+        assert not batch.columns
+        assert batch.peaks_k.shape == (0,)
+
+    @pytest.mark.parametrize("mode", SOLVER_MODES)
+    def test_single_column_matches_plain_solve(
+        self, small_grid, small_power, mode
+    ):
+        model = PackageThermalModel(
+            small_grid, small_power, tec_tiles=(5, 6), solver_mode=mode
+        )
+        other = PackageThermalModel(
+            small_grid, small_power, tec_tiles=(5, 6), solver_mode=mode
+        )
+        current = 0.5 * model.runaway_current().value
+        batch = model.solver.solve_batch([current])
+        assert np.array_equal(
+            batch.temperatures[:, 0], other.solver.solve(current)
+        )
+        assert batch.columns[0].grouped == 1
+
+    def test_loads_shape_is_validated(self, small_grid, small_power):
+        model = PackageThermalModel(
+            small_grid, small_power, tec_tiles=(5, 6)
+        )
+        with pytest.raises(ValueError, match="loads must have shape"):
+            model.solver.solve_batch(
+                [0.1, 0.2], loads=np.ones((model.num_nodes, 3))
+            )
+
+    def test_model_level_batch_rejects_negative_current(
+        self, small_grid, small_power
+    ):
+        model = PackageThermalModel(
+            small_grid, small_power, tec_tiles=(5, 6)
+        )
+        with pytest.raises(ValueError, match="current must be >= 0"):
+            model.solve_batch([0.1, -0.2])
+
+    def test_model_level_batch_matches_states(self, small_grid, small_power):
+        model = PackageThermalModel(
+            small_grid, small_power, tec_tiles=(5, 6)
+        )
+        other = PackageThermalModel(
+            small_grid, small_power, tec_tiles=(5, 6)
+        )
+        currents = [0.0, 0.4 * model.runaway_current().value]
+        states = model.solve_batch(currents)
+        assert [state.current for state in states] == currents
+        for state, current in zip(states, currents):
+            assert np.array_equal(
+                state.theta_k, other.solve(current).theta_k
+            )

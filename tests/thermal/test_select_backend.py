@@ -1,0 +1,85 @@
+"""Properties of the ``auto`` backend heuristic.
+
+:func:`~repro.thermal.session.select_backend` decides between the
+blocked-Woodbury ``reuse`` backend and the iterative ``krylov``
+backend from ``(num_nodes, support_size)`` alone.  Three contracts:
+
+* it always returns a member of ``SOLVER_MODES`` (and never the
+  explicit-only ``direct``/``cholesky`` backends — those are opt-in);
+* at a fixed support, growing the grid can only move the decision
+  *toward* ``reuse`` (the support threshold ``max(64, 4 sqrt(n))`` is
+  nondecreasing in ``n``), i.e. the choice flips at most once and
+  only in the krylov -> reuse direction;
+* the 128x128-package crossover is pinned: 65 804 nodes put the
+  threshold at ``4 * sqrt(65804) ~ 1026``, so a 513-TEC deployment
+  (support 1026) still reuses while 514 TECs (support 1028) go
+  iterative.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.thermal.session import (
+    AUTO_SUPPORT_COEFF,
+    AUTO_SUPPORT_FLOOR,
+    SOLVER_MODES,
+    select_backend,
+)
+
+_NODES = st.integers(min_value=1, max_value=10**7)
+_SUPPORT = st.integers(min_value=0, max_value=10**5)
+
+
+class TestSelectBackendProperties:
+    @given(num_nodes=_NODES, support=_SUPPORT)
+    def test_result_is_a_solver_mode(self, num_nodes, support):
+        backend = select_backend(num_nodes, support)
+        assert backend in SOLVER_MODES
+        assert backend in ("reuse", "krylov")
+
+    @given(num_nodes=_NODES, support=st.integers(min_value=0, max_value=64))
+    def test_small_supports_always_reuse(self, num_nodes, support):
+        """Below the floor the dense update wins on any grid."""
+        assert AUTO_SUPPORT_FLOOR == 64
+        assert select_backend(num_nodes, support) == "reuse"
+
+    @given(
+        small=_NODES, large=_NODES, support=_SUPPORT
+    )
+    def test_monotone_in_num_nodes_at_fixed_support(
+        self, small, large, support
+    ):
+        """Growing the grid can only flip krylov -> reuse, never the
+        reverse: once a support is cheap on a small grid it stays
+        cheap on every larger one."""
+        if small > large:
+            small, large = large, small
+        if select_backend(small, support) == "reuse":
+            assert select_backend(large, support) == "reuse"
+
+    @given(
+        num_nodes=_NODES, small=_SUPPORT, large=_SUPPORT
+    )
+    def test_monotone_in_support_at_fixed_grid(self, num_nodes, small, large):
+        """Shrinking the deployment never switches reuse -> krylov."""
+        if small > large:
+            small, large = large, small
+        if select_backend(num_nodes, large) == "reuse":
+            assert select_backend(num_nodes, small) == "reuse"
+
+
+class TestCrossoverRegression:
+    """The 128x128 bench column sits just under the auto threshold."""
+
+    _NODES_128 = 65804  # nodes of the bench's 128x128 package network
+
+    def test_threshold_follows_sqrt_n(self):
+        limit = max(
+            AUTO_SUPPORT_FLOOR,
+            AUTO_SUPPORT_COEFF * self._NODES_128 ** 0.5,
+        )
+        assert 1026 < limit < 1027
+
+    def test_128_grid_crossover(self):
+        assert select_backend(self._NODES_128, 1026) == "reuse"
+        assert select_backend(self._NODES_128, 1028) == "krylov"

@@ -300,7 +300,9 @@ class TestForkSafety:
     must answer bit-identically to the warm original.
     """
 
-    @pytest.mark.parametrize("mode", ["direct", "reuse", "krylov", "auto"])
+    @pytest.mark.parametrize(
+        "mode", ["direct", "reuse", "krylov", "cholesky", "auto"]
+    )
     def test_warm_model_roundtrips_bit_identically(self, make_model, mode):
         import pickle
 
