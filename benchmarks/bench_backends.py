@@ -108,7 +108,12 @@ def _dense_deployment(side):
     )
 
 
-def _build_instance(side):
+def _build_problem_model(side):
+    """The deployed thermal model of one benchmark instance.
+
+    Shared with ``bench_rom.py``, which drives the same instances
+    through closed-loop transients instead of steady batch solves.
+    """
     grid = TileGrid(side, side)
     power = np.full(grid.num_tiles, _TOTAL_POWER_W / grid.num_tiles)
     die_side = max(grid.width, grid.height)
@@ -119,8 +124,11 @@ def _build_instance(side):
         stack=_scaled_stack(die_side),
         name="bench-{0}x{0}".format(side),
     )
-    model = problem.model(_dense_deployment(side))
-    return model.solver.system
+    return problem.model(_dense_deployment(side))
+
+
+def _build_instance(side):
+    return _build_problem_model(side).solver.system
 
 
 def _safe_currents(system):

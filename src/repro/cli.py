@@ -51,6 +51,53 @@ _BACKENDS = ("direct", "reuse", "krylov", "cholesky", "auto")
 #: rationale as :data:`_BACKENDS`).
 _ENGINES = ("cold", "incremental")
 
+#: Reduced-order modes exposed by ``--rom``.  Mirrors
+#: :data:`repro.linalg.mor.ROM_MODES` (same deferred-import rationale
+#: as :data:`_BACKENDS`).
+_ROM_MODES = ("auto", "always", "off")
+
+
+def add_backend_argument(parser, *, flags=("--backend",), dest="backend", help=None):
+    """Register the shared ``--backend`` choice on a (sub)parser.
+
+    Every subcommand that selects a solver backend (``sweep``,
+    ``solve``, ``transient``, ``control``, ``serve``) goes through this
+    helper, so the choice list exists in exactly one place and an
+    unknown backend fails identically everywhere.  ``flags``/``dest``
+    accommodate the ``--solver-mode`` alias, ``help`` the per-command
+    phrasing.
+    """
+    parser.add_argument(
+        *flags, dest=dest, choices=list(_BACKENDS), default=None,
+        help=help or "solver backend (default: the problem default, 'reuse')",
+    )
+
+
+def _rom_parent_parser():
+    """Parent parser carrying the reduced-order flags.
+
+    ``repro transient`` and ``repro control`` share it via argparse
+    ``parents=`` so the ``--rom*`` trio is declared once, next to the
+    backend helper the same subcommands reuse.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--rom", choices=list(_ROM_MODES), default="auto",
+        help="certified reduced-order transient kernel: 'auto' engages "
+             "on large models, 'always' forces it, 'off' integrates at "
+             "full order (default auto)",
+    )
+    parent.add_argument(
+        "--rom-dim", type=int, default=None, metavar="R",
+        help="target Krylov basis dimension (default 48)",
+    )
+    parent.add_argument(
+        "--rom-tol", type=float, default=None, metavar="K",
+        help="certified max-error budget vs the full-order trajectory, "
+             "in Kelvin (default 1e-3)",
+    )
+    return parent
+
 
 def _workers_count(text):
     """argparse type for ``--workers``: a positive integer.
@@ -230,8 +277,8 @@ def _add_sweep(subparsers):
         "--workers", type=_workers_count, default=None, metavar="N",
         help="process-pool size, N >= 1 (default: serial)",
     )
-    parser.add_argument(
-        "--backend", choices=_BACKENDS, default=None,
+    add_backend_argument(
+        parser,
         help="pin every scenario to one solver backend "
              "(default: the problem default, 'reuse')",
     )
@@ -397,9 +444,10 @@ def _load_problem(args):
 
 def _add_solver_options(parser, command):
     """The shared solver-backend flags (``solve``/``transient``/``control``)."""
-    parser.add_argument(
-        "--backend", "--solver-mode", dest="solver_mode",
-        choices=list(_BACKENDS), default=None,
+    add_backend_argument(
+        parser,
+        flags=("--backend", "--solver-mode"),
+        dest="solver_mode",
         help="steady-state solver backend: 'reuse' (blocked Woodbury, "
              "default), 'direct' (one LU per distinct current), 'krylov' "
              "(G-preconditioned GMRES with direct fallback), 'cholesky' "
@@ -467,6 +515,7 @@ def _add_transient(subparsers):
         "transient",
         help="backward-Euler warm-up trajectory of a deployment "
              "(shared solve-session with the steady solver)",
+        parents=[_rom_parent_parser()],
     )
     parser.add_argument("--benchmark", default="alpha", help="registered benchmark")
     parser.add_argument(
@@ -504,7 +553,8 @@ def _cmd_transient(args):
     )
     stats_before = problem.solver_stats.copy()
     simulator = TransientSimulator(
-        model, current=current, dt=args.dt, initial_state="ambient"
+        model, current=current, dt=args.dt, initial_state="ambient",
+        rom=args.rom, rom_dim=args.rom_dim, rom_tol=args.rom_tol,
     )
     trace = simulator.run(args.steps)
     steady_peak = float(model.solve(current).peak_silicon_c)
@@ -519,6 +569,9 @@ def _cmd_transient(args):
     print("max peak:    {:.2f} C".format(max_peak))
     print("steady peak: {:.2f} C (gap {:.3f} C)".format(
         steady_peak, steady_peak - final_peak))
+    if simulator.rom_active:
+        print("rom:         dim {} certified error {:.2e} K".format(
+            simulator.rom_stats()["dim"], simulator.certified_error_k))
     if args.solver_stats:
         _print_solver_stats(problem, delta)
     if args.json:
@@ -534,6 +587,13 @@ def _cmd_transient(args):
             "steady_peak_c": steady_peak,
             "steady_gap_c": steady_peak - final_peak,
             "solver_stats": delta.as_dict(),
+            "rom": (
+                dict(
+                    simulator.rom_stats(),
+                    certified_error_k=simulator.certified_error_k,
+                )
+                if simulator.rom_active else None
+            ),
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -546,6 +606,7 @@ def _add_control(subparsers):
         "control",
         help="closed-loop DTM simulation (controller + sensors over the "
              "shared solve-session)",
+        parents=[_rom_parent_parser()],
     )
     parser.add_argument("--benchmark", default="alpha", help="registered benchmark")
     parser.add_argument(
@@ -623,6 +684,7 @@ def _cmd_control(args):
             model, controller, sensors,
             dt=args.dt, control_period=args.control_period,
             current_quantum=args.quantum,
+            rom=args.rom, rom_dim=args.rom_dim, rom_tol=args.rom_tol,
         )
     except ValueError as error:
         raise SystemExit("repro control: error: {}".format(error))
@@ -640,6 +702,10 @@ def _cmd_control(args):
     print("TEC energy:  {:.3f} J".format(result.tec_energy_j))
     print("factorizations: {} current levels ({} evicted)".format(
         result.factorizations, result.evictions))
+    print("wall clock:  {:.3f} s for {} steps".format(result.wall_s, result.steps))
+    if result.rom is not None:
+        print("rom:         dim {} certified error {:.2e} K".format(
+            result.rom["dim"], result.rom["certified_error_k"]))
     if args.solver_stats:
         from repro.thermal.session import SolverStats
 
@@ -662,6 +728,8 @@ def _cmd_control(args):
             "factorizations": int(result.factorizations),
             "evictions": int(result.evictions),
             "solver_stats": result.solver_stats,
+            "wall_s": float(result.wall_s),
+            "rom": result.rom,
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -839,8 +907,8 @@ def _add_serve(subparsers):
         help="process-pool tier size for /deploy and /sweep "
              "(default: machine cores)",
     )
-    parser.add_argument(
-        "--backend", choices=_BACKENDS, default=None,
+    add_backend_argument(
+        parser,
         help="default solver backend applied to requests that leave "
              "'backend' unset (default: the problem default, 'reuse')",
     )

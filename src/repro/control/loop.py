@@ -28,10 +28,12 @@ fault) can push the loop into thermal runaway.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.linalg.mor import ReducedTransient, resolve_rom_mode
 from repro.thermal.transient import node_capacitances
 from repro.utils import celsius_to_kelvin, check_positive, kelvin_to_celsius
 from repro.utils.validate import check_in_range
@@ -63,6 +65,15 @@ class ClosedLoopResult:
     solver_stats:
         Plain-data :class:`~repro.thermal.session.SolverStats` delta
         of the run (session-wide, so shared-session work shows here).
+    steps:
+        Backward-Euler steps integrated by this run.
+    wall_s:
+        Wall-clock time of the integration loop (seconds), so
+        ROM-vs-full comparisons read straight off the result.
+    rom:
+        Reduced-order accounting when the trace went through the
+        certified ROM (certified error, basis size, per-run deltas of
+        the full-order work counters), else ``None``.
     """
 
     times_s: np.ndarray
@@ -73,6 +84,9 @@ class ClosedLoopResult:
     factorizations: int
     evictions: int = 0
     solver_stats: dict = None
+    steps: int = 0
+    wall_s: float = 0.0
+    rom: dict = None
 
     @property
     def max_true_peak_c(self):
@@ -114,6 +128,18 @@ class ClosedLoopSimulator:
     session:
         Optional :class:`~repro.thermal.session.SolveSession`;
         defaults to the model's own session.
+    rom:
+        Reduced-order mode (``"auto"`` / ``"always"`` / ``"off"``), as
+        in :class:`~repro.thermal.transient.TransientSimulator`.  When
+        engaged the loop integrates in the view's certified Krylov
+        subspace and lifts only the sensor-relevant rows (silicon plus
+        TEC hot/cold nodes) each step — ``O(rows * r)`` instead of a
+        full sparse solve — while the certified bound guarantees the
+        fed-back peak readings are within ``rom_tol`` Kelvin of the
+        full-order loop's.
+    rom_dim / rom_tol:
+        Basis size and certified error budget (K); ``None`` takes the
+        :mod:`repro.linalg.mor` defaults.
     """
 
     def __init__(
@@ -128,6 +154,9 @@ class ClosedLoopSimulator:
         safety_fraction=0.5,
         lu_cache_size=16,
         session=None,
+        rom="auto",
+        rom_dim=None,
+        rom_tol=None,
     ):
         if not model.stamps:
             raise ValueError("closed-loop control needs a deployed model")
@@ -152,6 +181,19 @@ class ClosedLoopSimulator:
         self._silicon = np.asarray(model.silicon_nodes)
         self._device = model.device
         self._n_dev = len(model.stamps)
+        self.rom_mode = rom
+        self._rom = None
+        if resolve_rom_mode(rom, model.num_nodes):
+            self._rom = self._view.reduced(dim=rom_dim, tol_kelvin=rom_tol)
+        # Certified lift rows: the silicon tiles only — everything the
+        # loop *reports* per step (sensor readings and the true-peak
+        # trace) lives there, so the Kelvin conversion of the
+        # certified envelope uses max(w[silicon]), far below the TEC
+        # hot-junction peak of the weight vector.  The TEC junction
+        # temperatures only enter the (diagnostic) energy integral,
+        # computed from the same reduced states via an O(r) row-sum
+        # dot rather than a certified per-step lift.
+        self._lift_rows = self._silicon
 
     def _quantize(self, current):
         clamped = min(max(float(current), 0.0), self.i_ceiling)
@@ -204,9 +246,8 @@ class ClosedLoopSimulator:
         self.controller.reset()
         stats_before = self._view.stats.copy()
         current = self._quantize(0.0)
-        sensed = self.sensors.read_max(
-            kelvin_to_celsius(theta[self._silicon])
-        )
+        silicon_k = theta[self._silicon]
+        sensed = self.sensors.read_max(kelvin_to_celsius(silicon_k))
 
         times = np.empty(steps)
         true_peak = np.empty(steps)
@@ -216,9 +257,34 @@ class ClosedLoopSimulator:
         time_s = 0.0
         reference_power = model.power_map
 
+        reduced = None
+        rom_before = None
+        # ROM fast path: the loop only *consumes* two scalars per step
+        # (the silicon peak for the trace and sum(hot - cold) for the
+        # energy integral) plus the sensor rows once per control
+        # period, so full-row lifts per step would dominate the
+        # reduced kernel.  Instead the reduced states are recorded,
+        # the energy term is an O(r) dot with a per-generation row-sum
+        # vector, sensors lift at control boundaries only, and the
+        # true-peak trace is reconstructed after the loop with batched
+        # BLAS-3 lifts (identical values: basis columns only ever get
+        # appended, so early low-dimensional states pad with zeros).
+        rom_states = None
+        rom_energy_vec = None
+        rom_energy_gen = None
+        if self._rom is not None:
+            rom_before = self._rom.stats()
+            reduced = ReducedTransient(
+                self._rom, theta, lift_rows=self._lift_rows
+            )
+            rom_states = []
+        wall_start = time.perf_counter()
+
         for step in range(steps):
             if step % self.steps_per_control == 0:
-                silicon_c = kelvin_to_celsius(theta[self._silicon])
+                if reduced is not None and step > 0:
+                    silicon_k = reduced.theta_rows()
+                silicon_c = kelvin_to_celsius(silicon_k)
                 sensed = self.sensors.read_max(silicon_c)
                 command = self.controller.update(
                     sensed, self.steps_per_control * self.dt
@@ -226,30 +292,89 @@ class ClosedLoopSimulator:
                 current = self._quantize(command)
 
             self._levels.add(current)
-            rhs = (self._capacitance / self.dt) * theta + (
-                self.model.system.power_vector(current)
-            )
+            extra = None
             if power_schedule is not None:
                 override = power_schedule(step, time_s)
                 if override is not None:
-                    override = np.asarray(override, dtype=float)
-                    rhs[self._silicon] += override - reference_power
-            theta = self._view.solve_rhs(current, rhs)
+                    extra = np.asarray(override, dtype=float) - reference_power
+
+            if reduced is not None:
+                reduced.step(
+                    current,
+                    extra=extra,
+                    extra_rows=self._silicon if extra is not None else None,
+                )
+                rom_states.append(reduced.x.copy())
+                if rom_energy_gen != self._rom.generation:
+                    basis = self._rom.v
+                    rom_energy_vec = (
+                        basis[model.hot_nodes].sum(axis=0)
+                        - basis[model.cold_nodes].sum(axis=0)
+                    )
+                    rom_energy_gen = self._rom.generation
+            else:
+                rhs = (self._capacitance / self.dt) * theta + (
+                    self.model.system.power_vector(current)
+                )
+                if extra is not None:
+                    rhs[self._silicon] += extra
+                theta = self._view.solve_rhs(current, rhs)
+                silicon_k = theta[self._silicon]
+                cold = theta[model.cold_nodes]
+                hot = theta[model.hot_nodes]
             time_s += self.dt
 
-            silicon_k = theta[self._silicon]
             times[step] = time_s
-            true_peak[step] = kelvin_to_celsius(float(np.max(silicon_k)))
+            if reduced is None:
+                true_peak[step] = kelvin_to_celsius(float(np.max(silicon_k)))
             sensed_trace[step] = sensed
             current_trace[step] = current
             if current > 0.0:
-                cold = theta[model.cold_nodes]
-                hot = theta[model.hot_nodes]
+                if reduced is not None:
+                    junction_drop = float(rom_energy_vec @ reduced.x)
+                else:
+                    junction_drop = float(np.sum(hot - cold))
                 power = (
                     self._device.electrical_resistance * current**2 * self._n_dev
-                    + self._device.seebeck * current * float(np.sum(hot - cold))
+                    + self._device.seebeck * current * junction_drop
                 )
                 energy += power * self.dt
+
+        if reduced is not None:
+            # Deferred true-peak reconstruction: pad every recorded
+            # state to the final basis dimension and lift the silicon
+            # rows in chunked BLAS-3 mat-mats (counted in wall_s — it
+            # is part of producing the trace).
+            dim = self._rom.dim
+            states = np.zeros((dim, steps))
+            for index, state in enumerate(rom_states):
+                states[: state.shape[0], index] = state
+            silicon_basis = self._rom.v[self._silicon]
+            chunk = 128
+            for start in range(0, steps, chunk):
+                block = silicon_basis @ states[:, start : start + chunk]
+                true_peak[start : start + chunk] = kelvin_to_celsius(
+                    np.max(block, axis=0)
+                )
+
+        wall_s = time.perf_counter() - wall_start
+        rom_info = None
+        if reduced is not None:
+            rom_after = self._rom.stats()
+            rom_info = {
+                "dim": rom_after["dim"],
+                "tol_kelvin": rom_after["tol_kelvin"],
+                "certified_error_k": reduced.certified_error_k,
+            }
+            for key in (
+                "rom_steps",
+                "full_solves",
+                "full_solve_columns",
+                "enrichments",
+                "restarts",
+                "refinements",
+            ):
+                rom_info[key] = rom_after[key] - rom_before[key]
 
         delta = self._view.stats.diff(stats_before)
         return ClosedLoopResult(
@@ -261,4 +386,7 @@ class ClosedLoopSimulator:
             factorizations=len(self._levels),
             evictions=delta.evictions,
             solver_stats=delta.as_dict(),
+            steps=int(steps),
+            wall_s=wall_s,
+            rom=rom_info,
         )

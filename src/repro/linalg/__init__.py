@@ -46,6 +46,19 @@ from repro.linalg.krylov import (
     KrylovReport,
     krylov_solve,
 )
+from repro.linalg.mor import (
+    DEFAULT_ROM_DIM,
+    DEFAULT_ROM_TOL_K,
+    ROM_AUTO_MIN_NODES,
+    ROM_MODES,
+    CertificationError,
+    ReducedModel,
+    ReducedTransient,
+    block_arnoldi,
+    moments,
+    reduce_pair,
+    resolve_rom_mode,
+)
 from repro.linalg.runaway import (
     RunawayCurrent,
     runaway_current,
@@ -61,15 +74,23 @@ from repro.linalg.stieltjes import (
 )
 
 __all__ = [
+    "CertificationError",
     "CholeskyFactor",
     "ConjectureCampaignResult",
+    "DEFAULT_ROM_DIM",
+    "DEFAULT_ROM_TOL_K",
     "DEFAULT_RTOL",
     "HAVE_CHOLMOD",
     "KRYLOV_METHODS",
     "KrylovReport",
     "NotPositiveDefiniteError",
+    "ROM_AUTO_MIN_NODES",
+    "ROM_MODES",
+    "ReducedModel",
+    "ReducedTransient",
     "RunawayCurrent",
     "adjacency_graph",
+    "block_arnoldi",
     "cholesky_is_spd",
     "conjecture1_holds",
     "conjecture1_witness",
@@ -81,7 +102,10 @@ __all__ = [
     "is_stieltjes",
     "is_symmetric",
     "krylov_solve",
+    "moments",
     "random_stieltjes",
+    "reduce_pair",
+    "resolve_rom_mode",
     "run_conjecture_campaign",
     "runaway_current",
     "runaway_current_binary_search",

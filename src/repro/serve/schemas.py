@@ -58,6 +58,9 @@ SCENARIO_FIELDS = GEOMETRY_FIELDS + (
     "current_tolerance",
     "max_rounds",
     "engine",
+    "rom",
+    "rom_dim",
+    "rom_tol",
 )
 
 
@@ -145,15 +148,22 @@ def parse_solve(payload):
 
 
 def parse_transient(payload):
-    """``POST /transient`` body -> one ``transient`` scenario."""
+    """``POST /transient`` body -> one ``transient`` scenario.
+
+    ``rom`` / ``rom_dim`` / ``rom_tol`` select the certified
+    reduced-order kernel exactly like the CLI's ``--rom*`` flags; they
+    enter the scenario (and hence the session pool / batch keys), so
+    requests with different ROM parameters never share a batch.
+    """
     payload = _require_mapping(payload, "/transient body")
     _reject_unknown(
         payload,
-        GEOMETRY_FIELDS + ("tec_tiles", "current_a", "dt", "steps"),
+        GEOMETRY_FIELDS
+        + ("tec_tiles", "current_a", "dt", "steps", "rom", "rom_dim", "rom_tol"),
         "/transient body",
     )
     fields = _geometry_fields(payload)
-    for key in ("tec_tiles", "current_a", "dt", "steps"):
+    for key in ("tec_tiles", "current_a", "dt", "steps", "rom", "rom_dim", "rom_tol"):
         if payload.get(key) is not None:
             fields[key] = payload[key]
     fields.update(name="transient", task="transient")
@@ -240,6 +250,10 @@ def blueprint_key(scenario):
         "geometry": list(scenario.geometry_key()),
         "backend": scenario.backend,
         "limit_c": scenario.limit_c,
+        # Reduced-order knobs: traces with different ROM parameters
+        # build different certified bases, so they must neither share
+        # a batch nor a warm session entry.
+        "rom": [scenario.rom, scenario.rom_dim, scenario.rom_tol],
     }
     canonical = json.dumps(identity, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

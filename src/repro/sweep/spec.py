@@ -90,6 +90,11 @@ class Scenario:
     dt / steps:
         Backward-Euler step (s) and step count for ``transient`` tasks;
         None takes the worker defaults (1 ms, 200 steps).
+    rom / rom_dim / rom_tol:
+        Reduced-order knobs for ``transient`` tasks — mode (one of
+        :data:`~repro.linalg.mor.ROM_MODES`, None for ``"auto"``),
+        target basis dimension and certified Kelvin tolerance (None
+        for the :mod:`repro.linalg.mor` defaults).
     num_groups:
         Pin-group count for ``multipin`` tasks; None gives every
         deployed device its own pin.
@@ -127,6 +132,9 @@ class Scenario:
     budget_w: float = None
     dt: float = None
     steps: int = None
+    rom: str = None
+    rom_dim: int = None
+    rom_tol: float = None
     num_groups: int = None
     current_method: str = "golden"
     current_tolerance: float = 1.0e-4
@@ -213,6 +221,27 @@ class Scenario:
             if self.steps < 1:
                 raise ValueError(
                     "steps must be None or >= 1, got {}".format(self.steps)
+                )
+        if self.rom is not None:
+            from repro.linalg.mor import ROM_MODES
+
+            if self.rom not in ROM_MODES:
+                raise ValueError(
+                    "rom must be one of {} (or None), got {!r}".format(
+                        ROM_MODES, self.rom
+                    )
+                )
+        if self.rom_dim is not None:
+            object.__setattr__(self, "rom_dim", int(self.rom_dim))
+            if self.rom_dim < 1:
+                raise ValueError(
+                    "rom_dim must be None or >= 1, got {}".format(self.rom_dim)
+                )
+        if self.rom_tol is not None:
+            object.__setattr__(self, "rom_tol", float(self.rom_tol))
+            if self.rom_tol <= 0.0:
+                raise ValueError(
+                    "rom_tol must be None or > 0, got {}".format(self.rom_tol)
                 )
         if self.num_groups is not None:
             object.__setattr__(self, "num_groups", int(self.num_groups))

@@ -410,11 +410,13 @@ def _task_transient(scenario, problem):
     dt = scenario.dt if scenario.dt is not None else _TRANSIENT_DT_S
     steps = scenario.steps if scenario.steps is not None else _TRANSIENT_STEPS
     simulator = TransientSimulator(
-        model, current=scenario.current_a, dt=dt, initial_state="ambient"
+        model, current=scenario.current_a, dt=dt, initial_state="ambient",
+        rom=scenario.rom if scenario.rom is not None else "auto",
+        rom_dim=scenario.rom_dim, rom_tol=scenario.rom_tol,
     )
     trace = simulator.run(steps)
     steady_peak = float(model.solve(scenario.current_a).peak_silicon_c)
-    return {
+    values = {
         "current_a": float(scenario.current_a),
         "dt_s": float(dt),
         "steps": int(steps),
@@ -422,7 +424,14 @@ def _task_transient(scenario, problem):
         "max_peak_c": float(np.max(trace)),
         "steady_peak_c": steady_peak,
         "steady_gap_c": float(steady_peak - trace[-1]),
+        "rom_active": bool(simulator.rom_active),
     }
+    if simulator.rom_active:
+        stats = simulator.rom_stats()
+        values["rom_dim"] = int(stats["dim"])
+        values["rom_certified_error_k"] = float(simulator.certified_error_k)
+        values["rom_full_solve_columns"] = int(stats["full_solve_columns"])
+    return values
 
 
 def _task_multipin(scenario, problem):

@@ -357,6 +357,11 @@ class SessionView:
         # search never mixes key types.
         self._diag_lu_cache = OrderedDict()
         self._diag_cap_cache = OrderedDict()
+        # Reduced-order models keyed on their (dim, tol, cadence)
+        # request; shared by every trace over this shift (the basis is
+        # enriched in place).  Never LRU-evicted — a model is a few
+        # n x r arrays, far smaller than one LU factor.
+        self._reduced_cache = {}
         self._krylov_method = session.krylov_method
         self._krylov_rtol = session.krylov_rtol
         self._krylov_maxiter = session.krylov_maxiter
@@ -392,6 +397,7 @@ class SessionView:
         state["_cap_cache"] = OrderedDict()
         state["_diag_lu_cache"] = OrderedDict()
         state["_diag_cap_cache"] = OrderedDict()
+        state["_reduced_cache"] = {}
         return state
 
     @property
@@ -964,6 +970,50 @@ class SessionView:
             stats=self.stats.diff(batch_before).as_dict(),
         )
 
+    def reduced(self, *, dim=None, tol_kelvin=None, check_every=None,
+                max_dim=None):
+        """The view's shared reduced-order model for a ROM request.
+
+        Builds (once) and returns a
+        :class:`~repro.linalg.mor.ReducedModel` — a block-Arnoldi
+        moment-matched reduction of this view's backward-Euler system
+        with a certified a-posteriori error bound; see the
+        ``repro.linalg.mor`` module docstring.  Models are cached on
+        the exact ``(dim, tol_kelvin, check_every, max_dim)`` request,
+        alongside (and ride on) the view's factorization caches: the
+        basis build and every certification anchor and enrichment
+        restart go through :meth:`solve_rhs`, so the model inherits the
+        session's backend.  Only shifted (transient) views can be
+        reduced.  Traces step a shared model through
+        :class:`~repro.linalg.mor.ReducedTransient`.
+        """
+        from repro.linalg import mor
+
+        if self._shift is None:
+            raise ValueError(
+                "only shifted (transient) views can be reduced; the "
+                "steady-state view has no capacitance"
+            )
+        key = (
+            int(dim) if dim is not None else mor.DEFAULT_ROM_DIM,
+            float(tol_kelvin) if tol_kelvin is not None
+            else mor.DEFAULT_ROM_TOL_K,
+            int(check_every) if check_every is not None
+            else mor.DEFAULT_CHECK_EVERY,
+            int(max_dim) if max_dim is not None else None,
+        )
+        model = self._reduced_cache.get(key)
+        if model is None:
+            model = mor.ReducedModel(
+                self,
+                dim=key[0],
+                tol_kelvin=key[1],
+                check_every=key[2],
+                max_dim=key[3],
+            )
+            self._reduced_cache[key] = model
+        return model
+
     def solve_diagonal(self, diagonal, rhs):
         """Solve ``(S + G - diag(d)) x = rhs`` for a per-node diagonal.
 
@@ -1227,6 +1277,7 @@ class SolveSession:
             "cap_entries": 0,
             "solution_entries": 0,
             "diagonal_entries": 0,
+            "reduced_entries": 0,
         }
         for view in self._views.values():
             info["lu_entries"] += len(view._lu_cache)
@@ -1236,4 +1287,5 @@ class SolveSession:
             info["diagonal_entries"] += (
                 len(view._diag_lu_cache) + len(view._diag_cap_cache)
             )
+            info["reduced_entries"] += len(view._reduced_cache)
         return info

@@ -19,12 +19,21 @@ the session's ``C / dt`` view, so its factorizations live in the
 shared per-(shift, current) LRU cache — a closed control loop running
 the same model at the same ``dt`` hits the very same entries, and
 ``SolverStats`` aggregates transient work alongside the steady solves.
+
+Large models can route the integration through the view's certified
+reduced-order model (``rom="auto"|"always"|"off"``, see
+:mod:`repro.linalg.mor`): each step becomes a dense solve in a
+~30-dimensional Krylov subspace with an a-posteriori error bound
+(:attr:`TransientSimulator.certified_error_k`) guaranteed against the
+full-order trajectory; the basis is shared through the view's ROM
+cache, so concurrent traces over the same model warm each other up.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.linalg.mor import ReducedTransient, resolve_rom_mode
 from repro.thermal.network import NodeRole
 from repro.utils import celsius_to_kelvin, check_positive, kelvin_to_celsius
 
@@ -99,6 +108,15 @@ class TransientSimulator:
         through; defaults to the model's own session.  Passing a shared
         session lets several integrators (or a control loop) over the
         same model share one ``C / dt`` factorization cache.
+    rom:
+        Reduced-order mode: ``"off"`` always integrates at full order,
+        ``"always"`` always goes through the view's certified ROM, and
+        ``"auto"`` (the default) engages the ROM once the model has at
+        least :data:`~repro.linalg.mor.ROM_AUTO_MIN_NODES` nodes —
+        below that a sparse solve is already cheap.
+    rom_dim / rom_tol:
+        Target Krylov basis size and certified error budget (K) for
+        the ROM; ``None`` takes the :mod:`repro.linalg.mor` defaults.
     """
 
     def __init__(
@@ -109,6 +127,9 @@ class TransientSimulator:
         dt=1.0e-3,
         initial_state="ambient",
         session=None,
+        rom="auto",
+        rom_dim=None,
+        rom_tol=None,
     ):
         self.model = model
         self.current = float(current)
@@ -120,6 +141,11 @@ class TransientSimulator:
         self._base_power = system.power_vector(self.current)
         self._tile_power_reference = model.power_map.copy()
         self._silicon = np.asarray(model.silicon_nodes)
+        self.rom_mode = rom
+        self._rom = None
+        self._rom_trace = None
+        if resolve_rom_mode(rom, model.num_nodes):
+            self._rom = self._view.reduced(dim=rom_dim, tol_kelvin=rom_tol)
 
         if isinstance(initial_state, str):
             if initial_state == "ambient":
@@ -142,6 +168,39 @@ class TransientSimulator:
                 )
             self.theta_k = theta.copy()
         self.time_s = 0.0
+        if self._rom is not None:
+            self._rom_trace = ReducedTransient(self._rom, self.theta_k)
+
+    @property
+    def rom_active(self):
+        """Whether steps go through the certified reduced model."""
+        return self._rom_trace is not None
+
+    @property
+    def certified_error_k(self):
+        """Certified max Kelvin error vs the full-order trajectory.
+
+        Exactly ``0.0`` when the ROM is off (the trajectory *is* the
+        full-order one).
+        """
+        if self._rom_trace is None:
+            return 0.0
+        return self._rom_trace.certified_error_k
+
+    def rom_stats(self):
+        """Work counters of the shared reduced model (None when off)."""
+        return None if self._rom is None else self._rom.stats()
+
+    def _power_delta(self, power_map):
+        """Validate a per-tile override, return its delta vs the model."""
+        power_map = np.asarray(power_map, dtype=float)
+        if power_map.shape != self._tile_power_reference.shape:
+            raise ValueError(
+                "power_map must have length {}, got shape {}".format(
+                    self._tile_power_reference.shape[0], power_map.shape
+                )
+            )
+        return power_map - self._tile_power_reference
 
     def step(self, power_map=None):
         """Advance one time step; returns the new Kelvin vector.
@@ -150,16 +209,18 @@ class TransientSimulator:
         for this step (flat, W); TEC Joule terms and the ambient
         contribution are unaffected.
         """
+        if self._rom_trace is not None:
+            extra = rows = None
+            if power_map is not None:
+                extra = self._power_delta(power_map)
+                rows = self._silicon
+            self._rom_trace.step(self.current, extra=extra, extra_rows=rows)
+            self.theta_k = self._rom_trace.theta_full()
+            self.time_s += self.dt
+            return self.theta_k
         rhs = (self.capacitance / self.dt) * self.theta_k + self._base_power
         if power_map is not None:
-            power_map = np.asarray(power_map, dtype=float)
-            if power_map.shape != self._tile_power_reference.shape:
-                raise ValueError(
-                    "power_map must have length {}, got shape {}".format(
-                        self._tile_power_reference.shape[0], power_map.shape
-                    )
-                )
-            rhs[self._silicon] += power_map - self._tile_power_reference
+            rhs[self._silicon] += self._power_delta(power_map)
         self.theta_k = self._view.solve_rhs(self.current, rhs)
         self.time_s += self.dt
         return self.theta_k

@@ -1,0 +1,131 @@
+"""Moment-matched model-order reduction: the linalg-layer contracts.
+
+Two levels are pinned here:
+
+* **Moment matching** (hypothesis) — the one-sided Galerkin projection
+  :func:`reduce_pair` builds on a block Krylov subspace of
+  ``(G + s0 C)^{-1} C``, so for symmetric ``G`` (SPD Stieltjes) and
+  diagonal PSD ``C`` it must match the first ``2 q`` moments of the
+  transfer function ``H(s) = B' (G + s C)^{-1} B`` at the expansion
+  shift — the classic symmetric-Lanczos / PRIMA property the transient
+  ROM's accuracy rests on.
+* **Basis mechanics** — orthonormality, deflation of dependent start
+  columns, the ``max_dim`` cap, and the ``rom`` mode resolution used
+  by the simulators.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.mor import (
+    ROM_AUTO_MIN_NODES,
+    block_arnoldi,
+    moments,
+    reduce_pair,
+    resolve_rom_mode,
+)
+from repro.linalg.stieltjes import random_stieltjes
+
+_sizes = st.integers(min_value=6, max_value=14)
+_seeds = st.integers(min_value=0, max_value=2**31)
+_blocks = st.integers(min_value=1, max_value=3)
+_inputs = st.integers(min_value=1, max_value=2)
+
+_settings = settings(max_examples=25, deadline=None)
+
+
+def _random_pair(n, seed):
+    """A random SPD Stieltjes ``G`` with a positive diagonal ``C``."""
+    rng = np.random.default_rng(seed)
+    g = random_stieltjes(n, density=0.6, seed=seed)
+    c = np.diag(rng.uniform(0.5, 2.0, size=n))
+    return g, c, rng
+
+
+class TestBlockArnoldi:
+    def test_orthonormal_basis(self):
+        g, c, rng = _random_pair(10, 3)
+        m0 = np.linalg.inv(g + c)
+        start = m0 @ rng.standard_normal((10, 2))
+        basis = block_arnoldi(lambda blk: m0 @ (c @ blk), start, 8)
+        assert basis.shape[0] == 10
+        np.testing.assert_allclose(
+            basis.T @ basis, np.eye(basis.shape[1]), atol=1e-10
+        )
+
+    def test_deflates_dependent_columns(self):
+        g, c, rng = _random_pair(10, 4)
+        m0 = np.linalg.inv(g + c)
+        column = m0 @ rng.standard_normal((10, 1))
+        start = np.column_stack([column, 2.0 * column])  # rank one
+        basis = block_arnoldi(lambda blk: m0 @ (c @ blk), start, 6)
+        # The duplicate start column must be deflated, not orthogonalized
+        # into noise: the basis stays orthonormal and under the cap.
+        np.testing.assert_allclose(
+            basis.T @ basis, np.eye(basis.shape[1]), atol=1e-10
+        )
+        assert basis.shape[1] <= 6
+
+    def test_respects_max_dim(self):
+        g, c, rng = _random_pair(12, 5)
+        m0 = np.linalg.inv(g + c)
+        start = m0 @ rng.standard_normal((12, 3))
+        basis = block_arnoldi(lambda blk: m0 @ (c @ blk), start, 5)
+        assert basis.shape[1] <= 5
+
+    def test_rejects_bad_max_dim(self):
+        with pytest.raises(ValueError):
+            block_arnoldi(lambda blk: blk, np.ones((4, 1)), 0)
+
+
+class TestMomentMatching:
+    @given(n=_sizes, seed=_seeds, q=_blocks, m=_inputs)
+    @_settings
+    def test_first_2q_moments_match(self, n, seed, q, m):
+        g, c, rng = _random_pair(n, seed)
+        b = rng.standard_normal((n, m))
+        shift = 1.0e3  # 1/dt for a millisecond step
+        v, g_r, c_r, b_r = reduce_pair(g, c, b, shift=shift, blocks=q)
+        full = moments(g, c, b, shift=shift, count=2 * q)
+        reduced = moments(g_r, c_r, b_r, shift=shift, count=2 * q)
+        for j, (m_full, m_red) in enumerate(zip(full, reduced)):
+            scale = max(float(np.max(np.abs(m_full))), 1e-30)
+            np.testing.assert_allclose(
+                m_red, m_full, atol=1e-7 * scale,
+                err_msg="moment {} of {}".format(j, 2 * q),
+            )
+
+    @given(n=_sizes, seed=_seeds)
+    @_settings
+    def test_exact_when_basis_spans(self, n, seed):
+        # Enough blocks to exhaust the space: the ROM is then the full
+        # model in another basis and every moment matches.
+        g, c, rng = _random_pair(n, seed)
+        b = rng.standard_normal((n, 1))
+        v, g_r, c_r, b_r = reduce_pair(g, c, b, shift=50.0, blocks=n)
+        full = moments(g, c, b, shift=50.0, count=4)
+        reduced = moments(g_r, c_r, b_r, shift=50.0, count=4)
+        for m_full, m_red in zip(full, reduced):
+            scale = max(float(np.max(np.abs(m_full))), 1e-30)
+            np.testing.assert_allclose(m_red, m_full, atol=1e-8 * scale)
+
+    def test_rejects_bad_blocks(self):
+        g, c, _ = _random_pair(6, 0)
+        with pytest.raises(ValueError):
+            reduce_pair(g, c, np.ones(6), shift=1.0, blocks=0)
+
+
+class TestResolveRomMode:
+    def test_literal_modes(self):
+        assert resolve_rom_mode("always", 10) is True
+        assert resolve_rom_mode("off", 10**6) is False
+
+    def test_auto_threshold(self):
+        assert resolve_rom_mode("auto", ROM_AUTO_MIN_NODES - 1) is False
+        assert resolve_rom_mode("auto", ROM_AUTO_MIN_NODES) is True
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            resolve_rom_mode("sometimes", 10)

@@ -80,6 +80,43 @@ class TestParseTransient:
         with pytest.raises(SchemaError, match="steps"):
             parse_transient(small_solve_body(steps=0))
 
+    def test_rom_fields_forwarded(self):
+        body = small_solve_body(
+            dt=1e-3, steps=10, rom="always", rom_dim=16, rom_tol=1e-4
+        )
+        scenario = parse_transient(body)
+        assert scenario.rom == "always"
+        assert scenario.rom_dim == 16
+        assert scenario.rom_tol == pytest.approx(1e-4)
+
+    def test_rom_fields_default_to_none(self):
+        scenario = parse_transient(small_solve_body(dt=1e-3, steps=10))
+        assert scenario.rom is None
+        assert scenario.rom_dim is None
+        assert scenario.rom_tol is None
+
+    def test_invalid_rom_mode_is_a_schema_error(self):
+        with pytest.raises(SchemaError, match="rom"):
+            parse_transient(small_solve_body(steps=10, rom="sometimes"))
+
+    def test_rom_fields_change_the_blueprint_key(self):
+        plain = parse_transient(small_solve_body(dt=1e-3, steps=10))
+        tuned = parse_transient(
+            small_solve_body(dt=1e-3, steps=10, rom="always", rom_dim=24)
+        )
+        assert blueprint_key(plain) != blueprint_key(tuned)
+
+    def test_sweep_scenarios_accept_rom_fields(self):
+        body = {
+            "name": "rom-sweep",
+            "scenarios": [dict(
+                small_solve_body(dt=1e-3, steps=5, rom="always"),
+                name="t", task="transient",
+            )],
+        }
+        spec = parse_sweep(body)
+        assert spec.scenarios[0].rom == "always"
+
 
 class TestParseDeploy:
     def test_default_is_greedy(self):

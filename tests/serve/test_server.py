@@ -114,6 +114,45 @@ class TestCliAgreement:
         assert abs(served["peak_c"] - cli["peak_c"]) <= 1e-9
         assert abs(served["p_tec_w"] - cli["tec_power_w"]) <= 1e-9
 
+    def test_served_rom_transient_matches_cli_to_certified(
+        self, server, tmp_path, capsys
+    ):
+        """POST /transient with the certified ROM must agree with
+        ``repro transient --json`` over real TCP to within the sum of
+        the two certified error bounds (each trace is within its own
+        bound of the same full-order truth)."""
+        out = tmp_path / "transient.json"
+        argv = ["transient", "--benchmark", "hc08", "--tiles", "5", "6",
+                "--current", "0.5", "--dt", "0.01", "--steps", "20",
+                "--rom", "always", "--json", str(out)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        cli = json.loads(out.read_text())
+        assert cli["rom"] is not None
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=60)
+        try:
+            status, body = _request(conn, "POST", "/transient", {
+                "benchmark": "hc08",
+                "tec_tiles": [5, 6],
+                "current_a": 0.5,
+                "dt": 0.01,
+                "steps": 20,
+                "rom": "always",
+            })
+        finally:
+            conn.close()
+        assert status == 200
+        served = body["values"]
+        assert served["rom_active"] is True
+        allowance = (
+            served["rom_certified_error_k"]
+            + cli["rom"]["certified_error_k"]
+            + 1e-9
+        )
+        assert abs(served["final_peak_c"] - cli["peak_trace_c"][-1]) <= allowance
+        assert abs(served["max_peak_c"] - cli["max_peak_c"]) <= allowance
+
 
 class TestServeCli:
     def test_parser_accepts_serve_flags(self):

@@ -124,6 +124,43 @@ class TestScenarioValidation:
                 task="transient", tec_tiles=(0,), current_a=0.5, steps=0
             )
 
+    def test_rom_mode_validated(self):
+        scenario = _explicit(
+            task="transient", tec_tiles=(0,), current_a=0.5, rom="always"
+        )
+        assert scenario.rom == "always"
+        with pytest.raises(ValueError, match="rom"):
+            _explicit(
+                task="transient", tec_tiles=(0,), current_a=0.5,
+                rom="sometimes",
+            )
+
+    def test_rom_dim_coerced_and_validated(self):
+        scenario = _explicit(
+            task="transient", tec_tiles=(0,), current_a=0.5, rom_dim="16"
+        )
+        assert scenario.rom_dim == 16
+        with pytest.raises(ValueError, match="rom_dim"):
+            _explicit(
+                task="transient", tec_tiles=(0,), current_a=0.5, rom_dim=0
+            )
+
+    def test_rom_tol_coerced_and_validated(self):
+        scenario = _explicit(
+            task="transient", tec_tiles=(0,), current_a=0.5, rom_tol="1e-4"
+        )
+        assert scenario.rom_tol == 1e-4
+        with pytest.raises(ValueError, match="rom_tol"):
+            _explicit(
+                task="transient", tec_tiles=(0,), current_a=0.5, rom_tol=0.0
+            )
+
+    def test_rom_fields_default_to_none(self):
+        scenario = _explicit(task="transient", tec_tiles=(0,), current_a=0.5)
+        assert scenario.rom is None
+        assert scenario.rom_dim is None
+        assert scenario.rom_tol is None
+
     def test_num_groups_bounded_by_deployment(self):
         scenario = _explicit(
             task="multipin", tec_tiles=(0, 1), num_groups="2"

@@ -176,6 +176,69 @@ class TestControl:
         assert "repro control: error" in str(excinfo.value)
 
 
+class TestRomFlags:
+    """The shared ``--rom*`` parent parser on transient and control."""
+
+    def test_modes_track_mor_literal(self):
+        from repro import cli
+        from repro.linalg.mor import ROM_MODES
+
+        assert cli._ROM_MODES == ROM_MODES
+
+    @pytest.mark.parametrize("command", ["transient", "control"])
+    def test_rom_flags_parse(self, command):
+        args = build_parser().parse_args(
+            [command, "--rom", "always", "--rom-dim", "16",
+             "--rom-tol", "1e-4"]
+        )
+        assert args.rom == "always"
+        assert args.rom_dim == 16
+        assert args.rom_tol == pytest.approx(1e-4)
+
+    @pytest.mark.parametrize("command", ["transient", "control"])
+    def test_rom_defaults(self, command):
+        args = build_parser().parse_args([command])
+        assert args.rom == "auto"
+        assert args.rom_dim is None
+        assert args.rom_tol is None
+
+    @pytest.mark.parametrize("command", ["transient", "control"])
+    def test_unknown_rom_mode_rejected(self, capsys, command):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([command, "--rom", "sometimes"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_transient_rom_end_to_end(self, capsys, tmp_path):
+        path = tmp_path / "transient.json"
+        argv = TestTransient._BASE + ["--rom", "always", "--json", str(path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "rom:" in out and "certified error" in out
+        payload = json.loads(path.read_text())
+        # rom_steps is net of rewound (full-order-replayed) steps.
+        assert 0 <= payload["rom"]["rom_steps"] <= 5
+        assert payload["rom"]["certified_error_k"] >= 0.0
+
+    def test_control_rom_end_to_end(self, capsys, tmp_path):
+        path = tmp_path / "control.json"
+        argv = TestControl._BASE + ["--rom", "always", "--json", str(path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "wall clock:" in out
+        assert "certified error" in out
+        payload = json.loads(path.read_text())
+        assert 0 <= payload["rom"]["rom_steps"] <= 5
+        assert payload["wall_s"] > 0.0
+
+    def test_rom_off_json_reports_null(self, tmp_path, capsys):
+        path = tmp_path / "transient.json"
+        argv = TestTransient._BASE + ["--rom", "off", "--json", str(path)]
+        assert main(argv) == 0
+        payload = json.loads(path.read_text())
+        assert payload["rom"] is None
+
+
 class TestWorkersValidation:
     """``--workers N`` with N < 1 must die with a clear argparse error,
     not a ProcessPoolExecutor traceback."""

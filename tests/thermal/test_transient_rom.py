@@ -1,0 +1,173 @@
+"""Certified reduced-order transients against the full-order truth.
+
+The contract under test is the one the certificate sells: for every
+emitted state the true full-order error is at most the certified
+bound, and the bound is at most the requested tolerance.  The
+differentials here run ``rom="always"`` and ``rom="off"`` simulators
+in lock-step over long horizons with time-varying power and compare
+the *entire* temperature vector each step — not just the peak — so a
+single bad node would fail the run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.control.controllers import ConstantCurrentController, PiController
+from repro.control.loop import ClosedLoopSimulator
+from repro.control.sensors import SensorArray
+from repro.linalg.mor import DEFAULT_ROM_TOL_K
+from repro.thermal.transient import TransientSimulator
+
+
+def _power_schedule(model):
+    """A ramp-hold-drop tile power schedule exercising re-anchoring."""
+    base = np.full(16, 0.8)
+
+    def schedule(index, time_s):
+        if index < 40:
+            return base * (1.0 + 0.01 * index)
+        if index < 120:
+            return base * 1.4
+        return base * 0.6
+
+    return schedule
+
+
+class TestLongHorizonDifferential:
+    def test_bound_never_violated(self, small_deployed):
+        """200 varying-power steps: true error <= certified bound <= tol."""
+        schedule = _power_schedule(small_deployed)
+        rom_sim = TransientSimulator(
+            small_deployed, current=2.0, dt=1e-3, rom="always"
+        )
+        full_sim = TransientSimulator(
+            small_deployed, current=2.0, dt=1e-3, rom="off"
+        )
+        assert rom_sim.rom_active and not full_sim.rom_active
+        for index in range(200):
+            power = schedule(index, rom_sim.time_s)
+            rom_sim.step(power)
+            full_sim.step(power)
+            true_error = float(np.max(np.abs(rom_sim.theta_k - full_sim.theta_k)))
+            bound = rom_sim.certified_error_k
+            assert true_error <= bound + 1e-12
+            assert bound <= DEFAULT_ROM_TOL_K + 1e-12
+
+    def test_tight_basis_certifies_under_loose_tolerance(self, small_deployed):
+        """A deliberately small basis still never lies: the certified
+        bound may approach the (loose) tolerance, but always dominates
+        the true error."""
+        rom_sim = TransientSimulator(
+            small_deployed, current=1.0, dt=1e-3,
+            rom="always", rom_dim=8, rom_tol=0.5,
+        )
+        full_sim = TransientSimulator(
+            small_deployed, current=1.0, dt=1e-3, rom="off"
+        )
+        schedule = _power_schedule(small_deployed)
+        for index in range(150):
+            power = schedule(index, rom_sim.time_s)
+            rom_sim.step(power)
+            full_sim.step(power)
+            true_error = float(np.max(np.abs(rom_sim.theta_k - full_sim.theta_k)))
+            assert true_error <= rom_sim.certified_error_k + 1e-12
+            assert rom_sim.certified_error_k <= 0.5 + 1e-12
+
+    def test_run_interface_matches(self, small_deployed):
+        """The high-level ``run`` traces agree to the certified bound."""
+        rom_sim = TransientSimulator(
+            small_deployed, current=3.0, dt=1e-3, rom="always"
+        )
+        full_sim = TransientSimulator(
+            small_deployed, current=3.0, dt=1e-3, rom="off"
+        )
+        rom_trace = rom_sim.run(100)
+        full_trace = full_sim.run(100)
+        gap = float(np.max(np.abs(rom_trace - full_trace)))
+        assert gap <= rom_sim.certified_error_k + 1e-12
+        stats = rom_sim.rom_stats()
+        assert stats["rom_steps"] > 0
+        # The point of the ROM: far fewer full-order columns than steps.
+        assert stats["full_solve_columns"] < 100
+
+
+class TestModeResolution:
+    def test_auto_stays_full_order_on_small_models(self, small_deployed):
+        sim = TransientSimulator(small_deployed, dt=1e-3, rom="auto")
+        assert not sim.rom_active
+        assert sim.certified_error_k == 0.0
+        assert sim.rom_stats() is None
+
+    def test_off_forces_full_order(self, small_deployed):
+        sim = TransientSimulator(small_deployed, dt=1e-3, rom="off")
+        assert not sim.rom_active
+
+    def test_invalid_mode_rejected(self, small_deployed):
+        with pytest.raises(ValueError):
+            TransientSimulator(small_deployed, dt=1e-3, rom="maybe")
+
+
+class TestReducedCache:
+    def test_view_caches_by_parameters(self, small_deployed):
+        a = TransientSimulator(small_deployed, dt=1e-3, rom="always")
+        b = TransientSimulator(small_deployed, dt=1e-3, rom="always")
+        # Same session, same dt, same ROM knobs -> one shared basis.
+        assert a._rom is b._rom
+        c = TransientSimulator(
+            small_deployed, dt=1e-3, rom="always", rom_dim=12
+        )
+        assert c._rom is not a._rom
+        assert c._rom.dim <= 12
+
+
+class TestClosedLoopRom:
+    @pytest.fixture()
+    def sensors(self, small_deployed):
+        tiles = set(small_deployed.tec_tiles)
+        tiles.add(small_deployed.solve(0.0).peak_tile)
+        return SensorArray(tiles, noise_std_c=0.0, quantization_c=0.0, seed=0)
+
+    def test_differential_within_certified_bound(self, small_deployed, sensors):
+        """Noise-free PI loops, ROM vs full: identical current commands
+        and temperature traces within the certified error."""
+        def build(mode):
+            controller = PiController(
+                setpoint_c=60.0, kp=0.8, ki=0.2, i_max=6.0
+            )
+            return ClosedLoopSimulator(
+                small_deployed, controller, sensors,
+                dt=5e-3, control_period=2e-2, rom=mode,
+            )
+
+        rom_result = build("always").run(160)
+        full_result = build("off").run(160)
+        np.testing.assert_array_equal(
+            rom_result.current_a, full_result.current_a
+        )
+        gap = float(np.max(np.abs(
+            rom_result.true_peak_c - full_result.true_peak_c
+        )))
+        assert rom_result.rom is not None
+        assert gap <= rom_result.rom["certified_error_k"] + 1e-12
+        assert rom_result.rom["certified_error_k"] <= DEFAULT_ROM_TOL_K + 1e-12
+
+    def test_result_stats_populated(self, small_deployed, sensors):
+        loop = ClosedLoopSimulator(
+            small_deployed, ConstantCurrentController(2.0), sensors,
+            dt=5e-3, rom="always",
+        )
+        result = loop.run(30)
+        assert result.steps == 30
+        assert result.wall_s > 0.0
+        assert result.rom["dim"] >= 1
+        assert 0 < result.rom["rom_steps"] <= 30
+
+    def test_rom_off_reports_none(self, small_deployed, sensors):
+        loop = ClosedLoopSimulator(
+            small_deployed, ConstantCurrentController(2.0), sensors,
+            dt=5e-3, rom="off",
+        )
+        result = loop.run(10)
+        assert result.rom is None
+        assert result.steps == 10
+        assert result.wall_s > 0.0
