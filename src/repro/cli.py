@@ -44,7 +44,7 @@ from repro import __version__
 #: the scientific stack at parser-build time; unknown backends fail at
 #: parse time with this list, uniformly across every subcommand
 #: (``tests/test_cli.py::TestBackendValidation``).
-_BACKENDS = ("direct", "reuse", "krylov", "cholesky", "auto")
+_BACKENDS = ("direct", "reuse", "krylov", "cholesky", "mg", "auto")
 
 #: GreedyDeploy engines exposed by ``--engine``.  Mirrors
 #: :data:`repro.core.deploy.DEPLOY_ENGINES` (same deferred-import

@@ -46,13 +46,19 @@ class NotPositiveDefiniteError(ValueError):
 
 
 class CholeskyFactor:
-    """A factored SPD matrix with a ``splu``-compatible ``solve``."""
+    """A factored SPD matrix with a ``splu``-compatible ``solve``.
 
-    __slots__ = ("_solve", "shape")
+    ``nnz`` is the factor fill (nonzeros of ``L + U`` for the SuperLU
+    path, of ``L`` for CHOLMOD) — the memory-accounting hook the
+    backend benchmarks use to compare solver-state footprints.
+    """
 
-    def __init__(self, solve, shape):
+    __slots__ = ("_solve", "shape", "nnz")
+
+    def __init__(self, solve, shape, nnz=0):
         self._solve = solve
         self.shape = shape
+        self.nnz = int(nnz)
 
     def solve(self, rhs):
         rhs = np.asarray(rhs, dtype=float)
@@ -66,7 +72,7 @@ def _factorize_cholmod(matrix):  # pragma: no cover - needs sksparse
         raise NotPositiveDefiniteError(
             "matrix is not positive definite (CHOLMOD)"
         ) from error
-    return CholeskyFactor(factor, matrix.shape)
+    return CholeskyFactor(factor, matrix.shape, nnz=factor.L().nnz)
 
 
 def _factorize_splu(matrix):
@@ -90,7 +96,7 @@ def _factorize_splu(matrix):
         raise NotPositiveDefiniteError(
             "matrix is not positive definite (non-positive pivot)"
         )
-    return CholeskyFactor(lu.solve, matrix.shape)
+    return CholeskyFactor(lu.solve, matrix.shape, nnz=lu.nnz)
 
 
 def spd_factorize(matrix):

@@ -29,10 +29,14 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
-from scipy.sparse.linalg import LinearOperator, bicgstab, gmres
+from scipy.sparse.linalg import LinearOperator, bicgstab, cg, gmres
 
-#: Iterative methods accepted by :func:`krylov_solve`.
-KRYLOV_METHODS = ("gmres", "bicgstab")
+#: Iterative methods accepted by :func:`krylov_solve`.  ``cg`` demands
+#: a symmetric positive definite matrix *and* preconditioner — the
+#: steady-state operator is SPD below the runaway current, and the
+#: multigrid V-cycle preconditioner is symmetric by construction, which
+#: is the pairing the ``mg`` backend uses.
+KRYLOV_METHODS = ("gmres", "bicgstab", "cg")
 
 #: Default relative residual target.  Temperatures are O(3e2) K and the
 #: package systems have cond(G) ~ 1e4, so 1e-10 relative leaves the
@@ -57,7 +61,7 @@ class KrylovReport:
         Worst relative residual over the right-hand sides (0.0 for an
         all-zero ``rhs``).
     method:
-        The method that ran (``"gmres"`` or ``"bicgstab"``).
+        The method that ran (one of :data:`KRYLOV_METHODS`).
     """
 
     converged: bool
@@ -100,11 +104,12 @@ def _run_method(method, matrix, column, m_op, rtol, maxiter, restart, counter):
         except TypeError:  # scipy < 1.12 spells rtol as tol
             x, _ = gmres(matrix, column, tol=rtol, atol=0.0, **kwargs)
         return x
+    solver = cg if method == "cg" else bicgstab
     kwargs = dict(M=m_op, maxiter=maxiter, callback=count)
     try:
-        x, _ = bicgstab(matrix, column, rtol=rtol, atol=0.0, **kwargs)
-    except TypeError:
-        x, _ = bicgstab(matrix, column, tol=rtol, atol=0.0, **kwargs)
+        x, _ = solver(matrix, column, rtol=rtol, atol=0.0, **kwargs)
+    except TypeError:  # scipy < 1.12 spells rtol as tol
+        x, _ = solver(matrix, column, tol=rtol, atol=0.0, **kwargs)
     return x
 
 

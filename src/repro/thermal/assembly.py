@@ -33,8 +33,59 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro.linalg.multigrid import LatticeGeometry
 from repro.thermal.network import NodeRole, ThermalNetwork
 from repro.utils import celsius_to_kelvin
+
+#: Node roles that live on the tile lattice, with the layer id each
+#: maps to in the :class:`~repro.linalg.multigrid.LatticeGeometry`
+#: handed to the multigrid backend.  TIM and the TEC membrane occupy
+#: distinct ids even though they share the physical gap — the stencil
+#: probes vertical couplings between every layer pair, so holes in
+#: either (covered vs. uncovered tiles) cost nothing.
+_LATTICE_LAYERS = {
+    NodeRole.SILICON: 0,
+    NodeRole.TEC_COLD: 1,
+    NodeRole.TEC_HOT: 2,
+    NodeRole.TIM: 3,
+    NodeRole.SPREADER: 4,
+    NodeRole.SINK: 5,
+}
+
+
+def extract_lattice(network, grid_shape):
+    """Map a package network onto a :class:`LatticeGeometry`.
+
+    Every node of a gridded role carrying a ``tile`` meta entry is
+    placed at (layer-of-role, tile); everything else — periphery
+    rings, lumped extras — stays off-lattice (``-1``) and rides
+    through the multigrid coarsening as singleton aggregates.  A
+    duplicate (layer, tile) claim keeps the first node and demotes the
+    rest off-lattice, so irregular future stacks degrade gracefully
+    instead of corrupting the stencil.
+    """
+    rows, cols = int(grid_shape[0]), int(grid_shape[1])
+    n = network.num_nodes
+    layer = np.full(n, -1, dtype=np.int64)
+    tile = np.full(n, -1, dtype=np.int64)
+    seen = set()
+    for index, node in enumerate(network.nodes):
+        layer_id = _LATTICE_LAYERS.get(node.role)
+        if layer_id is None:
+            continue
+        tile_index = node.meta.get("tile")
+        if tile_index is None:
+            continue
+        tile_index = int(tile_index)
+        if not 0 <= tile_index < rows * cols:
+            continue
+        key = (layer_id, tile_index)
+        if key in seen:
+            continue
+        seen.add(key)
+        layer[index] = layer_id
+        tile[index] = tile_index
+    return LatticeGeometry(rows=rows, cols=cols, layer=layer, tile=tile)
 
 
 @dataclass(frozen=True)
@@ -53,6 +104,13 @@ class AssembledSystem:
         Per-node coefficients of the ``i^2`` power term (W / A^2).
     ambient_k:
         Ambient temperature (Kelvin) folded into ``p_base``.
+    lattice:
+        Optional :class:`~repro.linalg.multigrid.LatticeGeometry`
+        describing the layered tile-lattice placement of the nodes;
+        present when :func:`assemble` was given the grid shape.  The
+        ``mg`` backend coarsens geometrically and applies the operator
+        matrix-free through it; without it multigrid falls back to
+        algebraic pairwise aggregation.
     """
 
     g_matrix: sp.csc_matrix
@@ -60,6 +118,7 @@ class AssembledSystem:
     p_base: np.ndarray
     joule: np.ndarray
     ambient_k: float
+    lattice: LatticeGeometry | None = None
 
     @property
     def num_nodes(self):
@@ -386,7 +445,7 @@ class NetworkBlueprint:
         )
 
 
-def assemble(network, ambient_c):
+def assemble(network, ambient_c, grid_shape=None):
     """Assemble an :class:`AssembledSystem` from a network.
 
     Parameters
@@ -396,6 +455,12 @@ def assemble(network, ambient_c):
     ambient_c:
         Ambient temperature in Celsius (folded into ``p_base`` as
         ``g_ground * theta_ambient`` with the ambient in Kelvin).
+    grid_shape:
+        Optional ``(rows, cols)`` tile-grid shape.  When given, the
+        node placement is captured as a
+        :class:`~repro.linalg.multigrid.LatticeGeometry` on
+        :attr:`AssembledSystem.lattice` so the ``mg`` backend can
+        coarsen geometrically and run its matrix-free stencil.
 
     Raises
     ------
@@ -445,10 +510,15 @@ def assemble(network, ambient_c):
     for node, alpha in network.peltier_items():
         d_diagonal[node] = alpha
 
+    lattice = None
+    if grid_shape is not None:
+        lattice = extract_lattice(network, grid_shape)
+
     return AssembledSystem(
         g_matrix=g_matrix,
         d_diagonal=d_diagonal,
         p_base=p_base,
         joule=joule,
         ambient_k=ambient_k,
+        lattice=lattice,
     )

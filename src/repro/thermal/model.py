@@ -220,7 +220,11 @@ class PackageThermalModel:
                 self.tec_tiles, die_conductivity_scale=self._die_k_scale
             )
             stats.incremental_builds += 1
-        self.system = assemble(self.network, self.stack.ambient_c)
+        self.system = assemble(
+            self.network,
+            self.stack.ambient_c,
+            grid_shape=(self.grid.rows, self.grid.cols),
+        )
         stats.assembly_time_s += time.perf_counter() - build_start
         self.solver = SteadyStateSolver(
             self.system, solver_cache_size, mode=solver_mode, stats=stats

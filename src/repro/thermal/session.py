@@ -52,7 +52,7 @@ from dataclasses import dataclass, fields
 import numpy as np
 import scipy.linalg
 import scipy.sparse as sp
-from scipy.sparse.linalg import splu
+from scipy.sparse.linalg import LinearOperator, splu
 
 from repro.linalg.cholesky import NotPositiveDefiniteError, spd_factorize
 from repro.linalg.krylov import KRYLOV_METHODS, krylov_solve
@@ -64,7 +64,12 @@ from repro.linalg.spd import cholesky_is_spd
 #: LRU-cached) but factors the SPD matrix with
 #: :func:`repro.linalg.cholesky.spd_factorize` — CHOLMOD when
 #: scikit-sparse is installed, a symmetric-mode SuperLU otherwise.
-SOLVER_MODES = ("direct", "reuse", "krylov", "cholesky", "auto")
+#: ``mg`` runs multigrid-preconditioned CG: one geometric hierarchy is
+#: built per view from the current-independent base ``S + G`` (see
+#: :mod:`repro.linalg.multigrid`) and the Peltier term ``- i D`` is
+#: applied as a matrix-free diagonal correction on the fine level, so
+#: every current, round and scenario reuses the same hierarchy.
+SOLVER_MODES = ("direct", "reuse", "krylov", "cholesky", "mg", "auto")
 
 #: ``auto`` keeps the Woodbury ``reuse`` backend up to this support
 #: size regardless of the node count (the dense capacitance is trivial
@@ -76,6 +81,13 @@ AUTO_SUPPORT_FLOOR = 64
 #: ``O((2m)^3)`` capacitance factorization outweighs the ~constant
 #: iteration count of the preconditioned Krylov solve.
 AUTO_SUPPORT_COEFF = 4.0
+
+#: ``auto`` switches to the geometric-multigrid backend once the
+#: system reaches this node count, regardless of support: past it the
+#: assembled factorizations' superlinear fill (memory *and* time)
+#: loses to the O(n) hierarchy — the 128x128 package (~66k nodes)
+#: stays on the factorized backends, 256x256 (~262k nodes) goes mg.
+MG_NODE_CROSSOVER = 150_000
 
 #: Relative threshold below which the Woodbury capacitance is treated
 #: as singular (current at/beyond the runaway limit ``lambda_m``).
@@ -99,14 +111,20 @@ _CAP_REFINE_MAX_ITERATIONS = 15
 
 
 def select_backend(num_nodes, support_size):
-    """The ``auto`` heuristic: ``"reuse"`` or ``"krylov"``.
+    """The ``auto`` heuristic: ``"reuse"``, ``"krylov"`` or ``"mg"``.
 
     Chooses the blocked-Woodbury ``reuse`` backend while the Peltier
     support (``2 m`` for ``m`` deployed TECs) is small — at most
     ``max(AUTO_SUPPORT_FLOOR, AUTO_SUPPORT_COEFF * sqrt(n))`` — and
     the G-preconditioned ``krylov`` backend beyond, where the dense
     ``support x support`` capacitance factorization would dominate.
+    From :data:`MG_NODE_CROSSOVER` nodes on, every assembled
+    factorization (including the krylov backend's base LU
+    preconditioner) is superlinear in fill, so the choice flips to the
+    matrix-free ``mg`` backend independent of support.
     """
+    if num_nodes >= MG_NODE_CROSSOVER:
+        return "mg"
     limit = max(AUTO_SUPPORT_FLOOR, AUTO_SUPPORT_COEFF * math.sqrt(num_nodes))
     return "reuse" if support_size <= limit else "krylov"
 
@@ -154,6 +172,16 @@ class SolverStats:
     krylov_fallbacks:
         Krylov solves whose residual missed the target and fell back
         to a direct per-current LU.
+    mg_hierarchies:
+        Multigrid hierarchies built (``mg`` backend; one per view and
+        process — the acceptance tests assert a multi-current solve
+        sequence builds exactly one).
+    mg_solves / mg_cycles:
+        ``mg``-backend solve calls and the total multigrid cycles they
+        spent (one V-cycle per preconditioned CG iteration).
+    mg_fallbacks:
+        ``mg`` solves whose residual missed the target and fell back
+        to a direct per-current LU.
     factor_time_s / solve_time_s:
         Cumulative wall time in factorization and in solves.
     full_builds / incremental_builds:
@@ -176,6 +204,10 @@ class SolverStats:
     krylov_solves: int = 0
     krylov_iterations: int = 0
     krylov_fallbacks: int = 0
+    mg_hierarchies: int = 0
+    mg_solves: int = 0
+    mg_cycles: int = 0
+    mg_fallbacks: int = 0
     factor_time_s: float = 0.0
     solve_time_s: float = 0.0
     full_builds: int = 0
@@ -230,6 +262,11 @@ class SolverStats:
         if self.krylov_solves:
             line += ", krylov {} solves / {} iters / {} fallbacks".format(
                 self.krylov_solves, self.krylov_iterations, self.krylov_fallbacks
+            )
+        if self.mg_solves or self.mg_hierarchies:
+            line += ", mg {} hierarchies / {} solves / {} cycles / {} fallbacks".format(
+                self.mg_hierarchies, self.mg_solves, self.mg_cycles,
+                self.mg_fallbacks,
             )
         if self.cap_refinements or self.cap_refine_failures:
             line += ", cap refine {} ok / {} fallback".format(
@@ -362,6 +399,13 @@ class SessionView:
         # enriched in place).  Never LRU-evicted — a model is a few
         # n x r arrays, far smaller than one LU factor.
         self._reduced_cache = {}
+        # The multigrid hierarchy of the mg backend: built once per
+        # view from the current-independent base ``S + G`` (like the
+        # reduced models, never evicted) and shared by every current —
+        # the Peltier ``- i D`` term rides on top as a matrix-free
+        # diagonal correction.  The integer aggregation plan is pushed
+        # up to the session so sibling views skip re-aggregation.
+        self._mg = None
         self._krylov_method = session.krylov_method
         self._krylov_rtol = session.krylov_rtol
         self._krylov_maxiter = session.krylov_maxiter
@@ -398,6 +442,12 @@ class SessionView:
         state["_diag_lu_cache"] = OrderedDict()
         state["_diag_cap_cache"] = OrderedDict()
         state["_reduced_cache"] = {}
+        # The hierarchy itself pickles safely (its coarse-level splu
+        # handle is dropped by its own __getstate__), but it is
+        # factorization-scale state: drop it like the caches and
+        # rebuild lazily — cheaply, since the session's aggregation
+        # plan survives the round trip.
+        state["_mg"] = None
         return state
 
     @property
@@ -790,6 +840,108 @@ class SessionView:
         return x
 
     # ------------------------------------------------------------------
+    # Multigrid mode: hierarchy-preconditioned CG, matrix-free operator
+    # ------------------------------------------------------------------
+
+    def _mg_hierarchy(self):
+        """The view's multigrid hierarchy, built once and shared.
+
+        Builds from the current-independent base ``S + G`` over the
+        system's :class:`~repro.linalg.multigrid.LatticeGeometry`
+        (algebraic pairwise fallback without one).  The first hierarchy
+        of the session publishes its integer aggregation plan on the
+        session, so hierarchies of sibling shifted views — and of
+        views rebuilt after a fork — skip the aggregation pass and only
+        pay the Galerkin products.
+        """
+        if self._mg is None:
+            from repro.linalg.multigrid import MultigridHierarchy
+
+            options = dict(self.session.mg_options or {})
+            start = time.perf_counter()
+            self._mg = MultigridHierarchy(
+                self._base_matrix(),
+                geometry=getattr(self.system, "lattice", None),
+                plan=self.session._mg_plan,
+                **options,
+            )
+            self.stats.factor_time_s += time.perf_counter() - start
+            self.stats.mg_hierarchies += 1
+            if self.session._mg_plan is None:
+                self.session._mg_plan = self._mg.plan
+        return self._mg
+
+    def _mg_operator(self, hierarchy, diagonal=None):
+        """``S + G - diag(d)`` as a matrix-free operator.
+
+        The hierarchy applies the base operator (through its lattice
+        stencil when available); the Peltier diagonal — rank ``2m`` on
+        the TEC support — stays a fine-level correction, which is what
+        lets one hierarchy serve every current, round and scenario.
+        """
+        n = self.system.num_nodes
+        if diagonal is None:
+            matvec = hierarchy.apply_fine
+        else:
+            def matvec(v):
+                return hierarchy.apply_fine(v) - (diagonal * v.T).T
+        return LinearOperator((n, n), matvec=matvec, dtype=float)
+
+    def _mg_correction(self, current):
+        """The per-current diagonal ``i d`` (None when zero)."""
+        current = float(current)
+        if current == 0.0 or not np.any(self.system.d_diagonal):
+            return None
+        return current * self.system.d_diagonal
+
+    def _run_mg(self, operator, rhs, fallback):
+        """One mg-preconditioned CG solve with exact direct fallback."""
+        hierarchy = self._mg_hierarchy()
+        cycles_before = hierarchy.cycles
+        start = time.perf_counter()
+        x, report = krylov_solve(
+            operator,
+            rhs,
+            preconditioner=hierarchy.precondition,
+            method="cg",
+            rtol=self._krylov_rtol,
+            maxiter=self._krylov_maxiter,
+        )
+        self.stats.solve_time_s += time.perf_counter() - start
+        self.stats.mg_solves += 1
+        self.stats.mg_cycles += hierarchy.cycles - cycles_before
+        if not report.converged:
+            # Same contract as the krylov backend: accuracy never
+            # degrades — stagnation (e.g. at/beyond runaway, where the
+            # operator loses definiteness and CG loses its footing)
+            # falls back to an exact per-current factorization.
+            self.stats.mg_fallbacks += 1
+            return fallback()
+        self.stats.rhs_columns += 1 if rhs.ndim == 1 else rhs.shape[1]
+        return x
+
+    def _apply_mg(self, current, rhs):
+        hierarchy = self._mg_hierarchy()
+        operator = self._mg_operator(
+            hierarchy, self._mg_correction(current)
+        )
+        return self._run_mg(
+            operator, rhs, lambda: self._apply_direct(current, rhs)
+        )
+
+    def _diag_mg(self, d, rhs):
+        """Arbitrary-diagonal mg solve (``d`` may be None for zero)."""
+        hierarchy = self._mg_hierarchy()
+        operator = self._mg_operator(hierarchy, d)
+        if d is None:
+            fallback = lambda: self._timed_lu_solve(  # noqa: E731
+                self._base_factorization(), rhs
+            )
+        else:
+            fallback = lambda: self._diag_direct(d, rhs)  # noqa: E731
+        return self._run_mg(operator, rhs, fallback)
+
+    # ------------------------------------------------------------------
     # Backend dispatch
     # ------------------------------------------------------------------
 
@@ -804,6 +956,8 @@ class SessionView:
             return self._apply_direct(current, rhs)
         if mode == "reuse":
             return self._apply_reuse(current, rhs)
+        if mode == "mg":
+            return self._apply_mg(current, rhs)
         return self._apply_krylov(current, rhs)
 
     # ------------------------------------------------------------------
@@ -1040,9 +1194,13 @@ class SessionView:
                 )
             )
         self.stats.solves += 1
+        mode = self.effective_mode
+        if mode == "mg":
+            # The zero diagonal routes through mg too: the hierarchy
+            # *is* this view's base solver, so no base LU is built.
+            return self._diag_mg(d if np.any(d) else None, rhs)
         if not np.any(d):
             return self._timed_lu_solve(self._base_factorization(), rhs)
-        mode = self.effective_mode
         if mode == "reuse":
             return self._diag_reuse(d, rhs)
         if mode == "krylov":
@@ -1125,6 +1283,49 @@ class SessionView:
             rhs[int(k), j] = 1.0
         return self.solve_rhs(current, rhs).T
 
+    def solver_state_bytes(self):
+        """Deterministic byte count of the view's live solver state.
+
+        Sums everything the backend holds beyond the assembled system
+        (which every backend shares): sparse factor fill at 12
+        bytes/nonzero (8 of value + ~4 of index), the dense Woodbury
+        influence/capacitance blocks, the blocked power pair, and the
+        multigrid hierarchy's coarse operators, transfers and stencil.
+        A *deterministic* proxy rather than an RSS probe on purpose —
+        ``tracemalloc`` cannot see SuperLU's C-heap allocations, so the
+        backend benchmarks compare this accounting instead.
+        """
+        total = 0
+        for lu in list(self._lu_cache.values()) + list(
+            self._diag_lu_cache.values()
+        ):
+            total += _factor_bytes(lu)
+        if self._base_lu is not None:
+            total += _factor_bytes(self._base_lu)
+        for block in (self._w, self._z, self._zd_matrix, self._x_pair):
+            if block is not None:
+                total += block.nbytes
+        for factors in list(self._cap_cache.values()) + list(
+            self._diag_cap_cache.values()
+        ):
+            total += factors[0].nbytes + factors[1].nbytes
+        if self._mg is not None:
+            total += self._mg.operator_bytes()
+        return total
+
+
+def _factor_bytes(factor):
+    """12 bytes per stored factor nonzero (value + compressed index).
+
+    Both factor kinds the engine produces expose their fill: SuperLU
+    handles via ``.nnz`` (L + U nonzeros) and
+    :class:`~repro.linalg.cholesky.CholeskyFactor` via its ``nnz``
+    slot.  Adopted bordered solves (no ``nnz``) count zero — their
+    memory belongs to the donor round.
+    """
+    nnz = getattr(factor, "nnz", None)
+    return int(nnz) * 12 if nnz is not None else 0
+
 
 class SolveSession:
     """Shared solve engine over one assembled system.
@@ -1151,7 +1352,15 @@ class SolveSession:
         Optional shared :class:`SolverStats`; a private one is created
         when omitted.
     krylov_method / krylov_rtol / krylov_maxiter / krylov_restart:
-        Knobs of the iterative backend (ignored by the other modes).
+        Knobs of the iterative backend.  The ``mg`` backend shares
+        ``krylov_rtol`` / ``krylov_maxiter`` for its preconditioned CG
+        outer iteration (``krylov_method`` / ``krylov_restart`` do not
+        apply — mg always runs CG).
+    mg_options:
+        Optional dict of :class:`~repro.linalg.multigrid.MultigridHierarchy`
+        build knobs (``coarse_size``, ``smoother``, ``sweeps``,
+        ``cycle_kind``, ...) forwarded verbatim when the ``mg`` backend
+        builds a view's hierarchy; ignored by the other modes.
     """
 
     def __init__(
@@ -1165,6 +1374,7 @@ class SolveSession:
         krylov_rtol=1.0e-10,
         krylov_maxiter=200,
         krylov_restart=40,
+        mg_options=None,
     ):
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1, got {}".format(cache_size))
@@ -1186,8 +1396,13 @@ class SolveSession:
         self.krylov_rtol = float(krylov_rtol)
         self.krylov_maxiter = int(krylov_maxiter)
         self.krylov_restart = int(krylov_restart)
+        self.mg_options = dict(mg_options) if mg_options else None
         self._resolved_mode = None
         self._views = {}
+        # Aggregation plan shared across this session's hierarchies
+        # (plain integer arrays — pickles with the session, so forked
+        # workers re-Galerkin without re-aggregating).
+        self._mg_plan = None
 
     @property
     def effective_mode(self):
@@ -1278,6 +1493,7 @@ class SolveSession:
             "solution_entries": 0,
             "diagonal_entries": 0,
             "reduced_entries": 0,
+            "mg_hierarchies": 0,
         }
         for view in self._views.values():
             info["lu_entries"] += len(view._lu_cache)
@@ -1288,4 +1504,5 @@ class SolveSession:
                 len(view._diag_lu_cache) + len(view._diag_cap_cache)
             )
             info["reduced_entries"] += len(view._reduced_cache)
+            info["mg_hierarchies"] += 1 if view._mg is not None else 0
         return info

@@ -1,7 +1,7 @@
 """Steady-state nodal analysis (Section IV.C) on the solve-session core.
 
 Solves ``(G - i D) theta = p(i)`` through the pluggable backend layer
-of :mod:`repro.thermal.session`.  Five modes are accepted by
+of :mod:`repro.thermal.session`.  Six modes are accepted by
 :class:`SteadyStateSolver` (and by everything that forwards to it —
 ``CoolingSystemProblem``, sweep scenarios, the CLI ``--backend`` flag):
 
@@ -54,11 +54,28 @@ of :mod:`repro.thermal.session`.  Five modes are accepted by
     an indefinite matrix (current at/beyond ``lambda_m``) raises the
     same :class:`SingularSystemError`.
 
+``mode="mg"``
+    Geometric-multigrid preconditioned CG
+    (:mod:`repro.linalg.multigrid`).  One aggregation hierarchy is
+    built per view from the current-independent base ``S + G`` over
+    the assembled system's lattice geometry — per-layer 2x2 tile
+    agglomeration, Galerkin coarse operators, Chebyshev smoothing, a
+    direct solve on the coarsest level — and the fine-level operator
+    is applied matrix-free through the lattice stencil with the
+    Peltier ``- i D`` term as a diagonal correction, so every current,
+    round and scenario shares one hierarchy (``SolverStats.mg_*``
+    counts builds, solves, cycles and fallbacks).  O(n) work *and*
+    memory: no assembled factorization above the coarsest level, which
+    is what makes >= 256x256 chiplet-scale grids tractable.  Same
+    never-degrade contract as ``krylov`` — a missed residual target
+    falls back to an exact per-current factorization.
+
 ``mode="auto"``
-    Pick ``reuse`` or ``krylov`` per assembled system from the support
-    size vs node count (:func:`select_backend`): small supports keep
-    the dense Woodbury update, dense deployments on fine grids switch
-    to the iterative backend.
+    Pick ``reuse``, ``krylov`` or ``mg`` per assembled system
+    (:func:`select_backend`): small supports keep the dense Woodbury
+    update, dense deployments on fine grids switch to the iterative
+    backend, and grids at/past ``MG_NODE_CROSSOVER`` nodes go
+    multigrid regardless of support.
 
 Per-current caches key on the **exact float value** of the current
 (``float(i)`` equality — no quantization).  Golden-section probes at
@@ -86,6 +103,7 @@ from __future__ import annotations
 from repro.thermal.session import (
     AUTO_SUPPORT_COEFF,
     AUTO_SUPPORT_FLOOR,
+    MG_NODE_CROSSOVER,
     SOLVER_MODES,
     BatchColumn,
     BatchResult,
@@ -99,6 +117,7 @@ from repro.thermal.session import (
 __all__ = [
     "AUTO_SUPPORT_COEFF",
     "AUTO_SUPPORT_FLOOR",
+    "MG_NODE_CROSSOVER",
     "SOLVER_MODES",
     "BatchColumn",
     "BatchResult",
@@ -143,7 +162,12 @@ class SteadyStateSolver(SessionView):
         Knobs of the iterative backend (ignored by the other modes):
         method (``"gmres"`` or ``"bicgstab"``), relative residual
         target, outer-iteration budget per right-hand side, and GMRES
-        restart length.
+        restart length.  The ``mg`` backend shares the residual target
+        and iteration budget for its preconditioned CG.
+    mg_options:
+        Optional dict of multigrid build knobs forwarded to
+        :class:`~repro.linalg.multigrid.MultigridHierarchy` by the
+        ``mg`` backend (ignored by the other modes).
     """
 
     def __init__(
@@ -157,6 +181,7 @@ class SteadyStateSolver(SessionView):
         krylov_rtol=1.0e-10,
         krylov_maxiter=200,
         krylov_restart=40,
+        mg_options=None,
     ):
         session = SolveSession(
             system,
@@ -167,6 +192,7 @@ class SteadyStateSolver(SessionView):
             krylov_rtol=krylov_rtol,
             krylov_maxiter=krylov_maxiter,
             krylov_restart=krylov_restart,
+            mg_options=mg_options,
         )
         super().__init__(session, None, cache_size)
         session._views[None] = self

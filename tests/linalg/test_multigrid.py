@@ -1,0 +1,355 @@
+"""Unit and property tests of :mod:`repro.linalg.multigrid`.
+
+The multigrid layer is pure linear algebra over a
+:class:`~repro.linalg.multigrid.LatticeGeometry`; these tests build
+synthetic layered-lattice Laplacians (random positive conductances, a
+positive diagonal shift, optional off-lattice periphery nodes — the
+same structure :mod:`repro.thermal.assembly` produces) and pin:
+
+* aggregation invariants — per-layer 2x2 agglomeration partitions the
+  nodes, never merges layers, and appends off-lattice singletons;
+* the matrix-free stencil reproducing ``A @ x`` to round-off;
+* the two-grid property (hypothesis): one V-cycle contracts the error
+  in the energy norm for random right-hand sides and initial guesses;
+* solver behaviour — convergence to a true-residual target, multi-RHS
+  blocks, plan reuse, fork-safe pickling.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.multigrid import (
+    CYCLE_KINDS,
+    LatticeGeometry,
+    LatticeStencil,
+    MultigridHierarchy,
+    lattice_coarsen,
+    mg_solve,
+    pairwise_aggregates,
+    tentative_prolongator,
+)
+
+
+def _lattice_system(rows, cols, layers=2, periphery=0, seed=0, shift=1.0e-2):
+    """A synthetic SPD layered-lattice operator with its geometry.
+
+    Graph Laplacian over random positive conductances on the lattice
+    edges (lateral within each layer, same-tile between consecutive
+    layers, periphery nodes coupled to the last layer's first tiles)
+    plus a positive diagonal shift — the structure of ``S + G``.
+    """
+    rng = np.random.default_rng(seed)
+    tiles = rows * cols
+    n = layers * tiles + periphery
+    layer = np.full(n, -1, dtype=np.int64)
+    tile = np.full(n, -1, dtype=np.int64)
+    for li in range(layers):
+        layer[li * tiles:(li + 1) * tiles] = li
+        tile[li * tiles:(li + 1) * tiles] = np.arange(tiles)
+
+    def node(li, r, c):
+        return li * tiles + r * cols + c
+
+    rows_idx, cols_idx, weights = [], [], []
+
+    def couple(i, j):
+        w = rng.uniform(0.5, 2.0)
+        rows_idx.extend((i, j))
+        cols_idx.extend((j, i))
+        weights.extend((w, w))
+
+    for li in range(layers):
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    couple(node(li, r, c), node(li, r, c + 1))
+                if r + 1 < rows:
+                    couple(node(li, r, c), node(li, r + 1, c))
+                if li + 1 < layers:
+                    couple(node(li, r, c), node(li + 1, r, c))
+    for p in range(periphery):
+        couple(layers * tiles + p, node(layers - 1, 0, p % cols))
+
+    adjacency = sp.coo_matrix(
+        (weights, (rows_idx, cols_idx)), shape=(n, n)
+    ).tocsr()
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    matrix = sp.diags(degrees + shift) - adjacency
+    geometry = LatticeGeometry(rows=rows, cols=cols, layer=layer, tile=tile)
+    return matrix.tocsr(), geometry
+
+
+_CACHE = {}
+
+
+def _cached(rows, cols, **kwargs):
+    key = (rows, cols, tuple(sorted(kwargs.items())))
+    if key not in _CACHE:
+        matrix, geometry = _lattice_system(rows, cols, **kwargs)
+        _CACHE[key] = (matrix, geometry, MultigridHierarchy(
+            matrix, geometry=geometry, coarse_size=40
+        ))
+    return _CACHE[key]
+
+
+class TestLatticeCoarsen:
+    @given(
+        rows=st.integers(min_value=1, max_value=9),
+        cols=st.integers(min_value=1, max_value=9),
+        layers=st.integers(min_value=1, max_value=3),
+        periphery=st.integers(min_value=0, max_value=3),
+    )
+    @settings(deadline=None, max_examples=40)
+    def test_partition_invariants(self, rows, cols, layers, periphery):
+        _, geometry = _lattice_system(
+            rows, cols, layers=layers, periphery=periphery
+        )
+        agg, coarse = lattice_coarsen(geometry)
+        # A partition: every node lands in exactly one aggregate and
+        # the aggregate ids are dense.
+        assert agg.min() >= 0
+        assert set(np.unique(agg)) == set(range(agg.max() + 1))
+        assert coarse.num_nodes == agg.max() + 1
+        # Layers are never merged (semicoarsening).
+        for a in range(agg.max() + 1):
+            members = np.flatnonzero(agg == a)
+            assert len(set(geometry.layer[members])) == 1
+        # Off-lattice nodes stay singletons.
+        for i in np.flatnonzero(~geometry.on_lattice()):
+            assert np.count_nonzero(agg == agg[i]) == 1
+        assert coarse.rows == (rows + 1) // 2
+        assert coarse.cols == (cols + 1) // 2
+
+    def test_2x2_blocks_agglomerate(self):
+        _, geometry = _lattice_system(4, 4, layers=1)
+        agg, _ = lattice_coarsen(geometry)
+        block = [0 * 4 + 0, 0 * 4 + 1, 1 * 4 + 0, 1 * 4 + 1]  # tiles (0:2, 0:2)
+        assert len({agg[t] for t in block}) == 1
+        other = [0 * 4 + 2, 0 * 4 + 3, 1 * 4 + 2, 1 * 4 + 3]
+        assert len({agg[t] for t in other}) == 1
+        assert agg[block[0]] != agg[other[0]]
+
+    def test_coarsening_terminates(self):
+        _, geometry = _lattice_system(16, 16, layers=2)
+        for _ in range(10):
+            agg, geometry = lattice_coarsen(geometry)
+            if geometry.rows == 1 and geometry.cols == 1:
+                break
+        assert geometry.rows == 1 and geometry.cols == 1
+
+
+class TestPairwiseAggregates:
+    def test_partition_with_small_aggregates(self):
+        matrix, _ = _lattice_system(4, 4, layers=1)
+        agg = pairwise_aggregates(matrix)
+        assert agg.min() >= 0
+        sizes = np.bincount(agg)
+        assert sizes.max() <= 2  # pairwise: at most two nodes per aggregate
+        assert sizes.sum() == matrix.shape[0]
+
+    def test_deterministic(self):
+        matrix, _ = _lattice_system(5, 3, layers=2, seed=7)
+        np.testing.assert_array_equal(
+            pairwise_aggregates(matrix), pairwise_aggregates(matrix)
+        )
+
+
+class TestTentativeProlongator:
+    def test_piecewise_constant(self):
+        agg = np.array([0, 0, 1, 2, 1])
+        prolong = tentative_prolongator(agg)
+        assert prolong.shape == (5, 3)
+        dense = prolong.toarray()
+        np.testing.assert_array_equal(dense.sum(axis=1), np.ones(5))
+        np.testing.assert_array_equal(dense.sum(axis=0), [2, 2, 1])
+
+
+class TestLatticeStencil:
+    @pytest.mark.parametrize("periphery", [0, 3])
+    def test_apply_matches_matrix(self, periphery):
+        matrix, geometry = _lattice_system(
+            6, 5, layers=3, periphery=periphery, seed=3
+        )
+        stencil = LatticeStencil(matrix, geometry)
+        rng = np.random.default_rng(11)
+        x = rng.standard_normal(matrix.shape[0])
+        expected = matrix @ x
+        scale = np.linalg.norm(expected)
+        assert np.linalg.norm(stencil.apply_G(x) - expected) <= 1e-13 * scale
+
+    def test_block_rhs(self):
+        matrix, geometry = _lattice_system(4, 4, layers=2, periphery=2)
+        stencil = LatticeStencil(matrix, geometry)
+        rng = np.random.default_rng(5)
+        block = rng.standard_normal((matrix.shape[0], 3))
+        np.testing.assert_allclose(
+            stencil.apply_G(block), matrix @ block, rtol=0, atol=1e-12
+        )
+
+    def test_pure_lattice_has_no_residual(self):
+        matrix, geometry = _lattice_system(4, 4, layers=2, periphery=0)
+        assert LatticeStencil(matrix, geometry).residual_nnz == 0
+
+    def test_periphery_lands_in_residual(self):
+        matrix, geometry = _lattice_system(4, 4, layers=2, periphery=2)
+        stencil = LatticeStencil(matrix, geometry)
+        # Two symmetric periphery couplings: 4 off-diagonal entries.
+        assert stencil.residual_nnz == 4
+
+    def test_size_mismatch_rejected(self):
+        matrix, _ = _lattice_system(4, 4)
+        _, other = _lattice_system(4, 5)
+        with pytest.raises(ValueError, match="nodes"):
+            LatticeStencil(matrix, other)
+
+    def test_nbytes_positive(self):
+        matrix, geometry = _lattice_system(4, 4)
+        assert LatticeStencil(matrix, geometry).nbytes() > 0
+
+
+class TestHierarchy:
+    def test_structure(self):
+        matrix, geometry, hierarchy = _cached(16, 16, layers=2, periphery=3)
+        assert hierarchy.num_levels >= 3
+        assert hierarchy.fine_size == matrix.shape[0]
+        assert hierarchy._coarse_matrix.shape[0] <= 40 + 3
+        # Galerkin coarse operators stay symmetric with positive
+        # diagonals — the SPD structure CG relies on.
+        for level in hierarchy.levels[1:]:
+            op = level.matrix
+            assert abs(op - op.T).max() <= 1e-10 * abs(op).max()
+            assert level.matrix.diagonal().min() > 0.0
+        assert len(hierarchy.plan) == hierarchy.num_levels - 1
+
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    @settings(deadline=None, max_examples=25)
+    def test_two_grid_energy_contraction(self, seed):
+        """One V-cycle contracts the error in the energy norm."""
+        matrix, _, hierarchy = _cached(16, 16, layers=2, periphery=3)
+        rng = np.random.default_rng(seed)
+        x_true = rng.standard_normal(matrix.shape[0])
+        b = matrix @ x_true
+        x0 = rng.standard_normal(matrix.shape[0])
+        x1 = hierarchy.cycle(b, x0=x0)
+
+        def energy(e):
+            return float(np.sqrt(e @ (matrix @ e)))
+
+        e0, e1 = energy(x0 - x_true), energy(x1 - x_true)
+        assert e1 < 0.5 * e0
+
+    def test_invalid_options_rejected(self):
+        matrix, geometry = _lattice_system(4, 4)
+        with pytest.raises(ValueError, match="smoother"):
+            MultigridHierarchy(matrix, geometry=geometry, smoother="sor")
+        with pytest.raises(ValueError, match="cycle_kind"):
+            MultigridHierarchy(matrix, geometry=geometry, cycle_kind="W")
+        hierarchy = MultigridHierarchy(matrix, geometry=geometry)
+        with pytest.raises(ValueError, match="kind"):
+            hierarchy.cycle(np.ones(matrix.shape[0]), kind="W")
+
+    def test_plan_reuse_matches_fresh_build(self):
+        matrix, geometry, hierarchy = _cached(8, 8, layers=2)
+        rebuilt = MultigridHierarchy(
+            matrix, geometry=geometry, plan=hierarchy.plan, coarse_size=40
+        )
+        assert rebuilt.num_levels == hierarchy.num_levels
+        for mine, theirs in zip(rebuilt.plan, hierarchy.plan):
+            np.testing.assert_array_equal(mine, theirs)
+        b = np.linspace(0.0, 1.0, matrix.shape[0])
+        np.testing.assert_array_equal(rebuilt.cycle(b), hierarchy.cycle(b))
+
+    def test_pickle_drops_coarse_factorization(self):
+        matrix, geometry = _lattice_system(8, 8, layers=2)
+        hierarchy = MultigridHierarchy(
+            matrix, geometry=geometry, coarse_size=40
+        )
+        b = np.ones(matrix.shape[0])
+        warm = hierarchy.cycle(b)
+        assert hierarchy._coarse_lu is not None  # live splu handle
+        clone = pickle.loads(pickle.dumps(hierarchy))
+        assert clone._coarse_lu is None
+        np.testing.assert_array_equal(clone.cycle(b), warm)
+
+    def test_operator_bytes_accounts_stencil_and_factor(self):
+        matrix, geometry = _lattice_system(8, 8, layers=2)
+        hierarchy = MultigridHierarchy(
+            matrix, geometry=geometry, coarse_size=40
+        )
+        cold = hierarchy.operator_bytes()
+        assert cold > hierarchy.levels[0].stencil.nbytes()
+        hierarchy.cycle(np.ones(matrix.shape[0]))
+        assert hierarchy.operator_bytes() > cold  # + coarse factor fill
+
+    def test_cycle_counter(self):
+        _, _, hierarchy = _cached(8, 8, layers=2)
+        before = hierarchy.cycles
+        hierarchy.precondition(np.ones(hierarchy.fine_size))
+        assert hierarchy.cycles == before + 1
+
+
+class TestMgSolve:
+    def test_converges_to_true_residual(self):
+        matrix, geometry = _lattice_system(16, 16, layers=2, periphery=3)
+        rng = np.random.default_rng(2)
+        rhs = rng.standard_normal(matrix.shape[0])
+        x, report = mg_solve(matrix, rhs, geometry=geometry, rtol=1e-10)
+        assert report.converged
+        assert report.cycles >= 1
+        residual = np.linalg.norm(rhs - matrix @ x) / np.linalg.norm(rhs)
+        assert residual <= 1e-10
+
+    def test_block_rhs(self):
+        matrix, geometry = _lattice_system(8, 8, layers=2)
+        rng = np.random.default_rng(4)
+        rhs = rng.standard_normal((matrix.shape[0], 3))
+        x, report = mg_solve(matrix, rhs, geometry=geometry, rtol=1e-10)
+        assert report.converged
+        assert x.shape == rhs.shape
+        np.testing.assert_allclose(matrix @ x, rhs, rtol=0, atol=1e-9)
+
+    @pytest.mark.parametrize("kind", CYCLE_KINDS)
+    def test_cycle_kinds_converge(self, kind):
+        matrix, geometry = _lattice_system(8, 8, layers=2)
+        rhs = np.ones(matrix.shape[0])
+        x, report = mg_solve(
+            matrix, rhs, geometry=geometry, cycle_kind=kind, rtol=1e-10
+        )
+        assert report.converged
+        assert report.cycle_kind == kind
+
+    def test_jacobi_smoother_converges(self):
+        matrix, geometry = _lattice_system(8, 8, layers=2)
+        rhs = np.ones(matrix.shape[0])
+        _, report = mg_solve(
+            matrix, rhs, geometry=geometry, smoother="jacobi", rtol=1e-9
+        )
+        assert report.converged
+
+    def test_pairwise_fallback_without_geometry(self):
+        matrix, _ = _lattice_system(6, 6, layers=2)
+        rhs = np.ones(matrix.shape[0])
+        x, report = mg_solve(matrix, rhs, rtol=1e-9, coarse_size=10)
+        assert report.converged
+        assert np.linalg.norm(rhs - matrix @ x) <= 1e-9 * np.linalg.norm(rhs)
+
+    def test_nonconvergence_reported_not_raised(self):
+        matrix, geometry = _lattice_system(8, 8, layers=2)
+        rhs = np.ones(matrix.shape[0])
+        _, report = mg_solve(
+            matrix, rhs, geometry=geometry, rtol=1e-15, maxiter=1
+        )
+        assert not report.converged
+        assert report.cycles == 1
+
+    def test_reuses_passed_hierarchy(self):
+        matrix, geometry, hierarchy = _cached(8, 8, layers=2)
+        rhs = np.ones(matrix.shape[0])
+        before = hierarchy.cycles
+        _, report = mg_solve(matrix, rhs, hierarchy=hierarchy, rtol=1e-10)
+        assert hierarchy.cycles == before + report.cycles

@@ -242,17 +242,20 @@ class TestSessionTaskKinds:
         spec = _session_task_spec()
         sweep_worker.clear_caches()
         serial = SweepRunner().run(spec)
-        parallel = SweepRunner(2).run(spec)
+        parallel = SweepRunner(2, backend="process").run(spec)
         assert serial.ok and parallel.ok
         assert _identity_view(serial) == _identity_view(parallel)
 
 
 class TestProcessBitIdentity:
     def test_small_spec_bit_identical(self):
+        # backend="process" is forced: an *inferred* pool would degrade
+        # to serial on a single-CPU CI host and the comparison would be
+        # vacuous (see TestBackendDegradation).
         spec = _small_spec()
         sweep_worker.clear_caches()
         serial = SweepRunner().run(spec)
-        parallel = SweepRunner(2).run(spec)
+        parallel = SweepRunner(2, backend="process").run(spec)
         assert parallel.backend == "process"
         assert serial.ok and parallel.ok
         assert _identity_view(serial) == _identity_view(parallel)
@@ -262,7 +265,7 @@ class TestProcessBitIdentity:
         spec = SweepSpec.table1(["hc02", "hc04"])
         sweep_worker.clear_caches()
         serial = SweepRunner().run(spec)
-        parallel = SweepRunner(2).run(spec)
+        parallel = SweepRunner(2, backend="process").run(spec)
         assert serial.ok and parallel.ok
         assert _identity_view(serial) == _identity_view(parallel)
 
@@ -272,16 +275,141 @@ class TestProcessBitIdentity:
         spec = SweepSpec.table1()
         sweep_worker.clear_caches()
         serial = SweepRunner().run(spec)
-        parallel = SweepRunner(4).run(spec)
+        parallel = SweepRunner(4, backend="process").run(spec)
         assert serial.ok and parallel.ok
         assert parallel.workers == 4
         assert _identity_view(serial) == _identity_view(parallel)
 
 
+class TestBackendDegradation:
+    """Inferred process pools degrade to serial when the pool cannot pay
+    for itself; forced backends never degrade.  The decision is recorded
+    in ``report.metadata["runner"]``."""
+
+    def test_constructor_semantics_unchanged(self):
+        # Degradation is a run()-time decision: the constructor still
+        # reports the inferred backend.
+        runner = SweepRunner(4)
+        assert runner.backend == "process"
+        assert runner.workers == 4
+
+    def test_single_cpu_host_degrades_inferred_pool(self):
+        import unittest.mock
+
+        from repro.sweep import runner as runner_mod
+
+        spec = _small_spec()
+        with unittest.mock.patch.object(
+            runner_mod.os, "cpu_count", return_value=1
+        ):
+            backend, reason = SweepRunner(2)._resolve_backend(spec)
+        assert backend == "serial"
+        assert "single-CPU" in reason
+
+    def test_cheap_scenarios_degrade_inferred_pool(self):
+        import unittest.mock
+
+        from repro.sweep import runner as runner_mod
+
+        # 4x4 solves cost 16 * 2 = 32 "solve equivalents" — far below
+        # the amortization threshold even on a many-core host.
+        spec = SweepSpec(
+            scenarios=[
+                Scenario(name="s{}".format(i), task="solve", rows=4, cols=4,
+                         power_map=_HOTSPOT, tec_tiles=(5,), current_a=0.1)
+                for i in range(4)
+            ],
+            name="cheap",
+        )
+        with unittest.mock.patch.object(
+            runner_mod.os, "cpu_count", return_value=8
+        ):
+            backend, reason = SweepRunner(2)._resolve_backend(spec)
+        assert backend == "serial"
+        assert "threshold" in reason
+
+    def test_expensive_sweep_keeps_inferred_pool(self):
+        import unittest.mock
+
+        from repro.sweep import runner as runner_mod
+
+        # Greedy deployments on 16x16 grids: 256 * 100 per scenario.
+        spec = SweepSpec(
+            scenarios=[
+                Scenario(name="g", task="greedy", rows=16, cols=16,
+                         power_map=tuple([0.1] * 256), limit_c=80.0),
+            ],
+            name="costly",
+        )
+        with unittest.mock.patch.object(
+            runner_mod.os, "cpu_count", return_value=8
+        ):
+            backend, reason = SweepRunner(2)._resolve_backend(spec)
+        assert backend == "process"
+        assert reason == "inferred"
+
+    def test_forced_process_backend_never_degrades(self):
+        backend, reason = SweepRunner(
+            2, backend="process"
+        )._resolve_backend(_small_spec())
+        assert backend == "process"
+        assert reason == "forced"
+
+    def test_degraded_run_records_decision_in_metadata(self):
+        # On any host: either the single-CPU or the cost gate fires for
+        # this cheap spec, so the inferred pool runs serial.
+        sweep_worker.clear_caches()
+        report = SweepRunner(2).run(_small_spec())
+        assert report.backend == "serial"
+        runner_meta = report.metadata["runner"]
+        assert runner_meta["requested_backend"] == "process"
+        assert runner_meta["requested_workers"] == 2
+        assert runner_meta["backend"] == "serial"
+        assert runner_meta["workers"] == 1
+        assert runner_meta["degraded"] is True
+        assert runner_meta["reason"].startswith("degraded")
+
+    def test_forced_run_records_decision_in_metadata(self):
+        sweep_worker.clear_caches()
+        report = SweepRunner(2, backend="process").run(_small_spec())
+        assert report.backend == "process"
+        runner_meta = report.metadata["runner"]
+        assert runner_meta["degraded"] is False
+        assert runner_meta["reason"] == "forced"
+        assert runner_meta["workers"] == 2
+        assert runner_meta["chunk_size"] >= 1
+
+    def test_metadata_preserves_spec_entries(self):
+        spec = SweepSpec(
+            scenarios=list(_small_spec())[:1],
+            name="tagged",
+            metadata={"origin": "unit-test"},
+        )
+        report = SweepRunner().run(spec)
+        assert report.metadata["origin"] == "unit-test"
+        assert "runner" in report.metadata
+
+    def test_chunk_sizes(self):
+        runner = SweepRunner(2, backend="process")
+        # ceil(n / (workers * 4)): ~4 chunks per worker.
+        assert runner._chunk_size(1) == 1
+        assert runner._chunk_size(5) == 1
+        assert runner._chunk_size(40) == 5
+        assert runner._chunk_size(41) == 6
+
+    def test_degradation_is_bit_identical(self):
+        spec = _small_spec()
+        sweep_worker.clear_caches()
+        serial = SweepRunner().run(spec)
+        degraded = SweepRunner(2).run(spec)
+        assert degraded.backend == "serial"
+        assert _identity_view(serial) == _identity_view(degraded)
+
+
 class TestOrdering:
     def test_results_keep_spec_order(self):
         spec = _small_spec(include_failure=True)
-        report = SweepRunner(2).run(spec)
+        report = SweepRunner(2, backend="process").run(spec)
         indices = [r.index for r in report.results]
         assert indices == sorted(indices)
         names = {s.name: i for i, s in enumerate(spec)}
@@ -362,7 +490,9 @@ class TestPoolCrashPreservesResults:
     def test_pool_faults_distinguished_from_scenario_faults(self):
         """In-scenario exceptions keep kind='scenario' with a traceback."""
         sweep_worker.clear_caches()
-        report = SweepRunner(2).run(_small_spec(include_failure=True))
+        report = SweepRunner(2, backend="process").run(
+            _small_spec(include_failure=True)
+        )
         assert report.pool_faults == ()
         (error,) = report.scenario_faults
         assert error.kind == "scenario"

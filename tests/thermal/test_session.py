@@ -301,7 +301,7 @@ class TestForkSafety:
     """
 
     @pytest.mark.parametrize(
-        "mode", ["direct", "reuse", "krylov", "cholesky", "auto"]
+        "mode", ["direct", "reuse", "krylov", "cholesky", "mg", "auto"]
     )
     def test_warm_model_roundtrips_bit_identically(self, make_model, mode):
         import pickle

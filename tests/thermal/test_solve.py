@@ -410,7 +410,9 @@ class TestSolverStats:
             "cap_refine_failures", "cache_hits",
             "cache_misses", "evictions", "solves", "rhs_columns",
             "solution_hits", "krylov_solves", "krylov_iterations",
-            "krylov_fallbacks", "factor_time_s", "solve_time_s",
+            "krylov_fallbacks", "mg_hierarchies", "mg_solves",
+            "mg_cycles", "mg_fallbacks",
+            "factor_time_s", "solve_time_s",
             "full_builds", "incremental_builds", "assembly_time_s",
         }
 
