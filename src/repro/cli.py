@@ -19,6 +19,10 @@ Usage (also installed as the ``repro`` console script)::
     python -m repro.cli control --benchmark alpha [--controller bangbang]
                                 [--steps 400] [--dt 0.01]
                                 [--control-period 0.05] [--solver-stats]
+    python -m repro.cli chiplet [--chiplet 8,8,0,0,30 --chiplet 8,8,0,10,30]
+                                [--deploy] [--per-chiplet-current]
+                                [--no-interposer] [--board-resistance 2.0]
+                                [--backend mg] [--json OUT]
     python -m repro.cli validate [--refine 2]
     python -m repro.cli runaway [--benchmark alpha]
     python -m repro.cli conjecture [--matrices 500]
@@ -872,6 +876,233 @@ def _cmd_info(_args):
     return 0
 
 
+def _chiplet_spec(text):
+    """argparse type for ``--chiplet``: ``rows,cols,row0,col0,power_w``."""
+    parts = text.split(",")
+    if len(parts) != 5:
+        raise argparse.ArgumentTypeError(
+            "expected rows,cols,row_offset,col_offset,power_w; got {!r}".format(
+                text
+            )
+        )
+    try:
+        rows, cols, row0, col0 = (int(p) for p in parts[:4])
+        power = float(parts[4])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "chiplet fields must be 4 ints and a float, got {!r}".format(text)
+        )
+    return (rows, cols, row0, col0, power)
+
+
+def _add_chiplet(subparsers):
+    parser = subparsers.add_parser(
+        "chiplet",
+        help="solve or deploy a 2.5D multi-chiplet package "
+             "(shared interposer + spreader/sink)",
+    )
+    parser.add_argument(
+        "--chiplet", dest="chiplets", action="append", type=_chiplet_spec,
+        default=None, metavar="R,C,R0,C0,W",
+        help="one chiplet as rows,cols,row_offset,col_offset,power_w "
+             "(repeatable; default: the two-chiplet demo layout)",
+    )
+    parser.add_argument(
+        "--rows", type=int, default=8,
+        help="preset chiplet rows when --chiplet is not given (default 8)",
+    )
+    parser.add_argument(
+        "--cols", type=int, default=8,
+        help="preset chiplet cols when --chiplet is not given (default 8)",
+    )
+    parser.add_argument(
+        "--gap", type=int, default=2,
+        help="preset lattice columns between the two chiplets (default 2)",
+    )
+    parser.add_argument(
+        "--power", type=float, default=30.0, metavar="W",
+        help="preset per-chiplet power when --chiplet is not given "
+             "(default 30 W)",
+    )
+    parser.add_argument(
+        "--no-interposer", action="store_true",
+        help="drop the interposer (chiplets couple only through the "
+             "shared spreader)",
+    )
+    parser.add_argument(
+        "--board-resistance", type=float, default=None, metavar="K/W",
+        help="lumped interposer-to-board resistance (default: adiabatic "
+             "board)",
+    )
+    parser.add_argument(
+        "--limit", type=float, default=85.0, metavar="C",
+        help="temperature limit theta_max in Celsius (default 85)",
+    )
+    parser.add_argument(
+        "--deploy", action="store_true",
+        help="run GreedyDeploy (default: report the bare steady state)",
+    )
+    parser.add_argument(
+        "--per-chiplet-current", action="store_true",
+        help="after --deploy, optimize one supply current per chiplet "
+             "(pin groups) and report the gain over the shared pin",
+    )
+    parser.add_argument(
+        "--engine", choices=list(_ENGINES), default=None,
+        help="GreedyDeploy engine (default cold)",
+    )
+    parser.add_argument("--json", metavar="PATH", help="write the result as JSON")
+    _add_solver_options(parser, "chiplet")
+    parser.set_defaults(func=_cmd_chiplet)
+
+
+def _cmd_chiplet(args):
+    import numpy as np
+
+    from repro.core.problem import CoolingSystemProblem
+    from repro.thermal.chiplet import (
+        InterposerSpec,
+        demo_two_chiplet_layout,
+        layout_from_plain,
+    )
+
+    if args.no_interposer:
+        interposer = False
+    elif args.board_resistance is not None:
+        interposer = InterposerSpec(board_resistance=args.board_resistance)
+    else:
+        interposer = True
+    try:
+        if args.chiplets:
+            layout = layout_from_plain(args.chiplets, interposer=interposer)
+        else:
+            layout = demo_two_chiplet_layout(
+                rows=args.rows, cols=args.cols, gap=args.gap,
+                power_w=args.power,
+                interposer=(
+                    None if interposer is True
+                    else (interposer if interposer is not False else
+                          InterposerSpec())
+                ),
+            )
+            if args.no_interposer:
+                from dataclasses import replace as _replace
+
+                layout = _replace(layout, interposer=None)
+        problem = CoolingSystemProblem.from_chiplet_layout(
+            layout, max_temperature_c=args.limit, name="chiplet",
+        )
+        if args.solver_mode is not None or args.solver_cache_size is not None:
+            problem.configure_solver(
+                mode=args.solver_mode, cache_size=args.solver_cache_size
+            )
+    except ValueError as error:
+        raise SystemExit("repro chiplet: error: {}".format(error))
+
+    grid = layout.composite_grid()
+    print("package: {} chiplet(s), {} tiles on a {}x{} lattice, {:.1f} W".format(
+        layout.num_chiplets, grid.num_tiles, grid.rows, grid.cols,
+        layout.total_power_w))
+    print("interposer: {}".format(
+        "none" if layout.interposer is None else
+        "{:.0f} um, microbump {:.2f} W/K per tile{}".format(
+            layout.interposer.thickness * 1e6,
+            layout.interposer.microbump_conductance,
+            "" if layout.interposer.board_resistance is None else
+            ", board {:.2f} K/W".format(layout.interposer.board_resistance))))
+
+    stats_before = problem.solver_stats.copy()
+    payload = {
+        "chiplets": [
+            [spec.grid.rows, spec.grid.cols, spec.row_offset,
+             spec.col_offset, spec.total_power_w]
+            for spec in layout.chiplets
+        ],
+        "limit_c": float(problem.max_temperature_c),
+        "interposer": layout.interposer is not None,
+    }
+
+    def _per_chiplet_peaks(state):
+        return {
+            spec.name: float(np.max(
+                state.silicon_c[list(layout.chiplet_tiles(index))]
+            ))
+            for index, spec in enumerate(layout.chiplets)
+        }
+
+    if not args.deploy:
+        state = problem.model(()).solve(0.0)
+        peaks = _per_chiplet_peaks(state)
+        print("bare peak:   {:.2f} C (limit {:.1f} C)".format(
+            state.peak_silicon_c, problem.max_temperature_c))
+        for name, peak in peaks.items():
+            print("  {:<12} {:.2f} C".format(name, peak))
+        payload.update({
+            "task": "solve",
+            "peak_c": float(state.peak_silicon_c),
+            "per_chiplet_peak_c": peaks,
+        })
+        exit_code = 0 if state.peak_silicon_c <= problem.max_temperature_c else 1
+    else:
+        result = problem.deploy(
+            engine=args.engine if args.engine is not None else "cold"
+        )
+        by_chiplet = result.tiles_by_chiplet()
+        state = result.model.solve(result.current)
+        peaks = _per_chiplet_peaks(state)
+        print("feasible:     {}".format(result.feasible))
+        print("no-TEC peak:  {:.2f} C".format(result.no_tec_peak_c))
+        print("devices:      {}".format(result.num_tecs))
+        print("I_opt:        {:.2f} A".format(result.current))
+        print("P_TEC:        {:.2f} W".format(result.tec_power_w))
+        print("cooled peak:  {:.2f} C".format(result.peak_c))
+        for name, tiles in by_chiplet.items():
+            print("  {:<12} {} TECs, peak {:.2f} C".format(
+                name, len(tiles), peaks[name]))
+        payload.update({
+            "task": "deploy",
+            "feasible": bool(result.feasible),
+            "num_tecs": int(result.num_tecs),
+            "current_a": float(result.current),
+            "peak_c": float(result.peak_c),
+            "no_tec_peak_c": float(result.no_tec_peak_c),
+            "tec_power_w": float(result.tec_power_w),
+            "tec_tiles": [int(t) for t in result.tec_tiles],
+            "tiles_by_chiplet": {
+                name: [int(t) for t in tiles]
+                for name, tiles in by_chiplet.items()
+            },
+            "per_chiplet_peak_c": peaks,
+        })
+        if args.per_chiplet_current and result.model.stamps:
+            from repro.core.multipin import chiplet_groups, optimize_pin_groups
+
+            pins = optimize_pin_groups(
+                result.model, groups=chiplet_groups(result.model),
+                shared_start=result.current,
+            )
+            print("per-chiplet currents: {} (peak {:.2f} C, "
+                  "gain {:.3f} C over shared pin)".format(
+                      ["{:.2f}".format(c) for c in pins.group_currents],
+                      pins.peak_c, pins.improvement_c))
+            payload["per_chiplet_currents_a"] = [
+                float(c) for c in pins.group_currents
+            ]
+            payload["per_chiplet_peak_after_c"] = float(pins.peak_c)
+            payload["per_chiplet_gain_c"] = float(pins.improvement_c)
+        exit_code = 0 if result.feasible else 1
+
+    delta = problem.solver_stats.diff(stats_before)
+    if args.solver_stats:
+        _print_solver_stats(problem, delta)
+    payload["solver_stats"] = delta.as_dict()
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print("result written to {}".format(args.json))
+    return exit_code
+
+
 def _add_serve(subparsers):
     parser = subparsers.add_parser(
         "serve",
@@ -956,6 +1187,7 @@ def build_parser():
     _add_solve(subparsers)
     _add_transient(subparsers)
     _add_control(subparsers)
+    _add_chiplet(subparsers)
     _add_validate(subparsers)
     _add_runaway(subparsers)
     _add_conjecture(subparsers)

@@ -162,6 +162,32 @@ def cluster_devices(model, num_groups, *, iterations=32):
     return [group for group in groups if group]
 
 
+def chiplet_groups(model):
+    """One pin group per chiplet — the natural 2.5D supply domains.
+
+    A chiplet package routes each chiplet's power through its own
+    regulator, so a per-chiplet TEC supply costs no extra pins beyond
+    one per chiplet.  Groups the deployed devices of a
+    :class:`~repro.thermal.model.CompositeThermalModel` by the chiplet
+    their tile belongs to and returns device-index lists ordered like
+    the layout's chiplets (chiplets without devices are skipped), ready
+    for :func:`optimize_pin_groups`.
+    """
+    layout = getattr(model, "layout", None)
+    if layout is None:
+        raise ValueError(
+            "chiplet_groups needs a composite chiplet model; use "
+            "cluster_devices or explicit groups for single-die models"
+        )
+    if not model.stamps:
+        raise ValueError("model has no deployed devices")
+    grid = model.grid
+    groups = [[] for _ in range(layout.num_chiplets)]
+    for j, stamp in enumerate(model.stamps):
+        groups[grid.chiplet_of(int(stamp.tile))].append(j)
+    return [group for group in groups if group]
+
+
 @dataclass
 class MultiPinResult:
     """Outcome of a multi-pin optimization.

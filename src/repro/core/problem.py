@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.power.floorplan import Floorplan
 from repro.tec.materials import chowdhury_thin_film_tec
-from repro.thermal.model import PackageThermalModel
+from repro.thermal.model import CompositeThermalModel, PackageThermalModel
 from repro.thermal.solve import SOLVER_MODES, SolverStats
 from repro.thermal.stack import PackageStack
 from repro.utils import check_finite
@@ -106,6 +106,11 @@ class CoolingSystemProblem:
         self.solver_stats = SolverStats()
         self._model_cache = {}
         self._blueprint = None
+        #: Set by :meth:`from_chiplet_layout` for true multi-chiplet
+        #: instances; ``model()`` then builds composite models.  Stays
+        #: ``None`` for single-die problems (including single-die
+        #: layouts, which take the exact single-die code path).
+        self._layout = None
 
     def configure_solver(self, *, mode=None, cache_size=None, incremental=None):
         """Reconfigure the solve engine; drops cached models/blueprints.
@@ -159,6 +164,58 @@ class CoolingSystemProblem:
             **solver_kwargs,
         )
 
+    @classmethod
+    def from_chiplet_layout(cls, layout, *, max_temperature_c=85.0,
+                            device=None, name=None, **solver_kwargs):
+        """Build a problem over a 2.5D chiplet package.
+
+        ``layout`` is a :class:`~repro.thermal.chiplet.ChipletLayout`;
+        the problem's grid becomes the layout's
+        :class:`~repro.thermal.geometry.CompositeGrid` (tile indices,
+        power map, deployments and ``tiles_above_limit`` all use the
+        global flat order) and ``model()`` builds
+        :class:`~repro.thermal.model.CompositeThermalModel` instances.
+        The whole optimization stack — GreedyDeploy, the runaway
+        certificate, sweep and serve — runs on them unchanged.
+
+        A single-die layout (one chiplet at the origin, no interposer)
+        degenerates to the plain constructor on the chiplet's own grid,
+        taking exactly today's single-die code path.
+        """
+        from repro.thermal.chiplet import ChipletLayout
+
+        if not isinstance(layout, ChipletLayout):
+            raise TypeError(
+                "layout must be a ChipletLayout, got {!r}".format(type(layout))
+            )
+        if layout.is_single_die():
+            spec = layout.chiplets[0]
+            return cls(
+                spec.grid,
+                np.asarray(spec.power_map),
+                max_temperature_c=max_temperature_c,
+                stack=layout.stack,
+                device=device,
+                name=name if name is not None else spec.name,
+                **solver_kwargs,
+            )
+        problem = cls(
+            layout.composite_grid(),
+            layout.power_vector(),
+            max_temperature_c=max_temperature_c,
+            stack=layout.stack,
+            device=device,
+            name=name if name is not None else "chiplet",
+            **solver_kwargs,
+        )
+        problem._layout = layout
+        return problem
+
+    @property
+    def layout(self):
+        """The problem's chiplet layout, or ``None`` for single-die."""
+        return self._layout
+
     def model(self, tec_tiles=()):
         """A :class:`PackageThermalModel` for a candidate deployment.
 
@@ -173,17 +230,28 @@ class CoolingSystemProblem:
         key = tuple(sorted({int(t) for t in tec_tiles}))
         model = self._model_cache.get(key)
         if model is None:
-            model = PackageThermalModel(
-                self.grid,
-                self.power_map,
-                stack=self.stack,
-                tec_tiles=key,
-                device=self.device,
-                blueprint=self._blueprint,
-                solver_mode=self.solver_mode,
-                solver_cache_size=self.solver_cache_size,
-                solver_stats=self.solver_stats,
-            )
+            if self._layout is not None:
+                model = CompositeThermalModel(
+                    self._layout,
+                    tec_tiles=key,
+                    device=self.device,
+                    blueprint=self._blueprint,
+                    solver_mode=self.solver_mode,
+                    solver_cache_size=self.solver_cache_size,
+                    solver_stats=self.solver_stats,
+                )
+            else:
+                model = PackageThermalModel(
+                    self.grid,
+                    self.power_map,
+                    stack=self.stack,
+                    tec_tiles=key,
+                    device=self.device,
+                    blueprint=self._blueprint,
+                    solver_mode=self.solver_mode,
+                    solver_cache_size=self.solver_cache_size,
+                    solver_stats=self.solver_stats,
+                )
             if self.incremental_assembly and self._blueprint is None:
                 self._blueprint = model.network_blueprint()
             self._model_cache[key] = model
@@ -236,6 +304,7 @@ class CoolingSystemProblem:
             incremental_assembly=self.incremental_assembly,
         )
         sibling._blueprint = self._blueprint
+        sibling._layout = self._layout
         return sibling
 
     def with_solver_mode(self, solver_mode):
@@ -258,6 +327,7 @@ class CoolingSystemProblem:
             incremental_assembly=self.incremental_assembly,
         )
         sibling._blueprint = self._blueprint
+        sibling._layout = self._layout
         return sibling
 
     def __repr__(self):

@@ -112,6 +112,45 @@ class LatticeGeometry:
         return self.tile >= 0
 
 
+def validate_lattice_geometry(matrix_size, geometry):
+    """Whether ``geometry`` consistently describes a ``matrix_size`` system.
+
+    The geometry usually arrives from the assembly layer and matches by
+    construction; but hierarchies are also built over externally
+    supplied matrices (tests, shifted copies, experiments), where a
+    stale or hand-rolled geometry can disagree with the operator.
+    Feeding such a geometry to :func:`lattice_coarsen` or
+    :class:`LatticeStencil` would mis-aggregate silently (or raise deep
+    inside the stencil), so :class:`MultigridHierarchy` checks here and
+    degrades to :func:`pairwise_aggregates` instead.  Checked:
+
+    * node count matches the matrix dimension;
+    * positive lattice shape, every on-lattice tile index in range;
+    * on-lattice layer ids non-negative;
+    * no two nodes claim the same ``(layer, tile)`` slot;
+    * at least one node on the lattice at all.
+    """
+    if geometry is None:
+        return False
+    layer = np.asarray(geometry.layer)
+    tile = np.asarray(geometry.tile)
+    if layer.ndim != 1 or tile.ndim != 1:
+        return False
+    if layer.shape[0] != matrix_size or tile.shape[0] != matrix_size:
+        return False
+    rows, cols = int(geometry.rows), int(geometry.cols)
+    if rows <= 0 or cols <= 0:
+        return False
+    on = tile >= 0
+    if not np.any(on):
+        return False
+    num_tiles = rows * cols
+    if np.any(tile[on] >= num_tiles) or np.any(layer[on] < 0):
+        return False
+    key = layer[on].astype(np.int64) * num_tiles + tile[on]
+    return int(np.unique(key).size) == int(key.size)
+
+
 def lattice_coarsen(geometry):
     """One per-layer 2x2 tile-agglomeration step.
 
@@ -384,6 +423,11 @@ class MgReport:
     residual: float
     levels: int
     cycle_kind: str = "V"
+    #: Coarsening provenance of the hierarchy that ran the solve:
+    #: ``"lattice"`` (per-layer 2x2 agglomeration) or ``"pairwise"``
+    #: (the graph fallback — no geometry, or one that failed
+    #: :func:`validate_lattice_geometry`).
+    coarsening: str = "lattice"
 
 
 class MultigridHierarchy:
@@ -466,6 +510,19 @@ class MultigridHierarchy:
 
         current = sp.csr_matrix(matrix)
         current.sort_indices()
+        # A geometry that disagrees with the matrix (stale node count,
+        # out-of-range tiles, duplicate (layer, tile) slots) would
+        # mis-aggregate silently — validate once and degrade to the
+        # pairwise graph coarsening instead, recording the provenance.
+        if geometry is not None and not validate_lattice_geometry(
+            current.shape[0], geometry
+        ):
+            geometry = None
+        #: Coarsening provenance: ``"lattice"`` when the finest level
+        #: aggregates by per-layer 2x2 agglomeration, ``"pairwise"``
+        #: for the graph fallback.  Surfaced through
+        #: :attr:`MgReport.coarsening`.
+        self.coarsening = "lattice" if geometry is not None else "pairwise"
         geom = geometry
         built_plan = []
         self.levels = []
@@ -707,5 +764,6 @@ def mg_solve(
         residual=worst,
         levels=hierarchy.num_levels,
         cycle_kind=kind,
+        coarsening=getattr(hierarchy, "coarsening", "lattice"),
     )
     return (x[:, 0] if single else x), report

@@ -19,6 +19,43 @@ def power_density_map_w_cm2(grid, power_map):
     return grid.to_grid(watts_per_m2_to_w_per_cm2(density))
 
 
+def compose_chiplet_power(composite, per_chiplet_maps):
+    """Concatenate per-chiplet power maps into the global flat vector.
+
+    ``per_chiplet_maps`` is one flat row-major power vector (or a
+    uniform scalar total split evenly over the chiplet's tiles) per
+    chiplet of the :class:`~repro.thermal.geometry.CompositeGrid`, in
+    chiplet order.  Returns the composite flat power vector, length
+    ``composite.num_tiles``, in the block layout every subsystem keys
+    on.
+    """
+    if len(per_chiplet_maps) != composite.num_chiplets:
+        raise ValueError(
+            "got {} power maps for {} chiplets".format(
+                len(per_chiplet_maps), composite.num_chiplets
+            )
+        )
+    power = np.zeros(composite.num_tiles)
+    for chiplet, entry in enumerate(per_chiplet_maps):
+        grid = composite.grids[chiplet]
+        if np.ndim(entry) == 0:
+            block = np.full(grid.num_tiles, float(entry) / grid.num_tiles)
+        else:
+            block = np.asarray(entry, dtype=float)
+            if block.shape != (grid.num_tiles,):
+                raise ValueError(
+                    "chiplet {} power map must have length {}, got shape {}".format(
+                        chiplet, grid.num_tiles, block.shape
+                    )
+                )
+        if np.any(block < 0.0):
+            raise ValueError(
+                "chiplet {} power map entries must be non-negative".format(chiplet)
+            )
+        power[composite.block_slice(chiplet)] = block
+    return power
+
+
 def power_summary(floorplan):
     """Summary statistics of a floorplan's worst-case power.
 
@@ -47,23 +84,32 @@ def power_summary(floorplan):
 def render_ascii_heatmap(values, *, chars=" .:-=+*#%@", vmin=None, vmax=None):
     """Render a 2-D array as an ASCII heat map (one char per cell).
 
-    Used by the examples to show temperature and power maps without a
-    plotting dependency.
+    NaN cells (the unoccupied lattice tiles of a
+    :meth:`~repro.thermal.geometry.CompositeGrid.to_grid` board)
+    render as blanks.  Used by the examples to show temperature and
+    power maps without a plotting dependency.
     """
     grid = np.asarray(values, dtype=float)
     if grid.ndim != 2:
         raise ValueError("values must be 2-D, got shape {}".format(grid.shape))
-    lo = float(np.min(grid)) if vmin is None else float(vmin)
-    hi = float(np.max(grid)) if vmax is None else float(vmax)
+    occupied = np.isfinite(grid)
+    if not np.any(occupied):
+        raise ValueError("values has no finite cells")
+    lo = float(np.min(grid[occupied])) if vmin is None else float(vmin)
+    hi = float(np.max(grid[occupied])) if vmax is None else float(vmax)
     span = hi - lo
     lines = []
-    for row in grid:
+    for row, mask in zip(grid, occupied):
         if span <= 0.0:
             indices = np.zeros(row.shape, dtype=int)
         else:
-            normalized = np.clip((row - lo) / span, 0.0, 1.0)
+            normalized = np.clip(
+                (np.where(mask, row, lo) - lo) / span, 0.0, 1.0
+            )
             indices = np.minimum(
                 (normalized * len(chars)).astype(int), len(chars) - 1
             )
-        lines.append("".join(chars[i] for i in indices))
+        lines.append("".join(
+            chars[i] if m else " " for i, m in zip(indices, mask)
+        ))
     return "\n".join(lines)

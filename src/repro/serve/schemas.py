@@ -8,8 +8,10 @@ JSON results are shared between the HTTP API, the CLI and the sweep
 engine — one schema, three transports.
 
 Every request names a *chip* through the same geometry fields a
-scenario uses: either a registered ``benchmark`` or an explicit
-``rows`` x ``cols`` grid with a flat ``power_map``, optionally scaled
+scenario uses: a registered ``benchmark``, an explicit ``rows`` x
+``cols`` grid with a flat ``power_map``, or a 2.5D ``chiplets`` list
+of ``[rows, cols, row_offset, col_offset, power_w]`` entries (see
+:func:`~repro.thermal.chiplet.layout_from_plain`), optionally scaled
 (``power_scale``) and with device-parameter factors
 (``seebeck_factor`` / ``resistance_factor``).  :func:`blueprint_key`
 hashes those fields (plus the solver ``backend`` and temperature
@@ -36,6 +38,7 @@ GEOMETRY_FIELDS = (
     "rows",
     "cols",
     "power_map",
+    "chiplets",
     "power_scale",
     "limit_c",
     "seebeck_factor",

@@ -58,8 +58,9 @@ class Scenario:
     """One independent problem instance of a sweep.
 
     Exactly one geometry source must be given: ``benchmark`` (a
-    registered Table I name) or an explicit ``rows x cols`` grid with a
-    ``power_map`` (flat row-major W per tile, TEC-sized tiles).
+    registered Table I name), an explicit ``rows x cols`` grid with a
+    ``power_map`` (flat row-major W per tile, TEC-sized tiles), or a
+    2.5D ``chiplets`` layout.
 
     Attributes
     ----------
@@ -71,6 +72,14 @@ class Scenario:
         Registered benchmark key (``alpha``, ``hc01`` ...).
     rows / cols / power_map:
         Explicit geometry (mutually exclusive with ``benchmark``).
+    chiplets:
+        2.5D geometry: tuple of ``(rows, cols, row_offset, col_offset,
+        power_w)`` 5-tuples, one per chiplet — the plain wire format of
+        :func:`~repro.thermal.chiplet.layout_from_plain`.  The worker
+        builds the layout on the default interposer and the problem via
+        :meth:`~repro.core.problem.CoolingSystemProblem.from_chiplet_layout`;
+        tile indices (``tec_tiles``, reported deployments) use the
+        composite global flat order.
     power_scale:
         Multiplier applied to the instance's power map (capability
         envelopes, Section VI.B-style scaling).
@@ -123,6 +132,7 @@ class Scenario:
     rows: int = None
     cols: int = None
     power_map: tuple = None
+    chiplets: tuple = None
     power_scale: float = 1.0
     limit_c: float = None
     seebeck_factor: float = 1.0
@@ -172,11 +182,33 @@ class Scenario:
             )
         has_benchmark = self.benchmark is not None
         has_explicit = self.power_map is not None
-        if has_benchmark == has_explicit:
+        has_chiplets = self.chiplets is not None
+        if int(has_benchmark) + int(has_explicit) + int(has_chiplets) != 1:
             raise ValueError(
                 "scenario {!r} needs exactly one geometry source: "
-                "benchmark or rows/cols/power_map".format(self.name)
+                "benchmark, rows/cols/power_map, or chiplets".format(self.name)
             )
+        if has_chiplets:
+            chiplets = []
+            for entry in self.chiplets:
+                entry = tuple(entry)
+                if len(entry) != 5:
+                    raise ValueError(
+                        "chiplets entries of {!r} must be (rows, cols, "
+                        "row_offset, col_offset, power_w) 5-tuples, got "
+                        "{!r}".format(self.name, entry)
+                    )
+                rows, cols, row0, col0, power = entry
+                chiplets.append(
+                    (int(rows), int(cols), int(row0), int(col0), float(power))
+                )
+            if not chiplets:
+                raise ValueError(
+                    "chiplets of {!r} must name at least one chiplet".format(
+                        self.name
+                    )
+                )
+            object.__setattr__(self, "chiplets", tuple(chiplets))
         if has_explicit:
             if not self.rows or not self.cols:
                 raise ValueError(
@@ -266,6 +298,7 @@ class Scenario:
             self.rows,
             self.cols,
             self.power_map,
+            self.chiplets,
             self.power_scale,
             self.seebeck_factor,
             self.resistance_factor,

@@ -98,6 +98,22 @@ def _build_problem(scenario, limit_c):
                 device.electrical_resistance * scenario.resistance_factor
             ),
         )
+    if scenario.chiplets is not None:
+        from repro.thermal.chiplet import layout_from_plain
+
+        layout = layout_from_plain(
+            tuple(
+                (rows, cols, row0, col0, power * scenario.power_scale)
+                for rows, cols, row0, col0, power in scenario.chiplets
+            )
+        )
+        return CoolingSystemProblem.from_chiplet_layout(
+            layout,
+            max_temperature_c=limit_c,
+            device=device,
+            name=scenario.name,
+            solver_mode=_backend_for(scenario),
+        )
     if scenario.benchmark is not None:
         from repro.experiments.benchmarks import BENCHMARKS
 

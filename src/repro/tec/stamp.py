@@ -56,6 +56,7 @@ def stamp_tec(
     cold_series_resistance=0.0,
     hot_series_resistance=0.0,
     cold_series_base=None,
+    lattice_tile=None,
 ):
     """Write one TEC device into ``network``.
 
@@ -87,17 +88,25 @@ def stamp_tec(
         :meth:`~repro.thermal.assembly.NetworkBlueprint.tag_die_scale`),
         this lets blueprint replay recompute ``g_c`` under a different
         scale field.
+    lattice_tile:
+        Tile index recorded in the node metadata for the multigrid
+        lattice placement, when it differs from ``tile``.  Composite
+        chiplet models deploy TECs by **global** flat index (that is
+        ``tile``, and it stays the stamp's identity) but place nodes on
+        the shared bounding lattice; single-die models leave this
+        ``None`` (the two indices coincide).
 
     Returns
     -------
     TecStamp
     """
     prefix = label if label is not None else "tec[{}]".format(tile)
+    meta_tile = int(tile) if lattice_tile is None else int(lattice_tile)
     cold = network.add_node(
-        "{}.cold".format(prefix), NodeRole.TEC_COLD, tile=int(tile)
+        "{}.cold".format(prefix), NodeRole.TEC_COLD, tile=meta_tile
     )
     hot = network.add_node(
-        "{}.hot".format(prefix), NodeRole.TEC_HOT, tile=int(tile)
+        "{}.hot".format(prefix), NodeRole.TEC_HOT, tile=meta_tile
     )
     if cold_series_resistance < 0.0 or hot_series_resistance < 0.0:
         raise ValueError("series resistances must be >= 0")

@@ -50,6 +50,7 @@ _LATTICE_LAYERS = {
     NodeRole.TIM: 3,
     NodeRole.SPREADER: 4,
     NodeRole.SINK: 5,
+    NodeRole.INTERPOSER: 6,
 }
 
 
@@ -234,7 +235,14 @@ class NetworkBlueprint:
         index = self._num_nodes
         self._num_nodes += 1
         if role is NodeRole.TIM:
-            self._tim_node_tile[index] = int(meta.get("tile", -1))
+            # The tile whose TEC coverage displaces this TIM node.  On
+            # a composite layout the node's ``tile`` meta is its
+            # *bounding-lattice* placement while deployments key on
+            # the *global* flat index, carried as ``cover_tile``; on
+            # the single-die package the two coincide.
+            self._tim_node_tile[index] = int(
+                meta.get("cover_tile", meta.get("tile", -1))
+            )
         self._events.append((_NODE, index, str(name), role, meta))
         return index
 

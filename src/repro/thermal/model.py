@@ -32,6 +32,7 @@ from repro.linalg.runaway import runaway_current as _runaway_current
 from repro.tec.materials import chowdhury_thin_film_tec
 from repro.tec.stamp import stamp_tec
 from repro.thermal.assembly import NetworkBlueprint, assemble
+from repro.thermal.chiplet import ChipletLayout
 from repro.thermal.geometry import TileGrid
 from repro.thermal.network import NodeRole, ThermalNetwork
 from repro.thermal.solve import SolverStats, SteadyStateSolver
@@ -205,6 +206,15 @@ class PackageThermalModel:
         self._die_side_h = grid.height
         self.stack.validate_for_die(max(self._die_side_w, self._die_side_h))
 
+        self._init_engine(blueprint, solver_mode, solver_cache_size, solver_stats)
+
+    def _init_engine(self, blueprint, solver_mode, solver_cache_size, solver_stats):
+        """Build (or replay) the network and boot the solve engine.
+
+        Shared tail of the constructor; :class:`CompositeThermalModel`
+        reuses it after its own geometry setup, so both model kinds
+        ride one build/assemble/solver pipeline.
+        """
         stats = solver_stats if solver_stats is not None else SolverStats()
         self._blueprint = blueprint
         self._solver_mode = solver_mode
@@ -393,9 +403,16 @@ class PackageThermalModel:
 
         return silicon, spreader_nodes, sink_nodes
 
-    def _build_periphery(self, net, silicon, spreader_nodes, sink_nodes):
-        """Spreader/sink overhang nodes and convection to ambient."""
-        grid = self.grid
+    def _build_periphery(self, net, silicon, spreader_nodes, sink_nodes,
+                         grid=None):
+        """Spreader/sink overhang nodes and convection to ambient.
+
+        ``grid`` is the tile grid the spreader/sink node lists are
+        indexed by — the silicon grid for the single-die package; the
+        bounding lattice for a composite layout (whose shared layers
+        span chiplets and gaps alike).
+        """
+        grid = grid if grid is not None else self.grid
         stack = self.stack
         _, _, spreader, sink = stack.conduction_layers()
 
@@ -659,3 +676,355 @@ class PackageThermalModel:
         return _runaway_current(
             self.system.g_matrix, self.system.d_diagonal, method=method, **kwargs
         )
+
+
+class CompositeThermalModel(PackageThermalModel):
+    """Compact thermal model of a 2.5D multi-chiplet package.
+
+    Stamps a :class:`~repro.thermal.chiplet.ChipletLayout` — N chiplet
+    tile grids, the shared interposer with microbump vertical links and
+    lateral spreading, and the shared TIM/spreader/sink cooling stack —
+    into the same node/conductance network machinery as the single-die
+    :class:`PackageThermalModel`, so every downstream subsystem
+    (blueprint replay, :class:`~repro.thermal.session.SolveSession`
+    caching, the mg hierarchy, GreedyDeploy, sweep and serve) works on
+    composite models unchanged.
+
+    Indexing conventions:
+
+    * silicon tiles (power maps, ``tec_tiles``, the ``silicon_nodes``
+      ordering, everything GreedyDeploy touches) use the **global**
+      flat index of the layout's
+      :class:`~repro.thermal.geometry.CompositeGrid` — per-chiplet
+      contiguous row-major blocks;
+    * the shared interposer/spreader/sink layers are gridded over the
+      **bounding lattice** (chiplet footprints plus the gaps between
+      them), which is also the ``(rows, cols)`` shape handed to the
+      multigrid backend — node ``tile`` metadata carries bounding
+      lattice indices so the mg stencil sees one coherent lattice.
+
+    Use :func:`thermal_model_for_layout` rather than constructing this
+    directly: single-die layouts must route through
+    :class:`PackageThermalModel` itself (the exact code path the paper
+    package takes today, bitwise-identical blueprints).
+    """
+
+    def __init__(
+        self,
+        layout,
+        *,
+        tec_tiles=(),
+        device=None,
+        blueprint=None,
+        solver_mode="direct",
+        solver_cache_size=8,
+        solver_stats=None,
+    ):
+        if not isinstance(layout, ChipletLayout):
+            raise TypeError(
+                "layout must be a ChipletLayout, got {!r}".format(type(layout))
+            )
+        self.layout = layout
+        self.grid = layout.composite_grid()
+        self.stack = layout.stack
+        self.device = device if device is not None else chowdhury_thin_film_tec()
+        self.power_map = layout.power_vector()
+
+        tec_tiles = sorted({int(t) for t in tec_tiles})
+        for tile in tec_tiles:
+            if not 0 <= tile < self.grid.num_tiles:
+                raise IndexError(
+                    "TEC tile {} out of range [0, {})".format(
+                        tile, self.grid.num_tiles
+                    )
+                )
+        self.tec_tiles = tuple(tec_tiles)
+        self._die_k_scale = None
+
+        self._bounding = self.grid.bounding_grid()
+        self._die_side_w = self.grid.width
+        self._die_side_h = self.grid.height
+        self.stack.validate_footprints(self._die_side_w, self._die_side_h)
+
+        self._init_engine(blueprint, solver_mode, solver_cache_size, solver_stats)
+
+    @property
+    def interposer_layer(self):
+        """The interposer :class:`~repro.thermal.stack.Layer` or None."""
+        spec = self.layout.interposer
+        return spec.layer() if spec is not None else None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_network(self):
+        net = self.network
+        silicon, spreader_nodes, sink_nodes = self._build_composite_core(
+            net, set(self.tec_tiles)
+        )
+        for flat in self.tec_tiles:
+            self.stamps.append(
+                self._stamp_tile(
+                    net, flat, silicon[flat],
+                    spreader_nodes[self.grid.lattice_index(flat)],
+                )
+            )
+        self._build_periphery(
+            net, silicon, spreader_nodes, sink_nodes, grid=self._bounding
+        )
+
+    def network_blueprint(self):
+        """Record the composite build as a replayable blueprint.
+
+        Same contract as the single-die
+        :meth:`PackageThermalModel.network_blueprint`: the stream is
+        recorded with every TIM tile present plus one TEC stamp
+        template per **global** tile, and any deployment of the same
+        layout replays bitwise-identically.
+        """
+        bp = NetworkBlueprint()
+        silicon, spreader_nodes, sink_nodes = self._build_composite_core(
+            bp, frozenset()
+        )
+        bp.mark_stamp_section()
+        for flat in range(self.grid.num_tiles):
+            bp.begin_stamp_template(flat)
+            stamp = self._stamp_tile(
+                bp, flat, silicon[flat],
+                spreader_nodes[self.grid.lattice_index(flat)],
+            )
+            bp.end_stamp_template(stamp)
+        self._build_periphery(
+            bp, silicon, spreader_nodes, sink_nodes, grid=self._bounding
+        )
+        return bp
+
+    def _stamp_tile(self, net, flat, silicon_node, spreader_node):
+        """Stamp one TEC under **global** tile ``flat``.
+
+        Identical series-resistance lumping to the single-die stamp;
+        the node metadata additionally carries the bounding-lattice
+        placement so the mg stencil keeps its coherent tile grid.
+        """
+        die, _, spreader, _ = self.stack.conduction_layers()
+        return stamp_tec(
+            net,
+            self.device,
+            silicon_node=silicon_node,
+            spreader_node=spreader_node,
+            tile=flat,
+            lattice_tile=self.grid.lattice_index(flat),
+            cold_series_resistance=self._die_exit_resistance(flat),
+            hot_series_resistance=spreader.vertical_half_resistance(
+                self.grid.tile_area
+            ),
+            cold_series_base=die.vertical_generation_resistance(
+                self.grid.tile_area
+            ),
+        )
+
+    def _build_composite_core(self, net, tec_set):
+        """Nodes, sources and layer conduction of the composite stack.
+
+        Per chiplet: silicon tiles with their power sources, TIM tiles
+        (where no TEC covers them), lateral die/TIM conduction, and the
+        per-tile vertical chain die -> TIM -> spreader.  Shared over
+        the bounding lattice: interposer (with microbump links up to
+        each chiplet tile and optional TSV/board leakage), spreader and
+        sink layers with lateral conduction across chiplets and gaps.
+        Returns ``(silicon, spreader_nodes, sink_nodes)`` — silicon
+        indexed by global flat, the shared layers by bounding flat.
+        """
+        grid = self.grid
+        layout = self.layout
+        bounding = self._bounding
+        stack = self.stack
+        die, tim, spreader, sink = stack.conduction_layers()
+        interposer = self.interposer_layer
+        tile_area = grid.tile_area
+        lattice_of = grid.occupied_lattice_tiles()
+
+        silicon = []
+        for flat, chiplet, _, _ in grid.iter_tiles():
+            name = layout.chiplets[chiplet].name
+            silicon.append(
+                net.add_node(
+                    "die[{}:{}]".format(name, flat),
+                    NodeRole.SILICON,
+                    tile=int(lattice_of[flat]),
+                    chiplet=chiplet,
+                )
+            )
+        tim_nodes = {}
+        for flat, chiplet, _, _ in grid.iter_tiles():
+            if flat not in tec_set:
+                name = layout.chiplets[chiplet].name
+                tim_nodes[flat] = net.add_node(
+                    "tim[{}:{}]".format(name, flat),
+                    NodeRole.TIM,
+                    tile=int(lattice_of[flat]),
+                    cover_tile=flat,
+                    chiplet=chiplet,
+                )
+        interposer_nodes = None
+        if interposer is not None:
+            interposer_nodes = [
+                net.add_node(
+                    "itp[{}]".format(lat), NodeRole.INTERPOSER, tile=lat
+                )
+                for lat, _, _ in bounding.iter_tiles()
+            ]
+        spreader_nodes = [
+            net.add_node("spr[{}]".format(lat), NodeRole.SPREADER, tile=lat)
+            for lat, _, _ in bounding.iter_tiles()
+        ]
+        sink_nodes = [
+            net.add_node("snk[{}]".format(lat), NodeRole.SINK, tile=lat)
+            for lat, _, _ in bounding.iter_tiles()
+        ]
+
+        # Tile powers.
+        for flat in range(grid.num_tiles):
+            if self.power_map[flat] > 0.0:
+                net.add_source(silicon[flat], self.power_map[flat])
+
+        # Lateral conduction: die and TIM within each chiplet only
+        # (chiplets are physically separate islands of silicon)...
+        tag = getattr(net, "tag_die_scale", None)
+        for chiplet, cgrid in enumerate(grid.grids):
+            offset = grid.block_offset(chiplet)
+            for a, b, pitch, face in cgrid.iter_lateral_pairs():
+                base = die.lateral_conductance(face, pitch)
+                net.add_conductance(silicon[offset + a], silicon[offset + b], base)
+                if tag is not None:
+                    tag("die_lateral", (offset + a, offset + b), base)
+        # ... the shared layers across the whole bounding lattice,
+        # gaps included — this is the lateral interposer/spreader
+        # spreading that couples the chiplets.
+        shared_layers = [(spreader, spreader_nodes), (sink, sink_nodes)]
+        if interposer_nodes is not None:
+            shared_layers.insert(0, (interposer, interposer_nodes))
+        for layer, nodes in shared_layers:
+            for a, b, pitch, face in bounding.iter_lateral_pairs():
+                net.add_conductance(
+                    nodes[a], nodes[b], layer.lateral_conductance(face, pitch)
+                )
+        for chiplet, cgrid in enumerate(grid.grids):
+            offset = grid.block_offset(chiplet)
+            for a, b, pitch, face in cgrid.iter_lateral_pairs():
+                ga, gb = offset + a, offset + b
+                if ga in tim_nodes and gb in tim_nodes:
+                    net.add_conductance(
+                        tim_nodes[ga], tim_nodes[gb],
+                        tim.lateral_conductance(face, pitch),
+                    )
+
+        # Vertical conduction.  Chiplet tiles follow the single-die
+        # conventions exactly (t/3k generation exit, mid-plane halves);
+        # the microbump field links each silicon tile down into the
+        # interposer, and spreader -> sink spans the full lattice.
+        tim_half = tim.vertical_half_resistance(tile_area)
+        r_die_exit = die.vertical_generation_resistance(tile_area)
+        g_tim_spr = 1.0 / (
+            tim_half + spreader.vertical_half_resistance(tile_area)
+        )
+        g_spr_snk = 1.0 / (
+            spreader.vertical_half_resistance(tile_area)
+            + sink.vertical_half_resistance(tile_area)
+        )
+
+        for flat in range(grid.num_tiles):
+            lat = int(lattice_of[flat])
+            if flat in tim_nodes:
+                g_die_tim = 1.0 / (self._die_exit_resistance(flat) + tim_half)
+                net.add_conductance(silicon[flat], tim_nodes[flat], g_die_tim)
+                if tag is not None:
+                    tag("die_tim", (flat,), (r_die_exit, tim_half))
+                net.add_conductance(
+                    tim_nodes[flat], spreader_nodes[lat], g_tim_spr
+                )
+            if interposer_nodes is not None:
+                net.add_conductance(
+                    silicon[flat],
+                    interposer_nodes[lat],
+                    layout.interposer.microbump_conductance,
+                )
+        for lat in range(bounding.num_tiles):
+            net.add_conductance(spreader_nodes[lat], sink_nodes[lat], g_spr_snk)
+
+        # Optional lumped TSV/ball path from the interposer into the
+        # board, distributed uniformly over the interposer tiles.
+        if (
+            interposer_nodes is not None
+            and layout.interposer.board_resistance is not None
+        ):
+            g_board = 1.0 / (
+                layout.interposer.board_resistance * bounding.num_tiles
+            )
+            for lat in range(bounding.num_tiles):
+                net.add_ground_conductance(interposer_nodes[lat], g_board)
+
+        return silicon, spreader_nodes, sink_nodes
+
+    # ------------------------------------------------------------------
+    # Siblings
+    # ------------------------------------------------------------------
+
+    def with_tec_tiles(self, tec_tiles):
+        """Sibling composite model with a different TEC deployment."""
+        return CompositeThermalModel(
+            self.layout,
+            tec_tiles=tec_tiles,
+            device=self.device,
+            blueprint=self._blueprint,
+            solver_mode=self._solver_mode,
+            solver_cache_size=self._solver_cache_size,
+            solver_stats=self.solver.stats,
+        )
+
+    def with_die_conductivity_scale(self, die_conductivity_scale):
+        raise NotImplementedError(
+            "per-tile die conductivity scaling is not supported on "
+            "composite chiplet models yet"
+        )
+
+    def tiles_by_chiplet(self, tiles=None):
+        """Group global flat tile indices by chiplet name.
+
+        ``tiles`` defaults to this model's TEC deployment; the result
+        maps chiplet name to a sorted tuple of that chiplet's tiles —
+        the per-chiplet placement view of a composite deployment.
+        """
+        tiles = self.tec_tiles if tiles is None else tiles
+        groups = {spec.name: [] for spec in self.layout.chiplets}
+        for tile in tiles:
+            chiplet = self.grid.chiplet_of(int(tile))
+            groups[self.layout.chiplets[chiplet].name].append(int(tile))
+        return {name: tuple(sorted(ts)) for name, ts in groups.items()}
+
+
+def thermal_model_for_layout(layout, **kwargs):
+    """The thermal model of a :class:`~repro.thermal.chiplet.ChipletLayout`.
+
+    Routes single-die layouts (one chiplet at the origin, no
+    interposer) through :class:`PackageThermalModel` — the **exact**
+    code path a plain grid/power-map build takes, so the blueprint is
+    bitwise identical to today's single-die path — and everything else
+    through :class:`CompositeThermalModel`.  Keyword arguments
+    (``tec_tiles``, ``device``, ``blueprint``, ``solver_mode``,
+    ``solver_cache_size``, ``solver_stats``) pass through unchanged.
+    """
+    if not isinstance(layout, ChipletLayout):
+        raise TypeError(
+            "layout must be a ChipletLayout, got {!r}".format(type(layout))
+        )
+    if layout.is_single_die():
+        spec = layout.chiplets[0]
+        return PackageThermalModel(
+            spec.grid,
+            np.asarray(spec.power_map),
+            stack=layout.stack,
+            **kwargs,
+        )
+    return CompositeThermalModel(layout, **kwargs)

@@ -31,6 +31,7 @@ class NodeRole(enum.Enum):
 
     SILICON = "silicon"
     TIM = "tim"
+    INTERPOSER = "interposer"
     SPREADER = "spreader"
     SPREADER_PERIPHERY = "spreader-periphery"
     SINK = "sink"

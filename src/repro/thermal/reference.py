@@ -101,6 +101,10 @@ class ReferenceGridModel:
 
         die, tim, spreader, sink = self.stack.conduction_layers()
         die_w, die_h = grid.width, grid.height
+        # An undersized spreader/sink would silently invert the
+        # overhang segments below (negative cell widths -> negative
+        # resistances); fail loudly instead.
+        self.stack.validate_footprints(die_w, die_h)
         spr_side = spreader.side or max(die_w, die_h)
         snk_side = sink.side or spr_side
 
@@ -322,6 +326,319 @@ class ReferenceGridModel:
                         count += 1
             result[flat] = total / count
         return kelvin_to_celsius(result)
+
+    def peak_tile_temperature_c(self):
+        """Hottest tile temperature (Celsius)."""
+        return float(np.max(self.tile_temperatures_c()))
+
+
+_REF_SIDES = ("north", "east", "south", "west")
+
+
+class ReferenceChipletModel:
+    """Independent reference assembly of a 2.5D chiplet package.
+
+    Validates the composite chiplet model the way the paper validated
+    its compact model against HotSpot: a from-scratch, direct sparse
+    assembly of the same package physics — per-chiplet silicon/TIM
+    islands, the shared interposer with microbump links and lateral
+    spreading, the shared spreader/sink with overhang periphery rings
+    and area-distributed convection — sharing **no builder code** with
+    :class:`~repro.thermal.model.CompositeThermalModel` (no
+    ``ThermalNetwork``, no blueprint machinery, no layer stamping
+    helpers; every conductance is formed here from the material records
+    directly, and the system is solved by a plain ``spsolve``).
+
+    Because both sides discretize the package identically (one node
+    per tile per layer, the same lumping conventions), agreement is
+    expected to floating-point accuracy — the differential suite pins
+    the peak-temperature difference at <= 1e-6 K, which is what makes
+    this a meaningful end-to-end check of the composite stamping,
+    assembly, indexing and solve pipeline.  No-TEC layouts only (the
+    validation operating point, like Section VI's HotSpot comparison).
+    """
+
+    #: Effective-length factor for conduction into the lumped overhang
+    #: rings; must match the compact model's calibrated value for the
+    #: discretizations to coincide.
+    SPREADING_FACTOR = 0.2
+
+    def __init__(self, layout):
+        from repro.thermal.chiplet import ChipletLayout
+
+        if not isinstance(layout, ChipletLayout):
+            raise TypeError(
+                "layout must be a ChipletLayout, got {!r}".format(type(layout))
+            )
+        self.layout = layout
+        self.composite = layout.composite_grid()
+        self.stack = layout.stack
+        self._solution_k = None
+        self._assemble()
+
+    # ------------------------------------------------------------------
+
+    def _assemble(self):
+        layout = self.layout
+        composite = self.composite
+        stack = self.stack
+        die, tim, spreader, sink = stack.conduction_layers()
+        interposer = layout.interposer
+
+        rows, cols = composite.rows, composite.cols
+        tw, th = composite.tile_width, composite.tile_height
+        tile_area = tw * th
+        num_lattice = rows * cols
+        bounding_w = cols * tw
+        bounding_h = rows * th
+
+        # ---- node numbering (silicon, tim, [interposer], spreader,
+        # sink, periphery), all indexed independently of the builder.
+        counter = 0
+        sil = list(range(counter, counter + composite.num_tiles))
+        counter += composite.num_tiles
+        tim_idx = list(range(counter, counter + composite.num_tiles))
+        counter += composite.num_tiles
+        itp = None
+        if interposer is not None:
+            itp = list(range(counter, counter + num_lattice))
+            counter += num_lattice
+        spr = list(range(counter, counter + num_lattice))
+        counter += num_lattice
+        snk = list(range(counter, counter + num_lattice))
+        counter += num_lattice
+
+        rows_l, cols_l, data = [], [], []
+        diagonal = {}
+        rhs = {}
+        ambient_k = celsius_to_kelvin(stack.ambient_c)
+
+        def couple(a, b, g):
+            rows_l.extend((a, b))
+            cols_l.extend((b, a))
+            data.extend((-g, -g))
+            diagonal[a] = diagonal.get(a, 0.0) + g
+            diagonal[b] = diagonal.get(b, 0.0) + g
+
+        def ground(a, g):
+            diagonal[a] = diagonal.get(a, 0.0) + g
+            rhs[a] = rhs.get(a, 0.0) + g * ambient_k
+
+        # ---- per-chiplet tile bookkeeping on the bounding lattice.
+        lattice_of = composite.occupied_lattice_tiles()
+        power = layout.power_vector()
+        for flat in range(composite.num_tiles):
+            if power[flat] > 0.0:
+                rhs[sil[flat]] = rhs.get(sil[flat], 0.0) + power[flat]
+
+        # ---- lateral conduction.  Die/TIM inside each chiplet island;
+        # interposer/spreader/sink across the whole bounding lattice.
+        def lateral_g(material, thickness, face, pitch):
+            return material.thermal_conductivity * (face * thickness) / pitch
+
+        for chiplet_index, cgrid in enumerate(composite.grids):
+            offset = composite.block_offset(chiplet_index)
+            for r in range(cgrid.rows):
+                for c in range(cgrid.cols):
+                    local = r * cgrid.cols + c
+                    if c + 1 < cgrid.cols:
+                        couple(
+                            sil[offset + local], sil[offset + local + 1],
+                            lateral_g(die.material, die.thickness, th, tw),
+                        )
+                        couple(
+                            tim_idx[offset + local], tim_idx[offset + local + 1],
+                            lateral_g(tim.material, tim.thickness, th, tw),
+                        )
+                    if r + 1 < cgrid.rows:
+                        couple(
+                            sil[offset + local], sil[offset + local + cgrid.cols],
+                            lateral_g(die.material, die.thickness, tw, th),
+                        )
+                        couple(
+                            tim_idx[offset + local],
+                            tim_idx[offset + local + cgrid.cols],
+                            lateral_g(tim.material, tim.thickness, tw, th),
+                        )
+        shared = [(spreader, spr), (sink, snk)]
+        if itp is not None:
+            shared.append((interposer.layer(), itp))
+        for layer, nodes in shared:
+            for r in range(rows):
+                for c in range(cols):
+                    lat = r * cols + c
+                    if c + 1 < cols:
+                        couple(
+                            nodes[lat], nodes[lat + 1],
+                            lateral_g(layer.material, layer.thickness, th, tw),
+                        )
+                    if r + 1 < rows:
+                        couple(
+                            nodes[lat], nodes[lat + cols],
+                            lateral_g(layer.material, layer.thickness, tw, th),
+                        )
+
+        # ---- vertical conduction: generation-exit (t/3k) out of the
+        # die, mid-plane halves elsewhere, microbumps into the
+        # interposer, optional lumped TSV/board leakage.
+        k_die = die.material.thermal_conductivity
+        k_tim = tim.material.thermal_conductivity
+        k_spr = spreader.material.thermal_conductivity
+        k_snk = sink.material.thermal_conductivity
+        r_die_exit = die.thickness / (3.0 * k_die * tile_area)
+        r_tim_half = 0.5 * tim.thickness / (k_tim * tile_area)
+        r_spr_half = 0.5 * spreader.thickness / (k_spr * tile_area)
+        r_snk_half = 0.5 * sink.thickness / (k_snk * tile_area)
+        g_die_tim = 1.0 / (r_die_exit + r_tim_half)
+        g_tim_spr = 1.0 / (r_tim_half + r_spr_half)
+        g_spr_snk = 1.0 / (r_spr_half + r_snk_half)
+        for flat in range(composite.num_tiles):
+            lat = int(lattice_of[flat])
+            couple(sil[flat], tim_idx[flat], g_die_tim)
+            couple(tim_idx[flat], spr[lat], g_tim_spr)
+            if itp is not None:
+                couple(sil[flat], itp[lat], interposer.microbump_conductance)
+        for lat in range(num_lattice):
+            couple(spr[lat], snk[lat], g_spr_snk)
+        if itp is not None and interposer.board_resistance is not None:
+            g_board = 1.0 / (interposer.board_resistance * num_lattice)
+            for lat in range(num_lattice):
+                ground(itp[lat], g_board)
+
+        # ---- periphery: trapezoidal overhang rings per side, lateral
+        # edge-tile fan-in shortened by the spreading factor,
+        # vertical ring-to-ring conduction.
+        spr_side = spreader.side or max(bounding_w, bounding_h)
+        snk_side = sink.side or spr_side
+        spr_overhang_w = max(0.0, 0.5 * (spr_side - bounding_w))
+        spr_overhang_h = max(0.0, 0.5 * (spr_side - bounding_h))
+        snk_overhang = max(0.0, 0.5 * (snk_side - spr_side))
+
+        spr_area = {}
+        snk_inner_area = {}
+        snk_outer_area = {}
+        for side in _REF_SIDES:
+            horizontal = side in ("north", "south")
+            inner_edge = bounding_w if horizontal else bounding_h
+            overhang = spr_overhang_h if horizontal else spr_overhang_w
+            if overhang > 0.0:
+                spr_area[side] = 0.5 * (inner_edge + spr_side) * overhang
+                snk_inner_area[side] = spr_area[side]
+            if snk_overhang > 0.0:
+                snk_outer_area[side] = 0.5 * (spr_side + snk_side) * snk_overhang
+
+        spr_ring = {}
+        snk_inner = {}
+        snk_outer = {}
+        for side in _REF_SIDES:
+            if side in spr_area:
+                spr_ring[side] = counter
+                counter += 1
+                snk_inner[side] = counter
+                counter += 1
+            if side in snk_outer_area:
+                snk_outer[side] = counter
+                counter += 1
+
+        def boundary_lattice(side):
+            if side == "north":
+                return [c for c in range(cols)]
+            if side == "south":
+                return [(rows - 1) * cols + c for c in range(cols)]
+            if side == "west":
+                return [r * cols for r in range(rows)]
+            return [r * cols + cols - 1 for r in range(rows)]
+
+        for side in _REF_SIDES:
+            if side not in spr_ring:
+                continue
+            horizontal = side in ("north", "south")
+            overhang = spr_overhang_h if horizontal else spr_overhang_w
+            pitch = th if horizontal else tw
+            face = tw if horizontal else th
+            distance = 0.5 * pitch + self.SPREADING_FACTOR * overhang
+            for lat in boundary_lattice(side):
+                couple(
+                    spr[lat], spr_ring[side],
+                    k_spr * (face * spreader.thickness) / distance,
+                )
+                couple(
+                    snk[lat], snk_inner[side],
+                    k_snk * (face * sink.thickness) / distance,
+                )
+        for side, area in spr_area.items():
+            g = 1.0 / (
+                0.5 * spreader.thickness / (k_spr * area)
+                + 0.5 * sink.thickness / (k_snk * area)
+            )
+            couple(spr_ring[side], snk_inner[side], g)
+        for side in _REF_SIDES:
+            if side not in snk_outer:
+                continue
+            if side in snk_inner:
+                horizontal = side in ("north", "south")
+                overhang = spr_overhang_h if horizontal else spr_overhang_w
+                distance = self.SPREADING_FACTOR * (overhang + snk_overhang)
+                couple(
+                    snk_inner[side], snk_outer[side],
+                    k_snk * (spr_side * sink.thickness) / distance,
+                )
+            else:
+                for lat in boundary_lattice(side):
+                    face = tw if side in ("north", "south") else th
+                    couple(
+                        snk[lat], snk_outer[side],
+                        k_snk * (face * sink.thickness) / (0.5 * snk_overhang),
+                    )
+
+        # ---- convection to ambient, distributed by footprint area.
+        total_conductance = 1.0 / stack.convection_resistance
+        total_area = (
+            bounding_w * bounding_h
+            + sum(snk_inner_area.values())
+            + sum(snk_outer_area.values())
+        )
+        per_tile = total_conductance * (tile_area / total_area)
+        for lat in range(num_lattice):
+            ground(snk[lat], per_tile)
+        for side, node in snk_inner.items():
+            ground(node, total_conductance * snk_inner_area[side] / total_area)
+        for side, node in snk_outer.items():
+            ground(node, total_conductance * snk_outer_area[side] / total_area)
+
+        # ---- assemble.
+        n = counter
+        self.num_nodes = n
+        diag_vec = np.zeros(n)
+        for node, value in diagonal.items():
+            diag_vec[node] = value
+        rows_l.extend(range(n))
+        cols_l.extend(range(n))
+        data.extend(diag_vec)
+        self._matrix = sp.csc_matrix(
+            sp.coo_matrix((data, (rows_l, cols_l)), shape=(n, n))
+        )
+        rhs_vec = np.zeros(n)
+        for node, value in rhs.items():
+            rhs_vec[node] = value
+        self._rhs = rhs_vec
+        self._silicon = np.asarray(sil)
+
+    # ------------------------------------------------------------------
+
+    def solve(self):
+        """Solve the reference steady state; cached after the first call."""
+        if self._solution_k is None:
+            self._solution_k = spsolve(self._matrix, self._rhs)
+            if not np.all(np.isfinite(self._solution_k)):
+                raise RuntimeError(
+                    "chiplet reference solve produced non-finite temperatures"
+                )
+        return self._solution_k
+
+    def tile_temperatures_c(self):
+        """Per-tile silicon temperatures (Celsius), global flat order."""
+        return kelvin_to_celsius(self.solve()[self._silicon])
 
     def peak_tile_temperature_c(self):
         """Hottest tile temperature (Celsius)."""

@@ -14,6 +14,7 @@ model (see ``repro.thermal.validation`` and DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.thermal.materials import COPPER, SILICON, TIM, Material
 from repro.utils import check_positive
@@ -39,7 +40,7 @@ class Layer:
     name: str
     material: Material
     thickness: float
-    side: float = None
+    side: Optional[float] = None
 
     def __post_init__(self):
         check_positive(self.thickness, "thickness")
@@ -131,16 +132,33 @@ class PackageStack:
 
         Raises ``ValueError`` when the spreader or sink footprint is
         smaller than the die, which the periphery construction cannot
-        represent.
+        represent: an undersized spreader would turn the overhang
+        depths negative and silently produce negative spreading
+        resistances downstream.
         """
         die_side = check_positive(die_side, "die_side")
-        spreader_side = self.spreader.side or die_side
+        return self.validate_footprints(die_side, die_side)
+
+    def validate_footprints(self, region_width, region_height):
+        """Check the overhanging layers cover a rectangular region.
+
+        ``region_width`` / ``region_height`` are the lateral extents
+        (metres) of the footprint the spreader must cover — the die of
+        the single-die package, the chiplet bounding box of a
+        composite layout.  Each (square) overhanging layer must be at
+        least as large as the region it covers in **both** dimensions,
+        and the sink at least spreader-sized.  Returns the resolved
+        ``(spreader_side, sink_side)``.
+        """
+        region_width = check_positive(region_width, "region_width")
+        region_height = check_positive(region_height, "region_height")
+        region_side = max(region_width, region_height)
+        spreader_side = self.spreader.side or region_side
         sink_side = self.sink.side or spreader_side
-        if spreader_side < die_side:
+        if spreader_side < region_side:
             raise ValueError(
-                "spreader side {} m is smaller than the die side {} m".format(
-                    spreader_side, die_side
-                )
+                "spreader side {} m is smaller than the {} x {} m region "
+                "it must cover".format(spreader_side, region_width, region_height)
             )
         if sink_side < spreader_side:
             raise ValueError(

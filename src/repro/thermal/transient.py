@@ -75,6 +75,16 @@ def node_capacitances(model):
             capacitance[index] = (
                 layer.material.volumetric_heat_capacity * area * layer.thickness
             )
+        elif node.role is NodeRole.INTERPOSER:
+            interposer = getattr(model, "interposer_layer", None)
+            if interposer is None:
+                capacitance[index] = 1.0e-6
+            else:
+                capacitance[index] = (
+                    interposer.material.volumetric_heat_capacity
+                    * tile_area
+                    * interposer.thickness
+                )
         elif node.role in (NodeRole.TEC_HOT, NodeRole.TEC_COLD):
             film_volume = model.device.footprint * 1.5e-5  # ~15 um stack
             capacitance[index] = (

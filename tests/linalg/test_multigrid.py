@@ -32,6 +32,7 @@ from repro.linalg.multigrid import (
     mg_solve,
     pairwise_aggregates,
     tentative_prolongator,
+    validate_lattice_geometry,
 )
 
 
@@ -353,3 +354,84 @@ class TestMgSolve:
         before = hierarchy.cycles
         _, report = mg_solve(matrix, rhs, hierarchy=hierarchy, rtol=1e-10)
         assert hierarchy.cycles == before + report.cycles
+
+
+class TestGeometryValidation:
+    """Graceful degradation when the lattice geometry is unusable.
+
+    A stale or inconsistent geometry (e.g. a cached plan replayed
+    against a differently-sized system) must not crash the hierarchy
+    or silently mis-coarsen: :func:`validate_lattice_geometry` rejects
+    it and the build falls back to pairwise aggregation, recording the
+    downgrade in :class:`MgReport.coarsening`.
+    """
+
+    def test_valid_geometry_accepted(self):
+        matrix, geometry = _lattice_system(6, 6, layers=2, periphery=2)
+        assert validate_lattice_geometry(matrix.shape[0], geometry)
+
+    def test_size_mismatch_rejected(self):
+        matrix, _ = _lattice_system(6, 6, layers=2)
+        _, stale = _lattice_system(6, 5, layers=2)
+        assert not validate_lattice_geometry(matrix.shape[0], stale)
+
+    def test_duplicate_layer_tile_rejected(self):
+        matrix, geometry = _lattice_system(4, 4, layers=1)
+        tile = geometry.tile.copy()
+        tile[1] = tile[0]  # two nodes on the same lattice site
+        broken = LatticeGeometry(
+            rows=geometry.rows, cols=geometry.cols,
+            layer=geometry.layer, tile=tile,
+        )
+        assert not validate_lattice_geometry(matrix.shape[0], broken)
+
+    def test_out_of_range_tile_rejected(self):
+        matrix, geometry = _lattice_system(4, 4, layers=1)
+        tile = geometry.tile.copy()
+        tile[0] = geometry.rows * geometry.cols  # beyond the lattice
+        broken = LatticeGeometry(
+            rows=geometry.rows, cols=geometry.cols,
+            layer=geometry.layer, tile=tile,
+        )
+        assert not validate_lattice_geometry(matrix.shape[0], broken)
+
+    def test_all_off_lattice_rejected(self):
+        matrix, geometry = _lattice_system(3, 3, layers=1)
+        off = np.full_like(geometry.tile, -1)
+        broken = LatticeGeometry(
+            rows=geometry.rows, cols=geometry.cols,
+            layer=np.full_like(geometry.layer, -1), tile=off,
+        )
+        assert not validate_lattice_geometry(matrix.shape[0], broken)
+
+    def test_lattice_coarsening_reported(self):
+        matrix, geometry = _lattice_system(8, 8, layers=2)
+        rhs = np.ones(matrix.shape[0])
+        _, report = mg_solve(matrix, rhs, geometry=geometry, rtol=1e-9)
+        assert report.converged
+        assert report.coarsening == "lattice"
+
+    def test_stale_geometry_degrades_and_still_converges(self):
+        matrix, _ = _lattice_system(8, 8, layers=2, seed=9)
+        _, stale = _lattice_system(8, 7, layers=2)  # wrong node count
+        rng = np.random.default_rng(13)
+        rhs = rng.standard_normal(matrix.shape[0])
+        x, report = mg_solve(
+            matrix, rhs, geometry=stale, rtol=1e-9, coarse_size=10
+        )
+        assert report.converged
+        assert report.coarsening == "pairwise"
+        residual = np.linalg.norm(rhs - matrix @ x) / np.linalg.norm(rhs)
+        assert residual <= 1e-9
+        # Same answer as the healthy lattice-coarsened solve.
+        x_good, good = mg_solve(matrix, rhs, rtol=1e-12, coarse_size=10)
+        assert np.max(np.abs(x - x_good)) <= 1e-6 * max(1.0, np.max(np.abs(x_good)))
+
+    def test_hierarchy_records_coarsening_mode(self):
+        matrix, geometry = _lattice_system(6, 6, layers=2)
+        with_geom = MultigridHierarchy(
+            matrix, geometry=geometry, coarse_size=10
+        )
+        assert with_geom.coarsening == "lattice"
+        without = MultigridHierarchy(matrix, coarse_size=10)
+        assert without.coarsening == "pairwise"

@@ -22,6 +22,7 @@ _CASES = {
     "design_space_exploration.py": ("best variant",),
     "closed_loop_dtm.py": ("closed-loop PI", "TEC energy"),
     "hotspot_interchange.py": ("design from files", "archived design"),
+    "chiplet_package.py": ("reference cross-check", "per-chiplet currents"),
 }
 
 

@@ -70,3 +70,48 @@ class TestPackageStack:
     def test_rejects_nonpositive_convection(self):
         with pytest.raises(ValueError):
             PackageStack(convection_resistance=0.0)
+
+
+class TestFootprintValidation:
+    """Rectangular-region coverage checks backing the chiplet layouts."""
+
+    def test_resolves_none_sides_to_region(self):
+        stack = PackageStack(
+            spreader=Layer("spreader", COPPER, thickness=1e-3, side=None),
+            sink=Layer("sink", COPPER, thickness=6.9e-3, side=None),
+        )
+        spr, snk = stack.validate_footprints(8e-3, 5e-3)
+        assert spr == pytest.approx(8e-3)  # larger region dimension
+        assert snk == pytest.approx(8e-3)  # sink defaults to spreader
+
+    def test_covers_wide_region_by_larger_side(self):
+        # 17 x 4 mm fits under the 18 mm spreader; 19 x 4 mm does not.
+        spr, snk = PackageStack().validate_footprints(17e-3, 4e-3)
+        assert spr == pytest.approx(18e-3)
+        with pytest.raises(ValueError, match="spreader"):
+            PackageStack().validate_footprints(19e-3, 4e-3)
+        with pytest.raises(ValueError, match="spreader"):
+            PackageStack().validate_footprints(4e-3, 19e-3)
+
+    def test_rejects_nonpositive_region(self):
+        with pytest.raises(ValueError):
+            PackageStack().validate_footprints(0.0, 5e-3)
+        with pytest.raises(ValueError):
+            PackageStack().validate_footprints(5e-3, -1.0)
+
+    def test_validate_for_die_delegates(self):
+        assert PackageStack().validate_for_die(6e-3) == (
+            PackageStack().validate_footprints(6e-3, 6e-3)
+        )
+
+    def test_grown_default_stack_covers_and_is_idempotent(self):
+        from repro.thermal.chiplet import grown_default_stack
+
+        grown = grown_default_stack(24e-3, 6e-3)
+        assert grown.spreader.side >= 1.5 * 24e-3
+        assert grown.sink.side >= 2.0 * grown.spreader.side
+        grown.validate_footprints(24e-3, 6e-3)
+        # An already-large-enough stack comes back unchanged.
+        again = grown_default_stack(6e-3, 6e-3, stack=grown)
+        assert again.spreader.side == grown.spreader.side
+        assert again.sink.side == grown.sink.side
